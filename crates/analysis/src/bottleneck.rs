@@ -1,0 +1,386 @@
+//! The periodic analyzer and bottleneck heuristics.
+//!
+//! Beyond raw anomalies, PMAN "has the ability to aid the identification of
+//! bottlenecks in applications running inside TEE enclaves" (§4).  The
+//! heuristics here encode the two diagnoses the paper's evaluation actually
+//! makes:
+//!
+//! * §6.4: `clock_gettime`/`futex` dominating `read`/`write` indicates that
+//!   timer handling forces unnecessary enclave exits,
+//! * §6.5: a high EPC eviction rate indicates the working set exceeds the EPC,
+//!   and an excessive host context-switch rate indicates framework threading
+//!   problems (Graphene-SGX).
+
+use serde::{Deserialize, Serialize};
+use teemon_tsdb::{query, Selector, TimeSeriesDb};
+
+use crate::anomaly::{Anomaly, AnomalyDetector};
+use crate::stats::SlidingWindow;
+
+/// The kinds of bottleneck the analyzer can diagnose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BottleneckKind {
+    /// A cheap syscall (e.g. `clock_gettime`) dominates I/O syscalls, forcing
+    /// needless enclave exits.
+    SyscallDominance,
+    /// The EPC is oversubscribed: evictions and reclaims dominate.
+    EpcThrashing,
+    /// Host context switches are excessive relative to work done.
+    ContextSwitchStorm,
+}
+
+/// One diagnosed bottleneck.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckFinding {
+    /// The kind of bottleneck.
+    pub kind: BottleneckKind,
+    /// Human-readable explanation with the supporting numbers.
+    pub explanation: String,
+    /// The metric values supporting the finding.
+    pub evidence: Vec<(String, f64)>,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// Sliding window used for threshold evaluation.
+    pub window: SlidingWindow,
+    /// Ratio of a single syscall's share above which it is considered
+    /// dominant (e.g. 0.5 = more than half of all syscalls).
+    pub syscall_dominance_ratio: f64,
+    /// Evicted pages per 100 requests (or per scrape when request counts are
+    /// unavailable) above which EPC thrashing is reported.
+    pub epc_eviction_threshold: f64,
+    /// Host context switches per observed request above which a storm is
+    /// reported.
+    pub context_switch_ratio: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self {
+            window: SlidingWindow::default(),
+            syscall_dominance_ratio: 0.5,
+            epc_eviction_threshold: 50.0,
+            context_switch_ratio: 2.0,
+        }
+    }
+}
+
+/// The periodic analysis loop over the aggregated data.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    db: TimeSeriesDb,
+    detector: AnomalyDetector,
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Creates an analyzer over `db` with the default SGX thresholds.
+    pub fn new(db: TimeSeriesDb) -> Self {
+        Self { db, detector: AnomalyDetector::with_sgx_defaults(), config: AnalyzerConfig::default() }
+    }
+
+    /// Replaces the anomaly detector (custom rules).
+    #[must_use]
+    pub fn with_detector(mut self, detector: AnomalyDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: AnalyzerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+
+    /// Runs threshold-based anomaly detection over every series matching
+    /// `selector` within `[start_ms, end_ms]`.
+    pub fn detect_anomalies(&self, selector: &Selector, start_ms: u64, end_ms: u64) -> Vec<Anomaly> {
+        let mut anomalies = Vec::new();
+        for result in self.db.query_range(selector, start_ms, end_ms) {
+            let windows = self.config.window.evaluate(&result.points);
+            anomalies.extend(self.detector.evaluate(&result.name, &result.labels, &windows));
+        }
+        anomalies
+    }
+
+    /// Diagnoses syscall dominance from the per-syscall counter series
+    /// (`metric{syscall=...}` counters) over a time range.
+    pub fn diagnose_syscall_mix(
+        &self,
+        metric: &str,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Option<BottleneckFinding> {
+        let results = self.db.query_range(&Selector::metric(metric), start_ms, end_ms);
+        if results.is_empty() {
+            return None;
+        }
+        let mut per_syscall: Vec<(String, f64)> = results
+            .iter()
+            .filter_map(|r| {
+                let syscall = r.labels.get("syscall")?.to_string();
+                let total = query::increase(&r.points).or_else(|| r.points.last().map(|(_, v)| *v))?;
+                Some((syscall, total))
+            })
+            .collect();
+        if per_syscall.is_empty() {
+            return None;
+        }
+        // Merge duplicate syscall labels across nodes/instances.
+        per_syscall.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(String, f64)> = Vec::new();
+        for (name, value) in per_syscall {
+            match merged.last_mut() {
+                Some((last, total)) if *last == name => *total += value,
+                _ => merged.push((name, value)),
+            }
+        }
+        let total: f64 = merged.iter().map(|(_, v)| v).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (dominant, count) = merged[0].clone();
+        let io: f64 = merged
+            .iter()
+            .filter(|(name, _)| matches!(name.as_str(), "read" | "write" | "recvfrom" | "sendto"))
+            .map(|(_, v)| v)
+            .sum();
+        let share = count / total;
+        let io_bound = matches!(dominant.as_str(), "read" | "write" | "recvfrom" | "sendto");
+        if share >= self.config.syscall_dominance_ratio && !io_bound {
+            Some(BottleneckFinding {
+                kind: BottleneckKind::SyscallDominance,
+                explanation: format!(
+                    "{dominant} accounts for {:.0}% of system calls ({count:.0} calls vs {io:.0} I/O calls); \
+                     every call triggers an expensive enclave exit — consider handling it inside the enclave",
+                    share * 100.0
+                ),
+                evidence: merged,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Diagnoses EPC thrashing from the eviction counter series.
+    pub fn diagnose_epc(
+        &self,
+        evicted_metric: &str,
+        requests: f64,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Option<BottleneckFinding> {
+        let results = self.db.query_range(&Selector::metric(evicted_metric), start_ms, end_ms);
+        let evicted: f64 = results.iter().filter_map(|r| query::increase(&r.points)).sum();
+        if evicted <= 0.0 {
+            return None;
+        }
+        let per_100 = if requests > 0.0 { evicted * 100.0 / requests } else { evicted };
+        if per_100 >= self.config.epc_eviction_threshold {
+            Some(BottleneckFinding {
+                kind: BottleneckKind::EpcThrashing,
+                explanation: format!(
+                    "{per_100:.1} EPC pages evicted per 100 requests — the working set does not fit \
+                     the ~94 MiB EPC; expect paging-dominated latency"
+                ),
+                evidence: vec![("evicted_pages".into(), evicted), ("per_100_requests".into(), per_100)],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Diagnoses a context-switch storm from host-wide switch counters.
+    pub fn diagnose_context_switches(
+        &self,
+        switch_metric: &str,
+        requests: f64,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Option<BottleneckFinding> {
+        let selector = Selector::metric(switch_metric).with_label("scope", "host_total");
+        let results = self.db.query_range(&selector, start_ms, end_ms);
+        let switches: f64 = results.iter().filter_map(|r| query::increase(&r.points)).sum();
+        if switches <= 0.0 || requests <= 0.0 {
+            return None;
+        }
+        let per_request = switches / requests;
+        if per_request >= self.config.context_switch_ratio {
+            Some(BottleneckFinding {
+                kind: BottleneckKind::ContextSwitchStorm,
+                explanation: format!(
+                    "{per_request:.1} host context switches per request — the framework's host \
+                     interaction (synchronous exits, helper threads) dominates"
+                ),
+                evidence: vec![
+                    ("context_switches".into(), switches),
+                    ("per_request".into(), per_request),
+                ],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Runs all bottleneck heuristics and returns every finding.
+    pub fn diagnose_all(
+        &self,
+        requests: f64,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<BottleneckFinding> {
+        let mut findings = Vec::new();
+        if let Some(f) = self.diagnose_syscall_mix("teemon_syscalls_total", start_ms, end_ms) {
+            findings.push(f);
+        }
+        if let Some(f) = self.diagnose_epc("sgx_pages_evicted_total", requests, start_ms, end_ms) {
+            findings.push(f);
+        }
+        if let Some(f) =
+            self.diagnose_context_switches("teemon_context_switches_total", requests, start_ms, end_ms)
+        {
+            findings.push(f);
+        }
+        findings
+    }
+}
+
+/// Helper used by tests and examples to render findings.
+pub fn summarize(findings: &[BottleneckFinding]) -> String {
+    if findings.is_empty() {
+        return "no bottlenecks detected".to_string();
+    }
+    findings
+        .iter()
+        .map(|f| format!("[{:?}] {}", f.kind, f.explanation))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teemon_metrics::Labels;
+
+    fn db_with_syscall_mix(clock: f64, read: f64, write: f64) -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for (t, fraction) in [(0u64, 0.0), (60_000u64, 1.0)] {
+            db.append(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "clock_gettime"), ("node", "n1")]),
+                t,
+                clock * fraction,
+            );
+            db.append(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "read"), ("node", "n1")]),
+                t,
+                read * fraction,
+            );
+            db.append(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "write"), ("node", "n1")]),
+                t,
+                write * fraction,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn clock_gettime_dominance_is_detected() {
+        // The paper's Figure 6a situation: 370 000 clock_gettime vs tens of
+        // reads/writes per second.
+        let db = db_with_syscall_mix(370_000.0, 23.0, 23.0);
+        let analyzer = Analyzer::new(db);
+        let finding = analyzer
+            .diagnose_syscall_mix("teemon_syscalls_total", 0, 120_000)
+            .expect("dominance should be detected");
+        assert_eq!(finding.kind, BottleneckKind::SyscallDominance);
+        assert!(finding.explanation.contains("clock_gettime"));
+        assert!(finding.explanation.contains("enclave exit"));
+    }
+
+    #[test]
+    fn balanced_io_mix_is_not_flagged() {
+        // Figure 6b: after the fix, reads/writes dominate.
+        let db = db_with_syscall_mix(100.0, 3_200.0, 3_200.0);
+        let analyzer = Analyzer::new(db);
+        assert!(analyzer.diagnose_syscall_mix("teemon_syscalls_total", 0, 120_000).is_none());
+    }
+
+    #[test]
+    fn epc_thrashing_is_detected_above_threshold() {
+        let db = TimeSeriesDb::new();
+        db.append("sgx_pages_evicted_total", &Labels::new(), 0, 0.0);
+        db.append("sgx_pages_evicted_total", &Labels::new(), 60_000, 13_700.0);
+        let analyzer = Analyzer::new(db);
+        // 10 000 requests → 137 evicted per 100 requests (the paper's SCONE
+        // value at 105 MB / 580 connections).
+        let finding = analyzer.diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000).unwrap();
+        assert_eq!(finding.kind, BottleneckKind::EpcThrashing);
+        assert!(finding.explanation.contains("94 MiB"));
+        // Small databases with no evictions produce no finding.
+        let quiet = TimeSeriesDb::new();
+        quiet.append("sgx_pages_evicted_total", &Labels::new(), 0, 0.0);
+        quiet.append("sgx_pages_evicted_total", &Labels::new(), 60_000, 0.0);
+        assert!(Analyzer::new(quiet).diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000).is_none());
+    }
+
+    #[test]
+    fn context_switch_storm_detection() {
+        let db = TimeSeriesDb::new();
+        let labels = Labels::from_pairs([("scope", "host_total")]);
+        db.append("teemon_context_switches_total", &labels, 0, 0.0);
+        db.append("teemon_context_switches_total", &labels, 60_000, 30_000.0);
+        let analyzer = Analyzer::new(db);
+        // 10 000 requests → 3 switches per request → storm (Graphene-like).
+        let finding = analyzer
+            .diagnose_context_switches("teemon_context_switches_total", 10_000.0, 0, 120_000)
+            .unwrap();
+        assert_eq!(finding.kind, BottleneckKind::ContextSwitchStorm);
+        // 100 000 requests → 0.3 per request → fine (SCONE-like).
+        assert!(analyzer
+            .diagnose_context_switches("teemon_context_switches_total", 100_000.0, 0, 120_000)
+            .is_none());
+    }
+
+    #[test]
+    fn diagnose_all_combines_findings_and_summarizes() {
+        let db = db_with_syscall_mix(500_000.0, 50.0, 50.0);
+        db.append("sgx_pages_evicted_total", &Labels::new(), 0, 0.0);
+        db.append("sgx_pages_evicted_total", &Labels::new(), 60_000, 20_000.0);
+        let analyzer = Analyzer::new(db);
+        let findings = analyzer.diagnose_all(10_000.0, 0, 120_000);
+        assert!(findings.len() >= 2);
+        let summary = summarize(&findings);
+        assert!(summary.contains("SyscallDominance"));
+        assert!(summary.contains("EpcThrashing"));
+        assert_eq!(summarize(&[]), "no bottlenecks detected");
+    }
+
+    #[test]
+    fn anomaly_detection_over_db_ranges() {
+        let db = TimeSeriesDb::new();
+        let labels = Labels::from_pairs([("node", "n1")]);
+        // Free pages collapse over 10 minutes.
+        for minute in 0..10u64 {
+            let free = if minute < 5 { 20_000.0 } else { 100.0 };
+            db.append("sgx_nr_free_pages", &labels, minute * 60_000, free);
+        }
+        let analyzer = Analyzer::new(db);
+        let anomalies =
+            analyzer.detect_anomalies(&Selector::metric("sgx_nr_free_pages"), 0, 700_000);
+        assert!(!anomalies.is_empty());
+        assert!(anomalies.iter().any(|a| a.rule == "epc_free_pages_low"));
+    }
+}

@@ -1,0 +1,31 @@
+//! PMAN — the Performance Metrics Analysis component.
+//!
+//! §4: "we design the PMAN component to analyze the aggregated data from the
+//! PMAG component in real-time, to identify the bottlenecks or potential
+//! anomalies, and to report them to the visualization component … Technically,
+//! we make use of threshold-based approaches to detect anomalies … PMAN
+//! analyzes the time-series monitoring data using slide window computations,
+//! e.g., it processes every minute for the last five minutes of the monitoring
+//! data.  In each time window, PMAN not only compares the monitoring data with
+//! user-defined thresholds to detect anomalies but also provides a box plot
+//! for SGX metrics."
+//!
+//! This crate provides exactly those pieces:
+//!
+//! * [`SlidingWindow`] — windowed views over a series,
+//! * [`BoxPlot`] — five-number summaries of SGX metrics,
+//! * [`Threshold`] / [`AnomalyDetector`] — user-defined threshold rules
+//!   evaluated per window, producing [`Anomaly`] reports,
+//! * [`Analyzer`] — the periodic analysis loop over a
+//!   [`teemon_tsdb::TimeSeriesDb`], including the bottleneck heuristics used
+//!   in §6.4/§6.5 (e.g. "`clock_gettime` dominates read/write").
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod bottleneck;
+pub mod stats;
+
+pub use anomaly::{Anomaly, AnomalyDetector, Severity, Threshold, ThresholdKind};
+pub use bottleneck::{Analyzer, AnalyzerConfig, BottleneckFinding, BottleneckKind};
+pub use stats::{BoxPlot, SlidingWindow, WindowStats};

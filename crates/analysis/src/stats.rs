@@ -1,0 +1,213 @@
+//! Sliding windows, window statistics and box plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A five-number summary (plus mean) of a metric over a window — the "box plot
+/// for SGX metrics" PMAN provides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+impl BoxPlot {
+    /// Computes a box plot from raw values; returns `None` for empty input.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |p: f64| -> f64 {
+            let pos = p * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let w = pos - lo as f64;
+                sorted[lo] * (1.0 - w) + sorted[hi] * w
+            }
+        };
+        Some(Self {
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            count: sorted.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// `true` when `value` lies outside the Tukey fences (1.5 × IQR beyond the
+    /// quartiles) — a standard box-plot outlier rule.
+    pub fn is_outlier(&self, value: f64) -> bool {
+        let fence = 1.5 * self.iqr();
+        value < self.q1 - fence || value > self.q3 + fence
+    }
+}
+
+/// Statistics of one evaluated window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window start timestamp (ms).
+    pub start_ms: u64,
+    /// Window end timestamp (ms).
+    pub end_ms: u64,
+    /// Box-plot summary of the window's values.
+    pub summary: BoxPlot,
+}
+
+/// A sliding window over `(timestamp_ms, value)` points.
+///
+/// PMAN's default is a 5-minute window advanced every minute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    /// Window length in milliseconds.
+    pub window_ms: u64,
+    /// Step between successive window evaluations in milliseconds.
+    pub step_ms: u64,
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        Self { window_ms: 5 * 60 * 1000, step_ms: 60 * 1000 }
+    }
+}
+
+impl SlidingWindow {
+    /// Creates a window of `window_ms` advanced by `step_ms`.
+    pub fn new(window_ms: u64, step_ms: u64) -> Self {
+        Self { window_ms: window_ms.max(1), step_ms: step_ms.max(1) }
+    }
+
+    /// Evaluates the window over `points`, returning one [`WindowStats`] per
+    /// step that contains at least one sample.
+    pub fn evaluate(&self, points: &[(u64, f64)]) -> Vec<WindowStats> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let first = points.first().expect("non-empty").0;
+        let last = points.last().expect("non-empty").0;
+        let mut out = Vec::new();
+        let mut end = first + self.window_ms;
+        while end <= last + self.window_ms {
+            let start = end.saturating_sub(self.window_ms);
+            let values: Vec<f64> = points
+                .iter()
+                .filter(|(t, _)| *t >= start && *t < end)
+                .map(|(_, v)| *v)
+                .collect();
+            if let Some(summary) = BoxPlot::from_values(&values) {
+                out.push(WindowStats { start_ms: start, end_ms: end, summary });
+            }
+            if end > last {
+                break;
+            }
+            end += self.step_ms;
+        }
+        out
+    }
+
+    /// Evaluates only the most recent window ending at `now_ms`.
+    pub fn latest(&self, points: &[(u64, f64)], now_ms: u64) -> Option<WindowStats> {
+        let start = now_ms.saturating_sub(self.window_ms);
+        let values: Vec<f64> = points
+            .iter()
+            .filter(|(t, _)| *t >= start && *t <= now_ms)
+            .map(|(_, v)| *v)
+            .collect();
+        BoxPlot::from_values(&values)
+            .map(|summary| WindowStats { start_ms: start, end_ms: now_ms, summary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_plot_five_number_summary() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let bp = BoxPlot::from_values(&values).unwrap();
+        assert_eq!(bp.min, 1.0);
+        assert_eq!(bp.max, 100.0);
+        assert!((bp.median - 50.5).abs() < 1e-9);
+        assert!((bp.q1 - 25.75).abs() < 1e-9);
+        assert!((bp.q3 - 75.25).abs() < 1e-9);
+        assert!((bp.mean - 50.5).abs() < 1e-9);
+        assert_eq!(bp.count, 100);
+        assert!(bp.iqr() > 0.0);
+    }
+
+    #[test]
+    fn box_plot_rejects_empty_and_nan_only() {
+        assert!(BoxPlot::from_values(&[]).is_none());
+        assert!(BoxPlot::from_values(&[f64::NAN, f64::NAN]).is_none());
+        let single = BoxPlot::from_values(&[7.0]).unwrap();
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+    }
+
+    #[test]
+    fn outlier_detection_uses_tukey_fences() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let bp = BoxPlot::from_values(&values).unwrap();
+        assert!(!bp.is_outlier(50.0));
+        assert!(!bp.is_outlier(100.0));
+        assert!(bp.is_outlier(500.0));
+        assert!(bp.is_outlier(-500.0));
+    }
+
+    #[test]
+    fn sliding_window_evaluates_per_step() {
+        // One sample per second for 10 minutes; 5-minute window, 1-minute step.
+        let points: Vec<(u64, f64)> =
+            (0..600).map(|i| (i as u64 * 1000, (i % 60) as f64)).collect();
+        let windows = SlidingWindow::default().evaluate(&points);
+        assert!(windows.len() >= 5, "got {} windows", windows.len());
+        for w in &windows {
+            assert!(w.end_ms - w.start_ms <= 5 * 60 * 1000);
+            assert!(w.summary.count > 0);
+        }
+        // Windows advance monotonically.
+        assert!(windows.windows(2).all(|p| p[0].end_ms < p[1].end_ms));
+    }
+
+    #[test]
+    fn latest_window_covers_recent_samples_only() {
+        let points: Vec<(u64, f64)> = (0..100).map(|i| (i as u64 * 1000, i as f64)).collect();
+        let window = SlidingWindow::new(10_000, 1_000);
+        let latest = window.latest(&points, 99_000).unwrap();
+        assert_eq!(latest.start_ms, 89_000);
+        assert!(latest.summary.min >= 89.0);
+        assert!(window.latest(&points, 1_000_000).is_none(), "stale data must not fill the window");
+        assert!(window.latest(&[], 99_000).is_none());
+    }
+
+    #[test]
+    fn empty_input_evaluates_to_no_windows() {
+        assert!(SlidingWindow::default().evaluate(&[]).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! A MongoDB-like document store workload.
+//!
+//! §6.3 measures TEEMon's monitoring overhead for MongoDB 3.6.3; the paper
+//! reports the smallest relative overhead (throughput ≈95 % of the
+//! unmonitored baseline) because each request performs substantially more
+//! application-level work (BSON parsing, document traversal) than Redis or
+//! NGINX, so the fixed monitoring cost is a smaller fraction.
+
+use serde::{Deserialize, Serialize};
+use teemon_frameworks::RequestProfile;
+use teemon_kernel_sim::Syscall;
+
+use crate::spec::Application;
+
+/// The MongoDB-like document store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MongoApp {
+    /// Number of documents in the working collection.
+    pub documents: u64,
+    /// Mean BSON document size in bytes.
+    pub mean_document_bytes: u64,
+    /// WiredTiger-style internal cache size in bytes.
+    pub cache_bytes: u64,
+    /// Number of worker threads.
+    pub worker_threads: u32,
+}
+
+impl Default for MongoApp {
+    fn default() -> Self {
+        Self {
+            documents: 100_000,
+            mean_document_bytes: 1_024,
+            cache_bytes: 256 * 1024 * 1024,
+            worker_threads: 8,
+        }
+    }
+}
+
+impl MongoApp {
+    /// A document store whose hot set fits in its cache.
+    pub fn default_collection() -> Self {
+        Self::default()
+    }
+}
+
+impl Application for MongoApp {
+    fn name(&self) -> &str {
+        "mongod"
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (self.documents * self.mean_document_bytes).min(self.cache_bytes)
+            + 64 * 1024 * 1024
+    }
+
+    fn threads(&self) -> u32 {
+        self.worker_threads
+    }
+
+    fn request(&self, pipeline: u32, connections: u32) -> RequestProfile {
+        let working_set_pages = self.working_set_pages();
+        let mut req = RequestProfile {
+            operation: "find".into(),
+            syscalls: vec![
+                (Syscall::Recvfrom, 1.0),
+                (Syscall::Sendto, 1.0),
+                (Syscall::Poll, 1.0),
+                (Syscall::Futex, 1.5),
+                (Syscall::Fsync, 0.01),
+            ],
+            time_queries: 4,
+            pages_touched: 8,
+            working_set_pages,
+            cache_references: 3_000,
+            cache_miss_rate: 0.04,
+            cpu_ns: 18_000,
+            request_bytes: 320,
+            response_bytes: self.mean_document_bytes + 200,
+            block_probability: 0.0,
+            page_cache_ops: 0.4,
+        }
+        .amortised_over_pipeline(pipeline);
+        req.block_probability = if connections <= 16 { 0.15 } else { 0.02 };
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redis::RedisApp;
+
+    #[test]
+    fn mongodb_does_more_work_per_request_than_redis() {
+        let mongo = MongoApp::default_collection().request(1, 320);
+        let redis = RedisApp::paper_config(64).request(1, 320);
+        assert!(mongo.cpu_ns > 10 * redis.cpu_ns);
+        assert!(mongo.cache_references > redis.cache_references);
+        assert!(mongo.pages_touched > redis.pages_touched);
+    }
+
+    #[test]
+    fn mongodb_is_multithreaded_and_named() {
+        let app = MongoApp::default_collection();
+        assert_eq!(app.name(), "mongod");
+        assert!(app.threads() > 1);
+        assert!(app.memory_bytes() > 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn occasional_fsync_reaches_the_journal() {
+        let req = MongoApp::default_collection().request(1, 320);
+        let fsync = req.syscalls.iter().find(|(s, _)| *s == Syscall::Fsync).unwrap().1;
+        assert!(fsync > 0.0 && fsync < 0.1);
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`Application`] abstraction shared by all workload models.
+
+use teemon_frameworks::RequestProfile;
+
+/// A monitored workload application.
+///
+/// An application defines its memory footprint (which determines whether it
+/// fits the EPC) and how one request behaves.  The same application can then
+/// be deployed under any framework — exactly the transparency property TEEMon
+/// claims (§1, design feature 2 and 3).
+pub trait Application {
+    /// Process/command name (`redis-server`, `nginx`, `mongod`).
+    fn name(&self) -> &str;
+
+    /// Resident memory of the application in bytes (database size, web-server
+    /// buffers, …).  For SGX frameworks this determines the enclave size.
+    fn memory_bytes(&self) -> u64;
+
+    /// Number of worker threads the application runs.
+    fn threads(&self) -> u32;
+
+    /// The behaviour of one request, given the benchmark's pipeline depth and
+    /// the number of concurrent client connections (used to derive e.g. the
+    /// probability that the server blocks waiting for work).
+    fn request(&self, pipeline: u32, connections: u32) -> RequestProfile;
+
+    /// The working-set size in 4 KiB pages.
+    fn working_set_pages(&self) -> u64 {
+        self.memory_bytes().div_ceil(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Application for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn memory_bytes(&self) -> u64 {
+            10 * 4096 + 1
+        }
+        fn threads(&self) -> u32 {
+            2
+        }
+        fn request(&self, _pipeline: u32, _connections: u32) -> RequestProfile {
+            RequestProfile::keyvalue_get(8, self.working_set_pages())
+        }
+    }
+
+    #[test]
+    fn working_set_rounds_up() {
+        assert_eq!(Dummy.working_set_pages(), 11);
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 11: detailed per-100-request metric rates per framework.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments;
+use teemon_bench::{format_figure11, BENCH_SAMPLES};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure11(&experiments::figure11(BENCH_SAMPLES)));
+
+    c.bench_function("figure11/metric_rates", |b| {
+        b.iter(|| black_box(experiments::figure11(black_box(150))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

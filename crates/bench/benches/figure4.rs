@@ -1,0 +1,22 @@
+//! Figure 4: CPU and memory footprint of TEEMon's components over 24 hours.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments;
+use teemon_bench::format_figure4;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the figure once.
+    println!("{}", format_figure4(&experiments::figure4(24.0)));
+
+    c.bench_function("figure4/footprints_24h", |b| {
+        b.iter(|| black_box(experiments::figure4(black_box(24.0))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

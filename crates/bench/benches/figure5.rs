@@ -1,0 +1,21 @@
+//! Figure 5: monitoring overhead on MongoDB, NGINX and Redis under SCONE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments;
+use teemon_bench::{format_figure5, BENCH_SAMPLES};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure5(&experiments::figure5(BENCH_SAMPLES)));
+
+    c.bench_function("figure5/overhead_all_apps", |b| {
+        b.iter(|| black_box(experiments::figure5(black_box(300))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 6: syscall occurrences for two SCONE releases running Redis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments;
+use teemon_bench::{format_figure6, BENCH_SAMPLES};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure6(&experiments::figure6(BENCH_SAMPLES)));
+
+    c.bench_function("figure6/syscall_mix", |b| {
+        b.iter(|| black_box(experiments::figure6(black_box(300))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

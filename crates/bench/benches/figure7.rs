@@ -1,0 +1,21 @@
+//! Figure 7: Redis throughput across SCONE code evolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments;
+use teemon_bench::{format_figure7, BENCH_SAMPLES};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure7(&experiments::figure7(BENCH_SAMPLES)));
+
+    c.bench_function("figure7/code_evolution", |b| {
+        b.iter(|| black_box(experiments::figure7(black_box(300))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8: Redis throughput under native / SCONE / SGX-LKL / Graphene-SGX
+//! across connection counts and database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teemon::experiments::{self, PAPER_CONNECTIONS};
+use teemon_apps::{run_benchmark, MemtierConfig, NetworkModel, RedisApp};
+use teemon_bench::{format_sweep, BENCH_SAMPLES};
+use teemon_frameworks::{FrameworkKind, FrameworkParams};
+use teemon_kernel_sim::Kernel;
+
+fn bench(c: &mut Criterion) {
+    let rows = experiments::figure8_9(BENCH_SAMPLES, &PAPER_CONNECTIONS);
+    println!("{}", format_sweep("Figures 8: Redis throughput under each SGX framework", &rows));
+
+    let mut group = c.benchmark_group("figure8");
+    group.sample_size(10);
+    for kind in FrameworkKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("one_config_320conns_78MB", kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let app = RedisApp::paper_config(32);
+                    let config = MemtierConfig::paper_default(320).with_samples(300);
+                    black_box(
+                        run_benchmark(
+                            &Kernel::new(),
+                            FrameworkParams::for_kind(*kind),
+                            &app,
+                            &NetworkModel::default(),
+                            &config,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

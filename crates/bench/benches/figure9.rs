@@ -1,0 +1,25 @@
+//! Figure 9: Redis latency under each SGX framework (same sweep as Figure 8,
+//! latency column), plus the Figure 10 head-to-head slice at 78 MB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon::experiments::{self, PAPER_CONNECTIONS};
+use teemon_bench::{format_sweep, BENCH_SAMPLES};
+
+fn bench(c: &mut Criterion) {
+    let rows = experiments::figure8_9(BENCH_SAMPLES, &PAPER_CONNECTIONS);
+    println!("{}", format_sweep("Figure 9: Redis latency under each SGX framework", &rows));
+    let fig10: Vec<_> = rows.iter().filter(|r| r.database_mb == 78).cloned().collect();
+    println!("{}", format_sweep("Figure 10: head-to-head at 78 MB", &fig10));
+
+    c.bench_function("figure9_10/sweep_single_point", |b| {
+        b.iter(|| black_box(experiments::figure10(black_box(200), &[320])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of TEEMon's own machinery (ablation of the overhead
+//! figures): hook dispatch with and without attached programs, exposition
+//! encoding/parsing, TSDB ingestion and scraping.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon_exporters::{EbpfExporter, Exporter, SgxExporter};
+use teemon_kernel_sim::process::ProcessKind;
+use teemon_kernel_sim::{Kernel, Syscall};
+use teemon_metrics::{exposition, Labels, Registry};
+use teemon_tsdb::{MetricsEndpoint, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/syscall_dispatch");
+    group.sample_size(30);
+
+    // Monitoring OFF: no programs attached — the instrumentation-free baseline.
+    let kernel_off = Kernel::new();
+    let pid_off = kernel_off.spawn_process("redis-server", ProcessKind::User, 1);
+    group.bench_function("monitoring_off", |b| {
+        b.iter(|| black_box(kernel_off.syscall(pid_off, Syscall::Read, false)))
+    });
+
+    // eBPF ON: the standard program set observes every syscall.
+    let kernel_on = Kernel::new();
+    let _exporter = EbpfExporter::attach(&kernel_on, "bench-node");
+    let pid_on = kernel_on.spawn_process("redis-server", ProcessKind::User, 1);
+    group.bench_function("ebpf_on", |b| {
+        b.iter(|| black_box(kernel_on.syscall(pid_on, Syscall::Read, false)))
+    });
+    group.finish();
+}
+
+fn bench_exposition(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counters = registry.counter_family("teemon_syscalls_total", "syscalls");
+    for syscall in ["read", "write", "futex", "clock_gettime", "epoll_wait", "sendto"] {
+        counters.with(&Labels::from_pairs([("syscall", syscall)])).inc_by(1234.0);
+    }
+    let text = exposition::encode_text(&registry.gather());
+
+    let mut group = c.benchmark_group("micro/exposition");
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(exposition::encode_text(&registry.gather())))
+    });
+    group.bench_function("parse", |b| b.iter(|| black_box(exposition::parse_text(&text).unwrap())));
+    group.finish();
+}
+
+fn bench_scrape(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    kernel.sgx_driver().create_enclave(1, 16 << 20, 4).unwrap();
+    let sgx = SgxExporter::new(kernel.sgx_driver().clone(), "bench-node");
+    let db = TimeSeriesDb::new();
+    let scraper = Scraper::new(db);
+    struct Endpoint(SgxExporter);
+    impl MetricsEndpoint for Endpoint {
+        fn scrape(&self) -> Result<String, String> {
+            Ok(self.0.render())
+        }
+    }
+    scraper.add_target(
+        ScrapeTargetConfig::new("sgx_exporter", "bench-node:9090"),
+        Arc::new(Endpoint(sgx)),
+    );
+
+    let mut now = 0u64;
+    c.bench_function("micro/scrape_sgx_exporter", |b| {
+        b.iter(|| {
+            now += 5_000;
+            black_box(scraper.scrape_once(now))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_hooks, bench_exposition, bench_scrape
+}
+criterion_main!(benches);

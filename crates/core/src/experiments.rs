@@ -1,0 +1,458 @@
+//! Experiment drivers regenerating every figure of the paper's evaluation.
+//!
+//! Each function returns structured rows (serialisable with serde) and is
+//! called both by the Criterion benches in `teemon-bench` and by the
+//! `fig*` binaries that print the tables recorded in `EXPERIMENTS.md`.
+//!
+//! | function | paper artefact |
+//! |---|---|
+//! | [`figure4`] | Fig. 4a/4b — CPU & memory footprint of TEEMon's components |
+//! | [`figure5`] | Fig. 5 — monitoring overhead on MongoDB / NGINX / Redis |
+//! | [`figure6`] | Fig. 6 — syscall mix of two SCONE releases running Redis |
+//! | [`figure7`] | Fig. 7 — Redis throughput across SCONE code evolution |
+//! | [`figure8_9`] | Fig. 8/9/10 — throughput & latency of Redis under each framework |
+//! | [`figure11`] | Fig. 11a–f — per-100-request metric rates per framework |
+
+use serde::{Deserialize, Serialize};
+
+use teemon_apps::{
+    run_benchmark, Application, MemtierConfig, MetricRates, MongoApp, NetworkModel, NginxApp,
+    RedisApp,
+};
+use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams, SconeVersion};
+use teemon_kernel_sim::{Kernel, Syscall};
+
+use crate::monitor::{HostMonitor, MonitoringMode};
+use crate::overhead::{ComponentFootprint, OverheadModel};
+
+/// Default number of sampled requests per configuration used by the benches.
+pub const DEFAULT_SAMPLES: u64 = 3_000;
+
+fn fresh_kernel() -> Kernel {
+    Kernel::new()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Runs the Figure 4 experiment: 24 hours of monitoring on one host with the
+/// paper's scrape configuration, reporting per-component CPU and memory.
+pub fn figure4(hours: f64) -> Vec<ComponentFootprint> {
+    OverheadModel::default().component_footprints(hours, 2_000.0, 10.0)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Application name.
+    pub app: String,
+    /// Monitoring configuration label (as in the paper's legend).
+    pub configuration: String,
+    /// Throughput in operations per second.
+    pub throughput_iops: f64,
+    /// Throughput normalised to the unmonitored ("Monitoring OFF") run.
+    pub normalized: f64,
+}
+
+fn mode_label(mode: MonitoringMode) -> &'static str {
+    match mode {
+        MonitoringMode::Off => "Monitoring OFF",
+        MonitoringMode::EbpfOnly => "Monitoring OFF + eBPF ON",
+        MonitoringMode::Full => "Monitoring ON",
+    }
+}
+
+/// Runs the Figure 5 experiment: each application under SCONE, in the three
+/// monitoring configurations, normalised against the unmonitored run.
+pub fn figure5(samples: u64) -> Vec<Fig5Row> {
+    let apps: Vec<(String, Box<dyn Application>)> = vec![
+        ("mongodb".into(), Box::new(MongoApp::default_collection())),
+        ("nginx".into(), Box::new(NginxApp::small_site())),
+        ("redis".into(), Box::new(RedisApp::paper_config(32))),
+    ];
+    let overhead = OverheadModel::default();
+    let network = NetworkModel::default();
+    let params = FrameworkParams::scone(SconeVersion::Commit09fea91);
+    let mut rows = Vec::new();
+    for (name, app) in &apps {
+        let mut baseline = None;
+        for mode in [MonitoringMode::Off, MonitoringMode::EbpfOnly, MonitoringMode::Full] {
+            let host = HostMonitor::new("bench-node", mode);
+            let config = MemtierConfig::paper_default(320).with_samples(samples);
+            let result =
+                run_benchmark(host.kernel(), params.clone(), app.as_ref(), &network, &config)
+                    .expect("benchmark");
+            // Full monitoring additionally competes for CPU in user space.
+            let factor = overhead.userspace_throughput_factor(mode, 10.0);
+            let throughput = result.throughput_iops * factor;
+            let baseline_value = *baseline.get_or_insert(throughput);
+            rows.push(Fig5Row {
+                app: name.clone(),
+                configuration: mode_label(mode).to_string(),
+                throughput_iops: throughput,
+                normalized: throughput / baseline_value,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6 and 7
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 6: occurrences per second of one syscall under one SCONE
+/// release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// SCONE commit hash.
+    pub commit: String,
+    /// Syscall name.
+    pub syscall: String,
+    /// Kernel-visible occurrences per second of wall-clock (server) time.
+    pub per_second: f64,
+}
+
+/// One bar of Figure 7: Redis throughput under one SCONE release (plus the
+/// native reference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Configuration label (commit hash or `native`).
+    pub configuration: String,
+    /// Throughput in IOP/s on a single host (loopback) benchmark.
+    pub throughput_iops: f64,
+}
+
+/// Runs the Figure 6 experiment: the syscall mix of Redis under the two SCONE
+/// releases.
+pub fn figure6(samples: u64) -> Vec<Fig6Row> {
+    let app = RedisApp::paper_config(32);
+    let mut rows = Vec::new();
+    for version in [SconeVersion::Commit572bd1a5, SconeVersion::Commit09fea91] {
+        let kernel = fresh_kernel();
+        let mut deployment = Deployment::deploy(
+            &kernel,
+            FrameworkParams::scone(version),
+            app.name(),
+            app.memory_bytes(),
+            app.threads(),
+            17,
+        )
+        .expect("deploy");
+        let request = app.request(8, 320);
+        deployment.execute_many(&request, 320, samples);
+        let elapsed_s = (deployment.totals().busy_ns as f64 / 1e9).max(1e-9);
+        let table = kernel.syscall_table(deployment.pid());
+        for syscall in [
+            Syscall::ClockGettime,
+            Syscall::Futex,
+            Syscall::Recvfrom,
+            Syscall::Sendto,
+            Syscall::EpollWait,
+        ] {
+            rows.push(Fig6Row {
+                commit: version.commit_hash().to_string(),
+                syscall: syscall.name().to_string(),
+                per_second: table.count(syscall) as f64 / elapsed_s,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the Figure 7 experiment: Redis throughput on a single host for the two
+/// SCONE releases and native execution.
+pub fn figure7(samples: u64) -> Vec<Fig7Row> {
+    let app = RedisApp::paper_config(32);
+    let network = NetworkModel::loopback();
+    let config = MemtierConfig::paper_default(64).with_samples(samples);
+    let mut rows = Vec::new();
+    for (label, params) in [
+        ("572bd1a5".to_string(), FrameworkParams::scone(SconeVersion::Commit572bd1a5)),
+        ("09fea91".to_string(), FrameworkParams::scone(SconeVersion::Commit09fea91)),
+        ("native".to_string(), FrameworkParams::native()),
+    ] {
+        let result = run_benchmark(&fresh_kernel(), params, &app, &network, &config)
+            .expect("benchmark");
+        rows.push(Fig7Row { configuration: label, throughput_iops: result.throughput_iops });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8, 9 and 10
+// ---------------------------------------------------------------------------
+
+/// One point of Figures 8/9/10: a framework × database size × connection count
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkSweepRow {
+    /// Framework name.
+    pub framework: String,
+    /// Database size label in MB (78 / 105 / 127).
+    pub database_mb: u64,
+    /// Total client connections.
+    pub connections: u32,
+    /// Throughput in thousands of operations per second (Figure 8).
+    pub kiops: f64,
+    /// Mean latency in milliseconds (Figure 9).
+    pub latency_ms: f64,
+}
+
+/// The connection counts swept in the paper's figures.
+pub const PAPER_CONNECTIONS: [u32; 6] = [8, 80, 160, 320, 560, 800];
+
+/// Runs the Figures 8/9 sweep: every framework × database size × connection
+/// count.  Figure 10 is the 78 MB slice of the same data.
+pub fn figure8_9(samples: u64, connections: &[u32]) -> Vec<FrameworkSweepRow> {
+    let mut rows = Vec::new();
+    let network = NetworkModel::default();
+    for kind in FrameworkKind::ALL {
+        for (db_label, app) in RedisApp::paper_database_sizes() {
+            for &conns in connections {
+                let config = MemtierConfig::paper_default(conns).with_samples(samples);
+                let result = run_benchmark(
+                    &fresh_kernel(),
+                    FrameworkParams::for_kind(kind),
+                    &app,
+                    &network,
+                    &config,
+                )
+                .expect("benchmark");
+                rows.push(FrameworkSweepRow {
+                    framework: kind.name().to_string(),
+                    database_mb: db_label,
+                    connections: conns,
+                    kiops: result.kiops(),
+                    latency_ms: result.latency_ms,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The Figure 10 slice: only the 78 MB database.
+pub fn figure10(samples: u64, connections: &[u32]) -> Vec<FrameworkSweepRow> {
+    figure8_9(samples, connections).into_iter().filter(|r| r.database_mb == 78).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// One group of bars of Figure 11: the per-100-request metric rates for one
+/// framework at one (connections, database size) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// Framework name.
+    pub framework: String,
+    /// Total client connections (8 / 320 / 580 in the paper).
+    pub connections: u32,
+    /// Database size label in MB (78 = "S", 105 = "L" in the paper).
+    pub database_mb: u64,
+    /// The per-100-request rates (Figures 11a–f).
+    pub rates: MetricRates,
+}
+
+/// The (connections, database) configurations of Figure 11.
+pub const FIG11_CONFIGS: [(u32, u64); 6] =
+    [(8, 78), (8, 105), (320, 78), (320, 105), (580, 78), (580, 105)];
+
+/// Runs the Figure 11 experiment.
+pub fn figure11(samples: u64) -> Vec<Fig11Row> {
+    let network = NetworkModel::default();
+    let mut rows = Vec::new();
+    for kind in FrameworkKind::ALL {
+        for (conns, db_mb) in FIG11_CONFIGS {
+            let app = match db_mb {
+                78 => RedisApp::paper_config(32),
+                105 => RedisApp::paper_config(64),
+                _ => RedisApp::paper_config(96),
+            };
+            let config = MemtierConfig::paper_default(conns).with_samples(samples);
+            let result = run_benchmark(
+                &fresh_kernel(),
+                FrameworkParams::for_kind(kind),
+                &app,
+                &network,
+                &config,
+            )
+            .expect("benchmark");
+            rows.push(Fig11Row {
+                framework: kind.name().to_string(),
+                connections: conns,
+                database_mb: db_mb,
+                rates: result.rates,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers shared by the fig* binaries
+// ---------------------------------------------------------------------------
+
+/// Renders rows of any serialisable experiment output as pretty JSON.
+pub fn to_json<T: Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: u64 = 400;
+
+    #[test]
+    fn figure4_reproduces_component_shape() {
+        let rows = figure4(24.0);
+        assert_eq!(rows.len(), 7);
+        let total_memory: f64 = rows.iter().map(|r| r.memory_mb).sum();
+        assert!((500.0..1_000.0).contains(&total_memory));
+        assert!(rows.iter().all(|r| r.cpu_percent < 5.0));
+    }
+
+    #[test]
+    fn figure5_overhead_is_within_paper_band() {
+        let rows = figure5(QUICK);
+        assert_eq!(rows.len(), 9);
+        for row in rows.iter().filter(|r| r.configuration == "Monitoring ON") {
+            assert!(
+                row.normalized > 0.75 && row.normalized <= 1.0,
+                "{}: monitored throughput {} of baseline, expected 0.83–0.95",
+                row.app,
+                row.normalized
+            );
+        }
+        // eBPF-only sits between OFF and full monitoring.
+        for app in ["mongodb", "nginx", "redis"] {
+            let off = rows
+                .iter()
+                .find(|r| r.app == app && r.configuration == "Monitoring OFF")
+                .unwrap()
+                .normalized;
+            let ebpf = rows
+                .iter()
+                .find(|r| r.app == app && r.configuration == "Monitoring OFF + eBPF ON")
+                .unwrap()
+                .normalized;
+            let full = rows
+                .iter()
+                .find(|r| r.app == app && r.configuration == "Monitoring ON")
+                .unwrap()
+                .normalized;
+            assert!(off >= ebpf && ebpf >= full, "{app}: {off} >= {ebpf} >= {full} violated");
+        }
+    }
+
+    #[test]
+    fn figure6_clock_gettime_dominates_only_in_old_commit() {
+        let rows = figure6(QUICK);
+        let clock_old = rows
+            .iter()
+            .find(|r| r.commit == "572bd1a5" && r.syscall == "clock_gettime")
+            .unwrap()
+            .per_second;
+        let read_old = rows
+            .iter()
+            .find(|r| r.commit == "572bd1a5" && r.syscall == "recvfrom")
+            .unwrap()
+            .per_second;
+        let clock_new = rows
+            .iter()
+            .find(|r| r.commit == "09fea91" && r.syscall == "clock_gettime")
+            .unwrap()
+            .per_second;
+        assert!(clock_old > 10.0 * read_old.max(1.0), "old commit: clock_gettime must dominate");
+        assert!(clock_new < clock_old / 100.0, "new commit handles clock_gettime in-enclave");
+    }
+
+    #[test]
+    fn figure7_new_commit_roughly_doubles_throughput() {
+        let rows = figure7(QUICK);
+        let old = rows.iter().find(|r| r.configuration == "572bd1a5").unwrap().throughput_iops;
+        let new = rows.iter().find(|r| r.configuration == "09fea91").unwrap().throughput_iops;
+        let native = rows.iter().find(|r| r.configuration == "native").unwrap().throughput_iops;
+        let speedup = new / old;
+        assert!(
+            (1.4..3.5).contains(&speedup),
+            "expected roughly 2x speedup from the clock_gettime fix, got {speedup}"
+        );
+        assert!(native > new, "native Redis must still beat SCONE");
+    }
+
+    #[test]
+    fn figure8_preserves_the_framework_ordering() {
+        let rows = figure8_9(QUICK, &[320]);
+        let at = |fw: &str, db: u64| {
+            rows.iter()
+                .find(|r| r.framework == fw && r.database_mb == db && r.connections == 320)
+                .unwrap()
+        };
+        let native = at("native", 78);
+        let scone = at("scone", 78);
+        let lkl = at("sgx-lkl", 78);
+        let graphene = at("graphene-sgx", 78);
+        assert!(native.kiops > scone.kiops);
+        assert!(scone.kiops > lkl.kiops);
+        assert!(lkl.kiops > graphene.kiops);
+        // Latency ordering is the inverse (Figure 9).
+        assert!(native.latency_ms < scone.latency_ms);
+        assert!(scone.latency_ms < lkl.latency_ms);
+        assert!(lkl.latency_ms < graphene.latency_ms);
+        // Paging hurts SCONE when the database exceeds the EPC (Figure 8b).
+        assert!(at("scone", 105).kiops < at("scone", 78).kiops);
+        // Figure 10 is the 78 MB slice.
+        let fig10 = figure10(QUICK, &[320]);
+        assert!(fig10.iter().all(|r| r.database_mb == 78));
+        assert_eq!(fig10.len(), 4);
+    }
+
+    #[test]
+    fn figure11_metric_signatures_match_paper_qualitatively() {
+        let rows = figure11(QUICK);
+        let at = |fw: &str, conns: u32, db: u64| {
+            rows.iter()
+                .find(|r| r.framework == fw && r.connections == conns && r.database_mb == db)
+                .unwrap()
+        };
+        // (a) native Redis causes essentially no user-space page faults.
+        assert!(at("native", 320, 105).rates.user_page_faults < 1.0);
+        // (d) SCONE evicts far more EPC pages than the others at 105 MB.
+        let scone_evict = at("scone", 580, 105).rates.evicted_epc_pages;
+        assert!(scone_evict > 0.0);
+        assert!(scone_evict >= at("graphene-sgx", 580, 105).rates.evicted_epc_pages / 10.0);
+        // Small databases fitting the EPC do not evict under SCONE.
+        assert_eq!(at("scone", 320, 78).rates.evicted_epc_pages, 0.0);
+        // (c) every SGX framework has more LLC misses than native.
+        for fw in ["scone", "sgx-lkl", "graphene-sgx"] {
+            assert!(
+                at(fw, 320, 78).rates.llc_misses > at("native", 320, 78).rates.llc_misses,
+                "{fw} should miss more than native"
+            );
+        }
+        // (f) Graphene-SGX causes by far the most host context switches.
+        let graphene_cs = at("graphene-sgx", 580, 105).rates.context_switches_host;
+        for fw in ["native", "scone", "sgx-lkl"] {
+            assert!(
+                graphene_cs > 2.0 * at(fw, 580, 105).rates.context_switches_host,
+                "graphene ({graphene_cs}) vs {fw}"
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_rows_serialise_to_json() {
+        let json = to_json(&figure4(1.0));
+        assert!(json.contains("prometheus"));
+        let json = to_json(&figure7(200));
+        assert!(json.contains("09fea91"));
+    }
+}

@@ -1,0 +1,50 @@
+//! TEEMon — a continuous performance monitoring framework for TEEs.
+//!
+//! This crate is the user-facing façade of the reproduction: it wires the
+//! exporters (PME), the aggregation database and scraper (PMAG), the analysis
+//! component (PMAN) and the dashboards (PMV) on top of the simulated host
+//! (kernel + SGX driver), and provides the experiment drivers that regenerate
+//! every table and figure of the paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use teemon::{HostMonitor, MonitoringMode};
+//! use teemon_apps::{Application, RedisApp};
+//! use teemon_frameworks::{Deployment, FrameworkParams};
+//!
+//! // A simulated SGX host with full TEEMon monitoring attached.
+//! let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+//!
+//! // Run a Redis-like workload under SCONE on that host.
+//! let app = RedisApp::paper_config(32);
+//! let mut deployment = Deployment::deploy(
+//!     host.kernel(),
+//!     FrameworkParams::for_kind(teemon_frameworks::FrameworkKind::Scone),
+//!     app.name(),
+//!     app.memory_bytes(),
+//!     app.threads(),
+//!     7,
+//! )
+//! .unwrap();
+//! let request = app.request(8, 320);
+//! for _ in 0..200 {
+//!     deployment.execute(&request, 320);
+//! }
+//!
+//! // Scrape, then inspect what TEEMon observed.
+//! host.scrape_tick();
+//! let syscalls = host
+//!     .db()
+//!     .query_instant(&teemon_tsdb::Selector::metric("teemon_syscalls_total"), u64::MAX);
+//! assert!(!syscalls.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod monitor;
+pub mod overhead;
+
+pub use monitor::{ClusterMonitor, HostMonitor, MonitoringMode};
+pub use overhead::{ComponentFootprint, OverheadModel};

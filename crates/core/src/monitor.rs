@@ -1,0 +1,377 @@
+//! The TEEMon façade: a monitored host and a monitored cluster.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use teemon_analysis::Analyzer;
+use teemon_dashboard::{standard, DashboardSet};
+use teemon_exporters::{
+    ContainerExporter, ContainerSpec, EbpfExporter, Exporter, NodeExporter, SgxExporter,
+};
+use teemon_kernel_sim::Kernel;
+use teemon_orchestrator::{Cluster, HelmChart, ServiceDiscovery};
+use teemon_tsdb::{MetricsEndpoint, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+
+/// Which parts of TEEMon are active — the three configurations of §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitoringMode {
+    /// "Monitoring OFF": nothing attached, the baseline.
+    Off,
+    /// "Monitoring OFF + eBPF ON": only the in-kernel programs run.
+    EbpfOnly,
+    /// "Monitoring ON": exporters, aggregation, analysis and dashboards.
+    Full,
+}
+
+struct ExporterEndpoint<E: Exporter>(E);
+
+impl<E: Exporter> MetricsEndpoint for ExporterEndpoint<E>
+where
+    E: Send + Sync,
+{
+    fn scrape(&self) -> Result<String, String> {
+        Ok(self.0.render())
+    }
+}
+
+/// One monitored host: a simulated kernel plus the TEEMon components deployed
+/// on it according to the [`MonitoringMode`].
+pub struct HostMonitor {
+    node: String,
+    mode: MonitoringMode,
+    kernel: Kernel,
+    db: TimeSeriesDb,
+    scraper: Scraper,
+    analyzer: Analyzer,
+    dashboards: DashboardSet,
+    container_exporter: Option<ContainerExporter>,
+    ebpf_exporter: Option<EbpfExporter>,
+}
+
+impl HostMonitor {
+    /// Creates a monitored host with a fresh kernel.
+    pub fn new(node: &str, mode: MonitoringMode) -> Self {
+        Self::with_kernel(Kernel::new(), node, mode)
+    }
+
+    /// Creates a monitored host around an existing kernel (so workloads and
+    /// monitoring share the same simulated machine).
+    pub fn with_kernel(kernel: Kernel, node: &str, mode: MonitoringMode) -> Self {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let analyzer = Analyzer::new(db.clone());
+        let dashboards = standard();
+        let mut host = Self {
+            node: node.to_string(),
+            mode,
+            kernel,
+            db,
+            scraper,
+            analyzer,
+            dashboards,
+            container_exporter: None,
+            ebpf_exporter: None,
+        };
+        host.deploy();
+        host
+    }
+
+    fn deploy(&mut self) {
+        match self.mode {
+            MonitoringMode::Off => {}
+            MonitoringMode::EbpfOnly => {
+                self.ebpf_exporter = Some(EbpfExporter::attach(&self.kernel, &self.node));
+            }
+            MonitoringMode::Full => {
+                let ebpf = EbpfExporter::attach(&self.kernel, &self.node);
+                let sgx = SgxExporter::new(self.kernel.sgx_driver().clone(), &self.node);
+                let node_exp = NodeExporter::new(&self.kernel, &self.node);
+                let containers = ContainerExporter::new(&self.node);
+
+                self.scraper.add_target(
+                    ScrapeTargetConfig::new("sgx_exporter", format!("{}:9090", self.node))
+                        .with_label("node", self.node.clone()),
+                    Arc::new(ExporterEndpoint(sgx)),
+                );
+                self.scraper.add_target(
+                    ScrapeTargetConfig::new("node_exporter", format!("{}:9100", self.node))
+                        .with_label("node", self.node.clone()),
+                    Arc::new(ExporterEndpoint(node_exp)),
+                );
+                self.scraper.add_target(
+                    ScrapeTargetConfig::new("cadvisor", format!("{}:8080", self.node))
+                        .with_label("node", self.node.clone()),
+                    Arc::new(ExporterEndpoint(containers.clone())),
+                );
+                // The eBPF exporter is both scraped and kept accessible for
+                // detaching.
+                let ebpf_registry_clone = EbpfRegistryEndpoint(ebpf.registry().clone());
+                self.scraper.add_target(
+                    ScrapeTargetConfig::new("ebpf_exporter", format!("{}:9435", self.node))
+                        .with_label("node", self.node.clone()),
+                    Arc::new(ebpf_registry_clone),
+                );
+                self.container_exporter = Some(containers);
+                self.ebpf_exporter = Some(ebpf);
+            }
+        }
+    }
+
+    /// The monitoring mode in effect.
+    pub fn mode(&self) -> MonitoringMode {
+        self.mode
+    }
+
+    /// The node name.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The simulated kernel workloads should run against.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The aggregation database (PMAG).
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+
+    /// The analysis component (PMAN).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The dashboards (PMV).
+    pub fn dashboards(&self) -> &DashboardSet {
+        &self.dashboards
+    }
+
+    /// The container exporter, when full monitoring is active, so the host
+    /// model can register containers (cAdvisor's data source).
+    pub fn container_exporter(&self) -> Option<&ContainerExporter> {
+        self.container_exporter.as_ref()
+    }
+
+    /// Registers a container with the container exporter (no-op unless full
+    /// monitoring is active).
+    pub fn register_container(&self, spec: ContainerSpec) {
+        if let Some(exporter) = &self.container_exporter {
+            exporter.register_container(spec);
+        }
+    }
+
+    /// Performs one scrape of every target at the kernel's current virtual
+    /// time.  Returns the number of healthy targets.
+    pub fn scrape_tick(&self) -> usize {
+        let now = self.kernel.clock().now_millis();
+        self.scraper.scrape_once(now).iter().filter(|o| o.up).count()
+    }
+
+    /// Runs `ticks` scrapes spaced by the scraper's interval, advancing the
+    /// simulated clock accordingly.
+    pub fn run_scrape_loop(&self, ticks: u64) {
+        for _ in 0..ticks {
+            self.kernel
+                .clock()
+                .advance(teemon_sim_core::SimDuration::from_millis(self.scraper.interval_ms()));
+            self.scrape_tick();
+        }
+    }
+
+    /// Renders one of the standard dashboards over the whole retained range.
+    pub fn render_dashboard(&self, title: &str, width: usize) -> Option<String> {
+        self.dashboards.get(title).map(|d| d.render(&self.db, 0, u64::MAX, width))
+    }
+}
+
+/// Adapter exposing a metric registry as a scrape endpoint.
+struct EbpfRegistryEndpoint(teemon_metrics::Registry);
+
+impl MetricsEndpoint for EbpfRegistryEndpoint {
+    fn scrape(&self) -> Result<String, String> {
+        Ok(teemon_metrics::exposition::encode_text(&self.0.gather()))
+    }
+}
+
+/// A monitored Kubernetes-like cluster: one [`HostMonitor`] per SGX node,
+/// deployed through the TEEMon Helm chart and discovered via the cluster's
+/// service discovery (§5.4).
+pub struct ClusterMonitor {
+    cluster: Cluster,
+    discovery: ServiceDiscovery,
+    hosts: Vec<HostMonitor>,
+    db: TimeSeriesDb,
+}
+
+impl ClusterMonitor {
+    /// Installs TEEMon on every SGX node of `cluster` using the default chart.
+    pub fn install(cluster: Cluster) -> Self {
+        let mut discovery = ServiceDiscovery::new();
+        HelmChart::teemon().install(&mut discovery);
+        let db = TimeSeriesDb::new();
+        let mut hosts = Vec::new();
+        for node in cluster.ready_nodes() {
+            if node.sgx_capable {
+                hosts.push(HostMonitor::new(&node.name, MonitoringMode::Full));
+            }
+        }
+        Self { cluster, discovery, hosts, db }
+    }
+
+    /// The cluster being monitored.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Per-node host monitors.
+    pub fn hosts(&self) -> &[HostMonitor] {
+        &self.hosts
+    }
+
+    /// The scrape endpoints service discovery currently resolves.
+    pub fn endpoints(&self) -> Vec<teemon_orchestrator::ScrapeEndpoint> {
+        self.discovery.endpoints(&self.cluster)
+    }
+
+    /// Reconciles monitors after cluster topology changes: adds monitors for
+    /// new SGX nodes, drops monitors for departed ones.  Returns
+    /// `(added, removed)`.
+    pub fn reconcile(&mut self) -> (usize, usize) {
+        let ready_sgx: Vec<String> = self
+            .cluster
+            .ready_nodes()
+            .iter()
+            .filter(|n| n.sgx_capable)
+            .map(|n| n.name.clone())
+            .collect();
+        let before = self.hosts.len();
+        self.hosts.retain(|h| ready_sgx.contains(&h.node().to_string()));
+        let removed = before - self.hosts.len();
+        let mut added = 0;
+        for name in &ready_sgx {
+            if !self.hosts.iter().any(|h| h.node() == name) {
+                self.hosts.push(HostMonitor::new(name, MonitoringMode::Full));
+                added += 1;
+            }
+        }
+        (added, removed)
+    }
+
+    /// Scrapes every host once.  Returns the number of healthy targets.
+    pub fn scrape_all(&self) -> usize {
+        self.hosts.iter().map(|h| h.scrape_tick()).sum()
+    }
+
+    /// Total enclaves currently active across the cluster.
+    pub fn total_active_enclaves(&self) -> u64 {
+        self.hosts.iter().map(|h| h.kernel().sgx_driver().stats().enclaves_active).sum()
+    }
+
+    /// A cluster-level database for cross-node aggregation (currently fed by
+    /// callers; per-host data lives in each host's own db).
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams};
+    use teemon_kernel_sim::Syscall;
+    use teemon_orchestrator::Node;
+    use teemon_tsdb::Selector;
+
+    #[test]
+    fn off_mode_attaches_nothing() {
+        let host = HostMonitor::new("n1", MonitoringMode::Off);
+        assert_eq!(host.kernel().hooks().total_attached(), 0);
+        assert_eq!(host.scrape_tick(), 0);
+        assert_eq!(host.mode(), MonitoringMode::Off);
+    }
+
+    #[test]
+    fn ebpf_only_attaches_programs_but_no_scraping() {
+        let host = HostMonitor::new("n1", MonitoringMode::EbpfOnly);
+        assert!(host.kernel().hooks().total_attached() > 0);
+        assert_eq!(host.scrape_tick(), 0, "no scrape targets in eBPF-only mode");
+    }
+
+    #[test]
+    fn full_monitoring_scrapes_all_four_exporters() {
+        let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+        assert!(host.kernel().hooks().total_attached() > 0);
+
+        // Generate some activity, then scrape.
+        let pid = host.kernel().spawn_process(
+            "redis-server",
+            teemon_kernel_sim::process::ProcessKind::Enclave,
+            8,
+        );
+        host.kernel().syscall(pid, Syscall::Read, true);
+        host.register_container(ContainerSpec {
+            name: "redis-0".into(),
+            image: "redis:5".into(),
+            pid: pid.as_u32(),
+            memory_limit_bytes: 1 << 30,
+        });
+        host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+        assert_eq!(host.scrape_tick(), 4);
+
+        // All exporter families land in the database.
+        for metric in ["teemon_syscalls_total", "sgx_nr_free_pages", "node_cpu_cores", "container_spec_memory_limit_bytes"] {
+            assert!(
+                !host.db().query_instant(&Selector::metric(metric), u64::MAX).is_empty(),
+                "metric {metric} missing after scrape"
+            );
+        }
+        // Dashboards render from the scraped data.
+        let rendered = host.render_dashboard("SGX", 50).unwrap();
+        assert!(rendered.contains("EPC free pages"));
+        assert!(host.render_dashboard("missing", 50).is_none());
+    }
+
+    #[test]
+    fn workload_on_monitored_host_is_observable_end_to_end() {
+        let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+        let mut deployment = Deployment::deploy(
+            host.kernel(),
+            FrameworkParams::for_kind(FrameworkKind::Scone),
+            "redis-server",
+            32 << 20,
+            8,
+            11,
+        )
+        .unwrap();
+        let request = teemon_frameworks::RequestProfile::keyvalue_get(64, 8_000);
+        for _ in 0..300 {
+            deployment.execute(&request, 320);
+        }
+        host.run_scrape_loop(3);
+        let results =
+            host.db().query_range(&Selector::metric("teemon_syscalls_total"), 0, u64::MAX);
+        assert!(!results.is_empty());
+        // The analyzer can run over the scraped data without findings blowing up.
+        let findings = host.analyzer().diagnose_all(300.0, 0, u64::MAX);
+        let _ = findings;
+    }
+
+    #[test]
+    fn cluster_monitor_follows_topology() {
+        let cluster = Cluster::with_nodes(2, 1);
+        let mut monitor = ClusterMonitor::install(cluster.clone());
+        assert_eq!(monitor.hosts().len(), 2, "one monitor per SGX node");
+        assert!(monitor.endpoints().len() >= 4);
+        assert_eq!(monitor.total_active_enclaves(), 0);
+
+        cluster.add_node(Node::sgx("sgx-new"));
+        cluster.remove_node("sgx-0");
+        let (added, removed) = monitor.reconcile();
+        assert_eq!((added, removed), (1, 1));
+        assert_eq!(monitor.hosts().len(), 2);
+        let healthy = monitor.scrape_all();
+        assert_eq!(healthy, 2 * 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dashboards and the three standard TEEMon dashboards.
+
+use serde::{Deserialize, Serialize};
+use teemon_tsdb::{AggregateOp, Selector, TimeSeriesDb};
+
+use crate::panel::{Panel, PanelData};
+
+/// A named group of panels (one Grafana dashboard).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dashboard {
+    /// Dashboard title.
+    pub title: String,
+    /// Panels in display order.
+    pub panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), panels: Vec::new() }
+    }
+
+    /// Adds a panel.
+    #[must_use]
+    pub fn with_panel(mut self, panel: Panel) -> Self {
+        self.panels.push(panel);
+        self
+    }
+
+    /// Evaluates every panel over `[start_ms, end_ms]`.
+    pub fn evaluate(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64) -> Vec<PanelData> {
+        self.panels.iter().map(|p| p.evaluate(db, start_ms, end_ms)).collect()
+    }
+
+    /// Applies a process filter (the drop-down of Figure 3): every panel's
+    /// selector gains a `process=<name>` matcher.
+    #[must_use]
+    pub fn filtered_by_process(mut self, process: &str) -> Self {
+        for panel in &mut self.panels {
+            panel.selector = panel.selector.clone().with_label("process", process);
+        }
+        self
+    }
+
+    /// Renders the whole dashboard as text.
+    pub fn render(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64, width: usize) -> String {
+        let mut out = format!("### {} ###\n", self.title);
+        for data in self.evaluate(db, start_ms, end_ms) {
+            out.push_str(&data.render(width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the dashboard definition to JSON (the artefact a user would
+    /// import into Grafana).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Loads a dashboard definition from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// The set of dashboards deployed together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DashboardSet {
+    /// All dashboards.
+    pub dashboards: Vec<Dashboard>,
+}
+
+impl DashboardSet {
+    /// Finds a dashboard by title.
+    pub fn get(&self, title: &str) -> Option<&Dashboard> {
+        self.dashboards.iter().find(|d| d.title == title)
+    }
+
+    /// Titles of every dashboard.
+    pub fn titles(&self) -> Vec<&str> {
+        self.dashboards.iter().map(|d| d.title.as_str()).collect()
+    }
+}
+
+/// Builds the three standard TEEMon dashboards (§5.3): SGX, containers and
+/// infrastructure.
+pub fn standard() -> DashboardSet {
+    let sgx = Dashboard::new("SGX")
+        .with_panel(
+            Panel::gauge("EPC free pages", Selector::metric("sgx_nr_free_pages"), 24_064.0)
+                .with_unit("pages"),
+        )
+        .with_panel(Panel::graph("EPC pages evicted", Selector::metric("sgx_pages_evicted_total"))
+            .with_unit("pages"))
+        .with_panel(
+            Panel::graph("Enclave page faults", Selector::metric("sgx_enclave_page_faults_total"))
+                .with_unit("faults"),
+        )
+        .with_panel(Panel::stat("Active enclaves", Selector::metric("sgx_nr_enclaves")))
+        .with_panel(
+            Panel::table("System calls by type", Selector::metric("teemon_syscalls_total"))
+                .with_unit("calls"),
+        )
+        .with_panel(
+            Panel::graph("Page faults (host)", Selector::metric("teemon_page_faults_total"))
+                .with_unit("faults"),
+        );
+
+    let docker = Dashboard::new("Containers")
+        .with_panel(
+            Panel::table("CPU by container", Selector::metric("container_cpu_usage_seconds_total"))
+                .with_unit("s"),
+        )
+        .with_panel(
+            Panel::table(
+                "Memory working set",
+                Selector::metric("container_memory_working_set_bytes"),
+            )
+            .with_unit("bytes"),
+        )
+        .with_panel(
+            Panel::graph(
+                "Network received",
+                Selector::metric("container_network_receive_bytes_total"),
+            )
+            .with_unit("bytes"),
+        );
+
+    let infrastructure = Dashboard::new("Infrastructure")
+        .with_panel(
+            Panel::graph("Context switches", Selector::metric("teemon_context_switches_total"))
+                .with_aggregate(AggregateOp::Sum)
+                .with_unit("switches"),
+        )
+        .with_panel(
+            Panel::graph("Cache events", Selector::metric("teemon_cache_events_total"))
+                .with_unit("events"),
+        )
+        .with_panel(
+            Panel::gauge(
+                "Memory available",
+                Selector::metric("node_memory_MemAvailable_bytes"),
+                32.0 * 1024.0 * 1024.0 * 1024.0,
+            )
+            .with_unit("bytes"),
+        )
+        .with_panel(Panel::stat("Nodes up", Selector::metric("up")).with_aggregate(AggregateOp::Sum))
+        .with_panel(
+            Panel::table("Scrape health", Selector::metric("up")).with_aggregate(AggregateOp::Min),
+        );
+
+    DashboardSet { dashboards: vec![sgx, docker, infrastructure] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teemon_metrics::Labels;
+
+    fn populated_db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..12u64 {
+            let labels = Labels::from_pairs([("node", "n1")]);
+            db.append("sgx_nr_free_pages", &labels, t * 5_000, 24_000.0 - 500.0 * t as f64);
+            db.append("sgx_pages_evicted_total", &labels, t * 5_000, (t * 40) as f64);
+            db.append("sgx_nr_enclaves", &labels, t * 5_000, 3.0);
+            db.append("up", &Labels::from_pairs([("instance", "n1:9090")]), t * 5_000, 1.0);
+            db.append(
+                "container_cpu_usage_seconds_total",
+                &Labels::from_pairs([("container", "redis-0")]),
+                t * 5_000,
+                t as f64,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn standard_set_has_three_dashboards() {
+        let set = standard();
+        assert_eq!(set.dashboards.len(), 3);
+        assert_eq!(set.titles(), vec!["SGX", "Containers", "Infrastructure"]);
+        assert!(set.get("SGX").is_some());
+        assert!(set.get("Nope").is_none());
+        // The SGX dashboard shows EPC metrics and eBPF metrics (Figure 3).
+        let sgx = set.get("SGX").unwrap();
+        assert!(sgx.panels.len() >= 5);
+    }
+
+    #[test]
+    fn dashboards_evaluate_and_render() {
+        let db = populated_db();
+        let set = standard();
+        let rendered = set.get("SGX").unwrap().render(&db, 0, u64::MAX, 50);
+        assert!(rendered.contains("EPC free pages"));
+        assert!(rendered.contains("Active enclaves"));
+        assert!(rendered.contains('#'), "gauge fill expected");
+        let evaluated = set.get("Containers").unwrap().evaluate(&db, 0, u64::MAX);
+        assert!(evaluated.iter().any(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dashboard = standard().dashboards.remove(0);
+        let json = dashboard.to_json();
+        let parsed = Dashboard::from_json(&json).unwrap();
+        assert_eq!(parsed, dashboard);
+        assert!(Dashboard::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn process_filter_narrows_every_panel() {
+        let db = TimeSeriesDb::new();
+        db.append(
+            "teemon_syscalls_total",
+            &Labels::from_pairs([("process", "redis-server"), ("syscall", "read")]),
+            1_000,
+            5.0,
+        );
+        db.append(
+            "teemon_syscalls_total",
+            &Labels::from_pairs([("process", "nginx"), ("syscall", "read")]),
+            1_000,
+            7.0,
+        );
+        let dashboard = Dashboard::new("test")
+            .with_panel(Panel::stat("syscalls", Selector::metric("teemon_syscalls_total")))
+            .filtered_by_process("redis-server");
+        let data = dashboard.evaluate(&db, 0, u64::MAX);
+        assert_eq!(data[0].current, Some(5.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! PMV — the Performance Metrics Visualization component.
+//!
+//! The paper uses Grafana with three dashboards (§5.3): an SGX dashboard (EPC
+//! metrics plus selected eBPF metrics), a Docker dashboard (cAdvisor data) and
+//! an infrastructure dashboard (node exporter + eBPF exporter).  Each
+//! dashboard is a set of panels — graphs, gauges, single stats, tables,
+//! histograms — bound to queries against the aggregation component, with a
+//! process filter and a selectable time range (Figure 3).
+//!
+//! This crate reproduces that layer with text rendering: [`Panel`]s bind a
+//! [`teemon_tsdb::Selector`] to a visualisation type, [`Dashboard`]s group
+//! panels, [`standard`] builds the three dashboards of the paper, and
+//! rendering produces both human-readable ASCII and machine-readable JSON.
+
+#![warn(missing_docs)]
+
+pub mod dashboards;
+pub mod panel;
+pub mod render;
+
+pub use dashboards::{standard, Dashboard, DashboardSet};
+pub use panel::{Panel, PanelData, PanelKind};
+pub use render::{render_ascii_chart, render_gauge, render_table};

@@ -1,0 +1,279 @@
+//! Panels: a query bound to a visualisation.
+
+use serde::{Deserialize, Serialize};
+use teemon_tsdb::{query, AggregateOp, Selector, TimeSeriesDb};
+
+use crate::render;
+
+/// The visualisation type of a panel (the paper lists "graphs, histograms,
+/// gauges, gradient fills, tables, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PanelKind {
+    /// A time-series line graph.
+    Graph,
+    /// A gauge showing the latest value against a maximum.
+    Gauge,
+    /// A single-stat panel showing one aggregated number.
+    SingleStat,
+    /// A table of the latest value per series.
+    Table,
+    /// A histogram of the values observed in the window.
+    Histogram,
+}
+
+/// A dashboard panel: title, query, visualisation and options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// Visualisation type.
+    pub kind: PanelKind,
+    /// The query selecting the series to display.
+    pub selector: Selector,
+    /// Aggregation applied across matching series.
+    pub aggregate: AggregateOp,
+    /// For counters: display the per-second rate instead of the raw value.
+    pub as_rate: bool,
+    /// Unit suffix shown after values (e.g. `"pages"`, `"ops/s"`).
+    pub unit: String,
+    /// Gauge maximum (used by [`PanelKind::Gauge`]).
+    pub max: Option<f64>,
+}
+
+impl Panel {
+    /// Creates a graph panel.
+    pub fn graph(title: impl Into<String>, selector: Selector) -> Self {
+        Self {
+            title: title.into(),
+            kind: PanelKind::Graph,
+            selector,
+            aggregate: AggregateOp::Sum,
+            as_rate: false,
+            unit: String::new(),
+            max: None,
+        }
+    }
+
+    /// Creates a gauge panel with a maximum.
+    pub fn gauge(title: impl Into<String>, selector: Selector, max: f64) -> Self {
+        Self {
+            title: title.into(),
+            kind: PanelKind::Gauge,
+            selector,
+            aggregate: AggregateOp::Sum,
+            as_rate: false,
+            unit: String::new(),
+            max: Some(max),
+        }
+    }
+
+    /// Creates a single-stat panel.
+    pub fn stat(title: impl Into<String>, selector: Selector) -> Self {
+        Self {
+            title: title.into(),
+            kind: PanelKind::SingleStat,
+            selector,
+            aggregate: AggregateOp::Sum,
+            as_rate: false,
+            unit: String::new(),
+            max: None,
+        }
+    }
+
+    /// Creates a table panel.
+    pub fn table(title: impl Into<String>, selector: Selector) -> Self {
+        Self {
+            title: title.into(),
+            kind: PanelKind::Table,
+            selector,
+            aggregate: AggregateOp::Sum,
+            as_rate: false,
+            unit: String::new(),
+            max: None,
+        }
+    }
+
+    /// Displays the per-second rate of a counter instead of its raw value.
+    #[must_use]
+    pub fn as_rate(mut self) -> Self {
+        self.as_rate = true;
+        self
+    }
+
+    /// Sets the displayed unit.
+    #[must_use]
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Sets the aggregation operator.
+    #[must_use]
+    pub fn with_aggregate(mut self, op: AggregateOp) -> Self {
+        self.aggregate = op;
+        self
+    }
+
+    /// Evaluates the panel against `db` over `[start_ms, end_ms]`.
+    pub fn evaluate(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64) -> PanelData {
+        let results = db.query_range(&self.selector, start_ms, end_ms);
+        let series: Vec<(String, Vec<(u64, f64)>)> = results
+            .iter()
+            .map(|r| {
+                let label = if r.labels.is_empty() {
+                    r.name.clone()
+                } else {
+                    format!("{}{}", r.name, r.labels)
+                };
+                (label, r.points.clone())
+            })
+            .collect();
+        let aggregated = query::aggregate_over_time(&results, self.aggregate);
+        let current = if self.as_rate {
+            query::rate(&aggregated)
+        } else {
+            aggregated.last().map(|(_, v)| *v)
+        };
+        PanelData {
+            title: self.title.clone(),
+            kind: self.kind,
+            unit: self.unit.clone(),
+            series,
+            aggregated,
+            current,
+            max: self.max,
+        }
+    }
+}
+
+/// The evaluated data behind one panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelData {
+    /// Panel title.
+    pub title: String,
+    /// Visualisation type.
+    pub kind: PanelKind,
+    /// Unit suffix.
+    pub unit: String,
+    /// Per-series points (label → points).
+    pub series: Vec<(String, Vec<(u64, f64)>)>,
+    /// Points aggregated across series.
+    pub aggregated: Vec<(u64, f64)>,
+    /// The headline value (latest aggregate, or rate when `as_rate`).
+    pub current: Option<f64>,
+    /// Gauge maximum.
+    pub max: Option<f64>,
+}
+
+impl PanelData {
+    /// Renders the panel as ASCII (what the terminal front-end shows).
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        match self.kind {
+            PanelKind::Graph | PanelKind::Histogram => {
+                let values: Vec<f64> = self.aggregated.iter().map(|(_, v)| *v).collect();
+                out.push_str(&render::render_ascii_chart(&values, width, 8));
+            }
+            PanelKind::Gauge => {
+                let value = self.current.unwrap_or(0.0);
+                let max = self.max.unwrap_or_else(|| value.max(1.0));
+                out.push_str(&render::render_gauge(value, max, width));
+            }
+            PanelKind::SingleStat => {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    self.current.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
+                    self.unit
+                ));
+            }
+            PanelKind::Table => {
+                let rows: Vec<(String, f64)> = self
+                    .series
+                    .iter()
+                    .map(|(label, points)| {
+                        (label.clone(), points.last().map(|(_, v)| *v).unwrap_or(f64::NAN))
+                    })
+                    .collect();
+                out.push_str(&render::render_table(&rows, &self.unit));
+            }
+        }
+        out
+    }
+
+    /// `true` when the panel has no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.series.iter().all(|(_, points)| points.is_empty()) && self.aggregated.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teemon_metrics::Labels;
+
+    fn db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..10u64 {
+            db.append(
+                "sgx_nr_free_pages",
+                &Labels::from_pairs([("node", "n1")]),
+                t * 5_000,
+                24_000.0 - t as f64 * 1_000.0,
+            );
+            db.append(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "read")]),
+                t * 5_000,
+                (t * 100) as f64,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn graph_panel_aggregates_and_renders() {
+        let panel = Panel::graph("Free EPC pages", Selector::metric("sgx_nr_free_pages"))
+            .with_unit("pages");
+        let data = panel.evaluate(&db(), 0, u64::MAX);
+        assert!(!data.is_empty());
+        assert_eq!(data.aggregated.len(), 10);
+        assert_eq!(data.current, Some(15_000.0));
+        let rendered = data.render(60);
+        assert!(rendered.contains("Free EPC pages"));
+        assert!(rendered.lines().count() > 3);
+    }
+
+    #[test]
+    fn rate_panel_computes_per_second_rate() {
+        let panel =
+            Panel::stat("Syscall rate", Selector::metric("teemon_syscalls_total")).as_rate();
+        let data = panel.evaluate(&db(), 0, u64::MAX);
+        // 100 syscalls every 5 s → 20/s.
+        assert!((data.current.unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_and_table_render() {
+        let gauge = Panel::gauge("EPC usage", Selector::metric("sgx_nr_free_pages"), 24_064.0)
+            .evaluate(&db(), 0, u64::MAX);
+        let text = gauge.render(40);
+        assert!(text.contains('['), "gauge bar missing: {text}");
+
+        let table = Panel::table("Per-node", Selector::metric("sgx_nr_free_pages"))
+            .with_unit("pages")
+            .evaluate(&db(), 0, u64::MAX);
+        let text = table.render(40);
+        assert!(text.contains("n1"));
+        assert!(text.contains("pages"));
+    }
+
+    #[test]
+    fn empty_query_produces_empty_panel() {
+        let panel = Panel::graph("nothing", Selector::metric("does_not_exist"));
+        let data = panel.evaluate(&db(), 0, u64::MAX);
+        assert!(data.is_empty());
+        assert_eq!(data.current, None);
+        // Rendering must not panic on empty data.
+        let _ = data.render(40);
+    }
+}

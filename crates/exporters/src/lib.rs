@@ -1,0 +1,52 @@
+//! PME — the Performance Metrics Exporters.
+//!
+//! The paper's exporter component has two halves (§4, §5.1):
+//!
+//! * the **TEE Metrics Exporter** (TME), a per-machine privileged exporter
+//!   that reads the instrumented SGX driver's module parameters
+//!   (`/sys/module/isgx/parameters/*`) and republishes them as OpenMetrics —
+//!   implemented here as [`SgxExporter`] reading the simulated
+//!   [`teemon_sgx_sim::SgxDriver`];
+//! * the **System Metrics Exporter** (SME), composed of the eBPF exporter
+//!   (syscalls, context switches, page faults, cache statistics — Table 2),
+//!   the Prometheus node exporter (CPU/memory/filesystem/network) and
+//!   cAdvisor (per-container utilisation) — implemented here as
+//!   [`EbpfExporter`], [`NodeExporter`] and [`ContainerExporter`] reading the
+//!   simulated kernel.
+//!
+//! Every exporter owns a [`teemon_metrics::Registry`] and renders the
+//! OpenMetrics text document the aggregation component scrapes.
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod ebpf_exporter;
+pub mod node;
+pub mod tme;
+
+pub use container::{ContainerExporter, ContainerSpec};
+pub use ebpf_exporter::EbpfExporter;
+pub use node::NodeExporter;
+pub use tme::SgxExporter;
+
+use teemon_metrics::{exposition, Registry};
+
+/// Common behaviour of every TEEMon exporter.
+pub trait Exporter {
+    /// The exporter's job name as used by the scrape configuration.
+    fn job_name(&self) -> &'static str;
+
+    /// The exporter's metric registry.
+    fn registry(&self) -> &Registry;
+
+    /// Refreshes dynamic state (reads driver counters, dumps BPF maps, …).
+    /// Called right before rendering; collectors that read at gather time may
+    /// make this a no-op.
+    fn refresh(&self) {}
+
+    /// Renders the current OpenMetrics exposition text.
+    fn render(&self) -> String {
+        self.refresh();
+        exposition::encode_text(&self.registry().gather())
+    }
+}

@@ -1,0 +1,38 @@
+//! Linux kernel substrate simulation.
+//!
+//! TEEMon's System Metrics Exporter (SME) attaches small eBPF programs to
+//! kernel tracepoints, kprobes and perf events (Table 2 of the paper) and
+//! aggregates the resulting events in BPF maps.  This crate reproduces the
+//! kernel-side machinery those programs need:
+//!
+//! * [`Kernel`] — the host-kernel façade: process table, syscall dispatch,
+//!   context switches, page faults, cache accesses and page-cache operations,
+//!   each of which fires the corresponding [`hooks::HookPoint`],
+//! * [`syscall::Syscall`] — the syscall inventory with per-call base costs,
+//! * [`hooks`] — the tracepoint / kprobe / perf-event registry,
+//! * [`ebpf`] — a small eBPF-like execution environment: programs attached to
+//!   hooks, aggregating into [`ebpf::BpfMap`]s that user-space exporters read,
+//! * [`scheduler`] — a round-robin run-queue model that produces context
+//!   switches with realistic voluntary/involuntary split.
+//!
+//! The simulated kernel also understands enclave-backed processes: syscalls
+//! issued from inside an enclave are charged the enclave-transition cost and
+//! paging activity from the [`teemon_sgx_sim::SgxDriver`] surfaces as page
+//! faults and `ksgxswapd` context switches at host scope, exactly the coupling
+//! the paper's Figure 11 relies on.
+
+#![warn(missing_docs)]
+
+pub mod ebpf;
+pub mod hooks;
+pub mod kernel;
+pub mod process;
+pub mod scheduler;
+pub mod syscall;
+
+pub use ebpf::{BpfMap, BpfProgram, EbpfVm};
+pub use hooks::{HookEvent, HookPoint, HookRegistry, PerfEventKind};
+pub use kernel::{FaultKind, Kernel, KernelConfig, KernelCounters, PageCacheOp};
+pub use process::{Pid, ProcessInfo, ProcessTable};
+pub use scheduler::{RunQueue, SwitchKind};
+pub use syscall::{Syscall, SyscallTable};

@@ -1,0 +1,404 @@
+//! OpenMetrics-style text exposition: encoding and parsing.
+//!
+//! The encoder turns gathered [`FamilySnapshot`]s into the text format that
+//! the paper's exporters publish on their `/metrics` endpoints; the parser is
+//! used by the aggregation component (PMAG) when it scrapes those endpoints.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # HELP teemon_syscalls_total System calls observed
+//! # TYPE teemon_syscalls_total counter
+//! teemon_syscalls_total{syscall="read"} 42 1607731200000
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::MetricError;
+use crate::label::Labels;
+use crate::snapshot::{FamilySnapshot, MetricKind, Sample};
+
+/// Encodes family snapshots into the text exposition format.
+pub fn encode_text(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for family in families {
+        if !family.help.is_empty() {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+        }
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.as_str());
+        out.push('\n');
+        for sample in family.samples() {
+            encode_sample(&mut out, &sample);
+        }
+    }
+    out
+}
+
+fn encode_sample(out: &mut String, sample: &Sample) {
+    out.push_str(&sample.name);
+    if !sample.labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in sample.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_value(sample.value));
+    if let Some(ts) = sample.timestamp_ms {
+        out.push(' ');
+        out.push_str(&ts.to_string());
+    }
+    out.push('\n');
+}
+
+/// Formats a sample value: integral values print without a decimal point,
+/// specials print as `NaN`, `+Inf`, `-Inf`.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn unescape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A scrape result: parsed samples plus per-family metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedExposition {
+    /// All samples in document order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations by family name.
+    pub types: BTreeMap<String, MetricKind>,
+    /// `# HELP` declarations by family name.
+    pub help: BTreeMap<String, String>,
+}
+
+impl ParsedExposition {
+    /// Returns all samples whose name equals `name`.
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Returns the single value of `name` with exactly `labels`, if present.
+    pub fn value(&self, name: &str, labels: &Labels) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && &s.labels == labels).map(|s| s.value)
+    }
+
+    /// Sum of all samples named `name` (across label sets).
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+}
+
+/// Parses a text exposition document.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] describing the first malformed line.
+pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
+    let mut parsed = ParsedExposition::default();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let kind_token = parts.next().unwrap_or_default().trim();
+            let kind = MetricKind::from_str_token(kind_token).ok_or(MetricError::Parse {
+                line: line_no,
+                message: format!("unknown metric type {kind_token:?}"),
+            })?;
+            parsed.types.insert(name, kind);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let help = parts.next().unwrap_or_default().to_string();
+            parsed.help.insert(name, help);
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments are ignored.
+            continue;
+        }
+        parsed.samples.push(parse_sample_line(line, line_no)?);
+    }
+    Ok(parsed)
+}
+
+fn parse_sample_line(line: &str, line_no: usize) -> Result<Sample, MetricError> {
+    let err = |message: String| MetricError::Parse { line: line_no, message };
+
+    let (name_and_labels, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or_else(|| err("missing closing '}'".into()))?;
+            if close < open {
+                return Err(err("'}' before '{'".into()));
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let mut split = line.splitn(2, char::is_whitespace);
+            let name = split.next().unwrap_or_default();
+            let rest = split.next().unwrap_or_default().trim();
+            (&line[..name.len()], rest)
+        }
+    };
+
+    let (name, labels) = match name_and_labels.find('{') {
+        Some(open) => {
+            let name = &name_and_labels[..open];
+            let labels_str = &name_and_labels[open + 1..name_and_labels.len() - 1];
+            (name, parse_labels(labels_str, line_no)?)
+        }
+        None => (name_and_labels, Labels::new()),
+    };
+
+    if name.is_empty() {
+        return Err(err("empty metric name".into()));
+    }
+
+    let mut value_fields = value_part.split_whitespace();
+    let value_str = value_fields.next().ok_or_else(|| err("missing sample value".into()))?;
+    let value = parse_value(value_str).ok_or_else(|| err(format!("bad value {value_str:?}")))?;
+    let timestamp_ms = match value_fields.next() {
+        Some(ts) => {
+            Some(ts.parse::<u64>().map_err(|_| err(format!("bad timestamp {ts:?}")))?)
+        }
+        None => None,
+    };
+    if value_fields.next().is_some() {
+        return Err(err("trailing garbage after timestamp".into()));
+    }
+
+    Ok(Sample { name: name.to_string(), labels, value, timestamp_ms })
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "NaN" => Some(f64::NAN),
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        other => other.parse().ok(),
+    }
+}
+
+fn parse_labels(s: &str, line_no: usize) -> Result<Labels, MetricError> {
+    let err = |message: String| MetricError::Parse { line: line_no, message };
+    let mut labels = Labels::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| err(format!("missing '=' in labels near {rest:?}")))?;
+        let key = rest[..eq].trim();
+        let after_eq = rest[eq + 1..].trim_start();
+        if !after_eq.starts_with('"') {
+            return Err(err(format!("label value for {key:?} not quoted")));
+        }
+        // Find the closing quote, skipping escaped quotes.
+        let bytes = after_eq.as_bytes();
+        let mut i = 1;
+        let mut escaped = false;
+        let mut end = None;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let end = end.ok_or_else(|| err(format!("unterminated label value for {key:?}")))?;
+        let raw_value = &after_eq[1..end];
+        labels.insert(key, unescape_label_value(raw_value));
+        rest = after_eq[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(format!("expected ',' between labels near {rest:?}")));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::snapshot::{MetricPoint, PointValue};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let c = r.counter_family("teemon_syscalls_total", "System calls observed");
+        c.with(&Labels::from_pairs([("syscall", "read")])).inc_by(42.0);
+        c.with(&Labels::from_pairs([("syscall", "clock_gettime")])).inc_by(370_000.0);
+        let g = r.gauge_family("sgx_nr_free_pages", "Free EPC pages");
+        g.default_instance().set(23014.0);
+        let h = r.histogram_family("scrape_duration_seconds", "Scrape time", vec![0.01, 0.1, 1.0]);
+        h.default_instance().observe(0.05);
+        r
+    }
+
+    #[test]
+    fn encode_contains_metadata_and_samples() {
+        let text = encode_text(&sample_registry().gather());
+        assert!(text.contains("# HELP teemon_syscalls_total System calls observed"));
+        assert!(text.contains("# TYPE teemon_syscalls_total counter"));
+        assert!(text.contains("teemon_syscalls_total{syscall=\"read\"} 42"));
+        assert!(text.contains("sgx_nr_free_pages 23014"));
+        assert!(text.contains("scrape_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("scrape_duration_seconds_count 1"));
+    }
+
+    #[test]
+    fn encode_parse_round_trip_preserves_samples() {
+        let families = sample_registry().gather();
+        let text = encode_text(&families);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(
+            parsed.value(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "clock_gettime")])
+            ),
+            Some(370_000.0)
+        );
+        assert_eq!(parsed.types.get("sgx_nr_free_pages"), Some(&MetricKind::Gauge));
+        assert_eq!(
+            parsed.help.get("teemon_syscalls_total").map(String::as_str),
+            Some("System calls observed")
+        );
+        assert_eq!(parsed.total("teemon_syscalls_total"), 370_042.0);
+    }
+
+    #[test]
+    fn parse_handles_timestamps_and_specials() {
+        let doc = "\
+# TYPE up gauge
+up{job=\"sgx_exporter\"} 1 1607731200000
+temp NaN
+pressure +Inf
+vacuum -Inf
+";
+        let parsed = parse_text(doc).unwrap();
+        let up = &parsed.samples[0];
+        assert_eq!(up.timestamp_ms, Some(1_607_731_200_000));
+        assert!(parsed.samples[1].value.is_nan());
+        assert_eq!(parsed.samples[2].value, f64::INFINITY);
+        assert_eq!(parsed.samples[3].value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_text("metric_without_value").is_err());
+        assert!(parse_text("name{unclosed=\"x} 1").is_err());
+        assert!(parse_text("name{a=\"1\"} not_a_number").is_err());
+        assert!(parse_text("name 1 2 3").is_err());
+        assert!(parse_text("# TYPE foo wat").is_err());
+        assert!(parse_text("name{a=1} 5").is_err());
+    }
+
+    #[test]
+    fn parse_ignores_blank_lines_and_comments() {
+        let parsed = parse_text("\n# just a comment\n\nfoo 1\n").unwrap();
+        assert_eq!(parsed.samples.len(), 1);
+    }
+
+    #[test]
+    fn label_values_with_escapes_round_trip() {
+        let mut labels = Labels::new();
+        labels.insert("path", "C:\\weird\"dir\nname");
+        let fam = FamilySnapshot::new("files_total", "", MetricKind::Counter)
+            .with_point(MetricPoint::new(labels.clone(), PointValue::Counter(1.0)));
+        let text = encode_text(&[fam]);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.samples[0].labels, labels);
+    }
+
+    #[test]
+    fn empty_labels_parse_as_bare_name() {
+        let parsed = parse_text("plain_metric 3.25\n").unwrap();
+        assert_eq!(parsed.samples[0].name, "plain_metric");
+        assert!(parsed.samples[0].labels.is_empty());
+        assert_eq!(parsed.samples[0].value, 3.25);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_counter_round_trip(value in 0.0f64..1e12, syscall in "[a-z_]{1,12}") {
+            let r = Registry::new();
+            let c = r.counter_family("prop_total", "prop");
+            c.with(&Labels::from_pairs([("syscall", syscall.clone())])).inc_by(value);
+            let text = encode_text(&r.gather());
+            let parsed = parse_text(&text).unwrap();
+            let got = parsed
+                .value("prop_total", &Labels::from_pairs([("syscall", syscall)]))
+                .unwrap();
+            let round_trip_error = (got - value).abs();
+            proptest::prop_assert!(round_trip_error <= value.abs() * 1e-12 + 1e-12);
+        }
+
+        #[test]
+        fn prop_label_values_round_trip(value in "[ -~]{0,24}") {
+            let mut labels = Labels::new();
+            labels.insert("v", value.clone());
+            let fam = FamilySnapshot::new("m", "", MetricKind::Gauge)
+                .with_point(MetricPoint::new(labels.clone(), PointValue::Gauge(1.0)));
+            let parsed = parse_text(&encode_text(&[fam])).unwrap();
+            proptest::prop_assert_eq!(parsed.samples[0].labels.get("v"), Some(value.as_str()));
+        }
+    }
+}

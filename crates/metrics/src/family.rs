@@ -1,0 +1,303 @@
+//! Metric families: collections of metric instances keyed by label set.
+//!
+//! A family corresponds to one exposition-format metric name (e.g.
+//! `teemon_syscalls_total`) with one live instance per distinct label set
+//! (e.g. `{syscall="read"}`, `{syscall="clock_gettime"}`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::MetricError;
+use crate::label::{Labels, MetricName};
+use crate::snapshot::{FamilySnapshot, MetricKind, MetricPoint, PointValue};
+use crate::value::{Counter, Gauge, Histogram, Summary};
+
+/// A generic family of metric instances keyed by label set.
+pub struct MetricFamily<M> {
+    name: MetricName,
+    help: Arc<String>,
+    kind: MetricKind,
+    make: Arc<dyn Fn() -> M + Send + Sync>,
+    instances: Arc<RwLock<HashMap<Labels, M>>>,
+}
+
+impl<M> Clone for MetricFamily<M> {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            help: Arc::clone(&self.help),
+            kind: self.kind,
+            make: Arc::clone(&self.make),
+            instances: Arc::clone(&self.instances),
+        }
+    }
+}
+
+impl<M: Clone + Send + Sync + 'static> MetricFamily<M> {
+    /// Creates a family with a constructor for new instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] when `name` is invalid.
+    pub fn new(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        kind: MetricKind,
+        make: impl Fn() -> M + Send + Sync + 'static,
+    ) -> Result<Self, MetricError> {
+        Ok(Self {
+            name: MetricName::new(name)?,
+            help: Arc::new(help.into()),
+            kind,
+            make: Arc::new(make),
+            instances: Arc::new(RwLock::new(HashMap::new())),
+        })
+    }
+
+    /// Family name.
+    pub fn name(&self) -> &str {
+        self.name.as_str()
+    }
+
+    /// Family help text.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// Family kind.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// Returns the instance for `labels`, creating it on first use.
+    pub fn with(&self, labels: &Labels) -> M {
+        if let Some(existing) = self.instances.read().get(labels) {
+            return existing.clone();
+        }
+        let mut guard = self.instances.write();
+        guard.entry(labels.clone()).or_insert_with(|| (self.make)()).clone()
+    }
+
+    /// Returns the instance with no labels (the "default" series).
+    pub fn default_instance(&self) -> M {
+        self.with(&Labels::new())
+    }
+
+    /// Removes the instance for `labels`, if present.
+    pub fn remove(&self, labels: &Labels) -> bool {
+        self.instances.write().remove(labels).is_some()
+    }
+
+    /// Removes every instance (e.g. after a monitored process exits).
+    pub fn clear(&self) {
+        self.instances.write().clear();
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.instances.read().len()
+    }
+
+    /// `true` when the family has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.read().is_empty()
+    }
+
+    /// Visits every `(labels, instance)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(&Labels, &M)) {
+        for (labels, m) in self.instances.read().iter() {
+            f(labels, m);
+        }
+    }
+
+    fn snapshot_with(&self, to_point: impl Fn(&M) -> PointValue) -> FamilySnapshot {
+        let mut snap = FamilySnapshot::new(self.name.as_str(), self.help.as_str(), self.kind);
+        let guard = self.instances.read();
+        let mut entries: Vec<_> = guard.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (labels, m) in entries {
+            snap.points.push(MetricPoint::new(labels.clone(), to_point(m)));
+        }
+        snap
+    }
+}
+
+impl<M> std::fmt::Debug for MetricFamily<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricFamily")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("instances", &self.instances.read().len())
+            .finish()
+    }
+}
+
+/// A family of [`Counter`]s.
+pub type CounterFamily = MetricFamily<Counter>;
+/// A family of [`Gauge`]s.
+pub type GaugeFamily = MetricFamily<Gauge>;
+/// A family of [`Histogram`]s.
+pub type HistogramFamily = MetricFamily<Histogram>;
+/// A family of [`Summary`]s.
+pub type SummaryFamily = MetricFamily<Summary>;
+
+impl CounterFamily {
+    /// Creates a counter family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] when `name` is invalid.
+    pub fn counters(name: impl Into<String>, help: impl Into<String>) -> Result<Self, MetricError> {
+        MetricFamily::new(name, help, MetricKind::Counter, Counter::new)
+    }
+
+    /// Takes a snapshot of all counter instances.
+    pub fn snapshot(&self) -> FamilySnapshot {
+        self.snapshot_with(|c| PointValue::Counter(c.get()))
+    }
+}
+
+impl GaugeFamily {
+    /// Creates a gauge family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] when `name` is invalid.
+    pub fn gauges(name: impl Into<String>, help: impl Into<String>) -> Result<Self, MetricError> {
+        MetricFamily::new(name, help, MetricKind::Gauge, Gauge::new)
+    }
+
+    /// Takes a snapshot of all gauge instances.
+    pub fn snapshot(&self) -> FamilySnapshot {
+        self.snapshot_with(|g| PointValue::Gauge(g.get()))
+    }
+}
+
+impl HistogramFamily {
+    /// Creates a histogram family with shared bucket `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] for an invalid name and
+    /// [`MetricError::InvalidBuckets`] for invalid bounds.
+    pub fn histograms(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        bounds: Vec<f64>,
+    ) -> Result<Self, MetricError> {
+        // Validate the bounds once, eagerly, so the constructor closure cannot fail.
+        Histogram::new(bounds.clone())?;
+        MetricFamily::new(name, help, MetricKind::Histogram, move || {
+            Histogram::new(bounds.clone()).expect("bounds validated at family construction")
+        })
+    }
+
+    /// Takes a snapshot of all histogram instances.
+    pub fn snapshot(&self) -> FamilySnapshot {
+        self.snapshot_with(|h| PointValue::Histogram(h.snapshot()))
+    }
+}
+
+impl SummaryFamily {
+    /// Creates a summary family tracking `quantiles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] for an invalid name and
+    /// [`MetricError::InvalidQuantile`] for out-of-range quantiles.
+    pub fn summaries(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        quantiles: Vec<f64>,
+    ) -> Result<Self, MetricError> {
+        Summary::new(quantiles.clone())?;
+        MetricFamily::new(name, help, MetricKind::Summary, move || {
+            Summary::new(quantiles.clone()).expect("quantiles validated at family construction")
+        })
+    }
+
+    /// Takes a snapshot of all summary instances.
+    pub fn snapshot(&self) -> FamilySnapshot {
+        self.snapshot_with(|s| PointValue::Summary(s.snapshot()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_family_creates_instances_lazily() {
+        let fam = CounterFamily::counters("syscalls_total", "syscalls").unwrap();
+        assert!(fam.is_empty());
+        let read = fam.with(&Labels::from_pairs([("syscall", "read")]));
+        read.inc_by(3.0);
+        let read_again = fam.with(&Labels::from_pairs([("syscall", "read")]));
+        assert_eq!(read_again.get(), 3.0);
+        assert_eq!(fam.len(), 1);
+        fam.with(&Labels::from_pairs([("syscall", "write")])).inc();
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam.snapshot().total(), 4.0);
+    }
+
+    #[test]
+    fn snapshot_points_are_sorted_by_labels() {
+        let fam = GaugeFamily::gauges("epc_pages", "pages").unwrap();
+        fam.with(&Labels::from_pairs([("state", "free")])).set(10.0);
+        fam.with(&Labels::from_pairs([("state", "evicted")])).set(2.0);
+        let snap = fam.snapshot();
+        let states: Vec<_> =
+            snap.points.iter().map(|p| p.labels.get("state").unwrap().to_string()).collect();
+        assert_eq!(states, vec!["evicted", "free"]);
+    }
+
+    #[test]
+    fn histogram_family_shares_bounds() {
+        let fam = HistogramFamily::histograms("lat_seconds", "latency", vec![0.1, 1.0]).unwrap();
+        fam.with(&Labels::from_pairs([("op", "get")])).observe(0.05);
+        fam.with(&Labels::from_pairs([("op", "set")])).observe(5.0);
+        let snap = fam.snapshot();
+        assert_eq!(snap.points.len(), 2);
+        assert_eq!(snap.kind, MetricKind::Histogram);
+    }
+
+    #[test]
+    fn histogram_family_rejects_bad_bounds() {
+        assert!(HistogramFamily::histograms("x", "h", vec![]).is_err());
+        assert!(HistogramFamily::histograms("x", "h", vec![2.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let fam = CounterFamily::counters("c_total", "c").unwrap();
+        let l = Labels::from_pairs([("pid", "42")]);
+        fam.with(&l).inc();
+        assert!(fam.remove(&l));
+        assert!(!fam.remove(&l));
+        fam.with(&l).inc();
+        fam.clear();
+        assert!(fam.is_empty());
+    }
+
+    #[test]
+    fn invalid_family_name_rejected() {
+        assert!(CounterFamily::counters("bad name", "help").is_err());
+        assert!(GaugeFamily::gauges("", "help").is_err());
+    }
+
+    #[test]
+    fn summary_family_snapshot() {
+        let fam = SummaryFamily::summaries("req_lat", "latency", vec![0.5, 0.9]).unwrap();
+        for i in 0..100 {
+            fam.default_instance().observe(i as f64);
+        }
+        let snap = fam.snapshot();
+        assert_eq!(snap.points.len(), 1);
+        match &snap.points[0].value {
+            PointValue::Summary(s) => assert_eq!(s.count, 100),
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+}

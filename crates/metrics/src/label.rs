@@ -1,0 +1,316 @@
+//! Metric and label names plus normalised label sets.
+//!
+//! Names follow the Prometheus/OpenMetrics data model: metric names match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match `[a-zA-Z_][a-zA-Z0-9_]*` and
+//! must not start with `__` (reserved for internal use by the aggregator).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetricError;
+
+/// A validated metric name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricName(String);
+
+impl MetricName {
+    /// Validates and constructs a metric name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] when the name is empty or
+    /// contains characters outside `[a-zA-Z0-9_:]` (or starts with a digit).
+    pub fn new(name: impl Into<String>) -> Result<Self, MetricError> {
+        let name = name.into();
+        if Self::is_valid(&name) {
+            Ok(Self(name))
+        } else {
+            Err(MetricError::InvalidMetricName(name))
+        }
+    }
+
+    /// Returns `true` when `name` is a valid metric name.
+    pub fn is_valid(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MetricName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for MetricName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A validated label name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelName(String);
+
+impl LabelName {
+    /// Validates and constructs a label name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidLabelName`] when the name is empty,
+    /// starts with `__`, or contains characters outside `[a-zA-Z0-9_]`.
+    pub fn new(name: impl Into<String>) -> Result<Self, MetricError> {
+        let name = name.into();
+        if Self::is_valid(&name) {
+            Ok(Self(name))
+        } else {
+            Err(MetricError::InvalidLabelName(name))
+        }
+    }
+
+    /// Returns `true` when `name` is a valid, non-reserved label name.
+    pub fn is_valid(name: &str) -> bool {
+        if name.starts_with("__") {
+            return false;
+        }
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for LabelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A normalised set of labels attached to a metric point.
+///
+/// Labels are stored sorted by name so that two label sets with the same
+/// key/value pairs compare equal and hash identically regardless of insertion
+/// order.  This mirrors the identity rule used by Prometheus series.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Labels(BTreeMap<String, String>);
+
+impl Labels {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a label set from `(name, value)` pairs.
+    ///
+    /// Invalid label names are silently skipped by [`Labels::try_from_pairs`]'s
+    /// infallible counterpart only in the sense that this constructor panics in
+    /// debug builds; use [`Labels::try_from_pairs`] when the input is untrusted.
+    pub fn from_pairs<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let mut map = BTreeMap::new();
+        for (k, v) in pairs {
+            let k = k.into();
+            debug_assert!(LabelName::is_valid(&k), "invalid label name {k:?}");
+            map.insert(k, v.into());
+        }
+        Self(map)
+    }
+
+    /// Builds a label set from pairs, validating every label name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidLabelName`] for the first invalid name.
+    pub fn try_from_pairs<I, K, V>(pairs: I) -> Result<Self, MetricError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let mut map = BTreeMap::new();
+        for (k, v) in pairs {
+            let k = k.into();
+            if !LabelName::is_valid(&k) {
+                return Err(MetricError::InvalidLabelName(k));
+            }
+            map.insert(k, v.into());
+        }
+        Ok(Self(map))
+    }
+
+    /// Returns a new label set with `name=value` added (replacing any existing
+    /// value for `name`).
+    #[must_use]
+    pub fn with(&self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        let mut map = self.0.clone();
+        map.insert(name.into(), value.into());
+        Self(map)
+    }
+
+    /// Inserts a label in place, replacing any previous value.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.0.insert(name.into(), value.into());
+    }
+
+    /// Removes a label, returning its previous value if present.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        self.0.remove(name)
+    }
+
+    /// Looks up the value of a label.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    /// Returns `true` when no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of labels in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates over `(name, value)` pairs in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Returns `true` when every label in `other` is present in `self` with an
+    /// equal value.  Used by query label matchers.
+    pub fn matches(&self, other: &Labels) -> bool {
+        other.iter().all(|(k, v)| self.get(k) == Some(v))
+    }
+
+    /// Merges `other` into a copy of `self`; labels in `other` win on conflict.
+    #[must_use]
+    pub fn merged(&self, other: &Labels) -> Self {
+        let mut map = self.0.clone();
+        for (k, v) in other.iter() {
+            map.insert(k.to_string(), v.to_string());
+        }
+        Self(map)
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for Labels {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(MetricName::new("teemon_syscalls_total").is_ok());
+        assert!(MetricName::new("node:cpu:rate5m").is_ok());
+        assert!(MetricName::new("_private").is_ok());
+        assert!(MetricName::new("9starts_with_digit").is_err());
+        assert!(MetricName::new("has space").is_err());
+        assert!(MetricName::new("").is_err());
+        assert!(MetricName::new("dash-es").is_err());
+    }
+
+    #[test]
+    fn label_name_validation() {
+        assert!(LabelName::new("syscall").is_ok());
+        assert!(LabelName::new("_internal").is_ok());
+        assert!(LabelName::new("__reserved").is_err());
+        assert!(LabelName::new("1digit").is_err());
+        assert!(LabelName::new("colon:bad").is_err());
+        assert!(LabelName::new("").is_err());
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let a = Labels::from_pairs([("b", "2"), ("a", "1")]);
+        let b = Labels::from_pairs([("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        let collected: Vec<_> = a.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn labels_with_and_get() {
+        let base = Labels::from_pairs([("job", "sgx_exporter")]);
+        let derived = base.with("instance", "node-1");
+        assert_eq!(derived.get("job"), Some("sgx_exporter"));
+        assert_eq!(derived.get("instance"), Some("node-1"));
+        assert_eq!(base.get("instance"), None);
+        assert_eq!(derived.len(), 2);
+    }
+
+    #[test]
+    fn labels_matches_is_subset_semantics() {
+        let series = Labels::from_pairs([("job", "redis"), ("node", "n1"), ("syscall", "read")]);
+        let selector = Labels::from_pairs([("job", "redis")]);
+        assert!(series.matches(&selector));
+        assert!(series.matches(&Labels::new()));
+        let wrong = Labels::from_pairs([("job", "nginx")]);
+        assert!(!series.matches(&wrong));
+        let missing = Labels::from_pairs([("pod", "p1")]);
+        assert!(!series.matches(&missing));
+    }
+
+    #[test]
+    fn labels_merge_prefers_other() {
+        let a = Labels::from_pairs([("job", "redis"), ("node", "n1")]);
+        let b = Labels::from_pairs([("node", "n2"), ("extra", "x")]);
+        let merged = a.merged(&b);
+        assert_eq!(merged.get("node"), Some("n2"));
+        assert_eq!(merged.get("job"), Some("redis"));
+        assert_eq!(merged.get("extra"), Some("x"));
+    }
+
+    #[test]
+    fn try_from_pairs_rejects_reserved() {
+        let err = Labels::try_from_pairs([("__name__", "x")]).unwrap_err();
+        assert!(matches!(err, MetricError::InvalidLabelName(_)));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let l = Labels::from_pairs([("b", "2"), ("a", "1")]);
+        assert_eq!(l.to_string(), "{a=\"1\",b=\"2\"}");
+        assert_eq!(Labels::new().to_string(), "{}");
+    }
+}

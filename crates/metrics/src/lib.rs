@@ -1,0 +1,46 @@
+//! Metric primitives for the TEEMon monitoring framework.
+//!
+//! This crate provides the building blocks shared by every other TEEMon
+//! component:
+//!
+//! * [`Counter`], [`Gauge`], [`Histogram`] and [`Summary`] metric values,
+//! * [`Labels`] — validated, order-normalised label sets,
+//! * [`MetricFamily`] and [`Registry`] — grouping of metric instances and the
+//!   collection interface used by exporters (the PME component of the paper),
+//! * [`encode_text`](exposition::encode_text) /
+//!   [`parse_text`](exposition::parse_text) — the OpenMetrics-style text
+//!   exposition format that the aggregation component (PMAG) scrapes.
+//!
+//! The paper's exporters publish their measurements "in the standard
+//! text-based format as specified by the OpenMetrics project" (§4); this crate
+//! is the Rust equivalent of that contract.
+//!
+//! # Example
+//!
+//! ```
+//! use teemon_metrics::{Registry, Labels, exposition};
+//!
+//! let registry = Registry::new();
+//! let syscalls = registry.counter_family("teemon_syscalls_total", "System calls observed");
+//! syscalls.with(&Labels::from_pairs([("syscall", "read")])).inc_by(42.0);
+//!
+//! let text = exposition::encode_text(&registry.gather());
+//! assert!(text.contains("teemon_syscalls_total{syscall=\"read\"} 42"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exposition;
+pub mod family;
+pub mod label;
+pub mod registry;
+pub mod snapshot;
+pub mod value;
+
+pub use error::MetricError;
+pub use family::{CounterFamily, GaugeFamily, HistogramFamily, MetricFamily, SummaryFamily};
+pub use label::{LabelName, Labels, MetricName};
+pub use registry::{Collector, Registry};
+pub use snapshot::{FamilySnapshot, MetricKind, MetricPoint, PointValue, Sample};
+pub use value::{Counter, Gauge, Histogram, HistogramSnapshot, Summary, SummarySnapshot};

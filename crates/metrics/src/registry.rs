@@ -1,0 +1,297 @@
+//! Metric registries and the [`Collector`] abstraction.
+//!
+//! A [`Registry`] is what one exporter (TME, eBPF exporter, node exporter,
+//! container exporter) exposes behind its metrics endpoint: a set of metric
+//! families plus optional dynamic collectors that compute their snapshot at
+//! gather time (mirroring how the paper's SGX exporter reads
+//! `/sys/module/isgx/parameters/*` on every scrape).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::MetricError;
+use crate::family::{CounterFamily, GaugeFamily, HistogramFamily, SummaryFamily};
+use crate::label::Labels;
+use crate::snapshot::FamilySnapshot;
+
+/// A source of metric family snapshots evaluated at gather time.
+pub trait Collector: Send + Sync {
+    /// Produces the current snapshots of every family this collector owns.
+    fn collect(&self) -> Vec<FamilySnapshot>;
+}
+
+impl<F> Collector for F
+where
+    F: Fn() -> Vec<FamilySnapshot> + Send + Sync,
+{
+    fn collect(&self) -> Vec<FamilySnapshot> {
+        (self)()
+    }
+}
+
+enum Registered {
+    Counter(CounterFamily),
+    Gauge(GaugeFamily),
+    Histogram(HistogramFamily),
+    Summary(SummaryFamily),
+    Dynamic(Arc<dyn Collector>),
+}
+
+impl Registered {
+    fn collect(&self) -> Vec<FamilySnapshot> {
+        match self {
+            Registered::Counter(f) => vec![f.snapshot()],
+            Registered::Gauge(f) => vec![f.snapshot()],
+            Registered::Histogram(f) => vec![f.snapshot()],
+            Registered::Summary(f) => vec![f.snapshot()],
+            Registered::Dynamic(c) => c.collect(),
+        }
+    }
+
+    fn name(&self) -> Option<&str> {
+        match self {
+            Registered::Counter(f) => Some(f.name()),
+            Registered::Gauge(f) => Some(f.name()),
+            Registered::Histogram(f) => Some(f.name()),
+            Registered::Summary(f) => Some(f.name()),
+            Registered::Dynamic(_) => None,
+        }
+    }
+}
+
+/// A registry of metric families exposed by one exporter endpoint.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Vec<Registered>>>,
+    constant_labels: Labels,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry whose gathered snapshots all carry `constant_labels`
+    /// (e.g. `{node="worker-3"}`), the way DaemonSet-deployed exporters tag
+    /// their metrics with the node they run on.
+    pub fn with_constant_labels(constant_labels: Labels) -> Self {
+        Self { inner: Arc::new(RwLock::new(Vec::new())), constant_labels }
+    }
+
+    fn check_duplicate(&self, name: &str) -> Result<(), MetricError> {
+        if self.inner.read().iter().any(|r| r.name() == Some(name)) {
+            return Err(MetricError::AlreadyRegistered(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Registers and returns a new counter family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or duplicate name; use
+    /// [`Registry::try_counter_family`] for fallible registration.
+    pub fn counter_family(&self, name: &str, help: &str) -> CounterFamily {
+        self.try_counter_family(name, help).expect("invalid or duplicate counter family")
+    }
+
+    /// Registers a counter family, reporting errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] or
+    /// [`MetricError::AlreadyRegistered`].
+    pub fn try_counter_family(&self, name: &str, help: &str) -> Result<CounterFamily, MetricError> {
+        self.check_duplicate(name)?;
+        let fam = CounterFamily::counters(name, help)?;
+        self.inner.write().push(Registered::Counter(fam.clone()));
+        Ok(fam)
+    }
+
+    /// Registers and returns a new gauge family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or duplicate name; use
+    /// [`Registry::try_gauge_family`] for fallible registration.
+    pub fn gauge_family(&self, name: &str, help: &str) -> GaugeFamily {
+        self.try_gauge_family(name, help).expect("invalid or duplicate gauge family")
+    }
+
+    /// Registers a gauge family, reporting errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`] or
+    /// [`MetricError::AlreadyRegistered`].
+    pub fn try_gauge_family(&self, name: &str, help: &str) -> Result<GaugeFamily, MetricError> {
+        self.check_duplicate(name)?;
+        let fam = GaugeFamily::gauges(name, help)?;
+        self.inner.write().push(Registered::Gauge(fam.clone()));
+        Ok(fam)
+    }
+
+    /// Registers and returns a new histogram family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input; use [`Registry::try_histogram_family`] for
+    /// fallible registration.
+    pub fn histogram_family(&self, name: &str, help: &str, bounds: Vec<f64>) -> HistogramFamily {
+        self.try_histogram_family(name, help, bounds)
+            .expect("invalid or duplicate histogram family")
+    }
+
+    /// Registers a histogram family, reporting errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`],
+    /// [`MetricError::InvalidBuckets`] or [`MetricError::AlreadyRegistered`].
+    pub fn try_histogram_family(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: Vec<f64>,
+    ) -> Result<HistogramFamily, MetricError> {
+        self.check_duplicate(name)?;
+        let fam = HistogramFamily::histograms(name, help, bounds)?;
+        self.inner.write().push(Registered::Histogram(fam.clone()));
+        Ok(fam)
+    }
+
+    /// Registers and returns a new summary family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input; use [`Registry::try_summary_family`] for
+    /// fallible registration.
+    pub fn summary_family(&self, name: &str, help: &str, quantiles: Vec<f64>) -> SummaryFamily {
+        self.try_summary_family(name, help, quantiles)
+            .expect("invalid or duplicate summary family")
+    }
+
+    /// Registers a summary family, reporting errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidMetricName`],
+    /// [`MetricError::InvalidQuantile`] or [`MetricError::AlreadyRegistered`].
+    pub fn try_summary_family(
+        &self,
+        name: &str,
+        help: &str,
+        quantiles: Vec<f64>,
+    ) -> Result<SummaryFamily, MetricError> {
+        self.check_duplicate(name)?;
+        let fam = SummaryFamily::summaries(name, help, quantiles)?;
+        self.inner.write().push(Registered::Summary(fam.clone()));
+        Ok(fam)
+    }
+
+    /// Registers a dynamic collector whose snapshot is computed at gather time.
+    pub fn register_collector(&self, collector: Arc<dyn Collector>) {
+        self.inner.write().push(Registered::Dynamic(collector));
+    }
+
+    /// Gathers snapshots of every registered family and collector, applying
+    /// the registry's constant labels, sorted by family name.
+    pub fn gather(&self) -> Vec<FamilySnapshot> {
+        let mut out: Vec<FamilySnapshot> = Vec::new();
+        for registered in self.inner.read().iter() {
+            for mut fam in registered.collect() {
+                if !self.constant_labels.is_empty() {
+                    for point in &mut fam.points {
+                        point.labels = point.labels.merged(&self.constant_labels);
+                    }
+                }
+                out.push(fam);
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of registered families and collectors.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("entries", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{MetricKind, MetricPoint, PointValue};
+
+    #[test]
+    fn registry_gathers_sorted_families() {
+        let r = Registry::new();
+        r.counter_family("z_total", "z").default_instance().inc();
+        r.gauge_family("a_gauge", "a").default_instance().set(1.0);
+        let gathered = r.gather();
+        let names: Vec<_> = gathered.iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, vec!["a_gauge", "z_total"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Registry::new();
+        r.counter_family("dup_total", "first");
+        let err = r.try_counter_family("dup_total", "second").unwrap_err();
+        assert!(matches!(err, MetricError::AlreadyRegistered(_)));
+        // A different name still works.
+        assert!(r.try_gauge_family("other", "ok").is_ok());
+    }
+
+    #[test]
+    fn constant_labels_are_applied() {
+        let r = Registry::with_constant_labels(Labels::from_pairs([("node", "n1")]));
+        r.counter_family("events_total", "events")
+            .with(&Labels::from_pairs([("kind", "page_fault")]))
+            .inc_by(4.0);
+        let gathered = r.gather();
+        let point = &gathered[0].points[0];
+        assert_eq!(point.labels.get("node"), Some("n1"));
+        assert_eq!(point.labels.get("kind"), Some("page_fault"));
+    }
+
+    #[test]
+    fn dynamic_collectors_run_at_gather_time() {
+        let r = Registry::new();
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c2 = counter.clone();
+        r.register_collector(Arc::new(move || {
+            let v = c2.load(std::sync::atomic::Ordering::Relaxed) as f64;
+            vec![FamilySnapshot::new("dyn_gauge", "dynamic", MetricKind::Gauge)
+                .with_point(MetricPoint::new(Labels::new(), PointValue::Gauge(v)))]
+        }));
+        assert_eq!(r.gather()[0].points[0].value.scalar(), 0.0);
+        counter.store(7, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(r.gather()[0].points[0].value.scalar(), 7.0);
+    }
+
+    #[test]
+    fn histogram_and_summary_registration() {
+        let r = Registry::new();
+        let h = r.histogram_family("lat", "latency", vec![0.1, 1.0, 10.0]);
+        h.default_instance().observe(0.5);
+        let s = r.summary_family("size", "sizes", vec![0.5]);
+        s.default_instance().observe(128.0);
+        assert_eq!(r.gather().len(), 2);
+        assert!(r.try_histogram_family("bad", "x", vec![]).is_err());
+        assert!(r.try_summary_family("bad2", "x", vec![3.0]).is_err());
+    }
+}

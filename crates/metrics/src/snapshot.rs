@@ -1,0 +1,336 @@
+//! Point-in-time snapshots of metric families.
+//!
+//! Exporters gather their live metric values into [`FamilySnapshot`]s which are
+//! then encoded to the exposition format, transferred to the aggregation
+//! component and decoded back into the same types.  The types are therefore
+//! the wire-level data model of TEEMon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::Labels;
+use crate::value::{HistogramSnapshot, SummarySnapshot};
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Value that can move up and down.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+    /// Quantile summary.
+    Summary,
+    /// Untyped sample (e.g. parsed from an exposition without metadata).
+    Untyped,
+}
+
+impl MetricKind {
+    /// Canonical lowercase name used in `# TYPE` exposition lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Summary => "summary",
+            MetricKind::Untyped => "untyped",
+        }
+    }
+
+    /// Parses a `# TYPE` token.
+    pub fn from_str_token(token: &str) -> Option<Self> {
+        match token {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            "summary" => Some(MetricKind::Summary),
+            "untyped" | "unknown" => Some(MetricKind::Untyped),
+            _ => None,
+        }
+    }
+}
+
+/// The value of a single metric point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointValue {
+    /// Counter total.
+    Counter(f64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+    /// Summary state.
+    Summary(SummarySnapshot),
+    /// Untyped raw value.
+    Untyped(f64),
+}
+
+impl PointValue {
+    /// Scalar representation of the point: the counter/gauge value, or the sum
+    /// for histograms and summaries.
+    pub fn scalar(&self) -> f64 {
+        match self {
+            PointValue::Counter(v) | PointValue::Gauge(v) | PointValue::Untyped(v) => *v,
+            PointValue::Histogram(h) => h.sum,
+            PointValue::Summary(s) => s.sum,
+        }
+    }
+
+    /// Kind of this point value.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            PointValue::Counter(_) => MetricKind::Counter,
+            PointValue::Gauge(_) => MetricKind::Gauge,
+            PointValue::Histogram(_) => MetricKind::Histogram,
+            PointValue::Summary(_) => MetricKind::Summary,
+            PointValue::Untyped(_) => MetricKind::Untyped,
+        }
+    }
+}
+
+/// One metric point: a label set plus its value, with an optional explicit
+/// timestamp in milliseconds since the (simulated) epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Label set identifying the point within the family.
+    pub labels: Labels,
+    /// The observed value.
+    pub value: PointValue,
+    /// Optional timestamp in milliseconds.
+    pub timestamp_ms: Option<u64>,
+}
+
+impl MetricPoint {
+    /// Creates a point without an explicit timestamp.
+    pub fn new(labels: Labels, value: PointValue) -> Self {
+        Self { labels, value, timestamp_ms: None }
+    }
+
+    /// Sets the explicit timestamp in milliseconds.
+    #[must_use]
+    pub fn at(mut self, timestamp_ms: u64) -> Self {
+        self.timestamp_ms = Some(timestamp_ms);
+        self
+    }
+}
+
+/// Snapshot of an entire metric family: name, help text, kind and points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Metric family name (e.g. `teemon_syscalls_total`).
+    pub name: String,
+    /// Human readable help text.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// All points of the family.
+    pub points: Vec<MetricPoint>,
+}
+
+impl FamilySnapshot {
+    /// Creates an empty family snapshot.
+    pub fn new(name: impl Into<String>, help: impl Into<String>, kind: MetricKind) -> Self {
+        Self { name: name.into(), help: help.into(), kind, points: Vec::new() }
+    }
+
+    /// Adds a point and returns `self` for chaining.
+    #[must_use]
+    pub fn with_point(mut self, point: MetricPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Returns the point whose labels exactly equal `labels`.
+    pub fn point(&self, labels: &Labels) -> Option<&MetricPoint> {
+        self.points.iter().find(|p| &p.labels == labels)
+    }
+
+    /// Sum of the scalar values of all points (useful for totals across labels).
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|p| p.value.scalar()).sum()
+    }
+
+    /// Flattens the family into individual [`Sample`]s as they appear on the
+    /// wire (histograms expand into `_bucket`, `_sum` and `_count` samples).
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for point in &self.points {
+            match &point.value {
+                PointValue::Counter(v) | PointValue::Gauge(v) | PointValue::Untyped(v) => {
+                    out.push(Sample {
+                        name: self.name.clone(),
+                        labels: point.labels.clone(),
+                        value: *v,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                }
+                PointValue::Histogram(h) => {
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        let labels = point.labels.with("le", format_bound(*bound));
+                        out.push(Sample {
+                            name: format!("{}_bucket", self.name),
+                            labels,
+                            value: h.cumulative_counts[i] as f64,
+                            timestamp_ms: point.timestamp_ms,
+                        });
+                    }
+                    let inf_labels = point.labels.with("le", "+Inf");
+                    out.push(Sample {
+                        name: format!("{}_bucket", self.name),
+                        labels: inf_labels,
+                        value: *h.cumulative_counts.last().unwrap_or(&0) as f64,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                    out.push(Sample {
+                        name: format!("{}_sum", self.name),
+                        labels: point.labels.clone(),
+                        value: h.sum,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                    out.push(Sample {
+                        name: format!("{}_count", self.name),
+                        labels: point.labels.clone(),
+                        value: h.count as f64,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                }
+                PointValue::Summary(s) => {
+                    for (q, v) in &s.quantiles {
+                        let labels = point.labels.with("quantile", format_bound(*q));
+                        out.push(Sample {
+                            name: self.name.clone(),
+                            labels,
+                            value: *v,
+                            timestamp_ms: point.timestamp_ms,
+                        });
+                    }
+                    out.push(Sample {
+                        name: format!("{}_sum", self.name),
+                        labels: point.labels.clone(),
+                        value: s.sum,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                    out.push(Sample {
+                        name: format!("{}_count", self.name),
+                        labels: point.labels.clone(),
+                        value: s.count as f64,
+                        timestamp_ms: point.timestamp_ms,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A single flattened sample as it appears on the exposition wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (family name, possibly with a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label set.
+    pub labels: Labels,
+    /// Sample value.
+    pub value: f64,
+    /// Optional timestamp in milliseconds.
+    pub timestamp_ms: Option<u64>,
+}
+
+/// Formats a bucket bound or quantile the way the exposition format expects.
+pub(crate) fn format_bound(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integers un-suffixed but make sure they stay parseable as f64.
+        format!("{v}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Histogram;
+
+    #[test]
+    fn kind_round_trips_through_token() {
+        for kind in [
+            MetricKind::Counter,
+            MetricKind::Gauge,
+            MetricKind::Histogram,
+            MetricKind::Summary,
+            MetricKind::Untyped,
+        ] {
+            assert_eq!(MetricKind::from_str_token(kind.as_str()), Some(kind));
+        }
+        assert_eq!(MetricKind::from_str_token("bogus"), None);
+        assert_eq!(MetricKind::from_str_token("unknown"), Some(MetricKind::Untyped));
+    }
+
+    #[test]
+    fn scalar_of_each_value_kind() {
+        assert_eq!(PointValue::Counter(3.0).scalar(), 3.0);
+        assert_eq!(PointValue::Gauge(-1.0).scalar(), -1.0);
+        assert_eq!(PointValue::Untyped(7.0).scalar(), 7.0);
+        let h = Histogram::new(vec![1.0]).unwrap();
+        h.observe(0.5);
+        h.observe(0.25);
+        assert_eq!(PointValue::Histogram(h.snapshot()).scalar(), 0.75);
+    }
+
+    #[test]
+    fn family_total_sums_points() {
+        let fam = FamilySnapshot::new("x_total", "help", MetricKind::Counter)
+            .with_point(MetricPoint::new(
+                Labels::from_pairs([("a", "1")]),
+                PointValue::Counter(2.0),
+            ))
+            .with_point(MetricPoint::new(
+                Labels::from_pairs([("a", "2")]),
+                PointValue::Counter(3.0),
+            ));
+        assert_eq!(fam.total(), 5.0);
+        assert!(fam.point(&Labels::from_pairs([("a", "2")])).is_some());
+        assert!(fam.point(&Labels::from_pairs([("a", "3")])).is_none());
+    }
+
+    #[test]
+    fn histogram_samples_expand_buckets() {
+        let h = Histogram::new(vec![1.0, 2.0]).unwrap();
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let fam = FamilySnapshot::new("lat", "latency", MetricKind::Histogram).with_point(
+            MetricPoint::new(Labels::new(), PointValue::Histogram(h.snapshot())),
+        );
+        let samples = fam.samples();
+        let names: Vec<_> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["lat_bucket", "lat_bucket", "lat_bucket", "lat_sum", "lat_count"]
+        );
+        let inf = samples.iter().find(|s| s.labels.get("le") == Some("+Inf")).unwrap();
+        assert_eq!(inf.value, 3.0);
+        let count = samples.iter().find(|s| s.name == "lat_count").unwrap();
+        assert_eq!(count.value, 3.0);
+    }
+
+    #[test]
+    fn timestamps_are_propagated() {
+        let fam = FamilySnapshot::new("g", "gauge", MetricKind::Gauge).with_point(
+            MetricPoint::new(Labels::new(), PointValue::Gauge(1.0)).at(12345),
+        );
+        assert_eq!(fam.samples()[0].timestamp_ms, Some(12345));
+    }
+
+    #[test]
+    fn format_bound_handles_specials() {
+        assert_eq!(format_bound(f64::INFINITY), "+Inf");
+        assert_eq!(format_bound(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_bound(2.0), "2");
+        assert_eq!(format_bound(0.5), "0.5");
+    }
+}

@@ -1,0 +1,241 @@
+//! Nodes and the cluster membership model.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// A node taint: pods must tolerate it to be scheduled on the node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Taint {
+    /// Taint key (e.g. `sgx.intel.com/epc`).
+    pub key: String,
+    /// Taint value.
+    pub value: String,
+}
+
+impl Taint {
+    /// Creates a taint.
+    pub fn new(key: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { key: key.into(), value: value.into() }
+    }
+}
+
+/// A cluster node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node name (unique within the cluster).
+    pub name: String,
+    /// Node labels (e.g. `intel.feature.node.kubernetes.io/sgx = "true"`).
+    pub labels: BTreeMap<String, String>,
+    /// Node taints.
+    pub taints: Vec<Taint>,
+    /// Whether the node has SGX hardware (convenience over the label).
+    pub sgx_capable: bool,
+    /// Whether the node is currently Ready.
+    pub ready: bool,
+}
+
+impl Node {
+    /// The label used to advertise SGX capability.
+    pub const SGX_LABEL: &'static str = "intel.feature.node.kubernetes.io/sgx";
+
+    /// Creates a ready node without SGX.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            labels: BTreeMap::new(),
+            taints: Vec::new(),
+            sgx_capable: false,
+            ready: true,
+        }
+    }
+
+    /// Creates a ready SGX-capable node (labelled and tainted the way SGX
+    /// device plugins do).
+    pub fn sgx(name: impl Into<String>) -> Self {
+        let mut node = Self::new(name);
+        node.sgx_capable = true;
+        node.labels.insert(Self::SGX_LABEL.to_string(), "true".to_string());
+        node.taints.push(Taint::new("sgx.intel.com/epc", "present"));
+        node
+    }
+
+    /// Adds a label.
+    #[must_use]
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// `true` when the node carries every label in `selector` with equal
+    /// values.
+    pub fn matches_selector(&self, selector: &BTreeMap<String, String>) -> bool {
+        selector.iter().all(|(k, v)| self.labels.get(k) == Some(v))
+    }
+}
+
+/// Cluster membership change events, consumed by service discovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeEvent {
+    /// A node joined (or re-joined) the cluster.
+    Joined(String),
+    /// A node left the cluster or became NotReady.
+    Left(String),
+}
+
+#[derive(Default)]
+struct ClusterInner {
+    nodes: BTreeMap<String, Node>,
+    events: Vec<NodeEvent>,
+}
+
+/// The cluster: a dynamic set of nodes.  Clones share state.
+#[derive(Clone, Default)]
+pub struct Cluster {
+    inner: Arc<RwLock<ClusterInner>>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cluster with `sgx_nodes` SGX nodes and `plain_nodes` ordinary
+    /// nodes, named `sgx-N` / `node-N`.
+    pub fn with_nodes(sgx_nodes: usize, plain_nodes: usize) -> Self {
+        let cluster = Self::new();
+        for i in 0..sgx_nodes {
+            cluster.add_node(Node::sgx(format!("sgx-{i}")));
+        }
+        for i in 0..plain_nodes {
+            cluster.add_node(Node::new(format!("node-{i}")));
+        }
+        cluster
+    }
+
+    /// Adds (or replaces) a node.
+    pub fn add_node(&self, node: Node) {
+        let mut inner = self.inner.write();
+        inner.events.push(NodeEvent::Joined(node.name.clone()));
+        inner.nodes.insert(node.name.clone(), node);
+    }
+
+    /// Removes a node.  Returns `true` when it existed.
+    pub fn remove_node(&self, name: &str) -> bool {
+        let mut inner = self.inner.write();
+        let existed = inner.nodes.remove(name).is_some();
+        if existed {
+            inner.events.push(NodeEvent::Left(name.to_string()));
+        }
+        existed
+    }
+
+    /// Marks a node ready / not ready.  Returns `false` for unknown nodes.
+    pub fn set_ready(&self, name: &str, ready: bool) -> bool {
+        let mut inner = self.inner.write();
+        match inner.nodes.get_mut(name) {
+            Some(node) => {
+                if node.ready != ready {
+                    node.ready = ready;
+                    inner.events.push(if ready {
+                        NodeEvent::Joined(name.to_string())
+                    } else {
+                        NodeEvent::Left(name.to_string())
+                    });
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All nodes (ready or not).
+    pub fn nodes(&self) -> Vec<Node> {
+        self.inner.read().nodes.values().cloned().collect()
+    }
+
+    /// Ready nodes only.
+    pub fn ready_nodes(&self) -> Vec<Node> {
+        self.inner.read().nodes.values().filter(|n| n.ready).cloned().collect()
+    }
+
+    /// Looks up a node by name.
+    pub fn node(&self, name: &str) -> Option<Node> {
+        self.inner.read().nodes.get(name).cloned()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// `true` when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the membership event log (consumed by service discovery).
+    pub fn drain_events(&self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.inner.write().events)
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgx_nodes_carry_label_and_taint() {
+        let node = Node::sgx("sgx-0");
+        assert!(node.sgx_capable);
+        assert_eq!(node.labels.get(Node::SGX_LABEL).map(String::as_str), Some("true"));
+        assert_eq!(node.taints.len(), 1);
+        let mut selector = BTreeMap::new();
+        selector.insert(Node::SGX_LABEL.to_string(), "true".to_string());
+        assert!(node.matches_selector(&selector));
+        assert!(!Node::new("plain").matches_selector(&selector));
+        assert!(Node::new("plain").matches_selector(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn cluster_membership_and_events() {
+        let cluster = Cluster::with_nodes(2, 1);
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster.ready_nodes().len(), 3);
+        assert!(cluster.node("sgx-0").is_some());
+        // Initial joins are all recorded.
+        assert_eq!(cluster.drain_events().len(), 3);
+        assert!(cluster.drain_events().is_empty(), "events drain once");
+
+        cluster.add_node(Node::sgx("sgx-late"));
+        assert!(cluster.remove_node("node-0"));
+        assert!(!cluster.remove_node("node-0"));
+        let events = cluster.drain_events();
+        assert_eq!(
+            events,
+            vec![NodeEvent::Joined("sgx-late".into()), NodeEvent::Left("node-0".into())]
+        );
+    }
+
+    #[test]
+    fn readiness_toggles_generate_events() {
+        let cluster = Cluster::with_nodes(1, 0);
+        cluster.drain_events();
+        assert!(cluster.set_ready("sgx-0", false));
+        assert!(cluster.set_ready("sgx-0", false), "idempotent");
+        assert_eq!(cluster.ready_nodes().len(), 0);
+        assert!(cluster.set_ready("sgx-0", true));
+        assert!(!cluster.set_ready("ghost", true));
+        let events = cluster.drain_events();
+        assert_eq!(events.len(), 2);
+    }
+}

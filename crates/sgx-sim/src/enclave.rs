@@ -1,0 +1,109 @@
+//! Enclave lifecycle and working-set bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use teemon_sim_core::SimTime;
+
+use crate::epc::PAGE_SIZE;
+
+/// Identifier of an enclave within the simulated driver.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct EnclaveId(u64);
+
+impl EnclaveId {
+    /// Constructs an id from a raw integer (used by tests and the driver).
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw integer value.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "enclave-{}", self.0)
+    }
+}
+
+/// Lifecycle state of an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnclaveState {
+    /// Created (ECREATE) but not yet initialised (EINIT).
+    Created,
+    /// Initialised and running.
+    Active,
+    /// Destroyed; kept only for accounting.
+    Removed,
+}
+
+/// A simulated enclave: its committed size, owner process and lifecycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Enclave {
+    /// Identifier assigned by the driver.
+    pub id: EnclaveId,
+    /// PID of the owning (simulated) process.
+    pub owner_pid: u32,
+    /// Committed enclave size in bytes (heap + code + stacks).
+    pub size_bytes: u64,
+    /// Lifecycle state.
+    pub state: EnclaveState,
+    /// Virtual time at which the enclave was created.
+    pub created_at: SimTime,
+    /// Number of threads (TCS pages) configured inside the enclave.
+    pub threads: u32,
+}
+
+impl Enclave {
+    /// Number of 4 KiB pages the enclave commits.
+    pub fn pages(&self) -> u64 {
+        self.size_bytes.div_ceil(PAGE_SIZE)
+    }
+
+    /// `true` while the enclave is usable.
+    pub fn is_active(&self) -> bool {
+        self.state == EnclaveState::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_page_count_rounds_up() {
+        let enclave = Enclave {
+            id: EnclaveId::from_raw(1),
+            owner_pid: 100,
+            size_bytes: PAGE_SIZE * 3 + 1,
+            state: EnclaveState::Active,
+            created_at: SimTime::ZERO,
+            threads: 4,
+        };
+        assert_eq!(enclave.pages(), 4);
+        assert!(enclave.is_active());
+    }
+
+    #[test]
+    fn enclave_id_display_and_raw() {
+        let id = EnclaveId::from_raw(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id.to_string(), "enclave-42");
+    }
+
+    #[test]
+    fn removed_enclaves_are_not_active() {
+        let enclave = Enclave {
+            id: EnclaveId::from_raw(1),
+            owner_pid: 1,
+            size_bytes: PAGE_SIZE,
+            state: EnclaveState::Removed,
+            created_at: SimTime::ZERO,
+            threads: 1,
+        };
+        assert!(!enclave.is_active());
+    }
+}

@@ -1,0 +1,97 @@
+//! A shareable, monotonically advancing virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A virtual clock shared between the simulated kernel, the SGX driver model,
+/// the exporters and the scrape loop.
+///
+/// Cloning a [`SimClock`] yields a handle onto the same underlying instant, so
+/// every component observes a single consistent notion of "now" — the same
+/// role the host's wall clock plays in the paper's deployment.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        let clock = Self::new();
+        clock.now_nanos.store(start.as_nanos(), Ordering::Relaxed);
+        clock
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    pub fn advance(&self, delta: SimDuration) -> SimTime {
+        let new = self.now_nanos.fetch_add(delta.as_nanos(), Ordering::Relaxed) + delta.as_nanos();
+        SimTime::from_nanos(new)
+    }
+
+    /// Advances the clock to `target` if `target` is in the future; the clock
+    /// never moves backwards.
+    pub fn advance_to(&self, target: SimTime) -> SimTime {
+        let target_nanos = target.as_nanos();
+        let mut current = self.now_nanos.load(Ordering::Relaxed);
+        while current < target_nanos {
+            match self.now_nanos.compare_exchange_weak(
+                current,
+                target_nanos,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return target,
+                Err(observed) => current = observed,
+            }
+        }
+        SimTime::from_nanos(current)
+    }
+
+    /// Milliseconds since simulation start; convenient for metric timestamps.
+    pub fn now_millis(&self) -> u64 {
+        self.now().as_millis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance(SimDuration::from_secs(5));
+        assert_eq!(clock.now(), SimTime::from_secs(5));
+        assert_eq!(clock.now_millis(), 5_000);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_millis(100));
+        assert_eq!(b.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = SimClock::starting_at(SimTime::from_secs(10));
+        assert_eq!(clock.advance_to(SimTime::from_secs(5)), SimTime::from_secs(10));
+        assert_eq!(clock.now(), SimTime::from_secs(10));
+        assert_eq!(clock.advance_to(SimTime::from_secs(20)), SimTime::from_secs(20));
+        assert_eq!(clock.now(), SimTime::from_secs(20));
+    }
+}

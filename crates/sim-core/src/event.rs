@@ -1,0 +1,343 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine owns a priority queue of timestamped events and a [`SimClock`];
+//! running the simulation pops events in chronological order, advances the
+//! shared clock and invokes the event handlers.  Handlers may schedule further
+//! events (one-shot or periodic), which is how the scrape loop, the analysis
+//! windows and the workload generators are all driven from a single timeline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimClock;
+use crate::time::{SimDuration, SimTime};
+
+/// Unique identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event scheduled on an [`EventQueue`].
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Identifier assigned at scheduling time.
+    pub id: EventId,
+    /// The event payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable FIFO ordering for equal
+/// timestamps.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to fire at `at` and returns its [`EventId`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, id, payload }));
+        id
+    }
+
+    /// Cancels a previously scheduled event.  Returns `true` when the event
+    /// had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the next (earliest) non-cancelled event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some(ScheduledEvent { at: entry.at, id: entry.id, payload: entry.payload });
+        }
+        None
+    }
+
+    /// Timestamp of the next non-cancelled event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of events still queued (including cancelled ones not yet
+    /// compacted away).
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of handling one event: optionally reschedule follow-up events.
+pub enum Step<E> {
+    /// Nothing further to schedule.
+    Done,
+    /// Schedule these `(delay, payload)` pairs relative to the current time.
+    ScheduleAfter(Vec<(SimDuration, E)>),
+    /// Stop the simulation immediately.
+    Halt,
+}
+
+/// A single-timeline discrete-event simulation.
+///
+/// The handler is a closure invoked for every event in chronological order;
+/// the shared [`SimClock`] is advanced to each event's timestamp before the
+/// handler runs, so any component holding a clone of the clock observes
+/// consistent timestamps.
+pub struct Simulation<E> {
+    clock: SimClock,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with a fresh clock at time zero.
+    pub fn new() -> Self {
+        Self::with_clock(SimClock::new())
+    }
+
+    /// Creates a simulation driving an existing clock.
+    pub fn with_clock(clock: SimClock) -> Self {
+        Self { clock, queue: EventQueue::new(), processed: 0 }
+    }
+
+    /// The simulation clock (cheap to clone and hand to other components).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Schedules an event at an absolute time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event `delay` after the current clock time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        let at = self.clock.now() + delay;
+        self.queue.schedule(at, payload)
+    }
+
+    /// Cancels a scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs until the queue drains, `until` is reached, or the handler halts.
+    /// Returns the number of events processed during this call.
+    pub fn run_until(
+        &mut self,
+        until: SimTime,
+        mut handler: impl FnMut(SimTime, E) -> Step<E>,
+    ) -> u64 {
+        let mut handled = 0;
+        loop {
+            let Some(next_at) = self.queue.peek_time() else { break };
+            if next_at > until {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            self.clock.advance_to(event.at);
+            self.processed += 1;
+            handled += 1;
+            match handler(event.at, event.payload) {
+                Step::Done => {}
+                Step::ScheduleAfter(followups) => {
+                    for (delay, payload) in followups {
+                        let at = self.clock.now() + delay;
+                        self.queue.schedule(at, payload);
+                    }
+                }
+                Step::Halt => break,
+            }
+        }
+        // Even if no event lands exactly at `until`, the clock reflects that
+        // the simulation has observed up to that instant.
+        self.clock.advance_to(until);
+        handled
+    }
+
+    /// Runs until the queue is empty or the handler halts.
+    pub fn run_to_completion(&mut self, handler: impl FnMut(SimTime, E) -> Step<E>) -> u64 {
+        self.run_until(SimTime::from_nanos(u64::MAX), handler)
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "late");
+        q.schedule(SimTime::from_secs(1), "first-at-1");
+        q.schedule(SimTime::from_secs(1), "second-at-1");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["first-at-1", "second-at-1", "late"]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_secs(1), "keep");
+        let drop_id = q.schedule(SimTime::from_secs(2), "drop");
+        assert!(q.cancel(drop_id));
+        assert!(!q.cancel(drop_id), "double cancel reports false");
+        assert!(!q.cancel(EventId(999)));
+        let fired: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(fired, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn simulation_advances_clock_to_event_times() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        let clock = sim.clock().clone();
+        sim.schedule_at(SimTime::from_secs(3), "a");
+        sim.schedule_at(SimTime::from_secs(7), "b");
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_secs(5), |at, ev| {
+            seen.push((at, ev));
+            Step::Done
+        });
+        assert_eq!(seen, vec![(SimTime::from_secs(3), "a")]);
+        assert_eq!(clock.now(), SimTime::from_secs(5));
+        sim.run_to_completion(|at, ev| {
+            seen.push((at, ev));
+            Step::Done
+        });
+        assert_eq!(seen.last(), Some(&(SimTime::from_secs(7), "b")));
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn periodic_events_via_reschedule() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(5), "tick");
+        let mut ticks = 0;
+        sim.run_until(SimTime::from_secs(60), |_, _| {
+            ticks += 1;
+            Step::ScheduleAfter(vec![(SimDuration::from_secs(5), "tick")])
+        });
+        // Ticks at 5, 10, ..., 60 → 12 ticks.
+        assert_eq!(ticks, 12);
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(i), i as u32);
+        }
+        let mut count = 0;
+        sim.run_to_completion(|_, ev| {
+            count += 1;
+            if ev == 3 {
+                Step::Halt
+            } else {
+                Step::Done
+            }
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.clock().advance(SimDuration::from_secs(100));
+        sim.schedule_after(SimDuration::from_secs(5), "x");
+        let mut at_time = None;
+        sim.run_to_completion(|at, _| {
+            at_time = Some(at);
+            Step::Done
+        });
+        assert_eq!(at_time, Some(SimTime::from_secs(105)));
+    }
+
+    #[test]
+    fn queue_len_tracks_cancellations() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+}

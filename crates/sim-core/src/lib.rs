@@ -1,0 +1,30 @@
+//! Deterministic simulation substrate shared by every TEEMon subsystem model.
+//!
+//! The original TEEMon evaluation runs on real SGX hardware, a real Linux
+//! kernel and a real cluster.  None of those are available in this
+//! reproduction, so the SGX driver, the kernel, the applications and the
+//! cluster are all *simulated*.  This crate provides the shared substrate for
+//! those simulations:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`SimClock`] — a shareable, monotonically advancing virtual clock,
+//! * [`DetRng`] — a seedable deterministic random number generator with the
+//!   distribution helpers used by workload generators and cost models,
+//! * [`EventQueue`] and [`Simulation`] — a discrete-event engine used to run
+//!   monitored workloads, scrape loops and analysis windows against virtual
+//!   time so that a "24 hour" experiment (Figure 4) completes in milliseconds.
+//!
+//! Everything is deterministic: two runs with the same seed produce the same
+//! metric streams, which is what makes the figure-reproduction benches stable.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use clock::SimClock;
+pub use event::{EventQueue, ScheduledEvent, Simulation};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,261 @@
+//! Deterministic random number generation and workload distributions.
+//!
+//! All stochastic behaviour in the reproduction (request inter-arrival jitter,
+//! key popularity, cache-miss probabilities, …) flows through [`DetRng`] so
+//! that a fixed seed reproduces the exact metric streams reported in
+//! `EXPERIMENTS.md`.
+
+/// A seedable deterministic random number generator.
+///
+/// Internally this is a xoshiro256++ generator seeded through SplitMix64, the
+/// standard recipe for reproducible simulation RNGs.  It is intentionally
+/// self-contained so that the exact sample streams recorded in
+/// `EXPERIMENTS.md` remain stable across dependency upgrades.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// Derives an independent child generator; children with distinct tags are
+    /// statistically independent but fully reproducible.
+    pub fn derive(&mut self, tag: u64) -> DetRng {
+        let seed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::seed_from_u64(seed)
+    }
+
+    /// Uniform `u64` (xoshiro256++ output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[low, high)`; `low` when the range is empty.
+    pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
+        if high <= low {
+            return low;
+        }
+        let span = high - low;
+        low + (self.next_f64() * span as f64) as u64
+    }
+
+    /// Uniform float in `[low, high)`.
+    pub fn uniform_f64(&mut self, low: f64, high: f64) -> f64 {
+        if high <= low {
+            return low;
+        }
+        low + self.next_f64() * (high - low)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of an open-loop workload).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.next_f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Approximately normally distributed value (sum of uniforms), clamped to
+    /// be non-negative; good enough for latency jitter.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Irwin–Hall approximation with 12 uniform samples.
+        let sum: f64 = (0..12).map(|_| self.next_f64()).sum();
+        mean + (sum - 6.0) * std_dev
+    }
+
+    /// Positive, normal-ish value clamped at zero.
+    pub fn normal_pos(&mut self, mean: f64, std_dev: f64) -> f64 {
+        self.normal(mean, std_dev).max(0.0)
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with skew `s` (used for key
+    /// popularity in the Redis-like workload).
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        // Rejection-free inverse-CDF approximation over a harmonic sum sample.
+        // For monitoring workloads precision is unimportant; determinism is.
+        let u = self.next_f64();
+        let n_f = n as f64;
+        if s <= 0.0 {
+            return (u * n_f) as u64;
+        }
+        // Approximate the inverse CDF of the Zipf distribution with the
+        // continuous bounded Pareto distribution.
+        let one_minus_s = 1.0 - s;
+        let rank = if (one_minus_s).abs() < 1e-9 {
+            n_f.powf(u) - 1.0
+        } else {
+            ((n_f.powf(one_minus_s) - 1.0) * u + 1.0).powf(1.0 / one_minus_s) - 1.0
+        };
+        (rank.max(0.0) as u64).min(n - 1)
+    }
+
+    /// Chooses one element of `slice` uniformly; `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.uniform_u64(0, slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_u64(0, (i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.uniform_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.uniform_u64(5, 5), 5);
+        assert_eq!(rng.uniform_f64(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        assert!((0..100).all(|_| rng.chance(2.0)));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "sample mean {mean}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = DetRng::seed_from_u64(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.normal(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "sample mean {mean}");
+        assert!(rng.normal_pos(-100.0, 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = DetRng::seed_from_u64(17);
+        let n = 10_000u64;
+        let samples: Vec<u64> = (0..50_000).map(|_| rng.zipf(n, 1.1)).collect();
+        assert!(samples.iter().all(|&r| r < n));
+        let low = samples.iter().filter(|&&r| r < n / 10).count();
+        assert!(
+            low > samples.len() / 2,
+            "zipf should concentrate mass on low ranks, got {low}/{}",
+            samples.len()
+        );
+        assert_eq!(rng.zipf(1, 1.0), 0);
+        assert_eq!(rng.zipf(0, 1.0), 0);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = DetRng::seed_from_u64(23);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+
+        let mut v: Vec<u32> = (0..100).collect();
+        let original = v.clone();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, original);
+        assert_ne!(v, original);
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let mut a = DetRng::seed_from_u64(99);
+        let mut b = DetRng::seed_from_u64(99);
+        let mut ca = a.derive(1);
+        let mut cb = b.derive(1);
+        assert_eq!(ca.next_u64(), cb.next_u64());
+    }
+}

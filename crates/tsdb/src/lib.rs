@@ -1,0 +1,28 @@
+//! PMAG — the Performance Metrics Aggregation component.
+//!
+//! The paper implements PMAG with Prometheus (§5.2): a pull-based scraper that
+//! collects OpenMetrics documents from every exporter endpoint, stores the
+//! samples in a local time-series database grouped into chunks, and answers
+//! label-matched range queries with aggregation functions.  This crate is the
+//! Rust equivalent:
+//!
+//! * [`TimeSeriesDb`] — labelled series, chunked append-only storage,
+//!   retention,
+//! * [`Selector`] and the [`query`] module — instant/range queries, label
+//!   matching, `rate`, `sum`/`avg`/`min`/`max` aggregation and quantiles,
+//! * [`Scraper`] — the pull loop: scrapes [`MetricsEndpoint`]s on an interval,
+//!   attaches `job`/`instance` labels, records `up` and scrape-duration
+//!   meta-metrics, and tolerates target failures (the health-checking role the
+//!   paper assigns to the monitoring service).
+
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod scrape;
+pub mod series;
+pub mod storage;
+
+pub use query::{AggregateOp, QueryResult, RangePoint, Selector};
+pub use scrape::{MetricsEndpoint, ScrapeOutcome, ScrapeTargetConfig, Scraper};
+pub use series::{Sample, Series, SeriesId};
+pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig};

@@ -1,0 +1,306 @@
+//! Label selectors, query results and aggregation functions.
+//!
+//! PMAG "supports data queries over specified time ranges and labeled
+//! dimensions.  It provides detailed quantitative analysis by selecting and
+//! applying aggregation functions to query results" (§4).  This module
+//! provides that query layer: [`Selector`]s pick series, and the free
+//! functions aggregate the resulting [`QueryResult`]s.
+
+use serde::{Deserialize, Serialize};
+use teemon_metrics::Labels;
+
+/// How one label must compare for a series to match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelMatch {
+    /// Label must equal the value.
+    Equals(String, String),
+    /// Label must exist and differ from the value.
+    NotEquals(String, String),
+    /// Label must exist (any value).
+    Exists(String),
+}
+
+/// A series selector: an optional metric-name filter plus label matchers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Selector {
+    /// Metric name to match exactly; `None` matches every name.
+    pub name: Option<String>,
+    /// Label matchers, all of which must hold.
+    pub matchers: Vec<LabelMatch>,
+}
+
+impl Selector {
+    /// Matches every series.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Matches series of one metric name.
+    pub fn metric(name: impl Into<String>) -> Self {
+        Self { name: Some(name.into()), matchers: Vec::new() }
+    }
+
+    /// Adds an equality matcher.
+    #[must_use]
+    pub fn with_label(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.matchers.push(LabelMatch::Equals(name.into(), value.into()));
+        self
+    }
+
+    /// Adds a not-equals matcher.
+    #[must_use]
+    pub fn without_label_value(
+        mut self,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        self.matchers.push(LabelMatch::NotEquals(name.into(), value.into()));
+        self
+    }
+
+    /// Adds an existence matcher.
+    #[must_use]
+    pub fn with_label_present(mut self, name: impl Into<String>) -> Self {
+        self.matchers.push(LabelMatch::Exists(name.into()));
+        self
+    }
+
+    /// `true` when a series with `name` and `labels` matches this selector.
+    pub fn matches(&self, name: &str, labels: &Labels) -> bool {
+        if let Some(wanted) = &self.name {
+            if wanted != name {
+                return false;
+            }
+        }
+        self.matchers.iter().all(|m| match m {
+            LabelMatch::Equals(k, v) => labels.get(k) == Some(v.as_str()),
+            LabelMatch::NotEquals(k, v) => {
+                labels.get(k).map(|actual| actual != v).unwrap_or(false)
+            }
+            LabelMatch::Exists(k) => labels.get(k).is_some(),
+        })
+    }
+}
+
+/// One series' contribution to a query answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Metric name.
+    pub name: String,
+    /// Series labels.
+    pub labels: Labels,
+    /// `(timestamp_ms, value)` points in chronological order.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A point of an aggregated range: timestamp plus aggregated value.
+pub type RangePoint = (u64, f64);
+
+/// Aggregation operators applied across series or across time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateOp {
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of values.
+    Count,
+}
+
+impl AggregateOp {
+    /// Applies the operator to a slice of values; returns `None` for empty
+    /// input.
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            AggregateOp::Sum => values.iter().sum(),
+            AggregateOp::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            AggregateOp::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateOp::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggregateOp::Count => values.len() as f64,
+        })
+    }
+}
+
+/// Aggregates the *latest* value of every result with `op` (e.g. total free
+/// EPC pages across all nodes).
+pub fn aggregate_latest(results: &[QueryResult], op: AggregateOp) -> Option<f64> {
+    let values: Vec<f64> =
+        results.iter().filter_map(|r| r.points.last().map(|(_, v)| *v)).collect();
+    op.apply(&values)
+}
+
+/// Aggregates across series per timestamp.  Timestamps are the union of all
+/// series' timestamps; series contribute their most recent value at or before
+/// each timestamp.
+pub fn aggregate_over_time(results: &[QueryResult], op: AggregateOp) -> Vec<RangePoint> {
+    let mut timestamps: Vec<u64> =
+        results.iter().flat_map(|r| r.points.iter().map(|(t, _)| *t)).collect();
+    timestamps.sort_unstable();
+    timestamps.dedup();
+    timestamps
+        .into_iter()
+        .filter_map(|ts| {
+            let values: Vec<f64> = results
+                .iter()
+                .filter_map(|r| {
+                    r.points.iter().rev().find(|(t, _)| *t <= ts).map(|(_, v)| *v)
+                })
+                .collect();
+            op.apply(&values).map(|v| (ts, v))
+        })
+        .collect()
+}
+
+/// Per-second rate of increase of a counter over the window covered by
+/// `points`, handling counter resets the way Prometheus' `rate()` does
+/// (a decrease is treated as a reset to zero).
+pub fn rate(points: &[(u64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let (t0, _) = points[0];
+    let (t1, _) = *points.last().expect("len >= 2");
+    if t1 <= t0 {
+        return None;
+    }
+    let mut increase = 0.0;
+    for window in points.windows(2) {
+        let (_, prev) = window[0];
+        let (_, next) = window[1];
+        if next >= prev {
+            increase += next - prev;
+        } else {
+            // Counter reset: count the post-reset value as the increase.
+            increase += next;
+        }
+    }
+    Some(increase / ((t1 - t0) as f64 / 1000.0))
+}
+
+/// `increase()` over the window: like [`rate`] but not divided by time.
+pub fn increase(points: &[(u64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    for window in points.windows(2) {
+        let (_, prev) = window[0];
+        let (_, next) = window[1];
+        total += if next >= prev { next - prev } else { next };
+    }
+    Some(total)
+}
+
+/// Exact quantile (`0 ≤ q ≤ 1`) of the values in `points`.
+pub fn quantile_over_time(points: &[(u64, f64)], q: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut values: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (values.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    Some(if lower == upper {
+        values[lower]
+    } else {
+        let w = pos - lower as f64;
+        values[lower] * (1.0 - w) + values[upper] * w
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        Labels::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn selector_matching_rules() {
+        let series_labels = labels(&[("node", "n1"), ("job", "sgx_exporter")]);
+        assert!(Selector::all().matches("anything", &series_labels));
+        assert!(Selector::metric("up").matches("up", &series_labels));
+        assert!(!Selector::metric("up").matches("down", &series_labels));
+        assert!(Selector::metric("up").with_label("node", "n1").matches("up", &series_labels));
+        assert!(!Selector::metric("up").with_label("node", "n2").matches("up", &series_labels));
+        assert!(Selector::all()
+            .without_label_value("node", "n2")
+            .matches("up", &series_labels));
+        assert!(!Selector::all()
+            .without_label_value("node", "n1")
+            .matches("up", &series_labels));
+        assert!(Selector::all().with_label_present("job").matches("up", &series_labels));
+        assert!(!Selector::all().with_label_present("pod").matches("up", &series_labels));
+    }
+
+    #[test]
+    fn aggregate_ops() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggregateOp::Sum.apply(&values), Some(10.0));
+        assert_eq!(AggregateOp::Avg.apply(&values), Some(2.5));
+        assert_eq!(AggregateOp::Min.apply(&values), Some(1.0));
+        assert_eq!(AggregateOp::Max.apply(&values), Some(4.0));
+        assert_eq!(AggregateOp::Count.apply(&values), Some(4.0));
+        assert_eq!(AggregateOp::Sum.apply(&[]), None);
+    }
+
+    #[test]
+    fn aggregate_latest_across_series() {
+        let results = vec![
+            QueryResult {
+                name: "free".into(),
+                labels: labels(&[("node", "n1")]),
+                points: vec![(1000, 10.0), (2000, 20.0)],
+            },
+            QueryResult {
+                name: "free".into(),
+                labels: labels(&[("node", "n2")]),
+                points: vec![(1500, 5.0)],
+            },
+        ];
+        assert_eq!(aggregate_latest(&results, AggregateOp::Sum), Some(25.0));
+        assert_eq!(aggregate_latest(&[], AggregateOp::Sum), None);
+
+        let over_time = aggregate_over_time(&results, AggregateOp::Sum);
+        assert_eq!(over_time, vec![(1000, 10.0), (1500, 15.0), (2000, 25.0)]);
+    }
+
+    #[test]
+    fn rate_handles_monotonic_counters() {
+        let points = vec![(0, 0.0), (5_000, 50.0), (10_000, 100.0)];
+        assert_eq!(rate(&points), Some(10.0));
+        assert_eq!(increase(&points), Some(100.0));
+        assert_eq!(rate(&[(0, 1.0)]), None);
+        assert_eq!(rate(&[(5, 1.0), (5, 2.0)]), None);
+    }
+
+    #[test]
+    fn rate_handles_counter_resets() {
+        // Counter resets at t=10s (process restart), then continues.
+        let points = vec![(0, 100.0), (5_000, 200.0), (10_000, 10.0), (15_000, 30.0)];
+        let total_increase = increase(&points).unwrap();
+        assert_eq!(total_increase, 100.0 + 10.0 + 20.0);
+        let r = rate(&points).unwrap();
+        assert!((r - total_increase / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_over_time() {
+        let points: Vec<(u64, f64)> = (0..100).map(|i| (i as u64, i as f64)).collect();
+        assert_eq!(quantile_over_time(&points, 0.0), Some(0.0));
+        assert_eq!(quantile_over_time(&points, 1.0), Some(99.0));
+        let median = quantile_over_time(&points, 0.5).unwrap();
+        assert!((median - 49.5).abs() < 1e-9);
+        assert_eq!(quantile_over_time(&[], 0.5), None);
+    }
+}

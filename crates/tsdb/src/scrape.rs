@@ -1,0 +1,333 @@
+//! The pull-based scrape loop.
+//!
+//! The paper argues for pull over push (§4, "Push vs. Pull in Monitoring"):
+//! the aggregator scrapes each exporter's metrics endpoint on an interval,
+//! which smooths bursts, centralises ingestion and doubles as a health check
+//! ("the monitoring service also acts as a health checker and can alert in
+//! case the monitoring target is unreachable").  [`Scraper`] implements that
+//! loop against in-process [`MetricsEndpoint`]s.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use teemon_metrics::{exposition, Labels};
+
+use crate::storage::TimeSeriesDb;
+
+/// Something that can be scraped: returns an OpenMetrics text document.
+///
+/// Exporters implement this; a real deployment would put an HTTP server in
+/// front, but the contract — "GET /metrics returns the current exposition" —
+/// is the same.
+pub trait MetricsEndpoint: Send + Sync {
+    /// Renders the current metrics as exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error when the endpoint is unreachable or
+    /// failing, which the scraper records as `up == 0`.
+    fn scrape(&self) -> Result<String, String>;
+}
+
+impl<F> MetricsEndpoint for F
+where
+    F: Fn() -> Result<String, String> + Send + Sync,
+{
+    fn scrape(&self) -> Result<String, String> {
+        (self)()
+    }
+}
+
+/// Configuration of one scrape target.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct ScrapeTargetConfig {
+    /// Job name (`sgx_exporter`, `ebpf_exporter`, `node_exporter`, `cadvisor`).
+    pub job: String,
+    /// Instance identifier, typically `<node>:<port>`.
+    pub instance: String,
+    /// Additional labels attached to every sample from this target (e.g. the
+    /// Kubernetes node name).
+    #[serde(default)]
+    pub extra_labels: BTreeMap<String, String>,
+}
+
+impl ScrapeTargetConfig {
+    /// Creates a target configuration.
+    pub fn new(job: impl Into<String>, instance: impl Into<String>) -> Self {
+        Self { job: job.into(), instance: instance.into(), extra_labels: BTreeMap::new() }
+    }
+
+    /// Adds an extra label.
+    #[must_use]
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra_labels.insert(key.into(), value.into());
+        self
+    }
+
+    fn target_labels(&self) -> Labels {
+        let mut labels = Labels::from_pairs([
+            ("job", self.job.clone()),
+            ("instance", self.instance.clone()),
+        ]);
+        for (k, v) in &self.extra_labels {
+            labels.insert(k.clone(), v.clone());
+        }
+        labels
+    }
+}
+
+/// Result of scraping one target once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScrapeOutcome {
+    /// Job of the target.
+    pub job: String,
+    /// Instance of the target.
+    pub instance: String,
+    /// `true` when the scrape succeeded.
+    pub up: bool,
+    /// Samples ingested.
+    pub samples: u64,
+    /// Parse or transport error, when failed.
+    pub error: Option<String>,
+}
+
+struct Target {
+    config: ScrapeTargetConfig,
+    endpoint: Arc<dyn MetricsEndpoint>,
+}
+
+/// The scrape manager: a set of targets feeding one [`TimeSeriesDb`].
+#[derive(Clone)]
+pub struct Scraper {
+    db: TimeSeriesDb,
+    targets: Arc<RwLock<Vec<Target>>>,
+    scrape_interval_ms: u64,
+}
+
+impl Scraper {
+    /// Default scrape interval: the paper queries exporters every 5 seconds.
+    pub const DEFAULT_INTERVAL_MS: u64 = 5_000;
+
+    /// Creates a scraper feeding `db`.
+    pub fn new(db: TimeSeriesDb) -> Self {
+        Self { db, targets: Arc::new(RwLock::new(Vec::new())), scrape_interval_ms: Self::DEFAULT_INTERVAL_MS }
+    }
+
+    /// Sets the scrape interval in milliseconds.
+    #[must_use]
+    pub fn with_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.scrape_interval_ms = interval_ms.max(1);
+        self
+    }
+
+    /// The configured scrape interval in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.scrape_interval_ms
+    }
+
+    /// The database being fed.
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+
+    /// Registers a scrape target.
+    pub fn add_target(&self, config: ScrapeTargetConfig, endpoint: Arc<dyn MetricsEndpoint>) {
+        self.targets.write().push(Target { config, endpoint });
+    }
+
+    /// Removes every target whose instance equals `instance` (e.g. a node that
+    /// left the cluster).  Returns how many targets were removed.
+    pub fn remove_instance(&self, instance: &str) -> usize {
+        let mut targets = self.targets.write();
+        let before = targets.len();
+        targets.retain(|t| t.config.instance != instance);
+        before - targets.len()
+    }
+
+    /// Number of registered targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.read().len()
+    }
+
+    /// Scrapes every target once, stamping samples with `now_ms`.
+    pub fn scrape_once(&self, now_ms: u64) -> Vec<ScrapeOutcome> {
+        let targets = self.targets.read();
+        let mut outcomes = Vec::with_capacity(targets.len());
+        for target in targets.iter() {
+            outcomes.push(self.scrape_target(target, now_ms));
+        }
+        outcomes
+    }
+
+    fn scrape_target(&self, target: &Target, now_ms: u64) -> ScrapeOutcome {
+        let base_labels = target.config.target_labels();
+        let up_labels = base_labels.clone();
+        match target.endpoint.scrape().and_then(|text| {
+            exposition::parse_text(&text).map_err(|e| e.to_string())
+        }) {
+            Ok(parsed) => {
+                let mut ingested = 0;
+                for sample in &parsed.samples {
+                    let labels = sample.labels.merged(&base_labels);
+                    let ts = sample.timestamp_ms.unwrap_or(now_ms);
+                    if self.db.append(&sample.name, &labels, ts, sample.value) {
+                        ingested += 1;
+                    }
+                }
+                self.db.append("up", &up_labels, now_ms, 1.0);
+                self.db.append(
+                    "scrape_samples_scraped",
+                    &up_labels,
+                    now_ms,
+                    parsed.samples.len() as f64,
+                );
+                ScrapeOutcome {
+                    job: target.config.job.clone(),
+                    instance: target.config.instance.clone(),
+                    up: true,
+                    samples: ingested,
+                    error: None,
+                }
+            }
+            Err(error) => {
+                self.db.append("up", &up_labels, now_ms, 0.0);
+                ScrapeOutcome {
+                    job: target.config.job.clone(),
+                    instance: target.config.instance.clone(),
+                    up: false,
+                    samples: 0,
+                    error: Some(error),
+                }
+            }
+        }
+    }
+
+    /// Instances whose most recent `up` sample is 0 at `now_ms` — the health
+    /// checker view.
+    pub fn unhealthy_instances(&self, now_ms: u64) -> Vec<String> {
+        use crate::query::Selector;
+        self.db
+            .query_instant(&Selector::metric("up"), now_ms)
+            .into_iter()
+            .filter(|r| r.points.last().map(|(_, v)| *v == 0.0).unwrap_or(false))
+            .filter_map(|r| r.labels.get("instance").map(str::to_string))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Scraper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scraper")
+            .field("targets", &self.target_count())
+            .field("interval_ms", &self.scrape_interval_ms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Selector;
+    use teemon_metrics::Registry;
+
+    fn registry_endpoint(registry: Registry) -> Arc<dyn MetricsEndpoint> {
+        Arc::new(move || Ok(exposition::encode_text(&registry.gather())))
+    }
+
+    #[test]
+    fn scrape_ingests_samples_with_target_labels() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let registry = Registry::new();
+        registry.gauge_family("sgx_nr_free_pages", "free pages").default_instance().set(24_000.0);
+        scraper.add_target(
+            ScrapeTargetConfig::new("sgx_exporter", "node-1:9090").with_label("node", "node-1"),
+            registry_endpoint(registry.clone()),
+        );
+
+        let outcomes = scraper.scrape_once(5_000);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].up);
+        assert_eq!(outcomes[0].samples, 1);
+
+        let results = db.query_instant(&Selector::metric("sgx_nr_free_pages"), 10_000);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].labels.get("job"), Some("sgx_exporter"));
+        assert_eq!(results[0].labels.get("node"), Some("node-1"));
+        assert_eq!(results[0].points[0].1, 24_000.0);
+
+        // The up meta-metric is recorded too.
+        let up = db.query_instant(&Selector::metric("up"), 10_000);
+        assert_eq!(up[0].points[0].1, 1.0);
+        assert!(scraper.unhealthy_instances(10_000).is_empty());
+    }
+
+    #[test]
+    fn repeated_scrapes_build_series() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone()).with_interval_ms(5_000);
+        let registry = Registry::new();
+        let counter = registry.counter_family("events_total", "events");
+        scraper.add_target(
+            ScrapeTargetConfig::new("ebpf_exporter", "node-1:9435"),
+            registry_endpoint(registry.clone()),
+        );
+        for round in 0..5u64 {
+            counter.default_instance().inc_by(10.0);
+            scraper.scrape_once(round * scraper.interval_ms());
+        }
+        let results = db.query_range(&Selector::metric("events_total"), 0, u64::MAX);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].points.len(), 5);
+        let r = crate::query::rate(&results[0].points).unwrap();
+        assert!((r - 2.0).abs() < 1e-9, "10 events per 5s = 2/s, got {r}");
+    }
+
+    #[test]
+    fn failing_target_marks_up_zero() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        scraper.add_target(
+            ScrapeTargetConfig::new("sgx_exporter", "node-2:9090"),
+            Arc::new(|| Err("connection refused".to_string())),
+        );
+        let outcomes = scraper.scrape_once(1_000);
+        assert!(!outcomes[0].up);
+        assert!(outcomes[0].error.as_deref().unwrap().contains("refused"));
+        assert_eq!(scraper.unhealthy_instances(1_000), vec!["node-2:9090".to_string()]);
+    }
+
+    #[test]
+    fn malformed_exposition_counts_as_failure() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        scraper.add_target(
+            ScrapeTargetConfig::new("broken", "node-3:1"),
+            Arc::new(|| Ok("this is { not valid".to_string())),
+        );
+        let outcomes = scraper.scrape_once(1_000);
+        assert!(!outcomes[0].up);
+        assert!(outcomes[0].error.is_some());
+    }
+
+    #[test]
+    fn targets_can_be_removed() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db);
+        let registry = Registry::new();
+        scraper.add_target(
+            ScrapeTargetConfig::new("node_exporter", "node-1:9100"),
+            registry_endpoint(registry.clone()),
+        );
+        scraper.add_target(
+            ScrapeTargetConfig::new("sgx_exporter", "node-1:9090"),
+            registry_endpoint(registry),
+        );
+        assert_eq!(scraper.target_count(), 2);
+        assert_eq!(scraper.remove_instance("node-1:9100"), 1);
+        assert_eq!(scraper.target_count(), 1);
+        assert_eq!(scraper.remove_instance("unknown"), 0);
+    }
+}

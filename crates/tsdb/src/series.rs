@@ -1,0 +1,200 @@
+//! A single time series: one metric name + label set and its samples.
+
+use serde::{Deserialize, Serialize};
+use teemon_metrics::Labels;
+
+/// Identifier of a series inside one [`crate::TimeSeriesDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesId(pub(crate) u64);
+
+impl SeriesId {
+    /// The raw id value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One timestamped sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp in milliseconds since the simulation epoch.
+    pub timestamp_ms: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Samples are grouped into fixed-size chunks for retrieval and retention, the
+/// way Prometheus groups samples into head/immutable chunks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Chunk {
+    pub(crate) samples: Vec<Sample>,
+}
+
+impl Chunk {
+    pub(crate) fn start(&self) -> Option<u64> {
+        self.samples.first().map(|s| s.timestamp_ms)
+    }
+
+    pub(crate) fn end(&self) -> Option<u64> {
+        self.samples.last().map(|s| s.timestamp_ms)
+    }
+}
+
+/// A labelled time series with chunked, append-only sample storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Metric name.
+    pub name: String,
+    /// Label set identifying the series.
+    pub labels: Labels,
+    pub(crate) chunks: Vec<Chunk>,
+    pub(crate) chunk_size: usize,
+}
+
+impl Series {
+    pub(crate) fn new(name: String, labels: Labels, chunk_size: usize) -> Self {
+        Self { name, labels, chunks: vec![Chunk::default()], chunk_size: chunk_size.max(1) }
+    }
+
+    /// Appends a sample; samples older than the newest stored timestamp are
+    /// rejected (the pull model only ever moves forward in time).
+    pub fn append(&mut self, sample: Sample) -> bool {
+        if let Some(last) = self.last_timestamp() {
+            if sample.timestamp_ms < last {
+                return false;
+            }
+        }
+        if self.chunks.last().map(|c| c.samples.len() >= self.chunk_size).unwrap_or(true) {
+            self.chunks.push(Chunk::default());
+        }
+        self.chunks.last_mut().expect("chunk pushed above").samples.push(sample);
+        true
+    }
+
+    /// Timestamp of the newest sample.
+    pub fn last_timestamp(&self) -> Option<u64> {
+        self.chunks.iter().rev().find_map(|c| c.end())
+    }
+
+    /// The newest sample.
+    pub fn last_sample(&self) -> Option<Sample> {
+        self.chunks.iter().rev().find_map(|c| c.samples.last().copied())
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.samples.len()).sum()
+    }
+
+    /// `true` when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks currently held.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.iter().filter(|c| !c.samples.is_empty()).count()
+    }
+
+    /// Samples within `[start_ms, end_ms]` in chronological order.
+    pub fn range(&self, start_ms: u64, end_ms: u64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for chunk in &self.chunks {
+            match (chunk.start(), chunk.end()) {
+                (Some(s), Some(e)) if e >= start_ms && s <= end_ms => {
+                    out.extend(
+                        chunk
+                            .samples
+                            .iter()
+                            .filter(|s| s.timestamp_ms >= start_ms && s.timestamp_ms <= end_ms)
+                            .copied(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The newest sample at or before `at_ms` (instant-query semantics).
+    pub fn at(&self, at_ms: u64) -> Option<Sample> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.samples.iter())
+            .filter(|s| s.timestamp_ms <= at_ms)
+            .next_back()
+            .copied()
+    }
+
+    /// Drops every chunk whose newest sample is older than `cutoff_ms`.
+    /// Returns the number of samples dropped.
+    pub fn drop_before(&mut self, cutoff_ms: u64) -> usize {
+        let mut dropped = 0;
+        self.chunks.retain(|chunk| match chunk.end() {
+            Some(end) if end < cutoff_ms => {
+                dropped += chunk.samples.len();
+                false
+            }
+            _ => true,
+        });
+        if self.chunks.is_empty() {
+            self.chunks.push(Chunk::default());
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        Series::new("m".into(), Labels::new(), 4)
+    }
+
+    #[test]
+    fn append_and_query_in_order() {
+        let mut s = series();
+        for i in 0..10u64 {
+            assert!(s.append(Sample { timestamp_ms: i * 1000, value: i as f64 }));
+        }
+        assert_eq!(s.len(), 10);
+        assert!(s.chunk_count() >= 3, "chunk size 4 should split 10 samples");
+        assert_eq!(s.last_timestamp(), Some(9_000));
+        assert_eq!(s.range(2_000, 5_000).len(), 4);
+        assert_eq!(s.at(3_500).unwrap().value, 3.0);
+        assert_eq!(s.at(0).unwrap().value, 0.0);
+        assert!(s.range(20_000, 30_000).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_samples_rejected() {
+        let mut s = series();
+        assert!(s.append(Sample { timestamp_ms: 5_000, value: 1.0 }));
+        assert!(!s.append(Sample { timestamp_ms: 4_000, value: 2.0 }));
+        assert!(s.append(Sample { timestamp_ms: 5_000, value: 3.0 }), "equal timestamps allowed");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn retention_drops_old_chunks() {
+        let mut s = series();
+        for i in 0..20u64 {
+            s.append(Sample { timestamp_ms: i * 1000, value: i as f64 });
+        }
+        let dropped = s.drop_before(10_000);
+        assert!(dropped >= 8, "dropped {dropped}");
+        assert!(s.len() <= 12);
+        assert!(s.range(0, 7_000).is_empty() || s.range(0, 7_000).len() <= 4);
+        assert_eq!(s.last_timestamp(), Some(19_000));
+    }
+
+    #[test]
+    fn empty_series_queries() {
+        let s = series();
+        assert!(s.is_empty());
+        assert_eq!(s.last_sample(), None);
+        assert_eq!(s.at(1_000), None);
+        assert!(s.range(0, u64::MAX).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! The time-series database: labelled series, append, retention.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use teemon_metrics::Labels;
+
+use crate::query::{QueryResult, Selector};
+use crate::series::{Sample, Series, SeriesId};
+
+/// Static configuration of the database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsdbConfig {
+    /// Samples per chunk.
+    pub chunk_size: usize,
+    /// Retention window in milliseconds; samples older than
+    /// `newest - retention_ms` may be dropped by [`TimeSeriesDb::apply_retention`].
+    pub retention_ms: u64,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        Self { chunk_size: 120, retention_ms: 24 * 60 * 60 * 1000 }
+    }
+}
+
+/// Storage statistics (what the aggregator's own `/metrics` would expose).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Number of distinct series.
+    pub series: u64,
+    /// Total stored samples.
+    pub samples: u64,
+    /// Total chunks.
+    pub chunks: u64,
+    /// Samples rejected because they were out of order.
+    pub rejected_samples: u64,
+}
+
+#[derive(Default)]
+struct DbInner {
+    series: Vec<Series>,
+    index: HashMap<(String, Labels), SeriesId>,
+    rejected: u64,
+}
+
+/// A pull-based, labelled time-series database.  Clones share storage.
+#[derive(Clone, Default)]
+pub struct TimeSeriesDb {
+    config: TsdbConfig,
+    inner: Arc<RwLock<DbInner>>,
+}
+
+impl TimeSeriesDb {
+    /// Creates a database with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(TsdbConfig::default())
+    }
+
+    /// Creates a database with explicit configuration.
+    pub fn with_config(config: TsdbConfig) -> Self {
+        Self { config, inner: Arc::new(RwLock::new(DbInner::default())) }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TsdbConfig {
+        &self.config
+    }
+
+    /// Appends one sample to the series identified by `name` + `labels`,
+    /// creating the series on first use.  Returns `false` when the sample was
+    /// rejected (out of order).
+    pub fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
+        let mut inner = self.inner.write();
+        let id = match inner.index.get(&(name.to_string(), labels.clone())) {
+            Some(id) => *id,
+            None => {
+                let id = SeriesId(inner.series.len() as u64);
+                inner.series.push(Series::new(
+                    name.to_string(),
+                    labels.clone(),
+                    self.config.chunk_size,
+                ));
+                inner.index.insert((name.to_string(), labels.clone()), id);
+                id
+            }
+        };
+        let accepted =
+            inner.series[id.0 as usize].append(Sample { timestamp_ms, value });
+        if !accepted {
+            inner.rejected += 1;
+        }
+        accepted
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.inner.read().series.len()
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> StorageStats {
+        let inner = self.inner.read();
+        StorageStats {
+            series: inner.series.len() as u64,
+            samples: inner.series.iter().map(|s| s.len() as u64).sum(),
+            chunks: inner.series.iter().map(|s| s.chunk_count() as u64).sum(),
+            rejected_samples: inner.rejected,
+        }
+    }
+
+    /// Returns clones of every series matching `selector`.
+    pub fn select(&self, selector: &Selector) -> Vec<Series> {
+        self.inner
+            .read()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .cloned()
+            .collect()
+    }
+
+    /// Instant query: the newest sample at or before `at_ms` for every
+    /// matching series.
+    pub fn query_instant(&self, selector: &Selector, at_ms: u64) -> Vec<QueryResult> {
+        self.inner
+            .read()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .filter_map(|s| {
+                s.at(at_ms).map(|sample| QueryResult {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    points: vec![(sample.timestamp_ms, sample.value)],
+                })
+            })
+            .collect()
+    }
+
+    /// Range query: all samples in `[start_ms, end_ms]` for every matching
+    /// series.
+    pub fn query_range(&self, selector: &Selector, start_ms: u64, end_ms: u64) -> Vec<QueryResult> {
+        self.inner
+            .read()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .map(|s| QueryResult {
+                name: s.name.clone(),
+                labels: s.labels.clone(),
+                points: s.range(start_ms, end_ms).iter().map(|p| (p.timestamp_ms, p.value)).collect(),
+            })
+            .filter(|r| !r.points.is_empty())
+            .collect()
+    }
+
+    /// The newest timestamp across every series.
+    pub fn newest_timestamp(&self) -> Option<u64> {
+        self.inner.read().series.iter().filter_map(|s| s.last_timestamp()).max()
+    }
+
+    /// Applies the retention policy relative to the newest stored timestamp.
+    /// Returns the number of samples dropped.
+    pub fn apply_retention(&self) -> usize {
+        let Some(newest) = self.newest_timestamp() else { return 0 };
+        let cutoff = newest.saturating_sub(self.config.retention_ms);
+        let mut inner = self.inner.write();
+        inner.series.iter_mut().map(|s| s.drop_before(cutoff)).sum()
+    }
+
+    /// All distinct values of label `label` among series matching `selector`
+    /// (used by dashboards to build filter drop-downs, e.g. the process filter
+    /// of Figure 3).
+    pub fn label_values(&self, selector: &Selector, label: &str) -> Vec<String> {
+        let mut values: Vec<String> = self
+            .inner
+            .read()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .filter_map(|s| s.labels.get(label).map(str::to_string))
+            .collect();
+        values.sort();
+        values.dedup();
+        values
+    }
+}
+
+impl std::fmt::Debug for TimeSeriesDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeriesDb").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        Labels::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn append_creates_series_lazily() {
+        let db = TimeSeriesDb::new();
+        assert!(db.append("sgx_nr_free_pages", &labels(&[("node", "n1")]), 1_000, 24_000.0));
+        assert!(db.append("sgx_nr_free_pages", &labels(&[("node", "n1")]), 2_000, 23_500.0));
+        assert!(db.append("sgx_nr_free_pages", &labels(&[("node", "n2")]), 1_000, 24_064.0));
+        assert_eq!(db.series_count(), 2);
+        let stats = db.stats();
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.rejected_samples, 0);
+    }
+
+    #[test]
+    fn out_of_order_rejection_is_counted() {
+        let db = TimeSeriesDb::new();
+        db.append("m", &Labels::new(), 5_000, 1.0);
+        assert!(!db.append("m", &Labels::new(), 1_000, 2.0));
+        assert_eq!(db.stats().rejected_samples, 1);
+    }
+
+    #[test]
+    fn instant_and_range_queries() {
+        let db = TimeSeriesDb::new();
+        for t in 0..10u64 {
+            db.append("syscalls_total", &labels(&[("syscall", "read")]), t * 1000, t as f64);
+            db.append(
+                "syscalls_total",
+                &labels(&[("syscall", "clock_gettime")]),
+                t * 1000,
+                (t * 100) as f64,
+            );
+        }
+        let selector = Selector::metric("syscalls_total");
+        let instant = db.query_instant(&selector, 4_500);
+        assert_eq!(instant.len(), 2);
+        assert!(instant.iter().all(|r| r.points[0].0 == 4_000));
+
+        let only_read =
+            Selector::metric("syscalls_total").with_label("syscall", "read");
+        let range = db.query_range(&only_read, 2_000, 5_000);
+        assert_eq!(range.len(), 1);
+        assert_eq!(range[0].points.len(), 4);
+        assert!(db.query_range(&Selector::metric("missing"), 0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn retention_respects_window() {
+        let db = TimeSeriesDb::with_config(TsdbConfig { chunk_size: 10, retention_ms: 5_000 });
+        for t in 0..100u64 {
+            db.append("m", &Labels::new(), t * 1000, t as f64);
+        }
+        let dropped = db.apply_retention();
+        assert!(dropped > 50, "dropped {dropped}");
+        // Recent data must survive.
+        let recent = db.query_range(&Selector::metric("m"), 95_000, 99_000);
+        assert_eq!(recent[0].points.len(), 5);
+    }
+
+    #[test]
+    fn label_values_lists_distinct_values() {
+        let db = TimeSeriesDb::new();
+        for (proc_name, value) in [("redis-server", 1.0), ("nginx", 2.0), ("redis-server", 3.0)] {
+            let ts = db.newest_timestamp().unwrap_or(0) + 1000;
+            db.append("proc_cpu", &labels(&[("process", proc_name)]), ts, value);
+        }
+        let values = db.label_values(&Selector::metric("proc_cpu"), "process");
+        assert_eq!(values, vec!["nginx", "redis-server"]);
+        assert!(db.label_values(&Selector::metric("proc_cpu"), "missing").is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let db = TimeSeriesDb::new();
+        let clone = db.clone();
+        clone.append("m", &Labels::new(), 1, 1.0);
+        assert_eq!(db.series_count(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Cluster-scale deployment (§5.4 of the paper): TEEMon installed through the
+//! Helm chart onto a Kubernetes-like cluster, exporters placed as DaemonSets
+//! on SGX nodes, service discovery following topology changes, and enclaves
+//! monitored across nodes.
+//!
+//! ```text
+//! cargo run --release --example cluster_monitoring
+//! ```
+
+use teemon::ClusterMonitor;
+use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams};
+use teemon_orchestrator::{Cluster, HelmChart, Node};
+use teemon_tsdb::Selector;
+
+fn main() {
+    // A cluster with 4 SGX nodes and 2 ordinary nodes.
+    let cluster = Cluster::with_nodes(4, 2);
+    println!("cluster: {} nodes ({} SGX-capable)", cluster.len(), 4);
+    println!("helm chart:\n{}", HelmChart::teemon().to_json());
+
+    // Install TEEMon: one HostMonitor per SGX node.
+    let mut monitor = ClusterMonitor::install(cluster.clone());
+    println!("\nservice discovery resolved {} scrape endpoints:", monitor.endpoints().len());
+    for endpoint in monitor.endpoints() {
+        println!("  {:<24} {}", endpoint.job, endpoint.instance);
+    }
+
+    // Start enclave workloads on every SGX node.
+    let mut deployments = Vec::new();
+    for host in monitor.hosts() {
+        let mut d = Deployment::deploy(
+            host.kernel(),
+            FrameworkParams::for_kind(FrameworkKind::Scone),
+            "redis-server",
+            64 << 20,
+            8,
+            7,
+        )
+        .expect("deploy");
+        let request = teemon_frameworks::RequestProfile::keyvalue_get(64, 16_000);
+        for _ in 0..1_000 {
+            d.execute(&request, 320);
+        }
+        deployments.push(d);
+    }
+    println!("\nactive enclaves across the cluster: {}", monitor.total_active_enclaves());
+
+    // Scrape everything and summarise per node.
+    let healthy = monitor.scrape_all();
+    println!("healthy scrape targets: {healthy}");
+    for host in monitor.hosts() {
+        let evicted: f64 = host
+            .db()
+            .query_instant(&Selector::metric("sgx_pages_evicted_total"), u64::MAX)
+            .iter()
+            .map(|r| r.points.last().map(|(_, v)| *v).unwrap_or(0.0))
+            .sum();
+        let syscalls: f64 = host
+            .db()
+            .query_instant(&Selector::metric("teemon_syscalls_total"), u64::MAX)
+            .iter()
+            .map(|r| r.points.last().map(|(_, v)| *v).unwrap_or(0.0))
+            .sum();
+        println!(
+            "  node {:<8} syscalls observed: {:>8.0}  EPC pages evicted: {:>6.0}",
+            host.node(),
+            syscalls,
+            evicted
+        );
+    }
+
+    // Topology change: a new SGX node joins, an old one drains.
+    cluster.add_node(Node::sgx("sgx-burst"));
+    cluster.set_ready("sgx-0", false);
+    let (added, removed) = monitor.reconcile();
+    println!("\ntopology change reconciled: {added} monitor(s) added, {removed} removed");
+    println!("service discovery now resolves {} endpoints", monitor.endpoints().len());
+}

@@ -1,0 +1,79 @@
+//! Quickstart: monitor a Redis-like workload running under SCONE with full
+//! TEEMon monitoring, then print what the monitoring stack observed.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use teemon::{HostMonitor, MonitoringMode};
+use teemon_apps::{Application, RedisApp};
+use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams};
+use teemon_tsdb::Selector;
+
+fn main() {
+    // 1. A simulated SGX host with the full TEEMon stack (SGX exporter, eBPF
+    //    exporter, node exporter, cAdvisor, aggregation, analysis, dashboards).
+    let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+
+    // 2. Deploy a Redis-like application inside an enclave under SCONE.
+    let app = RedisApp::paper_config(64); // ~105 MB database: exceeds the EPC.
+    let mut deployment = Deployment::deploy(
+        host.kernel(),
+        FrameworkParams::for_kind(FrameworkKind::Scone),
+        app.name(),
+        app.memory_bytes(),
+        app.threads(),
+        42,
+    )
+    .expect("deployment");
+    println!(
+        "deployed {} under {} (enclave: {:?}, startup {})",
+        app.name(),
+        deployment.kind(),
+        deployment.enclave(),
+        deployment.startup_latency()
+    );
+
+    // 3. Drive load against it while TEEMon scrapes every 5 (virtual) seconds.
+    let request = app.request(8, 320);
+    for round in 0..10 {
+        for _ in 0..500 {
+            deployment.execute(&request, 320);
+        }
+        host.scrape_tick();
+        let _ = round;
+    }
+
+    // 4. What did TEEMon see?
+    let db = host.db();
+    println!("\nTime-series stored: {:?}", db.stats());
+    for metric in [
+        "sgx_nr_free_pages",
+        "sgx_pages_evicted_total",
+        "teemon_syscalls_total",
+        "teemon_page_faults_total",
+    ] {
+        let total: f64 = db
+            .query_instant(&Selector::metric(metric), u64::MAX)
+            .iter()
+            .map(|r| r.points.last().map(|(_, v)| *v).unwrap_or(0.0))
+            .sum();
+        println!("  {metric:<32} latest total = {total:.0}");
+    }
+
+    // 5. Render the SGX dashboard (Figure 3 of the paper) as text.
+    println!("\n{}", host.render_dashboard("SGX", 64).expect("SGX dashboard"));
+
+    // 6. Ask PMAN whether it sees a bottleneck.
+    let requests = deployment.totals().requests as f64;
+    let findings = host.analyzer().diagnose_all(requests, 0, u64::MAX);
+    if findings.is_empty() {
+        println!("PMAN: no bottlenecks detected");
+    } else {
+        for finding in findings {
+            println!("PMAN finding [{:?}]: {}", finding.kind, finding.explanation);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the TEEMon reproduction.
+//!
+//! This crate re-exports every workspace member so that the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the whole
+//! stack through a single dependency.  Library users should depend on the
+//! individual crates (most importantly [`teemon`]) directly.
+
+pub use teemon;
+pub use teemon_analysis as analysis;
+pub use teemon_apps as apps;
+pub use teemon_dashboard as dashboard;
+pub use teemon_exporters as exporters;
+pub use teemon_frameworks as frameworks;
+pub use teemon_kernel_sim as kernel_sim;
+pub use teemon_metrics as metrics;
+pub use teemon_orchestrator as orchestrator;
+pub use teemon_sgx_sim as sgx_sim;
+pub use teemon_sim_core as sim_core;
+pub use teemon_tsdb as tsdb;

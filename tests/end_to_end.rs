@@ -1,0 +1,152 @@
+//! End-to-end integration tests spanning the whole stack:
+//! workload → kernel/SGX simulation → exporters → scraper → TSDB → analysis →
+//! dashboards.
+
+use teemon::{HostMonitor, MonitoringMode};
+use teemon_analysis::BottleneckKind;
+use teemon_apps::{Application, RedisApp};
+use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams, SconeVersion};
+use teemon_tsdb::{query, Selector};
+
+fn run_workload(host: &HostMonitor, value_bytes: u64, requests: u64) -> Deployment {
+    let app = RedisApp::paper_config(value_bytes);
+    let mut deployment = Deployment::deploy(
+        host.kernel(),
+        FrameworkParams::scone(SconeVersion::Commit09fea91),
+        app.name(),
+        app.memory_bytes(),
+        app.threads(),
+        99,
+    )
+    .expect("deploy");
+    let request = app.request(8, 320);
+    let batches = 8;
+    for _ in 0..batches {
+        for _ in 0..(requests / batches) {
+            deployment.execute(&request, 320);
+        }
+        host.scrape_tick();
+    }
+    deployment
+}
+
+#[test]
+fn full_pipeline_from_workload_to_dashboard() {
+    let host = HostMonitor::new("it-node", MonitoringMode::Full);
+    let deployment = run_workload(&host, 64, 2_400);
+
+    // The aggregation database holds series from all four exporters.
+    let db = host.db();
+    assert!(db.series_count() > 20, "expected a rich series set, got {}", db.series_count());
+    for metric in [
+        "teemon_syscalls_total",
+        "teemon_context_switches_total",
+        "teemon_page_faults_total",
+        "sgx_nr_free_pages",
+        "sgx_pages_evicted_total",
+        "node_memory_MemTotal_bytes",
+        "up",
+    ] {
+        assert!(
+            !db.query_instant(&Selector::metric(metric), u64::MAX).is_empty(),
+            "metric {metric} missing from the TSDB"
+        );
+    }
+
+    // Counter series are monotonically non-decreasing (scrapes of counters).
+    let syscall_series = db.query_range(&Selector::metric("teemon_syscalls_total"), 0, u64::MAX);
+    for series in &syscall_series {
+        assert!(
+            series.points.windows(2).all(|w| w[1].1 >= w[0].1),
+            "counter series {} went backwards",
+            series.labels
+        );
+    }
+
+    // The per-second rate over the monitored window is positive.
+    let totals: Vec<(u64, f64)> = query::aggregate_over_time(&syscall_series, query::AggregateOp::Sum);
+    assert!(query::rate(&totals).unwrap_or(0.0) > 0.0);
+
+    // The 105 MB database exceeds the EPC: the SGX exporter must have seen
+    // evictions, and they must match what the driver reports.
+    let evicted_metric: f64 = db
+        .query_instant(&Selector::metric("sgx_pages_evicted_total"), u64::MAX)
+        .iter()
+        .map(|r| r.points.last().map(|(_, v)| *v).unwrap_or(0.0))
+        .sum();
+    let evicted_driver = host.kernel().sgx_driver().stats().epc_pages_evicted as f64;
+    assert!(evicted_metric > 0.0);
+    assert!(evicted_metric <= evicted_driver);
+
+    // Dashboards render non-trivially from the scraped data.
+    let sgx_dashboard = host.render_dashboard("SGX", 60).unwrap();
+    assert!(sgx_dashboard.contains("EPC free pages"));
+    assert!(sgx_dashboard.contains("System calls by type"));
+
+    // PMAN sees the EPC thrashing.
+    let findings =
+        host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
+    assert!(
+        findings.iter().any(|f| f.kind == BottleneckKind::EpcThrashing),
+        "expected an EPC thrashing diagnosis, got {findings:?}"
+    );
+}
+
+#[test]
+fn small_database_produces_no_epc_findings() {
+    let host = HostMonitor::new("it-node", MonitoringMode::Full);
+    let deployment = run_workload(&host, 32, 1_200);
+    let findings =
+        host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
+    assert!(
+        !findings.iter().any(|f| f.kind == BottleneckKind::EpcThrashing),
+        "78 MB database fits the EPC; found {findings:?}"
+    );
+}
+
+#[test]
+fn monitoring_off_observes_nothing_but_workload_still_runs() {
+    let host = HostMonitor::new("it-node", MonitoringMode::Off);
+    let deployment = run_workload(&host, 32, 600);
+    assert_eq!(deployment.totals().requests, 600 / 8 * 8);
+    assert_eq!(host.db().series_count(), 0, "monitoring off must not collect anything");
+    // The kernel still counted activity (it just was not exported).
+    assert!(host.kernel().counters().syscalls > 0);
+}
+
+#[test]
+fn framework_transparency_same_monitoring_for_all_frameworks() {
+    // TEEMon's design goal 3: framework-agnostic.  The same monitoring stack
+    // observes every framework without reconfiguration.
+    for kind in FrameworkKind::ALL {
+        let host = HostMonitor::new("it-node", MonitoringMode::Full);
+        let app = RedisApp::paper_config(32);
+        let mut deployment = Deployment::deploy(
+            host.kernel(),
+            FrameworkParams::for_kind(kind),
+            app.name(),
+            app.memory_bytes(),
+            app.threads(),
+            3,
+        )
+        .unwrap();
+        let request = app.request(8, 320);
+        for _ in 0..400 {
+            deployment.execute(&request, 320);
+        }
+        host.scrape_tick();
+        let observed = host
+            .db()
+            .query_instant(&Selector::metric("teemon_syscalls_total"), u64::MAX)
+            .len();
+        assert!(observed > 0, "{kind}: no syscalls observed");
+        // Enclave frameworks also show up in the SGX exporter.
+        let enclaves: f64 = host
+            .db()
+            .query_instant(&Selector::metric("sgx_nr_enclaves"), u64::MAX)
+            .iter()
+            .map(|r| r.points.last().unwrap().1)
+            .sum();
+        assert_eq!(enclaves > 0.0, kind.uses_enclave(), "{kind}: enclave count mismatch");
+    }
+}

@@ -1,0 +1,130 @@
+//! Failure-injection integration tests: failing scrape targets, counter
+//! resets, node churn and misbehaving exporters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use teemon::ClusterMonitor;
+use teemon_metrics::{exposition, Labels, Registry};
+use teemon_orchestrator::{Cluster, Node};
+use teemon_tsdb::{query, MetricsEndpoint, ScrapeTargetConfig, Scraper, Selector, TimeSeriesDb};
+
+/// An endpoint that can be switched into a failing state at runtime.
+struct FlakyEndpoint {
+    registry: Registry,
+    failing: Arc<AtomicBool>,
+}
+
+impl MetricsEndpoint for FlakyEndpoint {
+    fn scrape(&self) -> Result<String, String> {
+        if self.failing.load(Ordering::Relaxed) {
+            Err("connection timed out".to_string())
+        } else {
+            Ok(exposition::encode_text(&self.registry.gather()))
+        }
+    }
+}
+
+#[test]
+fn scraper_survives_target_failures_and_recovers() {
+    let db = TimeSeriesDb::new();
+    let scraper = Scraper::new(db.clone());
+    let registry = Registry::new();
+    let counter = registry.counter_family("events_total", "events");
+    let failing = Arc::new(AtomicBool::new(false));
+    scraper.add_target(
+        ScrapeTargetConfig::new("flaky", "node-1:9999"),
+        Arc::new(FlakyEndpoint { registry: registry.clone(), failing: failing.clone() }),
+    );
+
+    // Healthy scrapes.
+    for round in 0..3u64 {
+        counter.default_instance().inc_by(5.0);
+        scraper.scrape_once(round * 5_000);
+    }
+    assert!(scraper.unhealthy_instances(15_000).is_empty());
+
+    // The target starts failing: `up` flips to 0 but the scraper keeps going.
+    failing.store(true, Ordering::Relaxed);
+    for round in 3..6u64 {
+        let outcomes = scraper.scrape_once(round * 5_000);
+        assert!(!outcomes[0].up);
+    }
+    assert_eq!(scraper.unhealthy_instances(30_000), vec!["node-1:9999".to_string()]);
+
+    // Recovery: data flows again, and previously collected data is intact.
+    failing.store(false, Ordering::Relaxed);
+    counter.default_instance().inc_by(5.0);
+    scraper.scrape_once(30_000);
+    assert!(scraper.unhealthy_instances(30_000).is_empty());
+    let series = db.query_range(&Selector::metric("events_total"), 0, u64::MAX);
+    assert_eq!(series.len(), 1);
+    assert!(series[0].points.len() >= 4);
+}
+
+#[test]
+fn counter_resets_are_handled_by_rate() {
+    // A monitored process restarts: its counters reset to zero.  The stored
+    // series reflects the reset and `rate`/`increase` still report the true
+    // total increase.
+    let db = TimeSeriesDb::new();
+    let labels = Labels::from_pairs([("syscall", "read")]);
+    let samples = [(0u64, 0.0), (5_000, 1_000.0), (10_000, 2_000.0), (15_000, 50.0), (20_000, 450.0)];
+    for (ts, value) in samples {
+        db.append("teemon_syscalls_total", &labels, ts, value);
+    }
+    let series = db.query_range(&Selector::metric("teemon_syscalls_total"), 0, u64::MAX);
+    let increase = query::increase(&series[0].points).unwrap();
+    assert_eq!(increase, 1_000.0 + 1_000.0 + 50.0 + 400.0);
+}
+
+#[test]
+fn malformed_exporter_output_does_not_poison_the_db() {
+    let db = TimeSeriesDb::new();
+    let scraper = Scraper::new(db.clone());
+    scraper.add_target(
+        ScrapeTargetConfig::new("broken", "node-2:1234"),
+        Arc::new(|| Ok("garbage {{{ not metrics".to_string())),
+    );
+    let registry = Registry::new();
+    registry.gauge_family("good_metric", "fine").default_instance().set(1.0);
+    scraper.add_target(
+        ScrapeTargetConfig::new("good", "node-3:9100"),
+        Arc::new(move || Ok(exposition::encode_text(&registry.gather()))),
+    );
+
+    let outcomes = scraper.scrape_once(1_000);
+    assert_eq!(outcomes.iter().filter(|o| o.up).count(), 1);
+    assert_eq!(outcomes.iter().filter(|o| !o.up).count(), 1);
+    // The good target's data made it in; the broken one contributed nothing
+    // but its `up == 0` marker.
+    assert_eq!(db.query_instant(&Selector::metric("good_metric"), u64::MAX).len(), 1);
+    assert!(db.query_instant(&Selector::metric("garbage"), u64::MAX).is_empty());
+}
+
+#[test]
+fn cluster_monitor_handles_node_churn() {
+    let cluster = Cluster::with_nodes(3, 0);
+    let mut monitor = ClusterMonitor::install(cluster.clone());
+    assert_eq!(monitor.hosts().len(), 3);
+    let baseline_endpoints = monitor.endpoints().len();
+
+    // Two nodes die, one new node joins.
+    cluster.set_ready("sgx-0", false);
+    cluster.remove_node("sgx-1");
+    cluster.add_node(Node::sgx("sgx-replacement"));
+    let (added, removed) = monitor.reconcile();
+    assert_eq!(added, 1);
+    assert_eq!(removed, 2);
+    assert_eq!(monitor.hosts().len(), 2);
+    assert!(monitor.endpoints().len() < baseline_endpoints);
+
+    // Everything that remains is scrapable.
+    assert_eq!(monitor.scrape_all(), monitor.hosts().len() * 4);
+
+    // The failed node recovers.
+    cluster.set_ready("sgx-0", true);
+    let (added, removed) = monitor.reconcile();
+    assert_eq!((added, removed), (1, 0));
+    assert_eq!(monitor.hosts().len(), 3);
+}

@@ -1,0 +1,115 @@
+//! Integration tests asserting the paper's headline quantitative claims hold
+//! qualitatively in the reproduction (the "shape" checks of EXPERIMENTS.md).
+
+use teemon::experiments;
+
+const SAMPLES: u64 = 500;
+
+#[test]
+fn claim_overall_overhead_between_5_and_17_percent() {
+    // §1/§6.3: "TEEMon's overhead ranges from 5% to 17%" — i.e. monitored
+    // throughput between 83% and 95% of the unmonitored baseline.  Allow a
+    // slightly wider band for the simulation's sampling noise.
+    let rows = experiments::figure5(SAMPLES);
+    for row in rows.iter().filter(|r| r.configuration == "Monitoring ON") {
+        // MongoDB does far more application work per request, so its relative
+        // overhead is the smallest both in the paper (≈5 %) and here (a few
+        // percent); allow the band to extend slightly above 0.95 for it.
+        assert!(
+            (0.78..=0.985).contains(&row.normalized),
+            "{}: monitored/unmonitored = {:.3}, expected roughly 0.83–0.95",
+            row.app,
+            row.normalized
+        );
+    }
+    // And the eBPF programs account for a substantial part of the drop (§6.3
+    // attributes about half of it to them).
+    for app in ["mongodb", "nginx", "redis"] {
+        let ebpf = rows
+            .iter()
+            .find(|r| r.app == app && r.configuration == "Monitoring OFF + eBPF ON")
+            .unwrap()
+            .normalized;
+        let full = rows
+            .iter()
+            .find(|r| r.app == app && r.configuration == "Monitoring ON")
+            .unwrap()
+            .normalized;
+        let ebpf_drop = 1.0 - ebpf;
+        let full_drop = 1.0 - full;
+        assert!(
+            ebpf_drop >= 0.25 * full_drop,
+            "{app}: eBPF share of the drop too small ({ebpf_drop:.3} of {full_drop:.3})"
+        );
+    }
+}
+
+#[test]
+fn claim_framework_ranking_and_ratios() {
+    // §6.5: SCONE ≈23% of native, SGX-LKL ≈10%, Graphene-SGX ≈1.6%.
+    let rows = experiments::figure8_9(SAMPLES, &[320]);
+    let kiops = |fw: &str| {
+        rows.iter()
+            .find(|r| r.framework == fw && r.database_mb == 78 && r.connections == 320)
+            .unwrap()
+            .kiops
+    };
+    let native = kiops("native");
+    let scone = kiops("scone");
+    let lkl = kiops("sgx-lkl");
+    let graphene = kiops("graphene-sgx");
+
+    let scone_ratio = scone / native;
+    let lkl_ratio = lkl / native;
+    let graphene_ratio = graphene / native;
+    assert!((0.10..0.45).contains(&scone_ratio), "SCONE/native = {scone_ratio:.3}, paper ≈0.23");
+    assert!((0.04..0.25).contains(&lkl_ratio), "SGX-LKL/native = {lkl_ratio:.3}, paper ≈0.10");
+    assert!(graphene_ratio < 0.05, "Graphene/native = {graphene_ratio:.3}, paper ≈0.016");
+    assert!(scone > lkl && lkl > graphene);
+}
+
+#[test]
+fn claim_latency_ordering_at_320_connections() {
+    // §6.5: at 320 connections, latency ≈2 ms native, ≈9 ms SCONE, ≈20 ms
+    // SGX-LKL, ≈249 ms Graphene-SGX.  Check ordering and rough magnitudes.
+    let rows = experiments::figure10(SAMPLES, &[320]);
+    let latency = |fw: &str| rows.iter().find(|r| r.framework == fw).unwrap().latency_ms;
+    let native = latency("native");
+    let scone = latency("scone");
+    let lkl = latency("sgx-lkl");
+    let graphene = latency("graphene-sgx");
+    assert!((0.5..6.0).contains(&native), "native latency {native:.2} ms, paper ≈2 ms");
+    assert!((4.0..25.0).contains(&scone), "SCONE latency {scone:.2} ms, paper ≈9 ms");
+    assert!((10.0..60.0).contains(&lkl), "SGX-LKL latency {lkl:.2} ms, paper ≈20 ms");
+    assert!(graphene > 100.0, "Graphene latency {graphene:.2} ms, paper ≈249 ms");
+    assert!(native < scone && scone < lkl && lkl < graphene);
+}
+
+#[test]
+fn claim_clock_gettime_fix_doubles_redis_throughput() {
+    // §6.4: commit 09fea91 handles clock_gettime inside the enclave and Redis
+    // throughput goes from ≈268 K to ≈622 K IOP/s (≈2.3×).
+    let rows = experiments::figure7(SAMPLES);
+    let old = rows.iter().find(|r| r.configuration == "572bd1a5").unwrap().throughput_iops;
+    let new = rows.iter().find(|r| r.configuration == "09fea91").unwrap().throughput_iops;
+    let speedup = new / old;
+    assert!((1.4..3.5).contains(&speedup), "speedup {speedup:.2}, paper ≈2.3×");
+}
+
+#[test]
+fn claim_graphene_context_switch_blowup() {
+    // §6.5 / Figure 11f: Graphene-SGX's host-wide context switches are up to
+    // ~12× those of the other frameworks.
+    let rows = experiments::figure11(SAMPLES);
+    let cs = |fw: &str| {
+        rows.iter()
+            .find(|r| r.framework == fw && r.connections == 580 && r.database_mb == 105)
+            .unwrap()
+            .rates
+            .context_switches_host
+    };
+    let graphene = cs("graphene-sgx");
+    assert!(graphene > 3.0 * cs("native"));
+    assert!(graphene > 3.0 * cs("scone"));
+    assert!(graphene > 3.0 * cs("sgx-lkl"));
+}
