@@ -207,11 +207,40 @@ mod tests {
     fn threshold_kinds_fire_correctly() {
         let w = window(100.0, 500.0);
         let sel = Selector::metric("m");
-        assert!(Threshold::new("a", sel.clone(), ThresholdKind::MeanAbove(50.0), Severity::Info, "").fires_on(&w));
-        assert!(!Threshold::new("b", sel.clone(), ThresholdKind::MeanAbove(150.0), Severity::Info, "").fires_on(&w));
-        assert!(Threshold::new("c", sel.clone(), ThresholdKind::MeanBelow(150.0), Severity::Info, "").fires_on(&w));
-        assert!(Threshold::new("d", sel.clone(), ThresholdKind::MaxAbove(400.0), Severity::Info, "").fires_on(&w));
-        assert!(Threshold::new("e", sel, ThresholdKind::MedianAbove(99.0), Severity::Info, "").fires_on(&w));
+        assert!(Threshold::new(
+            "a",
+            sel.clone(),
+            ThresholdKind::MeanAbove(50.0),
+            Severity::Info,
+            ""
+        )
+        .fires_on(&w));
+        assert!(!Threshold::new(
+            "b",
+            sel.clone(),
+            ThresholdKind::MeanAbove(150.0),
+            Severity::Info,
+            ""
+        )
+        .fires_on(&w));
+        assert!(Threshold::new(
+            "c",
+            sel.clone(),
+            ThresholdKind::MeanBelow(150.0),
+            Severity::Info,
+            ""
+        )
+        .fires_on(&w));
+        assert!(Threshold::new(
+            "d",
+            sel.clone(),
+            ThresholdKind::MaxAbove(400.0),
+            Severity::Info,
+            ""
+        )
+        .fires_on(&w));
+        assert!(Threshold::new("e", sel, ThresholdKind::MedianAbove(99.0), Severity::Info, "")
+            .fires_on(&w));
     }
 
     #[test]
@@ -219,18 +248,17 @@ mod tests {
         let detector = AnomalyDetector::with_sgx_defaults();
         let labels = Labels::from_pairs([("node", "n1")]);
         // High eviction rate fires the EPC rule.
-        let anomalies = detector.evaluate(
-            "sgx_pages_evicted_per_second",
-            &labels,
-            &[window(5_000.0, 9_000.0)],
-        );
+        let anomalies =
+            detector.evaluate("sgx_pages_evicted_per_second", &labels, &[window(5_000.0, 9_000.0)]);
         assert_eq!(anomalies.len(), 1);
         assert_eq!(anomalies[0].rule, "epc_evictions_high");
         assert_eq!(anomalies[0].severity, Severity::Warning);
         assert!(anomalies[0].hint.contains("EPC"));
 
         // The same windows on an unrelated metric fire nothing.
-        assert!(detector.evaluate("unrelated_metric", &labels, &[window(5_000.0, 9_000.0)]).is_empty());
+        assert!(detector
+            .evaluate("unrelated_metric", &labels, &[window(5_000.0, 9_000.0)])
+            .is_empty());
 
         // Low free pages fires the MeanBelow rule.
         let low = detector.evaluate("sgx_nr_free_pages", &labels, &[window(100.0, 200.0)]);

@@ -78,7 +78,11 @@ pub struct Analyzer {
 impl Analyzer {
     /// Creates an analyzer over `db` with the default SGX thresholds.
     pub fn new(db: TimeSeriesDb) -> Self {
-        Self { db, detector: AnomalyDetector::with_sgx_defaults(), config: AnalyzerConfig::default() }
+        Self {
+            db,
+            detector: AnomalyDetector::with_sgx_defaults(),
+            config: AnalyzerConfig::default(),
+        }
     }
 
     /// Replaces the anomaly detector (custom rules).
@@ -102,7 +106,12 @@ impl Analyzer {
 
     /// Runs threshold-based anomaly detection over every series matching
     /// `selector` within `[start_ms, end_ms]`.
-    pub fn detect_anomalies(&self, selector: &Selector, start_ms: u64, end_ms: u64) -> Vec<Anomaly> {
+    pub fn detect_anomalies(
+        &self,
+        selector: &Selector,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<Anomaly> {
         let mut anomalies = Vec::new();
         for result in self.db.query_range(selector, start_ms, end_ms) {
             let windows = self.config.window.evaluate(&result.points);
@@ -127,7 +136,8 @@ impl Analyzer {
             .iter()
             .filter_map(|r| {
                 let syscall = r.labels.get("syscall")?.to_string();
-                let total = query::increase(&r.points).or_else(|| r.points.last().map(|(_, v)| *v))?;
+                let total =
+                    query::increase(&r.points).or_else(|| r.points.last().map(|(_, v)| *v))?;
                 Some((syscall, total))
             })
             .collect();
@@ -245,9 +255,12 @@ impl Analyzer {
         if let Some(f) = self.diagnose_epc("sgx_pages_evicted_total", requests, start_ms, end_ms) {
             findings.push(f);
         }
-        if let Some(f) =
-            self.diagnose_context_switches("teemon_context_switches_total", requests, start_ms, end_ms)
-        {
+        if let Some(f) = self.diagnose_context_switches(
+            "teemon_context_switches_total",
+            requests,
+            start_ms,
+            end_ms,
+        ) {
             findings.push(f);
         }
         findings
@@ -326,14 +339,17 @@ mod tests {
         let analyzer = Analyzer::new(db);
         // 10 000 requests → 137 evicted per 100 requests (the paper's SCONE
         // value at 105 MB / 580 connections).
-        let finding = analyzer.diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000).unwrap();
+        let finding =
+            analyzer.diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000).unwrap();
         assert_eq!(finding.kind, BottleneckKind::EpcThrashing);
         assert!(finding.explanation.contains("94 MiB"));
         // Small databases with no evictions produce no finding.
         let quiet = TimeSeriesDb::new();
         quiet.append("sgx_pages_evicted_total", &Labels::new(), 0, 0.0);
         quiet.append("sgx_pages_evicted_total", &Labels::new(), 60_000, 0.0);
-        assert!(Analyzer::new(quiet).diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000).is_none());
+        assert!(Analyzer::new(quiet)
+            .diagnose_epc("sgx_pages_evicted_total", 10_000.0, 0, 120_000)
+            .is_none());
     }
 
     #[test]

@@ -114,11 +114,8 @@ impl SlidingWindow {
         let mut end = first + self.window_ms;
         while end <= last + self.window_ms {
             let start = end.saturating_sub(self.window_ms);
-            let values: Vec<f64> = points
-                .iter()
-                .filter(|(t, _)| *t >= start && *t < end)
-                .map(|(_, v)| *v)
-                .collect();
+            let values: Vec<f64> =
+                points.iter().filter(|(t, _)| *t >= start && *t < end).map(|(_, v)| *v).collect();
             if let Some(summary) = BoxPlot::from_values(&values) {
                 out.push(WindowStats { start_ms: start, end_ms: end, summary });
             }
@@ -133,13 +130,13 @@ impl SlidingWindow {
     /// Evaluates only the most recent window ending at `now_ms`.
     pub fn latest(&self, points: &[(u64, f64)], now_ms: u64) -> Option<WindowStats> {
         let start = now_ms.saturating_sub(self.window_ms);
-        let values: Vec<f64> = points
-            .iter()
-            .filter(|(t, _)| *t >= start && *t <= now_ms)
-            .map(|(_, v)| *v)
-            .collect();
-        BoxPlot::from_values(&values)
-            .map(|summary| WindowStats { start_ms: start, end_ms: now_ms, summary })
+        let values: Vec<f64> =
+            points.iter().filter(|(t, _)| *t >= start && *t <= now_ms).map(|(_, v)| *v).collect();
+        BoxPlot::from_values(&values).map(|summary| WindowStats {
+            start_ms: start,
+            end_ms: now_ms,
+            summary,
+        })
     }
 }
 

@@ -358,8 +358,7 @@ mod tests {
         let large = RedisApp::paper_config(64); // ~105 MB, exceeds EPC
         let params = FrameworkParams::scone(SconeVersion::Commit09fea91);
         let net = NetworkModel::default();
-        let r_small =
-            run_benchmark(&kernel(), params.clone(), &small, &net, &quick(320)).unwrap();
+        let r_small = run_benchmark(&kernel(), params.clone(), &small, &net, &quick(320)).unwrap();
         let r_large = run_benchmark(&kernel(), params, &large, &net, &quick(320)).unwrap();
         assert!(
             r_large.throughput_iops < r_small.throughput_iops,

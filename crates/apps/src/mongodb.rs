@@ -49,8 +49,7 @@ impl Application for MongoApp {
     }
 
     fn memory_bytes(&self) -> u64 {
-        (self.documents * self.mean_document_bytes).min(self.cache_bytes)
-            + 64 * 1024 * 1024
+        (self.documents * self.mean_document_bytes).min(self.cache_bytes) + 64 * 1024 * 1024
     }
 
     fn threads(&self) -> u32 {

@@ -60,8 +60,8 @@ impl NetworkModel {
 
     /// Network transfer time for one batch of `pipeline` requests.
     pub fn batch_transfer_time(&self, req: &RequestProfile, pipeline: u32) -> SimDuration {
-        let bytes = (req.network_bytes() * pipeline as u64
-            + 2 * self.per_packet_overhead_bytes) as f64;
+        let bytes =
+            (req.network_bytes() * pipeline as u64 + 2 * self.per_packet_overhead_bytes) as f64;
         SimDuration::from_secs_f64(bytes / self.bytes_per_second()) + self.base_rtt
     }
 }

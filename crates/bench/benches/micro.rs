@@ -1,16 +1,16 @@
 //! Microbenchmarks of TEEMon's own machinery (ablation of the overhead
 //! figures): hook dispatch with and without attached programs, exposition
-//! encoding/parsing, TSDB ingestion and scraping.
+//! encoding/parsing, and the typed vs text scrape pipeline.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use teemon_exporters::{EbpfExporter, Exporter, SgxExporter};
+use teemon_exporters::{Collector, ContainerExporter, EbpfExporter, NodeExporter, SgxExporter};
 use teemon_kernel_sim::process::ProcessKind;
 use teemon_kernel_sim::{Kernel, Syscall};
-use teemon_metrics::{exposition, Labels, Registry};
-use teemon_tsdb::{MetricsEndpoint, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+use teemon_metrics::{exposition, Labels, Registry, RegistryCollector};
+use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb};
 
 fn bench_hooks(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/syscall_dispatch");
@@ -49,35 +49,85 @@ fn bench_exposition(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_scrape(c: &mut Criterion) {
+type CollectorTargets = Vec<(ScrapeTargetConfig, Arc<dyn Collector>)>;
+
+/// Builds a node's full exporter set (SGX, eBPF, node, cAdvisor) on a kernel
+/// with realistic activity, and returns the four collectors.
+fn full_exporter_set() -> (Kernel, CollectorTargets) {
     let kernel = Kernel::new();
+    let node = "bench-node";
+    let ebpf = EbpfExporter::attach(&kernel, node);
     kernel.sgx_driver().create_enclave(1, 16 << 20, 4).unwrap();
-    let sgx = SgxExporter::new(kernel.sgx_driver().clone(), "bench-node");
-    let db = TimeSeriesDb::new();
-    let scraper = Scraper::new(db);
-    struct Endpoint(SgxExporter);
-    impl MetricsEndpoint for Endpoint {
-        fn scrape(&self) -> Result<String, String> {
-            Ok(self.0.render())
+    let pid = kernel.spawn_process("redis-server", ProcessKind::Enclave, 8);
+    for syscall in [Syscall::Read, Syscall::Write, Syscall::ClockGettime, Syscall::Futex] {
+        for _ in 0..64 {
+            kernel.syscall(pid, syscall, true);
         }
     }
-    scraper.add_target(
-        ScrapeTargetConfig::new("sgx_exporter", "bench-node:9090"),
-        Arc::new(Endpoint(sgx)),
-    );
+    let containers = ContainerExporter::new(node);
+    containers.register_container(teemon_exporters::ContainerSpec {
+        name: "redis-0".into(),
+        image: "redis:5".into(),
+        pid: pid.as_u32(),
+        memory_limit_bytes: 1 << 30,
+    });
+    let targets: CollectorTargets = vec![
+        (
+            ScrapeTargetConfig::new("sgx_exporter", "bench-node:9090"),
+            Arc::new(SgxExporter::new(kernel.sgx_driver().clone(), node)),
+        ),
+        (
+            ScrapeTargetConfig::new("ebpf_exporter", "bench-node:9435"),
+            Arc::new(RegistryCollector::new("ebpf_exporter", ebpf.registry().clone())),
+        ),
+        (
+            ScrapeTargetConfig::new("node_exporter", "bench-node:9100"),
+            Arc::new(NodeExporter::new(&kernel, node)),
+        ),
+        (ScrapeTargetConfig::new("cadvisor", "bench-node:8080"), Arc::new(containers)),
+    ];
+    (kernel, targets)
+}
 
+/// The headline comparison for the typed pipeline redesign: scraping a node's
+/// full exporter set through typed snapshots vs through the OpenMetrics text
+/// round-trip (encode on the exporter side, parse on the scraper side) that
+/// the paper's multi-process deployment pays on every scrape.
+fn bench_scrape_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/scrape_full_node");
+    group.sample_size(30);
+
+    let (_kernel, targets) = full_exporter_set();
+    let typed = Scraper::new(TimeSeriesDb::new());
+    for (config, collector) in &targets {
+        typed.add_collector(config.clone(), Arc::clone(collector));
+    }
     let mut now = 0u64;
-    c.bench_function("micro/scrape_sgx_exporter", |b| {
+    group.bench_function("typed", |b| {
         b.iter(|| {
             now += 5_000;
-            black_box(scraper.scrape_once(now))
+            black_box(typed.scrape_once(now))
         })
     });
+
+    let (_kernel, targets) = full_exporter_set();
+    let text = Scraper::new(TimeSeriesDb::new());
+    for (config, collector) in &targets {
+        text.add_target(config.clone(), Arc::new(TextEndpoint::new(Arc::clone(collector))));
+    }
+    let mut now = 0u64;
+    group.bench_function("text_round_trip", |b| {
+        b.iter(|| {
+            now += 5_000;
+            black_box(text.scrape_once(now))
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_hooks, bench_exposition, bench_scrape
+    targets = bench_hooks, bench_exposition, bench_scrape_paths
 }
 criterion_main!(benches);

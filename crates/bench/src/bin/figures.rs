@@ -24,10 +24,7 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--samples" => {
-                samples = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(BENCH_SAMPLES);
+                samples = iter.next().and_then(|v| v.parse().ok()).unwrap_or(BENCH_SAMPLES);
             }
             "--json" => json = true,
             "--help" | "-h" => {
@@ -76,7 +73,10 @@ fn main() {
             if json {
                 println!("{}", experiments::to_json(&rows));
             } else {
-                println!("{}", format_sweep("Figures 8 & 9: Redis under each SGX framework", &rows));
+                println!(
+                    "{}",
+                    format_sweep("Figures 8 & 9: Redis under each SGX framework", &rows)
+                );
             }
         }
         "fig10" | "figure10" => {

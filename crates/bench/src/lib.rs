@@ -37,7 +37,10 @@ pub fn format_figure4(rows: &[ComponentFootprint]) -> String {
 pub fn format_figure5(rows: &[Fig5Row]) -> String {
     let mut out =
         String::from("Figure 5: throughput under monitoring, normalised to native SGX (OFF)\n");
-    out.push_str(&format!("{:<10} {:<28} {:>14} {:>12}\n", "app", "configuration", "IOP/s", "normalized"));
+    out.push_str(&format!(
+        "{:<10} {:<28} {:>14} {:>12}\n",
+        "app", "configuration", "IOP/s", "normalized"
+    ));
     for row in rows {
         out.push_str(&format!(
             "{:<10} {:<28} {:>14.0} {:>12.3}\n",
@@ -90,7 +93,15 @@ pub fn format_figure11(rows: &[Fig11Row]) -> String {
     );
     out.push_str(&format!(
         "{:<14} {:>6} {:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
-        "framework", "conns", "db MB", "user PF", "total PF", "LLC misses", "evicted", "cs PID", "cs host"
+        "framework",
+        "conns",
+        "db MB",
+        "user PF",
+        "total PF",
+        "LLC misses",
+        "evicted",
+        "cs PID",
+        "cs host"
     ));
     for row in rows {
         out.push_str(&format!(

@@ -9,12 +9,14 @@
 //! # Quick start
 //!
 //! ```
-//! use teemon::{HostMonitor, MonitoringMode};
+//! use teemon::{MonitorBuilder, MonitoringMode};
 //! use teemon_apps::{Application, RedisApp};
 //! use teemon_frameworks::{Deployment, FrameworkParams};
 //!
-//! // A simulated SGX host with full TEEMon monitoring attached.
-//! let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+//! // A simulated SGX host with full TEEMon monitoring attached.  The builder
+//! // composes the deployment: mode preset, scrape intervals, extra
+//! // collectors; `HostMonitor::new(node, mode)` remains as shorthand.
+//! let host = MonitorBuilder::new("worker-1").mode(MonitoringMode::Full).build();
 //!
 //! // Run a Redis-like workload under SCONE on that host.
 //! let app = RedisApp::paper_config(32);
@@ -46,5 +48,5 @@ pub mod experiments;
 pub mod monitor;
 pub mod overhead;
 
-pub use monitor::{ClusterMonitor, HostMonitor, MonitoringMode};
+pub use monitor::{ClusterMonitor, HostMonitor, MonitorBuilder, MonitoringMode, ScrapeTransport};
 pub use overhead::{ComponentFootprint, OverheadModel};

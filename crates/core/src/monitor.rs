@@ -1,4 +1,12 @@
-//! The TEEMon façade: a monitored host and a monitored cluster.
+//! The TEEMon façade: a monitored host, a monitored cluster, and the
+//! [`MonitorBuilder`] that assembles them.
+//!
+//! Monitoring is composed, not hard-wired: the builder picks which exporters
+//! to deploy (the [`MonitoringMode`] presets reproduce the three
+//! configurations of §6.3), lets callers plug additional [`Collector`]s in,
+//! set per-target scrape intervals, and — for measurements of the wire-format
+//! cost — route every scrape through the text edge instead of the default
+//! typed path.
 
 use std::sync::Arc;
 
@@ -7,11 +15,11 @@ use serde::{Deserialize, Serialize};
 use teemon_analysis::Analyzer;
 use teemon_dashboard::{standard, DashboardSet};
 use teemon_exporters::{
-    ContainerExporter, ContainerSpec, EbpfExporter, Exporter, NodeExporter, SgxExporter,
+    Collector, ContainerExporter, ContainerSpec, EbpfExporter, NodeExporter, SgxExporter,
 };
 use teemon_kernel_sim::Kernel;
 use teemon_orchestrator::{Cluster, HelmChart, ServiceDiscovery};
-use teemon_tsdb::{MetricsEndpoint, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb};
 
 /// Which parts of TEEMon are active — the three configurations of §6.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,19 +32,203 @@ pub enum MonitoringMode {
     Full,
 }
 
-struct ExporterEndpoint<E: Exporter>(E);
+/// How scraped data travels from exporters to the aggregation database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScrapeTransport {
+    /// Typed snapshots, no serialisation (the default in-process path).
+    #[default]
+    Typed,
+    /// Full OpenMetrics encode/parse round-trip per scrape — what the paper's
+    /// multi-process deployment pays.  Kept for comparison benchmarks.
+    Text,
+}
 
-impl<E: Exporter> MetricsEndpoint for ExporterEndpoint<E>
-where
-    E: Send + Sync,
-{
-    fn scrape(&self) -> Result<String, String> {
-        Ok(self.0.render())
+/// Composable constructor for [`HostMonitor`]s.
+///
+/// ```
+/// use teemon::{MonitorBuilder, MonitoringMode};
+///
+/// let host = MonitorBuilder::new("worker-1")
+///     .mode(MonitoringMode::Full)
+///     .scrape_interval_ms(5_000)
+///     .exporter_interval_ms("cadvisor", 15_000)
+///     .build();
+/// assert_eq!(host.mode(), MonitoringMode::Full);
+/// assert_eq!(host.scraper().target_count(), 4);
+/// ```
+pub struct MonitorBuilder {
+    node: String,
+    mode: MonitoringMode,
+    kernel: Option<Kernel>,
+    db: Option<TimeSeriesDb>,
+    scrape_interval_ms: u64,
+    exporter_intervals: Vec<(String, u64)>,
+    extra_collectors: Vec<(ScrapeTargetConfig, Arc<dyn Collector>)>,
+    transport: ScrapeTransport,
+}
+
+impl MonitorBuilder {
+    /// Starts a builder for `node` with monitoring off (the baseline preset).
+    pub fn new(node: impl Into<String>) -> Self {
+        Self {
+            node: node.into(),
+            mode: MonitoringMode::Off,
+            kernel: None,
+            db: None,
+            scrape_interval_ms: Scraper::DEFAULT_INTERVAL_MS,
+            exporter_intervals: Vec::new(),
+            extra_collectors: Vec::new(),
+            transport: ScrapeTransport::default(),
+        }
+    }
+
+    /// Applies a [`MonitoringMode`] preset (which exporters `build` deploys).
+    #[must_use]
+    pub fn mode(mut self, mode: MonitoringMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Uses an existing kernel so workloads and monitoring share the same
+    /// simulated machine (replaces the former `HostMonitor::with_kernel`).
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Feeds an existing database instead of a fresh one (e.g. a shared
+    /// cluster-level store).
+    #[must_use]
+    pub fn db(mut self, db: TimeSeriesDb) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Sets the global scrape interval in milliseconds.
+    #[must_use]
+    pub fn scrape_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.scrape_interval_ms = interval_ms.max(1);
+        self
+    }
+
+    /// Overrides the scrape interval of one built-in exporter, keyed by job
+    /// name (`sgx_exporter`, `ebpf_exporter`, `node_exporter`, `cadvisor`).
+    #[must_use]
+    pub fn exporter_interval_ms(mut self, job: impl Into<String>, interval_ms: u64) -> Self {
+        self.exporter_intervals.push((job.into(), interval_ms.max(1)));
+        self
+    }
+
+    /// Plugs an additional collector into the scrape set — monitoring for
+    /// sources the standard exporters do not cover (application metrics,
+    /// sidecars, …).
+    #[must_use]
+    pub fn collector(mut self, config: ScrapeTargetConfig, collector: Arc<dyn Collector>) -> Self {
+        self.extra_collectors.push((config, collector));
+        self
+    }
+
+    /// Selects how samples travel from exporters to storage.
+    #[must_use]
+    pub fn transport(mut self, transport: ScrapeTransport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    fn target_config(&self, job: &str, port: u16) -> ScrapeTargetConfig {
+        let mut config = ScrapeTargetConfig::new(job, format!("{}:{port}", self.node))
+            .with_label("node", self.node.clone());
+        if let Some((_, interval)) = self.exporter_intervals.iter().find(|(j, _)| j == job) {
+            config = config.with_interval_ms(*interval);
+        }
+        config
+    }
+
+    /// Builds the host monitor, deploying exporters according to the mode.
+    pub fn build(self) -> HostMonitor {
+        let kernel = self.kernel.clone().unwrap_or_default();
+        let db = self.db.clone().unwrap_or_default();
+        let scraper = Scraper::new(db.clone()).with_interval_ms(self.scrape_interval_ms);
+        let analyzer = Analyzer::new(db.clone());
+        let dashboards = standard();
+        let mut host = HostMonitor {
+            node: self.node.clone(),
+            mode: self.mode,
+            kernel,
+            db,
+            scraper,
+            analyzer,
+            dashboards,
+            container_exporter: None,
+            ebpf_exporter: None,
+        };
+        self.deploy(&mut host);
+        host
+    }
+
+    /// Registers `collector` with `host`'s scraper honouring the transport.
+    fn add_target(
+        &self,
+        host: &HostMonitor,
+        config: ScrapeTargetConfig,
+        collector: Arc<dyn Collector>,
+    ) {
+        match self.transport {
+            ScrapeTransport::Typed => host.scraper.add_collector(config, collector),
+            ScrapeTransport::Text => {
+                host.scraper.add_target(config, Arc::new(TextEndpoint::new(collector)))
+            }
+        }
+    }
+
+    fn deploy(self, host: &mut HostMonitor) {
+        match self.mode {
+            MonitoringMode::Off => {}
+            MonitoringMode::EbpfOnly => {
+                host.ebpf_exporter = Some(EbpfExporter::attach(&host.kernel, &self.node));
+            }
+            MonitoringMode::Full => {
+                let ebpf = EbpfExporter::attach(&host.kernel, &self.node);
+                let sgx = SgxExporter::new(host.kernel.sgx_driver().clone(), &self.node);
+                let node_exp = NodeExporter::new(&host.kernel, &self.node);
+                let containers = ContainerExporter::new(&self.node);
+
+                self.add_target(host, self.target_config("sgx_exporter", 9090), Arc::new(sgx));
+                self.add_target(
+                    host,
+                    self.target_config("node_exporter", 9100),
+                    Arc::new(node_exp),
+                );
+                self.add_target(
+                    host,
+                    self.target_config("cadvisor", 8080),
+                    Arc::new(containers.clone()),
+                );
+                // The eBPF exporter is both scraped (through a registry
+                // collector sharing its state) and kept accessible for
+                // detaching.
+                self.add_target(
+                    host,
+                    self.target_config("ebpf_exporter", 9435),
+                    Arc::new(teemon_metrics::RegistryCollector::new(
+                        "ebpf_exporter",
+                        ebpf.registry().clone(),
+                    )),
+                );
+                host.container_exporter = Some(containers);
+                host.ebpf_exporter = Some(ebpf);
+            }
+        }
+        for (config, collector) in &self.extra_collectors {
+            self.add_target(host, config.clone(), Arc::clone(collector));
+        }
     }
 }
 
 /// One monitored host: a simulated kernel plus the TEEMon components deployed
-/// on it according to the [`MonitoringMode`].
+/// on it according to the [`MonitoringMode`].  Construct with
+/// [`MonitorBuilder`] (or [`HostMonitor::new`] for the plain presets).
 pub struct HostMonitor {
     node: String,
     mode: MonitoringMode,
@@ -50,72 +242,15 @@ pub struct HostMonitor {
 }
 
 impl HostMonitor {
-    /// Creates a monitored host with a fresh kernel.
+    /// Creates a monitored host with a fresh kernel — shorthand for
+    /// [`MonitorBuilder::new`]`(node).mode(mode).build()`.
     pub fn new(node: &str, mode: MonitoringMode) -> Self {
-        Self::with_kernel(Kernel::new(), node, mode)
+        MonitorBuilder::new(node).mode(mode).build()
     }
 
-    /// Creates a monitored host around an existing kernel (so workloads and
-    /// monitoring share the same simulated machine).
-    pub fn with_kernel(kernel: Kernel, node: &str, mode: MonitoringMode) -> Self {
-        let db = TimeSeriesDb::new();
-        let scraper = Scraper::new(db.clone());
-        let analyzer = Analyzer::new(db.clone());
-        let dashboards = standard();
-        let mut host = Self {
-            node: node.to_string(),
-            mode,
-            kernel,
-            db,
-            scraper,
-            analyzer,
-            dashboards,
-            container_exporter: None,
-            ebpf_exporter: None,
-        };
-        host.deploy();
-        host
-    }
-
-    fn deploy(&mut self) {
-        match self.mode {
-            MonitoringMode::Off => {}
-            MonitoringMode::EbpfOnly => {
-                self.ebpf_exporter = Some(EbpfExporter::attach(&self.kernel, &self.node));
-            }
-            MonitoringMode::Full => {
-                let ebpf = EbpfExporter::attach(&self.kernel, &self.node);
-                let sgx = SgxExporter::new(self.kernel.sgx_driver().clone(), &self.node);
-                let node_exp = NodeExporter::new(&self.kernel, &self.node);
-                let containers = ContainerExporter::new(&self.node);
-
-                self.scraper.add_target(
-                    ScrapeTargetConfig::new("sgx_exporter", format!("{}:9090", self.node))
-                        .with_label("node", self.node.clone()),
-                    Arc::new(ExporterEndpoint(sgx)),
-                );
-                self.scraper.add_target(
-                    ScrapeTargetConfig::new("node_exporter", format!("{}:9100", self.node))
-                        .with_label("node", self.node.clone()),
-                    Arc::new(ExporterEndpoint(node_exp)),
-                );
-                self.scraper.add_target(
-                    ScrapeTargetConfig::new("cadvisor", format!("{}:8080", self.node))
-                        .with_label("node", self.node.clone()),
-                    Arc::new(ExporterEndpoint(containers.clone())),
-                );
-                // The eBPF exporter is both scraped and kept accessible for
-                // detaching.
-                let ebpf_registry_clone = EbpfRegistryEndpoint(ebpf.registry().clone());
-                self.scraper.add_target(
-                    ScrapeTargetConfig::new("ebpf_exporter", format!("{}:9435", self.node))
-                        .with_label("node", self.node.clone()),
-                    Arc::new(ebpf_registry_clone),
-                );
-                self.container_exporter = Some(containers);
-                self.ebpf_exporter = Some(ebpf);
-            }
-        }
+    /// Starts a [`MonitorBuilder`] for `node`.
+    pub fn builder(node: impl Into<String>) -> MonitorBuilder {
+        MonitorBuilder::new(node)
     }
 
     /// The monitoring mode in effect.
@@ -136,6 +271,11 @@ impl HostMonitor {
     /// The aggregation database (PMAG).
     pub fn db(&self) -> &TimeSeriesDb {
         &self.db
+    }
+
+    /// The scrape manager feeding the database.
+    pub fn scraper(&self) -> &Scraper {
+        &self.scraper
     }
 
     /// The analysis component (PMAN).
@@ -162,36 +302,31 @@ impl HostMonitor {
         }
     }
 
-    /// Performs one scrape of every target at the kernel's current virtual
-    /// time.  Returns the number of healthy targets.
+    /// Performs one forced scrape of every target at the kernel's current
+    /// virtual time (per-target intervals do not gate a manual tick).
+    /// Returns the number of healthy targets.
     pub fn scrape_tick(&self) -> usize {
         let now = self.kernel.clock().now_millis();
         self.scraper.scrape_once(now).iter().filter(|o| o.up).count()
     }
 
-    /// Runs `ticks` scrapes spaced by the scraper's interval, advancing the
-    /// simulated clock accordingly.
+    /// Runs `ticks` scrape rounds spaced by the scraper's global interval,
+    /// advancing the simulated clock accordingly.  Each round scrapes only
+    /// the targets that are due, so per-target intervals thin out slow
+    /// targets here.
     pub fn run_scrape_loop(&self, ticks: u64) {
         for _ in 0..ticks {
             self.kernel
                 .clock()
                 .advance(teemon_sim_core::SimDuration::from_millis(self.scraper.interval_ms()));
-            self.scrape_tick();
+            let now = self.kernel.clock().now_millis();
+            self.scraper.scrape_due(now);
         }
     }
 
     /// Renders one of the standard dashboards over the whole retained range.
     pub fn render_dashboard(&self, title: &str, width: usize) -> Option<String> {
         self.dashboards.get(title).map(|d| d.render(&self.db, 0, u64::MAX, width))
-    }
-}
-
-/// Adapter exposing a metric registry as a scrape endpoint.
-struct EbpfRegistryEndpoint(teemon_metrics::Registry);
-
-impl MetricsEndpoint for EbpfRegistryEndpoint {
-    fn scrape(&self) -> Result<String, String> {
-        Ok(teemon_metrics::exposition::encode_text(&self.0.gather()))
     }
 }
 
@@ -203,21 +338,29 @@ pub struct ClusterMonitor {
     discovery: ServiceDiscovery,
     hosts: Vec<HostMonitor>,
     db: TimeSeriesDb,
+    mode: MonitoringMode,
 }
 
 impl ClusterMonitor {
-    /// Installs TEEMon on every SGX node of `cluster` using the default chart.
+    /// Installs TEEMon on every SGX node of `cluster` using the default chart
+    /// and full monitoring.
     pub fn install(cluster: Cluster) -> Self {
+        Self::install_with_mode(cluster, MonitoringMode::Full)
+    }
+
+    /// Installs TEEMon with an explicit monitoring mode preset on every SGX
+    /// node; each host is constructed through [`MonitorBuilder`].
+    pub fn install_with_mode(cluster: Cluster, mode: MonitoringMode) -> Self {
         let mut discovery = ServiceDiscovery::new();
         HelmChart::teemon().install(&mut discovery);
         let db = TimeSeriesDb::new();
         let mut hosts = Vec::new();
         for node in cluster.ready_nodes() {
             if node.sgx_capable {
-                hosts.push(HostMonitor::new(&node.name, MonitoringMode::Full));
+                hosts.push(MonitorBuilder::new(&node.name).mode(mode).build());
             }
         }
-        Self { cluster, discovery, hosts, db }
+        Self { cluster, discovery, hosts, db, mode }
     }
 
     /// The cluster being monitored.
@@ -252,7 +395,7 @@ impl ClusterMonitor {
         let mut added = 0;
         for name in &ready_sgx {
             if !self.hosts.iter().any(|h| h.node() == name) {
-                self.hosts.push(HostMonitor::new(name, MonitoringMode::Full));
+                self.hosts.push(MonitorBuilder::new(name).mode(self.mode).build());
                 added += 1;
             }
         }
@@ -281,6 +424,7 @@ mod tests {
     use super::*;
     use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams};
     use teemon_kernel_sim::Syscall;
+    use teemon_metrics::RegistryCollector;
     use teemon_orchestrator::Node;
     use teemon_tsdb::Selector;
 
@@ -321,7 +465,12 @@ mod tests {
         assert_eq!(host.scrape_tick(), 4);
 
         // All exporter families land in the database.
-        for metric in ["teemon_syscalls_total", "sgx_nr_free_pages", "node_cpu_cores", "container_spec_memory_limit_bytes"] {
+        for metric in [
+            "teemon_syscalls_total",
+            "sgx_nr_free_pages",
+            "node_cpu_cores",
+            "container_spec_memory_limit_bytes",
+        ] {
             assert!(
                 !host.db().query_instant(&Selector::metric(metric), u64::MAX).is_empty(),
                 "metric {metric} missing after scrape"
@@ -356,6 +505,82 @@ mod tests {
         // The analyzer can run over the scraped data without findings blowing up.
         let findings = host.analyzer().diagnose_all(300.0, 0, u64::MAX);
         let _ = findings;
+    }
+
+    #[test]
+    fn builder_reuses_kernel_and_db_and_plugs_collectors() {
+        let kernel = Kernel::new();
+        let db = TimeSeriesDb::new();
+        let app_registry = teemon_metrics::Registry::new();
+        app_registry
+            .counter_family("app_requests_total", "requests")
+            .default_instance()
+            .inc_by(9.0);
+
+        let host = MonitorBuilder::new("worker-9")
+            .mode(MonitoringMode::Full)
+            .kernel(kernel.clone())
+            .db(db.clone())
+            .collector(
+                ScrapeTargetConfig::new("redis_exporter", "worker-9:9121"),
+                Arc::new(RegistryCollector::new("redis_exporter", app_registry)),
+            )
+            .build();
+        assert_eq!(host.scraper().target_count(), 5, "4 standard exporters + 1 plugged in");
+        kernel.clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+        assert_eq!(host.scrape_tick(), 5);
+        // The plugged-in collector's samples land in the shared db.
+        let results = db.query_instant(&Selector::metric("app_requests_total"), u64::MAX);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].labels.get("job"), Some("redis_exporter"));
+    }
+
+    #[test]
+    fn builder_per_exporter_intervals_thin_out_scrapes() {
+        let host = MonitorBuilder::new("worker-2")
+            .mode(MonitoringMode::Full)
+            .scrape_interval_ms(5_000)
+            .exporter_interval_ms("cadvisor", 20_000)
+            .build();
+        // Four rounds at t = 5, 10, 15, 20 s: cadvisor (20 s interval) is
+        // only due on the first round; the other three scrape every round.
+        host.run_scrape_loop(4);
+        let up = host.db().query_range(&Selector::metric("up"), 0, u64::MAX);
+        let points_of = |job: &str| {
+            up.iter()
+                .find(|r| r.labels.get("job") == Some(job))
+                .map(|r| r.points.len())
+                .unwrap_or(0)
+        };
+        assert_eq!(points_of("node_exporter"), 4);
+        assert_eq!(points_of("sgx_exporter"), 4);
+        assert_eq!(points_of("cadvisor"), 1);
+    }
+
+    #[test]
+    fn builder_text_transport_round_trips_the_wire_format() {
+        let typed = MonitorBuilder::new("wire-a").mode(MonitoringMode::Full).build();
+        let text = MonitorBuilder::new("wire-a")
+            .mode(MonitoringMode::Full)
+            .transport(ScrapeTransport::Text)
+            .build();
+        for host in [&typed, &text] {
+            host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+            assert_eq!(host.scrape_tick(), 4);
+        }
+        // Both transports ingest the same series set.
+        let series_of = |h: &HostMonitor| {
+            let mut names: Vec<String> = h
+                .db()
+                .query_instant(&Selector::metric("sgx_nr_free_pages"), u64::MAX)
+                .iter()
+                .map(|r| r.labels.to_string())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(series_of(&typed), series_of(&text));
+        assert_eq!(typed.db().series_count(), text.db().series_count());
     }
 
     #[test]

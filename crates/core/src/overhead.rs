@@ -77,8 +77,7 @@ impl OverheadModel {
     ) -> Vec<ComponentFootprint> {
         let scrapes_per_second = 1.0 / self.scrape_interval_s;
         let exporter_cpu = self.exporter_cpu_per_scrape_s * scrapes_per_second * 100.0;
-        let cadvisor_cpu = (self.cadvisor_cpu_per_scrape_s
-            + 0.002 * containers.max(1.0))
+        let cadvisor_cpu = (self.cadvisor_cpu_per_scrape_s + 0.002 * containers.max(1.0))
             * scrapes_per_second
             * 100.0;
         let ingested_per_second = samples_per_scrape * scrapes_per_second;
@@ -175,9 +174,17 @@ mod tests {
             .fold(0.0, f64::max);
         // The paper: "While all other components use 100 MB on average,
         // Prometheus allocates 4× as much."
-        assert!(prometheus.memory_mb > 3.0 * others_max, "{} vs {}", prometheus.memory_mb, others_max);
+        assert!(
+            prometheus.memory_mb > 3.0 * others_max,
+            "{} vs {}",
+            prometheus.memory_mb,
+            others_max
+        );
         let total = model.total_memory_mb(24.0, 2_000.0, 10.0);
-        assert!((500.0..1_000.0).contains(&total), "total memory {total} MB outside paper band (~700 MB)");
+        assert!(
+            (500.0..1_000.0).contains(&total),
+            "total memory {total} MB outside paper band (~700 MB)"
+        );
     }
 
     #[test]
@@ -186,7 +193,12 @@ mod tests {
         let cadvisor = footprints.iter().find(|c| c.component == "cadvisor").unwrap();
         for c in &footprints {
             assert!(c.cpu_percent <= cadvisor.cpu_percent + 1e-9, "{} > cadvisor", c.component);
-            assert!(c.cpu_percent < 5.0, "{} uses {}% CPU, paper says ≲3%", c.component, c.cpu_percent);
+            assert!(
+                c.cpu_percent < 5.0,
+                "{} uses {}% CPU, paper says ≲3%",
+                c.component,
+                c.cpu_percent
+            );
         }
         assert!(cadvisor.cpu_percent > 0.3);
     }

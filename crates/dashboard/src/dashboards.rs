@@ -95,8 +95,10 @@ pub fn standard() -> DashboardSet {
             Panel::gauge("EPC free pages", Selector::metric("sgx_nr_free_pages"), 24_064.0)
                 .with_unit("pages"),
         )
-        .with_panel(Panel::graph("EPC pages evicted", Selector::metric("sgx_pages_evicted_total"))
-            .with_unit("pages"))
+        .with_panel(
+            Panel::graph("EPC pages evicted", Selector::metric("sgx_pages_evicted_total"))
+                .with_unit("pages"),
+        )
         .with_panel(
             Panel::graph("Enclave page faults", Selector::metric("sgx_enclave_page_faults_total"))
                 .with_unit("faults"),
@@ -149,7 +151,9 @@ pub fn standard() -> DashboardSet {
             )
             .with_unit("bytes"),
         )
-        .with_panel(Panel::stat("Nodes up", Selector::metric("up")).with_aggregate(AggregateOp::Sum))
+        .with_panel(
+            Panel::stat("Nodes up", Selector::metric("up")).with_aggregate(AggregateOp::Sum),
+        )
         .with_panel(
             Panel::table("Scrape health", Selector::metric("up")).with_aggregate(AggregateOp::Min),
         );

@@ -12,9 +12,9 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use teemon_kernel_sim::Pid;
-use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry};
-
-use crate::Exporter;
+use teemon_metrics::{
+    CollectError, Collector, FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry,
+};
 
 /// Static description of a running container.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,16 +61,13 @@ impl ContainerExporter {
             Registry::with_constant_labels(Labels::from_pairs([("node", node.to_string())]));
         let state: Arc<RwLock<State>> = Arc::new(RwLock::new(State::default()));
         let collector_state = Arc::clone(&state);
-        registry.register_collector(Arc::new(move || Self::collect(&collector_state.read())));
+        registry.register_source(Arc::new(move || Self::gather(&collector_state.read())));
         Self { registry, state }
     }
 
     /// Registers (or replaces) a container.
     pub fn register_container(&self, spec: ContainerSpec) {
-        self.state
-            .write()
-            .containers
-            .insert(spec.name.clone(), (spec, ContainerUsage::default()));
+        self.state.write().containers.insert(spec.name.clone(), (spec, ContainerUsage::default()));
     }
 
     /// Removes a container (it exited).  Returns `true` when it existed.
@@ -111,7 +108,7 @@ impl ContainerExporter {
             .map(|(spec, _)| spec.clone())
     }
 
-    fn collect(state: &State) -> Vec<FamilySnapshot> {
+    fn gather(state: &State) -> Vec<FamilySnapshot> {
         let mut cpu = FamilySnapshot::new(
             "container_cpu_usage_seconds_total",
             "Cumulative CPU time per container",
@@ -140,10 +137,12 @@ impl ContainerExporter {
         for (name, (spec, usage)) in &state.containers {
             let labels =
                 Labels::from_pairs([("container", name.clone()), ("image", spec.image.clone())]);
-            cpu.points.push(MetricPoint::new(labels.clone(), PointValue::Counter(usage.cpu_seconds)));
-            memory
-                .points
-                .push(MetricPoint::new(labels.clone(), PointValue::Gauge(usage.memory_bytes as f64)));
+            cpu.points
+                .push(MetricPoint::new(labels.clone(), PointValue::Counter(usage.cpu_seconds)));
+            memory.points.push(MetricPoint::new(
+                labels.clone(),
+                PointValue::Gauge(usage.memory_bytes as f64),
+            ));
             limit.points.push(MetricPoint::new(
                 labels.clone(),
                 PointValue::Gauge(spec.memory_limit_bytes as f64),
@@ -159,13 +158,20 @@ impl ContainerExporter {
     }
 }
 
-impl Exporter for ContainerExporter {
-    fn job_name(&self) -> &'static str {
+impl ContainerExporter {
+    /// The exporter's metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Collector for ContainerExporter {
+    fn job_name(&self) -> &str {
         "cadvisor"
     }
 
-    fn registry(&self) -> &Registry {
-        &self.registry
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        Ok(self.registry.gather())
     }
 }
 
@@ -173,6 +179,10 @@ impl Exporter for ContainerExporter {
 mod tests {
     use super::*;
     use teemon_metrics::exposition::parse_text;
+
+    fn render(exporter: &impl Collector) -> String {
+        teemon_metrics::exposition::render_collector(exporter).unwrap()
+    }
 
     fn redis_spec() -> ContainerSpec {
         ContainerSpec {
@@ -196,7 +206,7 @@ mod tests {
                 network_tx_bytes: 2_000,
             },
         );
-        let parsed = parse_text(&exporter.render()).unwrap();
+        let parsed = parse_text(&render(&exporter)).unwrap();
         let labels = Labels::from_pairs([
             ("node", "worker-1"),
             ("container", "redis-0"),
@@ -219,10 +229,12 @@ mod tests {
     fn usage_accumulates_and_unknown_containers_are_rejected() {
         let exporter = ContainerExporter::new("n");
         exporter.register_container(redis_spec());
-        assert!(exporter.record_usage("redis-0", ContainerUsage { cpu_seconds: 1.0, ..Default::default() }));
-        assert!(exporter.record_usage("redis-0", ContainerUsage { cpu_seconds: 2.0, ..Default::default() }));
+        assert!(exporter
+            .record_usage("redis-0", ContainerUsage { cpu_seconds: 1.0, ..Default::default() }));
+        assert!(exporter
+            .record_usage("redis-0", ContainerUsage { cpu_seconds: 2.0, ..Default::default() }));
         assert!(!exporter.record_usage("nope", ContainerUsage::default()));
-        let parsed = parse_text(&exporter.render()).unwrap();
+        let parsed = parse_text(&render(&exporter)).unwrap();
         assert_eq!(parsed.total("container_cpu_usage_seconds_total"), 3.0);
     }
 
@@ -230,10 +242,7 @@ mod tests {
     fn containers_can_be_looked_up_by_pid_and_removed() {
         let exporter = ContainerExporter::new("n");
         exporter.register_container(redis_spec());
-        assert_eq!(
-            exporter.container_of(Pid::from_raw(1234)).unwrap().name,
-            "redis-0"
-        );
+        assert_eq!(exporter.container_of(Pid::from_raw(1234)).unwrap().name, "redis-0");
         assert!(exporter.container_of(Pid::from_raw(1)).is_none());
         assert!(exporter.remove_container("redis-0"));
         assert!(!exporter.remove_container("redis-0"));

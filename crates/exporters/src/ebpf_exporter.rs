@@ -13,9 +13,9 @@ use std::sync::Arc;
 
 use teemon_kernel_sim::ebpf::{BpfMap, EbpfVm, PidFilter};
 use teemon_kernel_sim::{Kernel, Pid};
-use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry};
-
-use crate::Exporter;
+use teemon_metrics::{
+    CollectError, Collector, FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry,
+};
 
 /// The eBPF-based system metrics exporter (one per node).
 pub struct EbpfExporter {
@@ -44,7 +44,7 @@ impl EbpfExporter {
         let maps = vm.load_standard_programs(filter);
 
         let collector_maps = maps.clone();
-        registry.register_collector(Arc::new(move || Self::collect(&collector_maps)));
+        registry.register_source(Arc::new(move || Self::gather(&collector_maps)));
         Self { registry, vm, maps, filter }
     }
 
@@ -83,7 +83,7 @@ impl EbpfExporter {
         family
     }
 
-    fn collect(maps: &[BpfMap]) -> Vec<FamilySnapshot> {
+    fn gather(maps: &[BpfMap]) -> Vec<FamilySnapshot> {
         let syscalls = &maps[0];
         let switches = &maps[1];
         let faults = &maps[2];
@@ -126,13 +126,20 @@ impl EbpfExporter {
     }
 }
 
-impl Exporter for EbpfExporter {
-    fn job_name(&self) -> &'static str {
+impl EbpfExporter {
+    /// The exporter's metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Collector for EbpfExporter {
+    fn job_name(&self) -> &str {
         "ebpf_exporter"
     }
 
-    fn registry(&self) -> &Registry {
-        &self.registry
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        Ok(self.registry.gather())
     }
 }
 
@@ -146,8 +153,12 @@ impl std::fmt::Debug for EbpfExporter {
 mod tests {
     use super::*;
     use teemon_kernel_sim::process::ProcessKind;
-    use teemon_kernel_sim::{FaultKind, Syscall, SwitchKind};
+    use teemon_kernel_sim::{FaultKind, SwitchKind, Syscall};
     use teemon_metrics::exposition::parse_text;
+
+    fn render(exporter: &impl Collector) -> String {
+        teemon_metrics::exposition::render_collector(exporter).unwrap()
+    }
 
     #[test]
     fn exports_syscall_counts_by_name() {
@@ -159,9 +170,8 @@ mod tests {
         }
         kernel.syscall(pid, Syscall::Read, true);
 
-        let parsed = parse_text(&exporter.render()).unwrap();
-        let labels =
-            Labels::from_pairs([("node", "worker-1"), ("syscall", "clock_gettime")]);
+        let parsed = parse_text(&render(&exporter)).unwrap();
+        let labels = Labels::from_pairs([("node", "worker-1"), ("syscall", "clock_gettime")]);
         assert_eq!(parsed.value("teemon_syscalls_total", &labels), Some(5.0));
         assert_eq!(exporter.program_count(), 4);
         assert_eq!(exporter.job_name(), "ebpf_exporter");
@@ -176,7 +186,7 @@ mod tests {
         kernel.page_fault(pid, FaultKind::User, false);
         kernel.cache_access(pid, 1_000, 50, false);
 
-        let text = exporter.render();
+        let text = render(&exporter);
         let parsed = parse_text(&text).unwrap();
         assert_eq!(
             parsed.value(
@@ -210,7 +220,7 @@ mod tests {
         kernel.context_switch(redis, SwitchKind::Voluntary);
         kernel.context_switch(other, SwitchKind::Voluntary);
 
-        let parsed = parse_text(&exporter.render()).unwrap();
+        let parsed = parse_text(&render(&exporter)).unwrap();
         let redis_scope = format!("pid_{redis}");
         let other_scope = format!("pid_{other}");
         assert!(parsed

@@ -14,8 +14,12 @@
 //!   [`EbpfExporter`], [`NodeExporter`] and [`ContainerExporter`] reading the
 //!   simulated kernel.
 //!
-//! Every exporter owns a [`teemon_metrics::Registry`] and renders the
-//! OpenMetrics text document the aggregation component scrapes.
+//! Every exporter owns a [`teemon_metrics::Registry`] and implements the
+//! typed [`Collector`] contract: the aggregation component scrapes structured
+//! [`teemon_metrics::FamilySnapshot`]s directly, and the OpenMetrics text
+//! document only exists at the edges (see
+//! [`teemon_metrics::exposition::render_collector`] and
+//! `teemon_tsdb::TextEndpoint`).
 
 #![warn(missing_docs)]
 
@@ -27,26 +31,5 @@ pub mod tme;
 pub use container::{ContainerExporter, ContainerSpec};
 pub use ebpf_exporter::EbpfExporter;
 pub use node::NodeExporter;
+pub use teemon_metrics::{CollectError, Collector};
 pub use tme::SgxExporter;
-
-use teemon_metrics::{exposition, Registry};
-
-/// Common behaviour of every TEEMon exporter.
-pub trait Exporter {
-    /// The exporter's job name as used by the scrape configuration.
-    fn job_name(&self) -> &'static str;
-
-    /// The exporter's metric registry.
-    fn registry(&self) -> &Registry;
-
-    /// Refreshes dynamic state (reads driver counters, dumps BPF maps, …).
-    /// Called right before rendering; collectors that read at gather time may
-    /// make this a no-op.
-    fn refresh(&self) {}
-
-    /// Renders the current OpenMetrics exposition text.
-    fn render(&self) -> String {
-        self.refresh();
-        exposition::encode_text(&self.registry().gather())
-    }
-}

@@ -12,9 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use teemon_kernel_sim::Kernel;
-use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry};
-
-use crate::Exporter;
+use teemon_metrics::{
+    CollectError, Collector, FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry,
+};
 
 /// Mutable node-level statistics updated by the host model (disk and network
 /// I/O are not modelled inside the kernel simulation, so the deployment layer
@@ -50,8 +50,8 @@ impl NodeExporter {
 
         let collector_kernel = kernel.clone();
         let collector_usage = Arc::clone(&usage);
-        registry.register_collector(Arc::new(move || {
-            Self::collect(&collector_kernel, &collector_usage.read())
+        registry.register_source(Arc::new(move || {
+            Self::gather(&collector_kernel, &collector_usage.read())
         }));
         Self { registry, usage, kernel: kernel.clone() }
     }
@@ -83,7 +83,7 @@ impl NodeExporter {
             .with_point(MetricPoint::new(Labels::new(), PointValue::Counter(value)))
     }
 
-    fn collect(kernel: &Kernel, usage: &NodeUsage) -> Vec<FamilySnapshot> {
+    fn gather(kernel: &Kernel, usage: &NodeUsage) -> Vec<FamilySnapshot> {
         let counters = kernel.counters();
         let config = kernel.config();
         let uptime = kernel.clock().now().as_secs_f64();
@@ -140,13 +140,20 @@ impl NodeExporter {
     }
 }
 
-impl Exporter for NodeExporter {
-    fn job_name(&self) -> &'static str {
+impl NodeExporter {
+    /// The exporter's metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Collector for NodeExporter {
+    fn job_name(&self) -> &str {
         "node_exporter"
     }
 
-    fn registry(&self) -> &Registry {
-        &self.registry
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        Ok(self.registry.gather())
     }
 }
 
@@ -157,11 +164,15 @@ mod tests {
     use teemon_kernel_sim::Syscall;
     use teemon_metrics::exposition::parse_text;
 
+    fn render(exporter: &impl Collector) -> String {
+        teemon_metrics::exposition::render_collector(exporter).unwrap()
+    }
+
     #[test]
     fn exports_cpu_memory_fs_and_network_classes() {
         let kernel = Kernel::new();
         let exporter = NodeExporter::new(&kernel, "worker-1");
-        let text = exporter.render();
+        let text = render(&exporter);
         for metric in [
             "node_cpu_cores",
             "node_memory_MemTotal_bytes",
@@ -187,7 +198,7 @@ mod tests {
         });
         exporter.record_usage(NodeUsage { network_rx_bytes: 500, ..NodeUsage::default() });
 
-        let parsed = parse_text(&exporter.render()).unwrap();
+        let parsed = parse_text(&render(&exporter)).unwrap();
         let labels = Labels::from_pairs([("node", "worker-1")]);
         assert_eq!(parsed.value("node_syscalls_total", &labels), Some(1.0));
         assert_eq!(parsed.value("node_network_receive_bytes_total", &labels), Some(1_500.0));

@@ -10,11 +10,9 @@
 use std::sync::Arc;
 
 use teemon_metrics::{
-    FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry,
+    CollectError, Collector, FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue, Registry,
 };
 use teemon_sgx_sim::SgxDriver;
-
-use crate::Exporter;
 
 /// The per-machine SGX exporter (one instance per node, privileged).
 #[derive(Clone)]
@@ -29,9 +27,7 @@ impl SgxExporter {
         let registry =
             Registry::with_constant_labels(Labels::from_pairs([("node", node.to_string())]));
         let collector_driver = driver.clone();
-        registry.register_collector(Arc::new(move || {
-            Self::collect(&collector_driver)
-        }));
+        registry.register_source(Arc::new(move || Self::gather(&collector_driver)));
         Self { registry }
     }
 
@@ -45,7 +41,7 @@ impl SgxExporter {
             .with_point(MetricPoint::new(Labels::new(), PointValue::Counter(value)))
     }
 
-    fn collect(driver: &SgxDriver) -> Vec<FamilySnapshot> {
+    fn gather(driver: &SgxDriver) -> Vec<FamilySnapshot> {
         let stats = driver.stats();
         vec![
             // Enclave metrics.
@@ -54,7 +50,11 @@ impl SgxExporter {
                 "Enclaves created since driver load",
                 stats.enclaves_created as f64,
             ),
-            Self::gauge("sgx_nr_enclaves", "Currently active enclaves", stats.enclaves_active as f64),
+            Self::gauge(
+                "sgx_nr_enclaves",
+                "Currently active enclaves",
+                stats.enclaves_active as f64,
+            ),
             Self::counter(
                 "sgx_enclaves_removed_total",
                 "Enclaves removed since driver load",
@@ -93,22 +93,25 @@ impl SgxExporter {
                 "Page faults on evicted enclave pages",
                 stats.enclave_page_faults as f64,
             ),
-            Self::counter(
-                "sgx_swapd_runs_total",
-                "ksgxswapd wakeups",
-                stats.swapd_wakeups as f64,
-            ),
+            Self::counter("sgx_swapd_runs_total", "ksgxswapd wakeups", stats.swapd_wakeups as f64),
         ]
     }
 }
 
-impl Exporter for SgxExporter {
-    fn job_name(&self) -> &'static str {
+impl SgxExporter {
+    /// The exporter's metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Collector for SgxExporter {
+    fn job_name(&self) -> &str {
         "sgx_exporter"
     }
 
-    fn registry(&self) -> &Registry {
-        &self.registry
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        Ok(self.registry.gather())
     }
 }
 
@@ -118,22 +121,23 @@ mod tests {
     use teemon_metrics::exposition::parse_text;
     use teemon_sim_core::SimClock;
 
+    fn render(exporter: &impl Collector) -> String {
+        teemon_metrics::exposition::render_collector(exporter).unwrap()
+    }
+
     #[test]
     fn exports_driver_state_with_node_label() {
         let driver = SgxDriver::new(SimClock::new());
         driver.create_enclave(100, 8 * 1024 * 1024, 4).unwrap();
         let exporter = SgxExporter::new(driver.clone(), "worker-1");
 
-        let text = exporter.render();
+        let text = render(&exporter);
         let parsed = parse_text(&text).unwrap();
         let labels = Labels::from_pairs([("node", "worker-1")]);
         assert_eq!(parsed.value("sgx_nr_enclaves", &labels), Some(1.0));
         let added = parsed.value("sgx_pages_added_total", &labels).unwrap();
         assert_eq!(added, SgxDriver::pages_for(8 * 1024 * 1024) as f64);
-        assert_eq!(
-            parsed.types.get("sgx_nr_free_pages"),
-            Some(&teemon_metrics::MetricKind::Gauge)
-        );
+        assert_eq!(parsed.types.get("sgx_nr_free_pages"), Some(&teemon_metrics::MetricKind::Gauge));
         assert_eq!(exporter.job_name(), "sgx_exporter");
     }
 
@@ -143,15 +147,15 @@ mod tests {
         let exporter = SgxExporter::new(driver.clone(), "worker-1");
         let labels = Labels::from_pairs([("node", "worker-1")]);
 
-        let before = parse_text(&exporter.render()).unwrap();
+        let before = parse_text(&render(&exporter)).unwrap();
         assert_eq!(before.value("sgx_nr_enclaves", &labels), Some(0.0));
 
         let (id, _) = driver.create_enclave(1, 1024 * 1024, 1).unwrap();
-        let during = parse_text(&exporter.render()).unwrap();
+        let during = parse_text(&render(&exporter)).unwrap();
         assert_eq!(during.value("sgx_nr_enclaves", &labels), Some(1.0));
 
         driver.destroy_enclave(id).unwrap();
-        let after = parse_text(&exporter.render()).unwrap();
+        let after = parse_text(&render(&exporter)).unwrap();
         assert_eq!(after.value("sgx_nr_enclaves", &labels), Some(0.0));
         assert_eq!(after.value("sgx_enclaves_removed_total", &labels), Some(1.0));
     }
@@ -159,7 +163,7 @@ mod tests {
     #[test]
     fn exposes_all_paper_metric_classes() {
         let driver = SgxDriver::new(SimClock::new());
-        let text = SgxExporter::new(driver, "n").render();
+        let text = render(&SgxExporter::new(driver, "n"));
         for metric in [
             "sgx_enclaves_created_total",
             "sgx_nr_enclaves",

@@ -11,8 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use teemon_kernel_sim::{FaultKind, Kernel, PageCacheOp, Pid, Syscall, SwitchKind};
 use teemon_kernel_sim::process::ProcessKind;
+use teemon_kernel_sim::{FaultKind, Kernel, PageCacheOp, Pid, SwitchKind, Syscall};
 use teemon_sgx_sim::{EnclaveId, SgxError, TransitionKind, TransitionTracker};
 use teemon_sim_core::{DetRng, SimDuration};
 
@@ -65,11 +65,10 @@ pub struct ExecutionTotals {
 impl ExecutionTotals {
     /// Mean service time per request.
     pub fn mean_service_time(&self) -> SimDuration {
-        if self.requests == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.busy_ns / self.requests)
-        }
+        self.busy_ns
+            .checked_div(self.requests)
+            .map(SimDuration::from_nanos)
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -110,11 +109,8 @@ impl Deployment {
         if memory_bytes == 0 {
             return Err(DeploymentError::EmptyApplication);
         }
-        let kind = if params.kind.uses_enclave() {
-            ProcessKind::Enclave
-        } else {
-            ProcessKind::User
-        };
+        let kind =
+            if params.kind.uses_enclave() { ProcessKind::Enclave } else { ProcessKind::User };
         let pid = kernel.spawn_process(app_name, kind, threads);
         let mut startup_latency = SimDuration::ZERO;
         let (enclave, enclave_pages) = if params.kind.uses_enclave() {
@@ -388,8 +384,9 @@ mod tests {
     #[test]
     fn deploy_native_has_no_enclave() {
         let kernel = kernel();
-        let d = Deployment::deploy(&kernel, FrameworkParams::native(), "redis-server", 78 << 20, 8, 1)
-            .unwrap();
+        let d =
+            Deployment::deploy(&kernel, FrameworkParams::native(), "redis-server", 78 << 20, 8, 1)
+                .unwrap();
         assert!(d.enclave().is_none());
         assert_eq!(d.kind(), FrameworkKind::Native);
         assert_eq!(d.startup_latency(), SimDuration::ZERO);

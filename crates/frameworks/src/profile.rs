@@ -275,7 +275,9 @@ mod tests {
         assert!(native.per_request_overhead_ns < scone.per_request_overhead_ns);
         assert!(scone.per_request_overhead_ns < lkl.per_request_overhead_ns);
         assert!(lkl.per_request_overhead_ns < graphene.per_request_overhead_ns);
-        assert!(graphene.context_switches_per_request > 5.0 * lkl.context_switches_per_request / 2.0);
+        assert!(
+            graphene.context_switches_per_request > 5.0 * lkl.context_switches_per_request / 2.0
+        );
     }
 
     #[test]

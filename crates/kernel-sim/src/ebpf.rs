@@ -76,6 +76,9 @@ impl BpfMap {
     }
 }
 
+/// A BPF program's handler body: reacts to a hook event by updating a map.
+pub type BpfHandler = Arc<dyn Fn(&HookEvent, &BpfMap) + Send + Sync>;
+
 /// A program attached to one or more hooks, aggregating into maps.
 pub struct BpfProgram {
     /// Program name (mirrors the object file name in the real eBPF exporter).
@@ -83,7 +86,7 @@ pub struct BpfProgram {
     /// The hooks the program attaches to.
     pub hooks: Vec<HookPoint>,
     /// The handler body.
-    pub body: Arc<dyn Fn(&HookEvent, &BpfMap) + Send + Sync>,
+    pub body: BpfHandler,
     /// The map the program aggregates into.
     pub map: BpfMap,
 }

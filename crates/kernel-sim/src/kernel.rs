@@ -155,7 +155,12 @@ impl Kernel {
     /// Creates a kernel with default configuration, a default-sized EPC and a
     /// fresh clock.
     pub fn new() -> Self {
-        Self::with_config(SimClock::new(), KernelConfig::default(), EpcConfig::default(), CostModel::default())
+        Self::with_config(
+            SimClock::new(),
+            KernelConfig::default(),
+            EpcConfig::default(),
+            CostModel::default(),
+        )
     }
 
     /// Creates a kernel with explicit configuration.
@@ -167,8 +172,7 @@ impl Kernel {
     ) -> Self {
         let processes = ProcessTable::new();
         let sgx = SgxDriver::with_config(clock.clone(), epc, sgx_costs);
-        let ksgxswapd =
-            processes.spawn("ksgxswapd", ProcessKind::KernelThread, 1, clock.now());
+        let ksgxswapd = processes.spawn("ksgxswapd", ProcessKind::KernelThread, 1, clock.now());
         Self {
             clock,
             config,
@@ -262,9 +266,8 @@ impl Kernel {
         }
         let event = self.event(pid);
         let mut handlers = self.hooks.fire(&HookPoint::sched_switch(), &event);
-        handlers += self
-            .hooks
-            .fire(&HookPoint::PerfEvent(PerfEventKind::SwContextSwitches), &event);
+        handlers +=
+            self.hooks.fire(&HookPoint::PerfEvent(PerfEventKind::SwContextSwitches), &event);
         SimDuration::from_nanos(self.config.context_switch_ns) + self.instrumentation_cost(handlers)
     }
 
@@ -317,9 +320,8 @@ impl Kernel {
                 .with_value(references)
                 .with_detail("references")
                 .from_enclave(in_epc);
-            handlers += self
-                .hooks
-                .fire(&HookPoint::PerfEvent(PerfEventKind::HwCacheReferences), &event);
+            handlers +=
+                self.hooks.fire(&HookPoint::PerfEvent(PerfEventKind::HwCacheReferences), &event);
         }
         if misses > 0 {
             let event =
@@ -479,10 +481,8 @@ mod tests {
     fn enclave_access_within_epc_is_silent() {
         let kernel = kernel_with_epc_mib(64);
         let pid = kernel.spawn_process("redis-server", ProcessKind::Enclave, 8);
-        let (enclave, _) = kernel
-            .sgx_driver()
-            .create_enclave(pid.as_u32(), 16 * 1024 * 1024, 8)
-            .unwrap();
+        let (enclave, _) =
+            kernel.sgx_driver().create_enclave(pid.as_u32(), 16 * 1024 * 1024, 8).unwrap();
         for page in 0..100 {
             let (outcome, _) = kernel.enclave_page_access(pid, enclave, page).unwrap();
             assert!(!outcome.faulted);
@@ -527,10 +527,7 @@ mod tests {
     fn epc_pressure_polling_accounts_to_ksgxswapd() {
         let kernel = kernel_with_epc_mib(4);
         let pid = kernel.spawn_process("redis-server", ProcessKind::Enclave, 2);
-        kernel
-            .sgx_driver()
-            .create_enclave(pid.as_u32(), 4 * 1024 * 1024 - 64 * 1024, 2)
-            .unwrap();
+        kernel.sgx_driver().create_enclave(pid.as_u32(), 4 * 1024 * 1024 - 64 * 1024, 2).unwrap();
         let evicted = kernel.poll_epc_pressure();
         assert!(evicted > 0);
         assert_eq!(kernel.pid_counters(kernel.ksgxswapd_pid()).context_switches, 1);

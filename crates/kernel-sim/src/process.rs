@@ -123,12 +123,7 @@ impl ProcessTable {
 
     /// Finds the first live process with the given command name.
     pub fn find_by_name(&self, name: &str) -> Option<ProcessInfo> {
-        self.inner
-            .read()
-            .processes
-            .values()
-            .find(|p| p.alive && p.name == name)
-            .cloned()
+        self.inner.read().processes.values().find(|p| p.alive && p.name == name).cloned()
     }
 
     /// All live processes.

@@ -1,0 +1,185 @@
+//! The typed collection contract between exporters and the aggregation
+//! component.
+//!
+//! The paper's deployment separates exporters and Prometheus into different
+//! processes, so every scrape serialises the exporter's state to OpenMetrics
+//! text and parses it back.  In this reproduction both sides live in one
+//! process, so the scrape contract is typed instead: a [`Collector`] hands
+//! the scraper owned [`FamilySnapshot`]s directly and the text format becomes
+//! an explicit edge adapter (see [`crate::exposition`] and
+//! `teemon_tsdb::TextEndpoint`), applied only where an external party speaks
+//! the wire format.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::MetricError;
+use crate::registry::Registry;
+use crate::snapshot::FamilySnapshot;
+
+/// Why a collection attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectError {
+    /// The underlying source is unreachable or refused to produce metrics
+    /// (the typed equivalent of a failed HTTP GET on `/metrics`).
+    Unavailable(String),
+    /// The source produced metrics that violate the metric model.
+    Invalid(MetricError),
+}
+
+impl CollectError {
+    /// Convenience constructor for an unavailable source.
+    pub fn unavailable(reason: impl Into<String>) -> Self {
+        CollectError::Unavailable(reason.into())
+    }
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Unavailable(reason) => write!(f, "collector unavailable: {reason}"),
+            CollectError::Invalid(err) => write!(f, "collector produced invalid metrics: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl From<MetricError> for CollectError {
+    fn from(err: MetricError) -> Self {
+        CollectError::Invalid(err)
+    }
+}
+
+/// A typed metrics source: the scrape contract of every TEEMon exporter.
+///
+/// Implementors hand the aggregation component structured snapshots; no text
+/// round-trip is involved on the in-process path.
+pub trait Collector: Send + Sync {
+    /// The job name scrape configurations use for this source
+    /// (`sgx_exporter`, `ebpf_exporter`, `node_exporter`, `cadvisor`).
+    fn job_name(&self) -> &str;
+
+    /// Refreshes dynamic state (reads driver counters, dumps BPF maps, …).
+    /// Called right before [`Collector::collect`]; sources that read at
+    /// gather time may keep this a no-op.
+    fn refresh(&self) {}
+
+    /// Produces the current snapshots of every family this source owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] when the source is unreachable or produced
+    /// metrics violating the metric model; the scraper records such targets
+    /// as `up == 0`.
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError>;
+}
+
+impl<C: Collector + ?Sized> Collector for Arc<C> {
+    fn job_name(&self) -> &str {
+        (**self).job_name()
+    }
+
+    fn refresh(&self) {
+        (**self).refresh()
+    }
+
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        (**self).collect()
+    }
+}
+
+impl<C: Collector + ?Sized> Collector for Box<C> {
+    fn job_name(&self) -> &str {
+        (**self).job_name()
+    }
+
+    fn refresh(&self) {
+        (**self).refresh()
+    }
+
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        (**self).collect()
+    }
+}
+
+/// Adapter exposing a bare [`Registry`] as a [`Collector`] under a job name.
+///
+/// Used for ad-hoc registries (tests, custom user metrics) that are not
+/// wrapped in one of the standard exporters.
+#[derive(Clone)]
+pub struct RegistryCollector {
+    job: String,
+    registry: Registry,
+}
+
+impl RegistryCollector {
+    /// Wraps `registry` under `job`.
+    pub fn new(job: impl Into<String>, registry: Registry) -> Self {
+        Self { job: job.into(), registry }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Collector for RegistryCollector {
+    fn job_name(&self) -> &str {
+        &self.job
+    }
+
+    fn collect(&self) -> Result<Vec<FamilySnapshot>, CollectError> {
+        Ok(self.registry.gather())
+    }
+}
+
+impl fmt::Debug for RegistryCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryCollector")
+            .field("job", &self.job)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Labels;
+
+    #[test]
+    fn registry_collector_gathers_typed_snapshots() {
+        let registry = Registry::new();
+        registry
+            .counter_family("jobs_total", "jobs")
+            .with(&Labels::from_pairs([("q", "high")]))
+            .inc_by(3.0);
+        let collector = RegistryCollector::new("custom", registry);
+        assert_eq!(collector.job_name(), "custom");
+        let families = collector.collect().unwrap();
+        assert_eq!(families.len(), 1);
+        assert_eq!(families[0].name, "jobs_total");
+        assert_eq!(families[0].total(), 3.0);
+    }
+
+    #[test]
+    fn arc_and_box_delegate() {
+        let collector = RegistryCollector::new("wrapped", Registry::new());
+        let arc: Arc<dyn Collector> = Arc::new(collector.clone());
+        assert_eq!(arc.job_name(), "wrapped");
+        assert!(arc.collect().unwrap().is_empty());
+        let boxed: Box<dyn Collector> = Box::new(collector);
+        boxed.refresh();
+        assert_eq!(boxed.job_name(), "wrapped");
+    }
+
+    #[test]
+    fn collect_error_displays_both_shapes() {
+        let unavailable = CollectError::unavailable("connection refused");
+        assert!(unavailable.to_string().contains("connection refused"));
+        let invalid: CollectError = MetricError::InvalidMetricName("0bad".into()).into();
+        assert!(invalid.to_string().contains("0bad"));
+    }
+}

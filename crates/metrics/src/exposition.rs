@@ -14,9 +14,24 @@
 
 use std::collections::BTreeMap;
 
+use crate::collector::{CollectError, Collector};
 use crate::error::MetricError;
 use crate::label::Labels;
-use crate::snapshot::{FamilySnapshot, MetricKind, Sample};
+use crate::snapshot::{FamilySnapshot, MetricKind, MetricPoint, PointValue, Sample};
+use crate::value::{HistogramSnapshot, SummarySnapshot};
+
+/// Renders a [`Collector`]'s current state as exposition text: refreshes,
+/// collects typed snapshots and encodes them.  This is the outbound half of
+/// the text edge (what an HTTP `/metrics` handler would serve to an external
+/// Prometheus).
+///
+/// # Errors
+///
+/// Propagates the collector's [`CollectError`].
+pub fn render_collector(collector: &dyn Collector) -> Result<String, CollectError> {
+    collector.refresh();
+    Ok(encode_text(&collector.collect()?))
+}
 
 /// Encodes family snapshots into the text exposition format.
 pub fn encode_text(families: &[FamilySnapshot]) -> String {
@@ -83,6 +98,29 @@ fn escape_help(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Reverses [`escape_help`]; found by the round-trip property tests, which
+/// caught the parser storing help text with its escapes still applied.
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 fn escape_label_value(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
@@ -135,6 +173,175 @@ impl ParsedExposition {
     pub fn total(&self, name: &str) -> f64 {
         self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
     }
+
+    /// Reassembles typed [`FamilySnapshot`]s from the flat samples, using the
+    /// `# TYPE` declarations to fold `_bucket`/`_sum`/`_count` samples back
+    /// into histogram and summary points.  Families appear in document order;
+    /// samples without a `# TYPE` declaration become untyped families.
+    pub fn to_families(&self) -> Vec<FamilySnapshot> {
+        let mut families: Vec<FamilySnapshot> = Vec::new();
+        // Distribution accumulators keyed by (family index, grouping labels).
+        let mut accs: Vec<(usize, Labels, DistAcc)> = Vec::new();
+
+        let family_index = |families: &mut Vec<FamilySnapshot>, name: &str| -> usize {
+            if let Some(i) = families.iter().position(|f| f.name == name) {
+                return i;
+            }
+            let kind = self.types.get(name).copied().unwrap_or(MetricKind::Untyped);
+            let help = self.help.get(name).cloned().unwrap_or_default();
+            families.push(FamilySnapshot::new(name, help, kind));
+            families.len() - 1
+        };
+
+        for sample in &self.samples {
+            let (family_name, part) = self.split_sample_name(&sample.name);
+            let index = family_index(&mut families, family_name);
+            let kind = families[index].kind;
+            match kind {
+                MetricKind::Counter | MetricKind::Gauge | MetricKind::Untyped => {
+                    let value = match kind {
+                        MetricKind::Counter => PointValue::Counter(sample.value),
+                        MetricKind::Gauge => PointValue::Gauge(sample.value),
+                        _ => PointValue::Untyped(sample.value),
+                    };
+                    let mut point = MetricPoint::new(sample.labels.clone(), value);
+                    point.timestamp_ms = sample.timestamp_ms;
+                    families[index].points.push(point);
+                }
+                MetricKind::Histogram | MetricKind::Summary => {
+                    let mut group_labels = sample.labels.clone();
+                    let detail = match part {
+                        SamplePart::Value if kind == MetricKind::Summary => {
+                            group_labels.remove("quantile")
+                        }
+                        SamplePart::Bucket => group_labels.remove("le"),
+                        _ => None,
+                    };
+                    let found = accs
+                        .iter()
+                        .position(|(i, labels, _)| *i == index && *labels == group_labels);
+                    let pos = match found {
+                        Some(pos) => pos,
+                        None => {
+                            families[index].points.push(MetricPoint::new(
+                                group_labels.clone(),
+                                PointValue::Untyped(0.0), // patched below
+                            ));
+                            let acc = DistAcc {
+                                point_slot: families[index].points.len() - 1,
+                                ..DistAcc::default()
+                            };
+                            accs.push((index, group_labels, acc));
+                            accs.len() - 1
+                        }
+                    };
+                    let acc = &mut accs[pos].2;
+                    acc.timestamp_ms = acc.timestamp_ms.or(sample.timestamp_ms);
+                    match part {
+                        SamplePart::Bucket => {
+                            if let Some(bound) = detail.as_deref().and_then(parse_bound) {
+                                if bound.is_finite() {
+                                    acc.buckets.push((bound, sample.value as u64));
+                                } else {
+                                    acc.inf_count = sample.value as u64;
+                                }
+                            }
+                        }
+                        SamplePart::Sum => acc.sum = sample.value,
+                        SamplePart::Count => acc.count = sample.value as u64,
+                        SamplePart::Value => {
+                            if let Some(q) = detail.as_deref().and_then(parse_bound) {
+                                acc.quantiles.push((q, sample.value));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Patch the accumulated distribution points in place.
+        for (index, _, acc) in accs {
+            let kind = families[index].kind;
+            let point = &mut families[index].points[acc.point_slot];
+            point.timestamp_ms = acc.timestamp_ms;
+            point.value = if kind == MetricKind::Histogram {
+                let mut buckets = acc.buckets;
+                buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                let bounds: Vec<f64> = buckets.iter().map(|(b, _)| *b).collect();
+                let mut cumulative_counts: Vec<u64> = buckets.iter().map(|(_, c)| *c).collect();
+                cumulative_counts.push(acc.inf_count);
+                PointValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    cumulative_counts,
+                    sum: acc.sum,
+                    count: acc.count,
+                })
+            } else {
+                PointValue::Summary(SummarySnapshot {
+                    quantiles: acc.quantiles,
+                    sum: acc.sum,
+                    count: acc.count,
+                })
+            };
+        }
+        families
+    }
+
+    /// Splits a wire sample name into its family name and role, honouring the
+    /// `# TYPE` declarations (`lat_bucket` only folds into `lat` when `lat`
+    /// is a declared histogram).
+    fn split_sample_name<'a>(&self, name: &'a str) -> (&'a str, SamplePart) {
+        for (suffix, part) in [
+            ("_bucket", SamplePart::Bucket),
+            ("_sum", SamplePart::Sum),
+            ("_count", SamplePart::Count),
+        ] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                match self.types.get(base) {
+                    Some(MetricKind::Histogram) => return (base, part),
+                    Some(MetricKind::Summary) if part != SamplePart::Bucket => return (base, part),
+                    _ => {}
+                }
+            }
+        }
+        (name, SamplePart::Value)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SamplePart {
+    Value,
+    Bucket,
+    Sum,
+    Count,
+}
+
+/// Accumulates one histogram/summary point while its wire samples stream in.
+#[derive(Debug, Default)]
+struct DistAcc {
+    point_slot: usize,
+    buckets: Vec<(f64, u64)>,
+    inf_count: u64,
+    quantiles: Vec<(f64, f64)>,
+    sum: f64,
+    count: u64,
+    timestamp_ms: Option<u64>,
+}
+
+fn parse_bound(s: &str) -> Option<f64> {
+    parse_value(s)
+}
+
+/// Parses a text exposition document straight into typed family snapshots:
+/// the inbound half of the text edge, used when scraping targets that only
+/// speak the wire format.  Equivalent to
+/// [`parse_text`]`(input)?.`[`to_families`](ParsedExposition::to_families)`()`.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] describing the first malformed line.
+pub fn parse_families(input: &str) -> Result<Vec<FamilySnapshot>, MetricError> {
+    Ok(parse_text(input)?.to_families())
 }
 
 /// Parses a text exposition document.
@@ -164,7 +371,7 @@ pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
         if let Some(rest) = line.strip_prefix("# HELP ") {
             let mut parts = rest.splitn(2, ' ');
             let name = parts.next().unwrap_or_default().to_string();
-            let help = parts.next().unwrap_or_default().to_string();
+            let help = unescape_help(parts.next().unwrap_or_default());
             parsed.help.insert(name, help);
             continue;
         }
@@ -213,9 +420,7 @@ fn parse_sample_line(line: &str, line_no: usize) -> Result<Sample, MetricError> 
     let value_str = value_fields.next().ok_or_else(|| err("missing sample value".into()))?;
     let value = parse_value(value_str).ok_or_else(|| err(format!("bad value {value_str:?}")))?;
     let timestamp_ms = match value_fields.next() {
-        Some(ts) => {
-            Some(ts.parse::<u64>().map_err(|_| err(format!("bad timestamp {ts:?}")))?)
-        }
+        Some(ts) => Some(ts.parse::<u64>().map_err(|_| err(format!("bad timestamp {ts:?}")))?),
         None => None,
     };
     if value_fields.next().is_some() {
@@ -239,7 +444,8 @@ fn parse_labels(s: &str, line_no: usize) -> Result<Labels, MetricError> {
     let mut labels = Labels::new();
     let mut rest = s.trim();
     while !rest.is_empty() {
-        let eq = rest.find('=').ok_or_else(|| err(format!("missing '=' in labels near {rest:?}")))?;
+        let eq =
+            rest.find('=').ok_or_else(|| err(format!("missing '=' in labels near {rest:?}")))?;
         let key = rest[..eq].trim();
         let after_eq = rest[eq + 1..].trim_start();
         if !after_eq.starts_with('"') {

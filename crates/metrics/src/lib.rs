@@ -6,30 +6,45 @@
 //! * [`Counter`], [`Gauge`], [`Histogram`] and [`Summary`] metric values,
 //! * [`Labels`] — validated, order-normalised label sets,
 //! * [`MetricFamily`] and [`Registry`] — grouping of metric instances and the
-//!   collection interface used by exporters (the PME component of the paper),
+//!   gathering machinery used by exporters (the PME component of the paper),
+//! * [`Collector`] — the **typed scrape contract**: exporters hand the
+//!   aggregation component (PMAG) structured [`FamilySnapshot`]s directly,
+//!   with no text round-trip on the in-process path,
 //! * [`encode_text`](exposition::encode_text) /
-//!   [`parse_text`](exposition::parse_text) — the OpenMetrics-style text
-//!   exposition format that the aggregation component (PMAG) scrapes.
+//!   [`parse_families`](exposition::parse_families) — the OpenMetrics-style
+//!   text exposition format, kept as an explicit edge adapter for external
+//!   producers and consumers of the wire format.
 //!
 //! The paper's exporters publish their measurements "in the standard
-//! text-based format as specified by the OpenMetrics project" (§4); this crate
-//! is the Rust equivalent of that contract.
+//! text-based format as specified by the OpenMetrics project" (§4) because
+//! exporters and Prometheus run as separate processes there; in this
+//! in-process reproduction the same data flows as typed snapshots and the
+//! text format only appears at the edges.
 //!
 //! # Example
 //!
 //! ```
-//! use teemon_metrics::{Registry, Labels, exposition};
+//! use teemon_metrics::{Collector, Labels, Registry, RegistryCollector, exposition};
 //!
 //! let registry = Registry::new();
 //! let syscalls = registry.counter_family("teemon_syscalls_total", "System calls observed");
 //! syscalls.with(&Labels::from_pairs([("syscall", "read")])).inc_by(42.0);
 //!
-//! let text = exposition::encode_text(&registry.gather());
+//! // The typed scrape path: structured snapshots, no text in between.
+//! let collector = RegistryCollector::new("custom", registry);
+//! let families = collector.collect().unwrap();
+//! assert_eq!(families[0].name, "teemon_syscalls_total");
+//! assert_eq!(families[0].total(), 42.0);
+//!
+//! // The text exposition stays available as an edge adapter and round-trips.
+//! let text = exposition::encode_text(&families);
 //! assert!(text.contains("teemon_syscalls_total{syscall=\"read\"} 42"));
+//! assert_eq!(exposition::parse_families(&text).unwrap(), families);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod collector;
 pub mod error;
 pub mod exposition;
 pub mod family;
@@ -38,9 +53,10 @@ pub mod registry;
 pub mod snapshot;
 pub mod value;
 
+pub use collector::{CollectError, Collector, RegistryCollector};
 pub use error::MetricError;
 pub use family::{CounterFamily, GaugeFamily, HistogramFamily, MetricFamily, SummaryFamily};
 pub use label::{LabelName, Labels, MetricName};
-pub use registry::{Collector, Registry};
-pub use snapshot::{FamilySnapshot, MetricKind, MetricPoint, PointValue, Sample};
+pub use registry::{Registry, SnapshotSource};
+pub use snapshot::{merge_families, FamilySnapshot, MetricKind, MetricPoint, PointValue, Sample};
 pub use value::{Counter, Gauge, Histogram, HistogramSnapshot, Summary, SummarySnapshot};

@@ -1,10 +1,13 @@
-//! Metric registries and the [`Collector`] abstraction.
+//! Metric registries and the [`SnapshotSource`] abstraction.
 //!
 //! A [`Registry`] is what one exporter (TME, eBPF exporter, node exporter,
-//! container exporter) exposes behind its metrics endpoint: a set of metric
-//! families plus optional dynamic collectors that compute their snapshot at
+//! container exporter) owns behind its collection interface: a set of metric
+//! families plus optional dynamic sources that compute their snapshot at
 //! gather time (mirroring how the paper's SGX exporter reads
-//! `/sys/module/isgx/parameters/*` on every scrape).
+//! `/sys/module/isgx/parameters/*` on every scrape).  The scrape-facing
+//! contract — job name, refresh, fallible collection — lives in
+//! [`crate::collector::Collector`]; a registry is the building block behind
+//! such a collector.
 
 use std::sync::Arc;
 
@@ -15,17 +18,18 @@ use crate::family::{CounterFamily, GaugeFamily, HistogramFamily, SummaryFamily};
 use crate::label::Labels;
 use crate::snapshot::FamilySnapshot;
 
-/// A source of metric family snapshots evaluated at gather time.
-pub trait Collector: Send + Sync {
-    /// Produces the current snapshots of every family this collector owns.
-    fn collect(&self) -> Vec<FamilySnapshot>;
+/// An infallible source of metric family snapshots evaluated at gather time,
+/// registered inside a [`Registry`] (e.g. a closure reading driver counters).
+pub trait SnapshotSource: Send + Sync {
+    /// Produces the current snapshots of every family this source owns.
+    fn snapshots(&self) -> Vec<FamilySnapshot>;
 }
 
-impl<F> Collector for F
+impl<F> SnapshotSource for F
 where
     F: Fn() -> Vec<FamilySnapshot> + Send + Sync,
 {
-    fn collect(&self) -> Vec<FamilySnapshot> {
+    fn snapshots(&self) -> Vec<FamilySnapshot> {
         (self)()
     }
 }
@@ -35,7 +39,7 @@ enum Registered {
     Gauge(GaugeFamily),
     Histogram(HistogramFamily),
     Summary(SummaryFamily),
-    Dynamic(Arc<dyn Collector>),
+    Dynamic(Arc<dyn SnapshotSource>),
 }
 
 impl Registered {
@@ -45,7 +49,7 @@ impl Registered {
             Registered::Gauge(f) => vec![f.snapshot()],
             Registered::Histogram(f) => vec![f.snapshot()],
             Registered::Summary(f) => vec![f.snapshot()],
-            Registered::Dynamic(c) => c.collect(),
+            Registered::Dynamic(c) => c.snapshots(),
         }
     }
 
@@ -169,8 +173,7 @@ impl Registry {
     /// Panics on invalid input; use [`Registry::try_summary_family`] for
     /// fallible registration.
     pub fn summary_family(&self, name: &str, help: &str, quantiles: Vec<f64>) -> SummaryFamily {
-        self.try_summary_family(name, help, quantiles)
-            .expect("invalid or duplicate summary family")
+        self.try_summary_family(name, help, quantiles).expect("invalid or duplicate summary family")
     }
 
     /// Registers a summary family, reporting errors.
@@ -191,9 +194,9 @@ impl Registry {
         Ok(fam)
     }
 
-    /// Registers a dynamic collector whose snapshot is computed at gather time.
-    pub fn register_collector(&self, collector: Arc<dyn Collector>) {
-        self.inner.write().push(Registered::Dynamic(collector));
+    /// Registers a dynamic snapshot source evaluated at gather time.
+    pub fn register_source(&self, source: Arc<dyn SnapshotSource>) {
+        self.inner.write().push(Registered::Dynamic(source));
     }
 
     /// Gathers snapshots of every registered family and collector, applying
@@ -273,7 +276,7 @@ mod tests {
         let r = Registry::new();
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let c2 = counter.clone();
-        r.register_collector(Arc::new(move || {
+        r.register_source(Arc::new(move || {
             let v = c2.load(std::sync::atomic::Ordering::Relaxed) as f64;
             vec![FamilySnapshot::new("dyn_gauge", "dynamic", MetricKind::Gauge)
                 .with_point(MetricPoint::new(Labels::new(), PointValue::Gauge(v)))]

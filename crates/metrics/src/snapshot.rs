@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MetricError;
 use crate::label::Labels;
 use crate::value::{HistogramSnapshot, SummarySnapshot};
 
@@ -150,77 +151,118 @@ impl FamilySnapshot {
         self.points.iter().map(|p| p.value.scalar()).sum()
     }
 
-    /// Flattens the family into individual [`Sample`]s as they appear on the
-    /// wire (histograms expand into `_bucket`, `_sum` and `_count` samples).
-    pub fn samples(&self) -> Vec<Sample> {
-        let mut out = Vec::new();
+    /// Merges `constant` into the labels of every point (`constant` wins on
+    /// conflict, matching [`crate::Registry`] constant-label semantics and the
+    /// per-sample merge the scraper performs for `job`/`instance` labels).
+    /// Use this to relabel whole snapshots when composing collectors.
+    pub fn add_labels(&mut self, constant: &Labels) {
+        if constant.is_empty() {
+            return;
+        }
+        for point in &mut self.points {
+            point.labels = point.labels.merged(constant);
+        }
+    }
+
+    /// Absorbs the points of `other` into this family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::AlreadyRegistered`] when `other` has the same
+    /// name but a different kind — merging those would corrupt the family.
+    pub fn merge(&mut self, other: FamilySnapshot) -> Result<(), MetricError> {
+        if other.name != self.name || other.kind != self.kind {
+            return Err(MetricError::AlreadyRegistered(other.name));
+        }
+        if self.help.is_empty() {
+            self.help = other.help;
+        }
+        self.points.extend(other.points);
+        Ok(())
+    }
+
+    /// Visits every wire-level sample of the family without materialising a
+    /// `Vec<Sample>`: plain counter/gauge/untyped points are passed with
+    /// **borrowed** name and labels (zero clones — this is the scraper's hot
+    /// path), while histogram and summary expansions pass locally built
+    /// `_bucket`/`_sum`/`_count` names and `le`/`quantile` label sets.
+    pub fn for_each_sample(&self, mut visit: impl FnMut(&str, &Labels, f64, Option<u64>)) {
+        let mut scratch = String::new();
+        let suffixed = |suffix: &str, scratch: &mut String| {
+            scratch.clear();
+            scratch.push_str(&self.name);
+            scratch.push_str(suffix);
+        };
         for point in &self.points {
+            let ts = point.timestamp_ms;
             match &point.value {
                 PointValue::Counter(v) | PointValue::Gauge(v) | PointValue::Untyped(v) => {
-                    out.push(Sample {
-                        name: self.name.clone(),
-                        labels: point.labels.clone(),
-                        value: *v,
-                        timestamp_ms: point.timestamp_ms,
-                    });
+                    visit(&self.name, &point.labels, *v, ts);
                 }
                 PointValue::Histogram(h) => {
+                    suffixed("_bucket", &mut scratch);
                     for (i, bound) in h.bounds.iter().enumerate() {
                         let labels = point.labels.with("le", format_bound(*bound));
-                        out.push(Sample {
-                            name: format!("{}_bucket", self.name),
-                            labels,
-                            value: h.cumulative_counts[i] as f64,
-                            timestamp_ms: point.timestamp_ms,
-                        });
+                        visit(&scratch, &labels, h.cumulative_counts[i] as f64, ts);
                     }
                     let inf_labels = point.labels.with("le", "+Inf");
-                    out.push(Sample {
-                        name: format!("{}_bucket", self.name),
-                        labels: inf_labels,
-                        value: *h.cumulative_counts.last().unwrap_or(&0) as f64,
-                        timestamp_ms: point.timestamp_ms,
-                    });
-                    out.push(Sample {
-                        name: format!("{}_sum", self.name),
-                        labels: point.labels.clone(),
-                        value: h.sum,
-                        timestamp_ms: point.timestamp_ms,
-                    });
-                    out.push(Sample {
-                        name: format!("{}_count", self.name),
-                        labels: point.labels.clone(),
-                        value: h.count as f64,
-                        timestamp_ms: point.timestamp_ms,
-                    });
+                    visit(
+                        &scratch,
+                        &inf_labels,
+                        *h.cumulative_counts.last().unwrap_or(&0) as f64,
+                        ts,
+                    );
+                    suffixed("_sum", &mut scratch);
+                    visit(&scratch, &point.labels, h.sum, ts);
+                    suffixed("_count", &mut scratch);
+                    visit(&scratch, &point.labels, h.count as f64, ts);
                 }
                 PointValue::Summary(s) => {
                     for (q, v) in &s.quantiles {
                         let labels = point.labels.with("quantile", format_bound(*q));
-                        out.push(Sample {
-                            name: self.name.clone(),
-                            labels,
-                            value: *v,
-                            timestamp_ms: point.timestamp_ms,
-                        });
+                        visit(&self.name, &labels, *v, ts);
                     }
-                    out.push(Sample {
-                        name: format!("{}_sum", self.name),
-                        labels: point.labels.clone(),
-                        value: s.sum,
-                        timestamp_ms: point.timestamp_ms,
-                    });
-                    out.push(Sample {
-                        name: format!("{}_count", self.name),
-                        labels: point.labels.clone(),
-                        value: s.count as f64,
-                        timestamp_ms: point.timestamp_ms,
-                    });
+                    suffixed("_sum", &mut scratch);
+                    visit(&scratch, &point.labels, s.sum, ts);
+                    suffixed("_count", &mut scratch);
+                    visit(&scratch, &point.labels, s.count as f64, ts);
                 }
             }
         }
+    }
+
+    /// Flattens the family into individual owned [`Sample`]s as they appear on
+    /// the wire (histograms expand into `_bucket`, `_sum` and `_count`
+    /// samples).  Prefer [`FamilySnapshot::for_each_sample`] on hot paths.
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        self.for_each_sample(|name, labels, value, timestamp_ms| {
+            out.push(Sample {
+                name: name.to_string(),
+                labels: labels.clone(),
+                value,
+                timestamp_ms,
+            });
+        });
         out
     }
+}
+
+/// Collapses families that share a name into one family each (points are
+/// concatenated in input order, families sorted by name).  Families whose
+/// kinds conflict are kept separate rather than silently corrupted.
+pub fn merge_families(families: Vec<FamilySnapshot>) -> Vec<FamilySnapshot> {
+    let mut merged: Vec<FamilySnapshot> = Vec::with_capacity(families.len());
+    for family in families {
+        match merged.iter_mut().find(|f| f.name == family.name && f.kind == family.kind) {
+            Some(existing) => {
+                existing.merge(family).expect("name and kind checked above");
+            }
+            None => merged.push(family),
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
 }
 
 /// A single flattened sample as it appears on the exposition wire.
@@ -303,15 +345,11 @@ mod tests {
         h.observe(0.5);
         h.observe(1.5);
         h.observe(9.0);
-        let fam = FamilySnapshot::new("lat", "latency", MetricKind::Histogram).with_point(
-            MetricPoint::new(Labels::new(), PointValue::Histogram(h.snapshot())),
-        );
+        let fam = FamilySnapshot::new("lat", "latency", MetricKind::Histogram)
+            .with_point(MetricPoint::new(Labels::new(), PointValue::Histogram(h.snapshot())));
         let samples = fam.samples();
         let names: Vec<_> = samples.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(
-            names,
-            vec!["lat_bucket", "lat_bucket", "lat_bucket", "lat_sum", "lat_count"]
-        );
+        assert_eq!(names, vec!["lat_bucket", "lat_bucket", "lat_bucket", "lat_sum", "lat_count"]);
         let inf = samples.iter().find(|s| s.labels.get("le") == Some("+Inf")).unwrap();
         assert_eq!(inf.value, 3.0);
         let count = samples.iter().find(|s| s.name == "lat_count").unwrap();
@@ -320,10 +358,76 @@ mod tests {
 
     #[test]
     fn timestamps_are_propagated() {
-        let fam = FamilySnapshot::new("g", "gauge", MetricKind::Gauge).with_point(
-            MetricPoint::new(Labels::new(), PointValue::Gauge(1.0)).at(12345),
-        );
+        let fam = FamilySnapshot::new("g", "gauge", MetricKind::Gauge)
+            .with_point(MetricPoint::new(Labels::new(), PointValue::Gauge(1.0)).at(12345));
         assert_eq!(fam.samples()[0].timestamp_ms, Some(12345));
+    }
+
+    #[test]
+    fn add_labels_merges_point_labels_win() {
+        let mut fam = FamilySnapshot::new("x_total", "", MetricKind::Counter).with_point(
+            MetricPoint::new(Labels::from_pairs([("job", "mine")]), PointValue::Counter(1.0)),
+        );
+        fam.add_labels(&Labels::from_pairs([("job", "scraped"), ("instance", "n1:9090")]));
+        let labels = &fam.points[0].labels;
+        assert_eq!(labels.get("job"), Some("scraped"), "target labels win on conflict");
+        assert_eq!(labels.get("instance"), Some("n1:9090"));
+    }
+
+    #[test]
+    fn merge_concatenates_and_rejects_kind_conflicts() {
+        let mut a = FamilySnapshot::new("m", "help", MetricKind::Gauge)
+            .with_point(MetricPoint::new(Labels::new(), PointValue::Gauge(1.0)));
+        let b = FamilySnapshot::new("m", "", MetricKind::Gauge)
+            .with_point(MetricPoint::new(Labels::from_pairs([("a", "1")]), PointValue::Gauge(2.0)));
+        a.merge(b).unwrap();
+        assert_eq!(a.points.len(), 2);
+        let conflicting = FamilySnapshot::new("m", "", MetricKind::Counter);
+        assert!(a.merge(conflicting).is_err());
+    }
+
+    #[test]
+    fn merge_families_collapses_duplicates_sorted() {
+        let families = vec![
+            FamilySnapshot::new("z", "", MetricKind::Counter)
+                .with_point(MetricPoint::new(Labels::new(), PointValue::Counter(1.0))),
+            FamilySnapshot::new("a", "", MetricKind::Gauge),
+            FamilySnapshot::new("z", "late help", MetricKind::Counter).with_point(
+                MetricPoint::new(Labels::from_pairs([("i", "2")]), PointValue::Counter(2.0)),
+            ),
+        ];
+        let merged = merge_families(families);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "a");
+        assert_eq!(merged[1].name, "z");
+        assert_eq!(merged[1].points.len(), 2);
+        assert_eq!(merged[1].help, "late help");
+    }
+
+    #[test]
+    fn for_each_sample_matches_samples_and_borrows_plain_points() {
+        let h = Histogram::new(vec![1.0, 2.0]).unwrap();
+        h.observe(0.5);
+        let fam = FamilySnapshot::new("lat", "latency", MetricKind::Histogram)
+            .with_point(MetricPoint::new(Labels::new(), PointValue::Histogram(h.snapshot())));
+        let mut visited = Vec::new();
+        fam.for_each_sample(|name, labels, value, ts| {
+            visited.push(Sample {
+                name: name.to_string(),
+                labels: labels.clone(),
+                value,
+                timestamp_ms: ts,
+            });
+        });
+        assert_eq!(visited, fam.samples());
+
+        // A plain counter family passes the family name pointer straight through.
+        let plain = FamilySnapshot::new("c_total", "", MetricKind::Counter)
+            .with_point(MetricPoint::new(Labels::new(), PointValue::Counter(4.0)));
+        plain.for_each_sample(|name, _, value, _| {
+            assert!(std::ptr::eq(name.as_ptr(), plain.name.as_ptr()));
+            assert_eq!(value, 4.0);
+        });
     }
 
     #[test]

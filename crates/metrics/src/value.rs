@@ -29,9 +29,7 @@ impl AtomicF64 {
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + delta).to_bits();
-            match self
-                .0
-                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            match self.0.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(observed) => current = observed,
@@ -233,7 +231,12 @@ impl Histogram {
         let counts = vec![0; bounds.len()];
         Ok(Self {
             bounds: Arc::new(bounds),
-            inner: Arc::new(Mutex::new(HistogramInner { counts, inf_count: 0, sum: 0.0, total: 0 })),
+            inner: Arc::new(Mutex::new(HistogramInner {
+                counts,
+                inf_count: 0,
+                sum: 0.0,
+                total: 0,
+            })),
         })
     }
 
@@ -402,11 +405,7 @@ impl Summary {
         let inner = self.inner.lock();
         let mut sorted = inner.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let quantiles = self
-            .quantiles
-            .iter()
-            .map(|q| (*q, exact_quantile(&sorted, *q)))
-            .collect();
+        let quantiles = self.quantiles.iter().map(|q| (*q, exact_quantile(&sorted, *q))).collect();
         SummarySnapshot { quantiles, sum: inner.sum, count: inner.count }
     }
 }
@@ -484,10 +483,7 @@ mod tests {
         assert_eq!(snap.cumulative_counts, vec![1, 3, 4, 5]);
         assert_eq!(snap.count, 5);
         assert!((snap.sum - 16.7).abs() < 1e-9);
-        assert!(snap
-            .cumulative_counts
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(snap.cumulative_counts.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod workload;
 
 pub use chart::{ChartValues, HelmChart};
 pub use cluster::{Cluster, Node, NodeEvent, Taint};
-pub use workload::{DaemonSet, Pod, PodPhase, ServiceDiscovery, ScrapeEndpoint};
+pub use workload::{DaemonSet, Pod, PodPhase, ScrapeEndpoint, ServiceDiscovery};

@@ -216,7 +216,9 @@ mod tests {
         // everywhere DaemonSets lack the SGX taint toleration, so they only
         // land on untainted nodes: 2×2 + 1×2 = 6.
         assert_eq!(before.len(), 2 * 2 + 2);
-        assert!(before.iter().any(|e| e.job == "teemon-sgx-exporter" && e.instance == "sgx-0:9090"));
+        assert!(before
+            .iter()
+            .any(|e| e.job == "teemon-sgx-exporter" && e.instance == "sgx-0:9090"));
 
         // A new SGX node joins: the SGX exporters follow automatically.
         cluster.add_node(Node::sgx("sgx-new"));

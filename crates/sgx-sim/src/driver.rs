@@ -310,10 +310,7 @@ mod tests {
         let (id, _) = driver.create_enclave(1, 1024 * 1024, 1).unwrap();
         assert!(driver.access_page(id, 0).is_ok());
         let committed = SgxDriver::pages_for(1024 * 1024);
-        assert!(matches!(
-            driver.access_page(id, committed),
-            Err(SgxError::PageOutOfRange { .. })
-        ));
+        assert!(matches!(driver.access_page(id, committed), Err(SgxError::PageOutOfRange { .. })));
         assert!(matches!(
             driver.access_page(EnclaveId::from_raw(999), 0),
             Err(SgxError::NoSuchEnclave(999))

@@ -212,8 +212,7 @@ impl Epc {
         // Phase 1: mark the least recently used part of the deficit as old.
         let deficit = target.saturating_sub(self.free_pages());
         let mut marked = 0;
-        let victims: Vec<PageKey> =
-            self.lru.values().take(deficit as usize).copied().collect();
+        let victims: Vec<PageKey> = self.lru.values().take(deficit as usize).copied().collect();
         for key in victims {
             if let Some(page) = self.resident.get_mut(&key) {
                 if !page.old {
@@ -347,11 +346,11 @@ impl Epc {
     pub fn check_invariants(&self) -> bool {
         let no_overlap = self.resident.keys().all(|k| !self.swapped.contains_key(k));
         let lru_matches = self.lru.len() == self.resident.len()
-            && self.lru.iter().all(|(seq, key)| {
-                self.resident.get(key).map(|p| p.seq == *seq).unwrap_or(false)
-            });
-        let conserved =
-            self.free_pages() + self.resident_pages() == self.config.usable_pages();
+            && self
+                .lru
+                .iter()
+                .all(|(seq, key)| self.resident.get(key).map(|p| p.seq == *seq).unwrap_or(false));
+        let conserved = self.free_pages() + self.resident_pages() == self.config.usable_pages();
         no_overlap && lru_matches && conserved
     }
 }

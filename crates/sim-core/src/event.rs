@@ -199,8 +199,7 @@ impl<E> Simulation<E> {
         mut handler: impl FnMut(SimTime, E) -> Step<E>,
     ) -> u64 {
         let mut handled = 0;
-        loop {
-            let Some(next_at) = self.queue.peek_time() else { break };
+        while let Some(next_at) = self.queue.peek_time() {
             if next_at > until {
                 break;
             }

@@ -28,12 +28,8 @@ impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { state }
     }
 
@@ -46,10 +42,8 @@ impl DetRng {
 
     /// Uniform `u64` (xoshiro256++ output function).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[0]
-            .wrapping_add(self.state[3])
-            .rotate_left(23)
-            .wrapping_add(self.state[0]);
+        let result =
+            self.state[0].wrapping_add(self.state[3]).rotate_left(23).wrapping_add(self.state[0]);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];

@@ -253,7 +253,7 @@ mod tests {
 
     #[test]
     fn ordering_is_chronological() {
-        let mut times = vec![SimTime::from_secs(5), SimTime::ZERO, SimTime::from_millis(10)];
+        let mut times = [SimTime::from_secs(5), SimTime::ZERO, SimTime::from_millis(10)];
         times.sort();
         assert_eq!(times[0], SimTime::ZERO);
         assert_eq!(times[2], SimTime::from_secs(5));

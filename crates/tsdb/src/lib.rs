@@ -10,10 +10,17 @@
 //!   retention,
 //! * [`Selector`] and the [`query`] module — instant/range queries, label
 //!   matching, `rate`, `sum`/`avg`/`min`/`max` aggregation and quantiles,
-//! * [`Scraper`] — the pull loop: scrapes [`MetricsEndpoint`]s on an interval,
-//!   attaches `job`/`instance` labels, records `up` and scrape-duration
-//!   meta-metrics, and tolerates target failures (the health-checking role the
-//!   paper assigns to the monitoring service).
+//! * [`Scraper`] — the pull loop: scrapes typed [`MetricsEndpoint`]s on an
+//!   interval (per-target intervals supported), attaches `job`/`instance`
+//!   labels, records `up`/`scrape_duration_seconds`/`scrape_samples_scraped`
+//!   meta-metrics, and tolerates target failures (the health-checking role
+//!   the paper assigns to the monitoring service).
+//!
+//! The scrape path is typed end to end: exporters hand over
+//! [`teemon_metrics::FamilySnapshot`]s and no OpenMetrics text is produced or
+//! parsed in process.  The wire format lives at the edges only —
+//! [`TextEndpoint`] for external consumers, [`scrape::TextSource`] for
+//! external producers.
 
 #![warn(missing_docs)]
 
@@ -23,6 +30,9 @@ pub mod series;
 pub mod storage;
 
 pub use query::{AggregateOp, QueryResult, RangePoint, Selector};
-pub use scrape::{MetricsEndpoint, ScrapeOutcome, ScrapeTargetConfig, Scraper};
+pub use scrape::{
+    CollectorEndpoint, MetricsEndpoint, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
+    TextEndpoint, TextSource,
+};
 pub use series::{Sample, Series, SeriesId};
 pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig};

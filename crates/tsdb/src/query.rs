@@ -74,9 +74,7 @@ impl Selector {
         }
         self.matchers.iter().all(|m| match m {
             LabelMatch::Equals(k, v) => labels.get(k) == Some(v.as_str()),
-            LabelMatch::NotEquals(k, v) => {
-                labels.get(k).map(|actual| actual != v).unwrap_or(false)
-            }
+            LabelMatch::NotEquals(k, v) => labels.get(k).map(|actual| actual != v).unwrap_or(false),
             LabelMatch::Exists(k) => labels.get(k).is_some(),
         })
     }
@@ -149,9 +147,7 @@ pub fn aggregate_over_time(results: &[QueryResult], op: AggregateOp) -> Vec<Rang
         .filter_map(|ts| {
             let values: Vec<f64> = results
                 .iter()
-                .filter_map(|r| {
-                    r.points.iter().rev().find(|(t, _)| *t <= ts).map(|(_, v)| *v)
-                })
+                .filter_map(|r| r.points.iter().rev().find(|(t, _)| *t <= ts).map(|(_, v)| *v))
                 .collect();
             op.apply(&values).map(|v| (ts, v))
         })
@@ -233,12 +229,8 @@ mod tests {
         assert!(!Selector::metric("up").matches("down", &series_labels));
         assert!(Selector::metric("up").with_label("node", "n1").matches("up", &series_labels));
         assert!(!Selector::metric("up").with_label("node", "n2").matches("up", &series_labels));
-        assert!(Selector::all()
-            .without_label_value("node", "n2")
-            .matches("up", &series_labels));
-        assert!(!Selector::all()
-            .without_label_value("node", "n1")
-            .matches("up", &series_labels));
+        assert!(Selector::all().without_label_value("node", "n2").matches("up", &series_labels));
+        assert!(!Selector::all().without_label_value("node", "n1").matches("up", &series_labels));
         assert!(Selector::all().with_label_present("job").matches("up", &series_labels));
         assert!(!Selector::all().with_label_present("pod").matches("up", &series_labels));
     }

@@ -5,38 +5,166 @@
 //! which smooths bursts, centralises ingestion and doubles as a health check
 //! ("the monitoring service also acts as a health checker and can alert in
 //! case the monitoring target is unreachable").  [`Scraper`] implements that
-//! loop against in-process [`MetricsEndpoint`]s.
+//! loop against in-process endpoints.
+//!
+//! Unlike the paper's deployment — where exporters and Prometheus are
+//! separate processes and every scrape round-trips through OpenMetrics text —
+//! the default path here is **typed**: a [`MetricsEndpoint`] returns owned
+//! [`FamilySnapshot`]s and the scraper appends their samples straight into
+//! the [`TimeSeriesDb`].  The text wire format remains available at the
+//! edges: [`TextEndpoint`] renders any [`Collector`] as exposition text for
+//! external consumers (and can itself be scraped, paying the encode/parse
+//! round-trip deliberately), while [`Scraper::add_text_source`] ingests raw
+//! exposition documents from targets that only speak text.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use teemon_metrics::{exposition, Labels};
+use teemon_metrics::{exposition, CollectError, Collector, FamilySnapshot, Labels, MetricError};
 
 use crate::storage::TimeSeriesDb;
 
-/// Something that can be scraped: returns an OpenMetrics text document.
+/// Why scraping one target failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScrapeError {
+    /// The target was unreachable or refused to produce metrics.
+    Unreachable(String),
+    /// The target's collector failed.
+    Collect(CollectError),
+    /// A text target produced a malformed exposition document.
+    Parse(MetricError),
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Unreachable(reason) => write!(f, "target unreachable: {reason}"),
+            ScrapeError::Collect(err) => write!(f, "{err}"),
+            ScrapeError::Parse(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+impl From<CollectError> for ScrapeError {
+    fn from(err: CollectError) -> Self {
+        ScrapeError::Collect(err)
+    }
+}
+
+impl From<MetricError> for ScrapeError {
+    fn from(err: MetricError) -> Self {
+        ScrapeError::Parse(err)
+    }
+}
+
+/// Something that can be scraped: returns the current typed family snapshots.
 ///
-/// Exporters implement this; a real deployment would put an HTTP server in
-/// front, but the contract — "GET /metrics returns the current exposition" —
-/// is the same.
+/// This is the in-process scrape contract.  Every [`Collector`] can be turned
+/// into an endpoint with [`CollectorEndpoint`] (or [`Scraper::add_collector`]);
+/// closures returning snapshots work directly.
 pub trait MetricsEndpoint: Send + Sync {
-    /// Renders the current metrics as exposition text.
+    /// Produces the current family snapshots.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable error when the endpoint is unreachable or
-    /// failing, which the scraper records as `up == 0`.
-    fn scrape(&self) -> Result<String, String>;
+    /// Returns a [`ScrapeError`] when the endpoint is unreachable or failing,
+    /// which the scraper records as `up == 0`.
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError>;
 }
 
 impl<F> MetricsEndpoint for F
 where
+    F: Fn() -> Result<Vec<FamilySnapshot>, ScrapeError> + Send + Sync,
+{
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        (self)()
+    }
+}
+
+/// Typed endpoint over any [`Collector`]: refresh, then hand over snapshots.
+/// No serialisation of any kind is involved.
+pub struct CollectorEndpoint(Arc<dyn Collector>);
+
+impl CollectorEndpoint {
+    /// Wraps a collector.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Self(collector)
+    }
+}
+
+impl MetricsEndpoint for CollectorEndpoint {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        self.0.refresh();
+        Ok(self.0.collect()?)
+    }
+}
+
+/// The outbound text edge: renders a [`Collector`] as an OpenMetrics text
+/// document, the way an HTTP `/metrics` handler would serve it to an external
+/// Prometheus.
+///
+/// `TextEndpoint` also implements [`MetricsEndpoint`] by encoding to text and
+/// parsing the document back into snapshots — the full wire round-trip the
+/// paper's deployment pays on every scrape.  The in-process pipeline never
+/// needs this; it exists for interoperability tests and for measuring what
+/// the typed path saves (see `teemon-bench`'s `micro` bench).
+pub struct TextEndpoint(Arc<dyn Collector>);
+
+impl TextEndpoint {
+    /// Wraps a collector.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Self(collector)
+    }
+
+    /// Renders the collector's current state as exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the collector's [`CollectError`].
+    pub fn render(&self) -> Result<String, CollectError> {
+        exposition::render_collector(self.0.as_ref())
+    }
+}
+
+impl MetricsEndpoint for TextEndpoint {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        let text = self.render()?;
+        Ok(exposition::parse_families(&text)?)
+    }
+}
+
+/// A source of raw exposition text (an external process's `/metrics` output).
+/// The inbound text edge: use [`Scraper::add_text_source`] to scrape it.
+pub trait TextSource: Send + Sync {
+    /// Fetches the current exposition document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable transport error when the target is down.
+    fn fetch(&self) -> Result<String, String>;
+}
+
+impl<F> TextSource for F
+where
     F: Fn() -> Result<String, String> + Send + Sync,
 {
-    fn scrape(&self) -> Result<String, String> {
+    fn fetch(&self) -> Result<String, String> {
         (self)()
+    }
+}
+
+/// Endpoint adapter parsing a [`TextSource`]'s document into snapshots.
+struct TextSourceEndpoint(Arc<dyn TextSource>);
+
+impl MetricsEndpoint for TextSourceEndpoint {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        let text = self.0.fetch().map_err(ScrapeError::Unreachable)?;
+        Ok(exposition::parse_families(&text)?)
     }
 }
 
@@ -51,12 +179,22 @@ pub struct ScrapeTargetConfig {
     /// Kubernetes node name).
     #[serde(default)]
     pub extra_labels: BTreeMap<String, String>,
+    /// Per-target scrape interval in milliseconds; `None` follows the
+    /// scraper's global interval.  Targets with a longer interval are skipped
+    /// by [`Scraper::scrape_due`] until they are due again.
+    #[serde(default)]
+    pub interval_ms: Option<u64>,
 }
 
 impl ScrapeTargetConfig {
     /// Creates a target configuration.
     pub fn new(job: impl Into<String>, instance: impl Into<String>) -> Self {
-        Self { job: job.into(), instance: instance.into(), extra_labels: BTreeMap::new() }
+        Self {
+            job: job.into(),
+            instance: instance.into(),
+            extra_labels: BTreeMap::new(),
+            interval_ms: None,
+        }
     }
 
     /// Adds an extra label.
@@ -66,11 +204,16 @@ impl ScrapeTargetConfig {
         self
     }
 
+    /// Sets a per-target scrape interval.
+    #[must_use]
+    pub fn with_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.interval_ms = Some(interval_ms.max(1));
+        self
+    }
+
     fn target_labels(&self) -> Labels {
-        let mut labels = Labels::from_pairs([
-            ("job", self.job.clone()),
-            ("instance", self.instance.clone()),
-        ]);
+        let mut labels =
+            Labels::from_pairs([("job", self.job.clone()), ("instance", self.instance.clone())]);
         for (k, v) in &self.extra_labels {
             labels.insert(k.clone(), v.clone());
         }
@@ -89,14 +232,22 @@ pub struct ScrapeOutcome {
     pub up: bool,
     /// Samples ingested.
     pub samples: u64,
-    /// Parse or transport error, when failed.
+    /// Modelled scrape duration in seconds (also recorded as the
+    /// `scrape_duration_seconds` meta-metric).  Deterministic: derived from
+    /// the number of scraped samples, not host wall-clock time.
+    pub duration_seconds: f64,
+    /// Collect, parse or transport error, when failed.
     pub error: Option<String>,
 }
 
 struct Target {
     config: ScrapeTargetConfig,
     endpoint: Arc<dyn MetricsEndpoint>,
+    /// Virtual time of the last scrape; `u64::MAX` = never scraped.
+    last_scrape_ms: AtomicU64,
 }
+
+const NEVER: u64 = u64::MAX;
 
 /// The scrape manager: a set of targets feeding one [`TimeSeriesDb`].
 #[derive(Clone)]
@@ -112,7 +263,11 @@ impl Scraper {
 
     /// Creates a scraper feeding `db`.
     pub fn new(db: TimeSeriesDb) -> Self {
-        Self { db, targets: Arc::new(RwLock::new(Vec::new())), scrape_interval_ms: Self::DEFAULT_INTERVAL_MS }
+        Self {
+            db,
+            targets: Arc::new(RwLock::new(Vec::new())),
+            scrape_interval_ms: Self::DEFAULT_INTERVAL_MS,
+        }
     }
 
     /// Sets the scrape interval in milliseconds.
@@ -132,9 +287,24 @@ impl Scraper {
         &self.db
     }
 
-    /// Registers a scrape target.
+    /// Registers a typed scrape target.
     pub fn add_target(&self, config: ScrapeTargetConfig, endpoint: Arc<dyn MetricsEndpoint>) {
-        self.targets.write().push(Target { config, endpoint });
+        self.targets.write().push(Target {
+            config,
+            endpoint,
+            last_scrape_ms: AtomicU64::new(NEVER),
+        });
+    }
+
+    /// Registers a [`Collector`] as a typed scrape target (the default,
+    /// zero-serialisation path).
+    pub fn add_collector(&self, config: ScrapeTargetConfig, collector: Arc<dyn Collector>) {
+        self.add_target(config, Arc::new(CollectorEndpoint::new(collector)));
+    }
+
+    /// Registers a raw-text target (the inbound wire-format edge).
+    pub fn add_text_source(&self, config: ScrapeTargetConfig, source: Arc<dyn TextSource>) {
+        self.add_target(config, Arc::new(TextSourceEndpoint(source)));
     }
 
     /// Removes every target whose instance equals `instance` (e.g. a node that
@@ -151,7 +321,8 @@ impl Scraper {
         self.targets.read().len()
     }
 
-    /// Scrapes every target once, stamping samples with `now_ms`.
+    /// Scrapes every target once, regardless of per-target intervals,
+    /// stamping samples with `now_ms`.
     pub fn scrape_once(&self, now_ms: u64) -> Vec<ScrapeOutcome> {
         let targets = self.targets.read();
         let mut outcomes = Vec::with_capacity(targets.len());
@@ -161,46 +332,70 @@ impl Scraper {
         outcomes
     }
 
+    /// Scrapes every target that is due at `now_ms`: never-scraped targets
+    /// are always due, others when their per-target interval (falling back to
+    /// the scraper's global interval) has elapsed.
+    pub fn scrape_due(&self, now_ms: u64) -> Vec<ScrapeOutcome> {
+        let targets = self.targets.read();
+        let mut outcomes = Vec::new();
+        for target in targets.iter() {
+            let last = target.last_scrape_ms.load(Ordering::Relaxed);
+            let interval = target.config.interval_ms.unwrap_or(self.scrape_interval_ms);
+            if last == NEVER || now_ms.saturating_sub(last) >= interval {
+                outcomes.push(self.scrape_target(target, now_ms));
+            }
+        }
+        outcomes
+    }
+
+    /// Modelled base duration of one scrape in seconds (connection setup and
+    /// metadata handling) plus a per-sample cost.  The simulation runs on
+    /// virtual time, so the `scrape_duration_seconds` meta-metric is charged
+    /// from this deterministic model rather than host wall-clock time — two
+    /// identical runs must produce identical database contents.
+    const SCRAPE_BASE_SECONDS: f64 = 500e-6;
+    const SCRAPE_PER_SAMPLE_SECONDS: f64 = 2e-6;
+
     fn scrape_target(&self, target: &Target, now_ms: u64) -> ScrapeOutcome {
         let base_labels = target.config.target_labels();
-        let up_labels = base_labels.clone();
-        match target.endpoint.scrape().and_then(|text| {
-            exposition::parse_text(&text).map_err(|e| e.to_string())
-        }) {
-            Ok(parsed) => {
-                let mut ingested = 0;
-                for sample in &parsed.samples {
-                    let labels = sample.labels.merged(&base_labels);
-                    let ts = sample.timestamp_ms.unwrap_or(now_ms);
-                    if self.db.append(&sample.name, &labels, ts, sample.value) {
-                        ingested += 1;
-                    }
+        let result = target.endpoint.scrape();
+        target.last_scrape_ms.store(now_ms, Ordering::Relaxed);
+        let (up, scraped, ingested, error) = match result {
+            Ok(families) => {
+                let mut scraped = 0u64;
+                let mut ingested = 0u64;
+                for family in &families {
+                    family.for_each_sample(|name, labels, value, timestamp_ms| {
+                        scraped += 1;
+                        let labels = labels.merged(&base_labels);
+                        let ts = timestamp_ms.unwrap_or(now_ms);
+                        if self.db.append(name, &labels, ts, value) {
+                            ingested += 1;
+                        }
+                    });
                 }
-                self.db.append("up", &up_labels, now_ms, 1.0);
-                self.db.append(
-                    "scrape_samples_scraped",
-                    &up_labels,
-                    now_ms,
-                    parsed.samples.len() as f64,
-                );
-                ScrapeOutcome {
-                    job: target.config.job.clone(),
-                    instance: target.config.instance.clone(),
-                    up: true,
-                    samples: ingested,
-                    error: None,
-                }
+                (true, scraped, ingested, None)
             }
-            Err(error) => {
-                self.db.append("up", &up_labels, now_ms, 0.0);
-                ScrapeOutcome {
-                    job: target.config.job.clone(),
-                    instance: target.config.instance.clone(),
-                    up: false,
-                    samples: 0,
-                    error: Some(error),
-                }
-            }
+            Err(error) => (false, 0, 0, Some(error.to_string())),
+        };
+        let duration_seconds =
+            Self::SCRAPE_BASE_SECONDS + scraped as f64 * Self::SCRAPE_PER_SAMPLE_SECONDS;
+        self.db.append("up", &base_labels, now_ms, if up { 1.0 } else { 0.0 });
+        self.db.append("scrape_duration_seconds", &base_labels, now_ms, duration_seconds);
+        if up {
+            // Prometheus semantics: `_scraped` counts the samples the target
+            // exposed, `_added` the ones storage accepted (out-of-order
+            // samples are rejected by the series).
+            self.db.append("scrape_samples_scraped", &base_labels, now_ms, scraped as f64);
+            self.db.append("scrape_samples_added", &base_labels, now_ms, ingested as f64);
+        }
+        ScrapeOutcome {
+            job: target.config.job.clone(),
+            instance: target.config.instance.clone(),
+            up,
+            samples: ingested,
+            duration_seconds,
+            error,
         }
     }
 
@@ -230,27 +425,28 @@ impl std::fmt::Debug for Scraper {
 mod tests {
     use super::*;
     use crate::query::Selector;
-    use teemon_metrics::Registry;
+    use teemon_metrics::{Registry, RegistryCollector};
 
-    fn registry_endpoint(registry: Registry) -> Arc<dyn MetricsEndpoint> {
-        Arc::new(move || Ok(exposition::encode_text(&registry.gather())))
+    fn registry_collector(job: &str, registry: Registry) -> Arc<dyn Collector> {
+        Arc::new(RegistryCollector::new(job, registry))
     }
 
     #[test]
-    fn scrape_ingests_samples_with_target_labels() {
+    fn typed_scrape_ingests_samples_with_target_labels() {
         let db = TimeSeriesDb::new();
         let scraper = Scraper::new(db.clone());
         let registry = Registry::new();
         registry.gauge_family("sgx_nr_free_pages", "free pages").default_instance().set(24_000.0);
-        scraper.add_target(
+        scraper.add_collector(
             ScrapeTargetConfig::new("sgx_exporter", "node-1:9090").with_label("node", "node-1"),
-            registry_endpoint(registry.clone()),
+            registry_collector("sgx_exporter", registry.clone()),
         );
 
         let outcomes = scraper.scrape_once(5_000);
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].up);
         assert_eq!(outcomes[0].samples, 1);
+        assert!(outcomes[0].duration_seconds > 0.0);
 
         let results = db.query_instant(&Selector::metric("sgx_nr_free_pages"), 10_000);
         assert_eq!(results.len(), 1);
@@ -258,9 +454,10 @@ mod tests {
         assert_eq!(results[0].labels.get("node"), Some("node-1"));
         assert_eq!(results[0].points[0].1, 24_000.0);
 
-        // The up meta-metric is recorded too.
+        // The meta-metrics are recorded too.
         let up = db.query_instant(&Selector::metric("up"), 10_000);
         assert_eq!(up[0].points[0].1, 1.0);
+        assert_eq!(db.query_instant(&Selector::metric("scrape_duration_seconds"), 10_000).len(), 1);
         assert!(scraper.unhealthy_instances(10_000).is_empty());
     }
 
@@ -270,9 +467,9 @@ mod tests {
         let scraper = Scraper::new(db.clone()).with_interval_ms(5_000);
         let registry = Registry::new();
         let counter = registry.counter_family("events_total", "events");
-        scraper.add_target(
+        scraper.add_collector(
             ScrapeTargetConfig::new("ebpf_exporter", "node-1:9435"),
-            registry_endpoint(registry.clone()),
+            registry_collector("ebpf_exporter", registry.clone()),
         );
         for round in 0..5u64 {
             counter.default_instance().inc_by(10.0);
@@ -291,7 +488,7 @@ mod tests {
         let scraper = Scraper::new(db.clone());
         scraper.add_target(
             ScrapeTargetConfig::new("sgx_exporter", "node-2:9090"),
-            Arc::new(|| Err("connection refused".to_string())),
+            Arc::new(|| Err(ScrapeError::Unreachable("connection refused".to_string()))),
         );
         let outcomes = scraper.scrape_once(1_000);
         assert!(!outcomes[0].up);
@@ -300,10 +497,10 @@ mod tests {
     }
 
     #[test]
-    fn malformed_exposition_counts_as_failure() {
+    fn malformed_text_source_counts_as_failure() {
         let db = TimeSeriesDb::new();
         let scraper = Scraper::new(db.clone());
-        scraper.add_target(
+        scraper.add_text_source(
             ScrapeTargetConfig::new("broken", "node-3:1"),
             Arc::new(|| Ok("this is { not valid".to_string())),
         );
@@ -313,17 +510,75 @@ mod tests {
     }
 
     #[test]
+    fn text_endpoint_round_trips_through_the_wire_format() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let registry = Registry::new();
+        registry
+            .counter_family("teemon_syscalls_total", "syscalls")
+            .with(&teemon_metrics::Labels::from_pairs([("syscall", "read")]))
+            .inc_by(7.0);
+        registry
+            .histogram_family("lat_seconds", "latency", vec![0.01, 0.1])
+            .default_instance()
+            .observe(0.05);
+        let collector = registry_collector("text_job", registry);
+
+        // What the typed path would ingest…
+        let typed = collector.collect().unwrap();
+        // …must equal what survives the text round-trip.
+        let endpoint = TextEndpoint::new(collector);
+        let text = endpoint.render().unwrap();
+        assert!(text.contains("teemon_syscalls_total{syscall=\"read\"} 7"));
+        assert_eq!(endpoint.scrape().unwrap(), typed);
+
+        scraper.add_target(ScrapeTargetConfig::new("text_job", "node-1:9090"), Arc::new(endpoint));
+        let outcomes = scraper.scrape_once(1_000);
+        assert!(outcomes[0].up);
+        assert_eq!(db.query_instant(&Selector::metric("lat_seconds_bucket"), 2_000).len(), 3);
+    }
+
+    #[test]
+    fn per_target_intervals_gate_scrape_due() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db).with_interval_ms(5_000);
+        let fast = Registry::new();
+        fast.gauge_family("fast_gauge", "").default_instance().set(1.0);
+        let slow = Registry::new();
+        slow.gauge_family("slow_gauge", "").default_instance().set(1.0);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("fast", "n1:1"),
+            registry_collector("fast", fast),
+        );
+        scraper.add_collector(
+            ScrapeTargetConfig::new("slow", "n1:2").with_interval_ms(15_000),
+            registry_collector("slow", slow),
+        );
+
+        // First pass: both never scraped, both due.
+        assert_eq!(scraper.scrape_due(0).len(), 2);
+        // 5 s later only the fast target is due.
+        let due: Vec<String> = scraper.scrape_due(5_000).into_iter().map(|o| o.job).collect();
+        assert_eq!(due, vec!["fast".to_string()]);
+        assert_eq!(scraper.scrape_due(10_000).len(), 1);
+        // At 15 s the slow target is due again too.
+        assert_eq!(scraper.scrape_due(15_000).len(), 2);
+        // scrape_once ignores the gating entirely.
+        assert_eq!(scraper.scrape_once(15_500).len(), 2);
+    }
+
+    #[test]
     fn targets_can_be_removed() {
         let db = TimeSeriesDb::new();
         let scraper = Scraper::new(db);
         let registry = Registry::new();
-        scraper.add_target(
+        scraper.add_collector(
             ScrapeTargetConfig::new("node_exporter", "node-1:9100"),
-            registry_endpoint(registry.clone()),
+            registry_collector("node_exporter", registry.clone()),
         );
-        scraper.add_target(
+        scraper.add_collector(
             ScrapeTargetConfig::new("sgx_exporter", "node-1:9090"),
-            registry_endpoint(registry),
+            registry_collector("sgx_exporter", registry),
         );
         assert_eq!(scraper.target_count(), 2);
         assert_eq!(scraper.remove_instance("node-1:9100"), 1);

@@ -121,8 +121,7 @@ impl Series {
         self.chunks
             .iter()
             .flat_map(|c| c.samples.iter())
-            .filter(|s| s.timestamp_ms <= at_ms)
-            .next_back()
+            .rfind(|s| s.timestamp_ms <= at_ms)
             .copied()
     }
 

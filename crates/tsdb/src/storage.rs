@@ -87,8 +87,7 @@ impl TimeSeriesDb {
                 id
             }
         };
-        let accepted =
-            inner.series[id.0 as usize].append(Sample { timestamp_ms, value });
+        let accepted = inner.series[id.0 as usize].append(Sample { timestamp_ms, value });
         if !accepted {
             inner.rejected += 1;
         }
@@ -151,7 +150,11 @@ impl TimeSeriesDb {
             .map(|s| QueryResult {
                 name: s.name.clone(),
                 labels: s.labels.clone(),
-                points: s.range(start_ms, end_ms).iter().map(|p| (p.timestamp_ms, p.value)).collect(),
+                points: s
+                    .range(start_ms, end_ms)
+                    .iter()
+                    .map(|p| (p.timestamp_ms, p.value))
+                    .collect(),
             })
             .filter(|r| !r.points.is_empty())
             .collect()
@@ -240,8 +243,7 @@ mod tests {
         assert_eq!(instant.len(), 2);
         assert!(instant.iter().all(|r| r.points[0].0 == 4_000));
 
-        let only_read =
-            Selector::metric("syscalls_total").with_label("syscall", "read");
+        let only_read = Selector::metric("syscalls_total").with_label("syscall", "read");
         let range = db.query_range(&only_read, 2_000, 5_000);
         assert_eq!(range.len(), 1);
         assert_eq!(range[0].points.len(), 4);

@@ -8,7 +8,7 @@
 //! cargo run --release --example code_evolution
 //! ```
 
-use teemon::{HostMonitor, MonitoringMode};
+use teemon::{MonitorBuilder, MonitoringMode};
 use teemon_analysis::Analyzer;
 use teemon_apps::{run_benchmark, MemtierConfig, NetworkModel, RedisApp};
 use teemon_frameworks::{FrameworkParams, SconeVersion};
@@ -21,10 +21,10 @@ fn main() {
 
     for version in [SconeVersion::Commit572bd1a5, SconeVersion::Commit09fea91] {
         // A monitored host per run, like a CI job with TEEMon attached.
-        let host = HostMonitor::new("ci-runner", MonitoringMode::Full);
+        let host = MonitorBuilder::new("ci-runner").mode(MonitoringMode::Full).build();
         let params = FrameworkParams::scone(version);
-        let result = run_benchmark(host.kernel(), params, &app, &network, &config)
-            .expect("benchmark run");
+        let result =
+            run_benchmark(host.kernel(), params, &app, &network, &config).expect("benchmark run");
         host.scrape_tick();
 
         println!("== SCONE commit {} ==", version.commit_hash());

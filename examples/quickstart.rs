@@ -7,15 +7,22 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use teemon::{HostMonitor, MonitoringMode};
+use teemon::{MonitorBuilder, MonitoringMode};
 use teemon_apps::{Application, RedisApp};
 use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams};
 use teemon_tsdb::Selector;
 
 fn main() {
     // 1. A simulated SGX host with the full TEEMon stack (SGX exporter, eBPF
-    //    exporter, node exporter, cAdvisor, aggregation, analysis, dashboards).
-    let host = HostMonitor::new("worker-1", MonitoringMode::Full);
+    //    exporter, node exporter, cAdvisor, aggregation, analysis, dashboards),
+    //    assembled through the monitor builder.  The scrape path is typed:
+    //    exporters hand the aggregator structured snapshots, and OpenMetrics
+    //    text only exists at the edges.
+    let host = MonitorBuilder::new("worker-1")
+        .mode(MonitoringMode::Full)
+        .scrape_interval_ms(5_000)
+        .exporter_interval_ms("cadvisor", 15_000) // container specs change rarely
+        .build();
 
     // 2. Deploy a Redis-like application inside an enclave under SCONE.
     let app = RedisApp::paper_config(64); // ~105 MB database: exceeds the EPC.

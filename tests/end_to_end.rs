@@ -2,7 +2,7 @@
 //! workload → kernel/SGX simulation → exporters → scraper → TSDB → analysis →
 //! dashboards.
 
-use teemon::{HostMonitor, MonitoringMode};
+use teemon::{HostMonitor, MonitorBuilder, MonitoringMode};
 use teemon_analysis::BottleneckKind;
 use teemon_apps::{Application, RedisApp};
 use teemon_frameworks::{Deployment, FrameworkKind, FrameworkParams, SconeVersion};
@@ -32,7 +32,7 @@ fn run_workload(host: &HostMonitor, value_bytes: u64, requests: u64) -> Deployme
 
 #[test]
 fn full_pipeline_from_workload_to_dashboard() {
-    let host = HostMonitor::new("it-node", MonitoringMode::Full);
+    let host = MonitorBuilder::new("it-node").mode(MonitoringMode::Full).build();
     let deployment = run_workload(&host, 64, 2_400);
 
     // The aggregation database holds series from all four exporters.
@@ -64,7 +64,8 @@ fn full_pipeline_from_workload_to_dashboard() {
     }
 
     // The per-second rate over the monitored window is positive.
-    let totals: Vec<(u64, f64)> = query::aggregate_over_time(&syscall_series, query::AggregateOp::Sum);
+    let totals: Vec<(u64, f64)> =
+        query::aggregate_over_time(&syscall_series, query::AggregateOp::Sum);
     assert!(query::rate(&totals).unwrap_or(0.0) > 0.0);
 
     // The 105 MB database exceeds the EPC: the SGX exporter must have seen
@@ -84,8 +85,7 @@ fn full_pipeline_from_workload_to_dashboard() {
     assert!(sgx_dashboard.contains("System calls by type"));
 
     // PMAN sees the EPC thrashing.
-    let findings =
-        host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
+    let findings = host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
     assert!(
         findings.iter().any(|f| f.kind == BottleneckKind::EpcThrashing),
         "expected an EPC thrashing diagnosis, got {findings:?}"
@@ -94,10 +94,9 @@ fn full_pipeline_from_workload_to_dashboard() {
 
 #[test]
 fn small_database_produces_no_epc_findings() {
-    let host = HostMonitor::new("it-node", MonitoringMode::Full);
+    let host = MonitorBuilder::new("it-node").mode(MonitoringMode::Full).build();
     let deployment = run_workload(&host, 32, 1_200);
-    let findings =
-        host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
+    let findings = host.analyzer().diagnose_all(deployment.totals().requests as f64, 0, u64::MAX);
     assert!(
         !findings.iter().any(|f| f.kind == BottleneckKind::EpcThrashing),
         "78 MB database fits the EPC; found {findings:?}"
@@ -106,7 +105,7 @@ fn small_database_produces_no_epc_findings() {
 
 #[test]
 fn monitoring_off_observes_nothing_but_workload_still_runs() {
-    let host = HostMonitor::new("it-node", MonitoringMode::Off);
+    let host = MonitorBuilder::new("it-node").mode(MonitoringMode::Off).build();
     let deployment = run_workload(&host, 32, 600);
     assert_eq!(deployment.totals().requests, 600 / 8 * 8);
     assert_eq!(host.db().series_count(), 0, "monitoring off must not collect anything");
@@ -119,7 +118,7 @@ fn framework_transparency_same_monitoring_for_all_frameworks() {
     // TEEMon's design goal 3: framework-agnostic.  The same monitoring stack
     // observes every framework without reconfiguration.
     for kind in FrameworkKind::ALL {
-        let host = HostMonitor::new("it-node", MonitoringMode::Full);
+        let host = MonitorBuilder::new("it-node").mode(MonitoringMode::Full).build();
         let app = RedisApp::paper_config(32);
         let mut deployment = Deployment::deploy(
             host.kernel(),
@@ -135,10 +134,8 @@ fn framework_transparency_same_monitoring_for_all_frameworks() {
             deployment.execute(&request, 320);
         }
         host.scrape_tick();
-        let observed = host
-            .db()
-            .query_instant(&Selector::metric("teemon_syscalls_total"), u64::MAX)
-            .len();
+        let observed =
+            host.db().query_instant(&Selector::metric("teemon_syscalls_total"), u64::MAX).len();
         assert!(observed > 0, "{kind}: no syscalls observed");
         // Enclave frameworks also show up in the SGX exporter.
         let enclaves: f64 = host

@@ -5,22 +5,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use teemon::ClusterMonitor;
-use teemon_metrics::{exposition, Labels, Registry};
+use teemon_metrics::{FamilySnapshot, Labels, Registry};
 use teemon_orchestrator::{Cluster, Node};
-use teemon_tsdb::{query, MetricsEndpoint, ScrapeTargetConfig, Scraper, Selector, TimeSeriesDb};
+use teemon_tsdb::{
+    query, MetricsEndpoint, ScrapeError, ScrapeTargetConfig, Scraper, Selector, TimeSeriesDb,
+};
 
-/// An endpoint that can be switched into a failing state at runtime.
+/// A typed endpoint that can be switched into a failing state at runtime.
 struct FlakyEndpoint {
     registry: Registry,
     failing: Arc<AtomicBool>,
 }
 
 impl MetricsEndpoint for FlakyEndpoint {
-    fn scrape(&self) -> Result<String, String> {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
         if self.failing.load(Ordering::Relaxed) {
-            Err("connection timed out".to_string())
+            Err(ScrapeError::Unreachable("connection timed out".to_string()))
         } else {
-            Ok(exposition::encode_text(&self.registry.gather()))
+            Ok(self.registry.gather())
         }
     }
 }
@@ -69,7 +71,8 @@ fn counter_resets_are_handled_by_rate() {
     // total increase.
     let db = TimeSeriesDb::new();
     let labels = Labels::from_pairs([("syscall", "read")]);
-    let samples = [(0u64, 0.0), (5_000, 1_000.0), (10_000, 2_000.0), (15_000, 50.0), (20_000, 450.0)];
+    let samples =
+        [(0u64, 0.0), (5_000, 1_000.0), (10_000, 2_000.0), (15_000, 50.0), (20_000, 450.0)];
     for (ts, value) in samples {
         db.append("teemon_syscalls_total", &labels, ts, value);
     }
@@ -80,9 +83,11 @@ fn counter_resets_are_handled_by_rate() {
 
 #[test]
 fn malformed_exporter_output_does_not_poison_the_db() {
+    // An external target that only speaks the wire format feeds the scraper
+    // through the text edge; its garbage must not poison typed ingestion.
     let db = TimeSeriesDb::new();
     let scraper = Scraper::new(db.clone());
-    scraper.add_target(
+    scraper.add_text_source(
         ScrapeTargetConfig::new("broken", "node-2:1234"),
         Arc::new(|| Ok("garbage {{{ not metrics".to_string())),
     );
@@ -90,7 +95,7 @@ fn malformed_exporter_output_does_not_poison_the_db() {
     registry.gauge_family("good_metric", "fine").default_instance().set(1.0);
     scraper.add_target(
         ScrapeTargetConfig::new("good", "node-3:9100"),
-        Arc::new(move || Ok(exposition::encode_text(&registry.gather()))),
+        Arc::new(move || Ok(registry.gather())),
     );
 
     let outcomes = scraper.scrape_once(1_000);

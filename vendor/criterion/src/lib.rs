@@ -1,0 +1,197 @@
+//! Minimal offline shim of the `criterion` bench harness.
+//!
+//! Implements the subset of the API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
+//! the `criterion_group!`/`criterion_main!` macros) with straightforward
+//! wall-clock timing: each sample times one batch of iterations, batches are
+//! sized adaptively so fast bodies still get a measurable sample, and the
+//! min / mean / max over samples is printed in criterion's familiar format.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level bench configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times `body`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and size the batch so one sample lasts ≥ ~100 µs.
+        let warmup = Instant::now();
+        black_box(body());
+        let once = warmup.elapsed();
+        self.batch = if once < Duration::from_micros(100) {
+            (Duration::from_micros(100).as_nanos() / once.as_nanos().max(1)) as u64 + 1
+        } else {
+            1
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(body());
+            }
+            self.samples.push(start.elapsed() / self.batch as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { sample_size, samples: Vec::new(), batch: 1 };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().expect("non-empty samples");
+    let max = bencher.samples.iter().max().expect("non-empty samples");
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        format_duration(*min),
+        format_duration(mean),
+        format_duration(*max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3).bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group
+            .bench_with_input(BenchmarkId::new("param", 7), &7, |b, v| b.iter(|| black_box(v * 2)));
+        group.finish();
+    }
+}

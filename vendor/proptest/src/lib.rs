@@ -1,0 +1,241 @@
+//! Minimal offline shim of `proptest`: deterministic pseudo-random sampling
+//! for the strategy shapes this workspace uses (numeric ranges, simple
+//! character-class string patterns, tuples and `collection::vec`).
+//!
+//! Each `proptest!` test runs a fixed number of cases from a seed derived
+//! from the test name, so failures are reproducible run to run.
+
+use std::ops::Range;
+
+/// Number of cases each property test executes.
+pub const CASES: usize = 64;
+
+/// Deterministic xorshift64* RNG.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG seeded from an arbitrary string (e.g. the test name).
+    pub fn deterministic(seed: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in seed.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(state | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of pseudo-random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Output;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Output = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span.max(1)) as $ty
+            }
+        }
+    )+};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Output = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// String strategy from a simplified regex pattern of the form
+/// `[class]{min,max}` (e.g. `"[a-z_]{1,12}"`).  A bare `[class]` generates a
+/// single character.  Classes support ranges (`a-z`, ` -~`) and literals.
+impl Strategy for &str {
+    type Output = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let bytes: Vec<char> = pattern.chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    // Character class.
+    if bytes.get(i) == Some(&'[') {
+        i += 1;
+        while i < bytes.len() && bytes[i] != ']' {
+            if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+                let (lo, hi) = (bytes[i] as u32, bytes[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        chars.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                chars.push(bytes[i]);
+                i += 1;
+            }
+        }
+        i += 1; // closing ']'
+    } else {
+        // Literal pattern: generate exactly that string.
+        return (bytes.clone(), bytes.len(), bytes.len());
+    }
+    if chars.is_empty() {
+        chars.push('a');
+    }
+    // Repetition.
+    let rest: String = bytes[i..].iter().collect();
+    if let Some(stripped) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        let mut parts = stripped.splitn(2, ',');
+        let min = parts.next().and_then(|p| p.trim().parse().ok()).unwrap_or(1);
+        let max = parts.next().and_then(|p| p.trim().parse().ok()).unwrap_or(min);
+        (chars, min, max.max(min))
+    } else {
+        (chars, 1, 1)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Output = (A::Output, B::Output);
+    fn sample(&self, rng: &mut TestRng) -> Self::Output {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Output = (A::Output, B::Output, C::Output);
+    fn sample(&self, rng: &mut TestRng) -> Self::Output {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Output = Vec<S::Output>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Output {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a property (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality of a property (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..200 {
+            let s = "[a-z_]{1,12}".sample(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            let printable = "[ -~]{0,24}".sample(&mut rng);
+            assert!(printable.len() <= 24);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(v in 0u8..4, items in collection::vec(0u64..10, 1..5)) {
+            prop_assert!(v < 4);
+            prop_assert!(!items.is_empty() && items.len() < 5);
+            prop_assert_eq!(items.iter().filter(|&&x| x >= 10).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! The macros parse the item declaration with a small hand-rolled token
+//! walker (no `syn`/`quote`) and emit impls of the shim's value-tree traits:
+//!
+//! * structs serialize to JSON objects keyed by field name (newtype structs
+//!   are transparent, other tuple structs become arrays);
+//! * enums use serde's externally-tagged representation: unit variants are
+//!   plain strings, payload variants are single-key objects.
+//!
+//! The only container/field attribute honoured is `#[serde(default)]`;
+//! everything else inside `#[serde(...)]` is rejected at compile time so a
+//! silently ignored attribute can never change wire behaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error tokens")
+}
+
+/// Scans an attribute `#[...]` group: returns `Ok(true)` when it is
+/// `#[serde(default)]`, `Ok(false)` for non-serde attributes, and an error
+/// for any other `#[serde(...)]` content.
+fn classify_attr(group: &proc_macro::Group) -> Result<bool, String> {
+    let mut inner = group.stream().into_iter();
+    let head = match inner.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Ok(false),
+    };
+    if head != "serde" {
+        return Ok(false);
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => {
+            let body = args.stream().to_string();
+            if body.trim() == "default" {
+                Ok(true)
+            } else {
+                Err(format!("unsupported serde attribute: #[serde({body})]"))
+            }
+        }
+        _ => Err("unsupported bare #[serde] attribute".to_string()),
+    }
+}
+
+/// Consumes leading attributes from `tokens[*pos]`, reporting whether any of
+/// them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut default = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                default |= classify_attr(g)?;
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(default)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past one type (or expression) until a top-level comma, tracking
+/// `<...>` nesting so commas inside generics do not split fields.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth <= 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found {other}")),
+            None => break,
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected ':' after field {name}")),
+        }
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1; // the comma itself
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return Ok(0);
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Field attributes would carry #[serde(...)] we do not support here.
+        skip_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found {other}")),
+            None => break,
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type {name} is not supported by the serde shim derive"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g)?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g)? })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+// --- Serialize --------------------------------------------------------------
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::Struct { shape: Shape::Unit, .. } => "::serde::Value::Null".to_string(),
+        Item::Struct { shape: Shape::Tuple(1), .. } => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Item::Struct { shape: Shape::Tuple(n), .. } => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Item::Struct { shape: Shape::Named(fields), .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String({vs:?}.to_string()),",
+                        v = v.name,
+                        vs = v.name
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![({vs:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),",
+                        v = v.name,
+                        vs = v.name
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![({vs:?}\
+                             .to_string(), ::serde::Value::Array(vec![{vals}]))]),",
+                            v = v.name,
+                            vs = v.name,
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![({vs:?}\
+                             .to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                            v = v.name,
+                            vs = v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    }
+}
+
+// --- Deserialize ------------------------------------------------------------
+
+fn named_fields_ctor(fields: &[Field], source: &str, context: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.default {
+                format!(
+                    "{name}: match ::serde::field({source}, {name_str:?}) {{ \
+                     Some(v) => ::serde::Deserialize::from_value(v)?, \
+                     None => ::core::default::Default::default() }},",
+                    name = f.name,
+                    name_str = f.name,
+                )
+            } else {
+                format!(
+                    "{name}: match ::serde::field({source}, {name_str:?}) {{ \
+                     Some(v) => ::serde::Deserialize::from_value(v)?, \
+                     None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(\
+                     |_| ::serde::Error::custom(concat!(\"missing field `\", {name_str:?}, \
+                     \"` in \", {context:?})))? }},",
+                    name = f.name,
+                    name_str = f.name,
+                    context = context,
+                )
+            }
+        })
+        .collect();
+    inits.join("\n")
+}
+
+fn deserialize_body(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape: Shape::Unit } => format!("Ok({name})"),
+        Item::Struct { name, shape: Shape::Tuple(1) } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Item::Struct { name, shape: Shape::Tuple(n) } => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 concat!(\"expected array for \", {name:?})))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(concat!(\
+                 \"wrong tuple arity for \", {name:?}))); }}\n\
+                 Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Item::Struct { name, shape: Shape::Named(fields) } => {
+            format!(
+                "let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{ {inits} }})",
+                inits = named_fields_ctor(fields, "entries", name)
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{vs:?} => return Ok({name}::{v}),", v = v.name, vs = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "{vs:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(\
+                         payload)?)),",
+                        v = v.name,
+                        vs = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{vs:?} => {{ let items = payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\"))?; \
+                             if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong payload arity\")); }} \
+                             return Ok({name}::{v}({elems})); }}",
+                            v = v.name,
+                            vs = v.name,
+                            elems = elems.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => Some(format!(
+                        "{vs:?} => {{ let entries = payload.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object payload\"))?; \
+                         return Ok({name}::{v} {{ {inits} }}); }}",
+                        v = v.name,
+                        vs = v.name,
+                        inits = named_fields_ctor(fields, "entries", name)
+                    )),
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(tag) = value {{\n\
+                     match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(entries) = value.as_object() {{\n\
+                     if let [(tag, payload)] = entries {{\n\
+                         match tag.as_str() {{ {payload_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(format!(concat!(\"no variant of \", {name:?}, \
+                 \" matches {{:?}}\"), value)))",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    }
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item_name(&item),
+        body = serialize_body(&item)
+    );
+    code.parse().unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}")))
+}
+
+/// Derives the shim's `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, \
+             ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item_name(&item),
+        body = deserialize_body(&item)
+    );
+    code.parse().unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}")))
+}
