@@ -6,6 +6,14 @@ use teemon_tsdb::Selector;
 use crate::stats::WindowStats;
 
 /// How a window statistic is compared against the threshold value.
+///
+/// This fixed comparison set predates TeeQL and is kept for the sliding
+/// window analytics of [`crate::Analyzer`]; for alerting, prefer TeeQL alert
+/// rules (`teemon_query::AlertRule`), which express these comparisons — and
+/// arbitrarily richer ones — as query expressions.
+/// `teemon_query::compile_threshold` converts any [`Threshold`] into the
+/// equivalent TeeQL expression (e.g. `MeanAbove(v)` becomes
+/// `avg_over_time(sel[w]) > v`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ThresholdKind {
     /// Fire when the window mean exceeds the value.

@@ -4,7 +4,7 @@
 //! performance of Redis and configure it to use 8 concurrent threads …
 //! a pipeline of 8 requests and 8 connections per client-thread."
 //!
-//! [`run_benchmark`] deploys an [`Application`](crate::Application) under a
+//! [`run_benchmark`] deploys an [`Application`] under a
 //! framework, executes a sample of requests through the simulated kernel (so
 //! that every TEEMon-observable event actually happens) and extrapolates
 //! steady-state throughput and latency with a closed-loop queueing model:

@@ -1,6 +1,7 @@
 //! Microbenchmarks of TEEMon's own machinery (ablation of the overhead
 //! figures): hook dispatch with and without attached programs, exposition
-//! encoding/parsing, and the typed vs text scrape pipeline.
+//! encoding/parsing, the typed vs text scrape pipeline, the TeeQL query
+//! engine, and the cross-series aggregation walk.
 
 use std::sync::Arc;
 
@@ -10,7 +11,10 @@ use teemon_exporters::{Collector, ContainerExporter, EbpfExporter, NodeExporter,
 use teemon_kernel_sim::process::ProcessKind;
 use teemon_kernel_sim::{Kernel, Syscall};
 use teemon_metrics::{exposition, Labels, Registry, RegistryCollector};
-use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb};
+use teemon_query::{parse, QueryEngine};
+use teemon_tsdb::{
+    query, AggregateOp, ScrapeTargetConfig, Scraper, Selector, TextEndpoint, TimeSeriesDb,
+};
 
 fn bench_hooks(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/syscall_dispatch");
@@ -125,9 +129,120 @@ fn bench_scrape_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// A database resembling an hour of cluster monitoring: 8 nodes × 4 syscall
+/// counter series plus a gauge per node, at 5 s resolution.
+fn populated_tsdb() -> TimeSeriesDb {
+    let db = TimeSeriesDb::new();
+    for t in 0..720u64 {
+        for node in 0..8u32 {
+            let node_name = format!("node-{node}");
+            for (syscall, per_tick) in
+                [("read", 500.0), ("write", 480.0), ("futex", 90.0), ("clock_gettime", 2_100.0)]
+            {
+                db.append(
+                    "teemon_syscalls_total",
+                    &Labels::from_pairs([("node", node_name.as_str()), ("syscall", syscall)]),
+                    t * 5_000,
+                    t as f64 * per_tick * (1.0 + node as f64 / 8.0),
+                );
+            }
+            db.append(
+                "sgx_nr_free_pages",
+                &Labels::from_pairs([("node", node_name.as_str())]),
+                t * 5_000,
+                24_064.0 - ((t * (node as u64 + 1)) % 20_000) as f64,
+            );
+        }
+    }
+    db
+}
+
+/// The TeeQL pipeline stages: parse only, one instant evaluation, and a
+/// dashboard-sized range evaluation with grouping + rate.
+fn bench_query_engine(c: &mut Criterion) {
+    const QUERY: &str = "sum by (node) (rate(teemon_syscalls_total[1m]))";
+    let mut group = c.benchmark_group("micro/query_engine");
+    group.sample_size(30);
+
+    group.bench_function("parse_only", |b| b.iter(|| black_box(parse(QUERY).unwrap())));
+
+    let engine = QueryEngine::new(populated_tsdb());
+    let expr = parse(QUERY).unwrap();
+    group.bench_function("instant_query", |b| {
+        b.iter(|| black_box(engine.instant(&expr, 3_600_000).unwrap()))
+    });
+
+    // A graph panel's workload: 60 steps over 30 minutes.
+    group.bench_function("range_query_30m_step30s", |b| {
+        b.iter(|| black_box(engine.range(&expr, 1_800_000, 3_600_000, 30_000).unwrap()))
+    });
+    group.finish();
+}
+
+/// The replaced implementation of `aggregate_over_time`: for every union
+/// timestamp, reverse-scan every series for its latest value — quadratic in
+/// points per series.  Kept here as the bench baseline.
+fn naive_aggregate_over_time(
+    results: &[teemon_tsdb::QueryResult],
+    op: AggregateOp,
+) -> Vec<(u64, f64)> {
+    let mut timestamps: Vec<u64> =
+        results.iter().flat_map(|r| r.points.iter().map(|(t, _)| *t)).collect();
+    timestamps.sort_unstable();
+    timestamps.dedup();
+    timestamps
+        .into_iter()
+        .filter_map(|ts| {
+            let values: Vec<f64> = results
+                .iter()
+                .filter_map(|r| r.points.iter().rev().find(|(t, _)| *t <= ts).map(|(_, v)| *v))
+                .collect();
+            op.apply(&values).map(|v| (ts, v))
+        })
+        .collect()
+}
+
+/// The cross-series aggregation walk over staggered series whose timestamps
+/// never coincide — the worst case for the union walk, and the shape that
+/// exposed the former quadratic per-timestamp reverse scan (benchmarked here
+/// as `naive` against the per-series forward-cursor rewrite).
+fn bench_aggregate_over_time(c: &mut Criterion) {
+    let staggered = |series_count: u64, points: u64| {
+        let db = TimeSeriesDb::new();
+        for series in 0..series_count {
+            for t in 0..points {
+                db.append(
+                    "m",
+                    &Labels::from_pairs([("s", format!("{series}"))]),
+                    t * 1_000 + series,
+                    t as f64,
+                );
+            }
+        }
+        db.query_range(&Selector::metric("m"), 0, u64::MAX)
+    };
+    let mut group = c.benchmark_group("micro/aggregate_over_time");
+    group.sample_size(10);
+    // Head-to-head on a shape small enough for the quadratic baseline.
+    let results = staggered(16, 256);
+    group.bench_function("cursors_16x256", |b| {
+        b.iter(|| black_box(query::aggregate_over_time(&results, AggregateOp::Sum)))
+    });
+    group.bench_function("naive_16x256", |b| {
+        b.iter(|| black_box(naive_aggregate_over_time(&results, AggregateOp::Sum)))
+    });
+    // The cursor walk at dashboard scale.
+    let results = staggered(64, 512);
+    group.bench_function("cursors_64x512", |b| {
+        b.iter(|| black_box(query::aggregate_over_time(&results, AggregateOp::Sum)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_hooks, bench_exposition, bench_scrape_paths
+    targets = bench_hooks, bench_exposition, bench_scrape_paths, bench_query_engine,
+        bench_aggregate_over_time
 }
 criterion_main!(benches);

@@ -50,3 +50,4 @@ pub mod overhead;
 
 pub use monitor::{ClusterMonitor, HostMonitor, MonitorBuilder, MonitoringMode, ScrapeTransport};
 pub use overhead::{ComponentFootprint, OverheadModel};
+pub use teemon_query::{Alert, AlertRule, AlertState, RecordingRule, Rule, RuleEngine, RuleGroup};

@@ -19,6 +19,7 @@ use teemon_exporters::{
 };
 use teemon_kernel_sim::Kernel;
 use teemon_orchestrator::{Cluster, HelmChart, ServiceDiscovery};
+use teemon_query::{RuleEngine, RuleGroup};
 use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb};
 
 /// Which parts of TEEMon are active — the three configurations of §6.3.
@@ -65,6 +66,7 @@ pub struct MonitorBuilder {
     exporter_intervals: Vec<(String, u64)>,
     extra_collectors: Vec<(ScrapeTargetConfig, Arc<dyn Collector>)>,
     transport: ScrapeTransport,
+    rule_groups: Vec<RuleGroup>,
 }
 
 impl MonitorBuilder {
@@ -79,6 +81,7 @@ impl MonitorBuilder {
             exporter_intervals: Vec::new(),
             extra_collectors: Vec::new(),
             transport: ScrapeTransport::default(),
+            rule_groups: Vec::new(),
         }
     }
 
@@ -136,6 +139,17 @@ impl MonitorBuilder {
         self
     }
 
+    /// Adds a TeeQL rule group: recording rules write derived series back
+    /// into the host's database and alert rules raise
+    /// [`teemon_query::Alert`]s, both evaluated on the group's cadence
+    /// inside the monitoring loop ([`HostMonitor::scrape_tick`] /
+    /// [`HostMonitor::run_scrape_loop`]).
+    #[must_use]
+    pub fn with_rules(mut self, group: RuleGroup) -> Self {
+        self.rule_groups.push(group);
+        self
+    }
+
     fn target_config(&self, job: &str, port: u16) -> ScrapeTargetConfig {
         let mut config = ScrapeTargetConfig::new(job, format!("{}:{port}", self.node))
             .with_label("node", self.node.clone());
@@ -152,6 +166,10 @@ impl MonitorBuilder {
         let scraper = Scraper::new(db.clone()).with_interval_ms(self.scrape_interval_ms);
         let analyzer = Analyzer::new(db.clone());
         let dashboards = standard();
+        let rules = RuleEngine::new(db.clone());
+        for group in &self.rule_groups {
+            rules.add_group(group.clone());
+        }
         let mut host = HostMonitor {
             node: self.node.clone(),
             mode: self.mode,
@@ -160,6 +178,7 @@ impl MonitorBuilder {
             scraper,
             analyzer,
             dashboards,
+            rules,
             container_exporter: None,
             ebpf_exporter: None,
         };
@@ -237,6 +256,7 @@ pub struct HostMonitor {
     scraper: Scraper,
     analyzer: Analyzer,
     dashboards: DashboardSet,
+    rules: RuleEngine,
     container_exporter: Option<ContainerExporter>,
     ebpf_exporter: Option<EbpfExporter>,
 }
@@ -288,6 +308,14 @@ impl HostMonitor {
         &self.dashboards
     }
 
+    /// The TeeQL rule engine (recording + alert rules).  Groups added via
+    /// [`MonitorBuilder::with_rules`] evaluate inside the monitoring loop;
+    /// inspect firing alerts with
+    /// [`rules().firing_alerts()`](RuleEngine::firing_alerts).
+    pub fn rules(&self) -> &RuleEngine {
+        &self.rules
+    }
+
     /// The container exporter, when full monitoring is active, so the host
     /// model can register containers (cAdvisor's data source).
     pub fn container_exporter(&self) -> Option<&ContainerExporter> {
@@ -307,7 +335,9 @@ impl HostMonitor {
     /// Returns the number of healthy targets.
     pub fn scrape_tick(&self) -> usize {
         let now = self.kernel.clock().now_millis();
-        self.scraper.scrape_once(now).iter().filter(|o| o.up).count()
+        let healthy = self.scraper.scrape_once(now).iter().filter(|o| o.up).count();
+        self.rules.evaluate_due(now);
+        healthy
     }
 
     /// Runs `ticks` scrape rounds spaced by the scraper's global interval,
@@ -321,6 +351,7 @@ impl HostMonitor {
                 .advance(teemon_sim_core::SimDuration::from_millis(self.scraper.interval_ms()));
             let now = self.kernel.clock().now_millis();
             self.scraper.scrape_due(now);
+            self.rules.evaluate_due(now);
         }
     }
 
@@ -555,6 +586,69 @@ mod tests {
         assert_eq!(points_of("node_exporter"), 4);
         assert_eq!(points_of("sgx_exporter"), 4);
         assert_eq!(points_of("cadvisor"), 1);
+    }
+
+    #[test]
+    fn builder_rules_evaluate_inside_the_monitoring_loop() {
+        use teemon_analysis::Severity;
+        use teemon_query::{parse, AlertRule, RecordingRule, RuleGroup};
+
+        let host = MonitorBuilder::new("worker-3")
+            .mode(MonitoringMode::Full)
+            .scrape_interval_ms(5_000)
+            .with_rules(
+                RuleGroup::new("teeql", 5_000)
+                    .with_rule(RecordingRule::new(
+                        "node:syscalls:rate30s",
+                        parse("sum by (node) (rate(teemon_syscalls_total[30s]))").unwrap(),
+                    ))
+                    .with_rule(
+                        AlertRule::new(
+                            "always_low_pages",
+                            // Free pages are always below this absurd bound;
+                            // the rule must hold 10 s before firing.
+                            parse("avg_over_time(sgx_nr_free_pages[30s]) < 1000000").unwrap(),
+                            Severity::Warning,
+                        )
+                        .with_for_ms(10_000)
+                        .with_hint("synthetic"),
+                    ),
+            )
+            .build();
+        assert_eq!(host.rules().group_count(), 1);
+        assert_eq!(host.rules().rule_count(), 2);
+
+        let pid = host.kernel().spawn_process(
+            "redis-server",
+            teemon_kernel_sim::process::ProcessKind::Enclave,
+            4,
+        );
+        for _ in 0..8 {
+            for _ in 0..50 {
+                host.kernel().syscall(pid, Syscall::Read, true);
+            }
+            host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+            host.scrape_tick();
+        }
+        // The recording rule derived a queryable series.
+        let derived =
+            host.db().query_range(&Selector::metric("node:syscalls:rate30s"), 0, u64::MAX);
+        assert_eq!(derived.len(), 1);
+        assert_eq!(derived[0].labels.get("node"), Some("worker-3"));
+        assert!(derived[0].points.len() >= 5, "one point per evaluation after warm-up");
+        assert!(derived[0].points.last().unwrap().1 > 0.0, "observed a positive syscall rate");
+        // The alert held for its `for` duration and fired, with the ALERTS
+        // series exported for dashboards.
+        let firing = host.rules().firing_alerts();
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].rule, "always_low_pages");
+        assert!(
+            !host.db().query_instant(&Selector::metric("ALERTS"), u64::MAX).is_empty(),
+            "firing alerts are exported as the ALERTS metric"
+        );
+        // run_scrape_loop drives rules too.
+        host.run_scrape_loop(2);
+        assert!(!host.rules().firing_alerts().is_empty());
     }
 
     #[test]

@@ -100,6 +100,13 @@ pub fn standard() -> DashboardSet {
                 .with_unit("pages"),
         )
         .with_panel(
+            Panel::teeql(
+                "EPC eviction rate by node",
+                "sum by (node) (rate(sgx_pages_evicted_total[30s]))",
+            )
+            .with_unit("pages/s"),
+        )
+        .with_panel(
             Panel::graph("Enclave page faults", Selector::metric("sgx_enclave_page_faults_total"))
                 .with_unit("faults"),
         )

@@ -1,7 +1,14 @@
 //! Panels: a query bound to a visualisation.
+//!
+//! A panel selects its data one of two ways: the structured path (a
+//! [`Selector`] plus an [`AggregateOp`], the original hard-wired pipeline) or
+//! a TeeQL expression evaluated by [`teemon_query::QueryEngine`], which puts
+//! the whole query language — `rate()`, `by`/`without` grouping, arithmetic —
+//! behind a single string (the way Grafana panels embed PromQL).
 
 use serde::{Deserialize, Serialize};
-use teemon_tsdb::{query, AggregateOp, Selector, TimeSeriesDb};
+use teemon_query::QueryEngine;
+use teemon_tsdb::{query, AggregateOp, QueryResult, Selector, TimeSeriesDb};
 
 use crate::render;
 
@@ -38,6 +45,15 @@ pub struct Panel {
     pub unit: String,
     /// Gauge maximum (used by [`PanelKind::Gauge`]).
     pub max: Option<f64>,
+    /// TeeQL expression; when set it replaces the `selector`/`aggregate`
+    /// path (`as_rate` still applies to the aggregated result).  Expressions
+    /// that fail to parse or evaluate render as empty panels.
+    #[serde(default)]
+    pub expr: Option<String>,
+    /// Step between evaluation instants in expression mode; `None` derives
+    /// ~60 steps from the queried range.
+    #[serde(default)]
+    pub step_ms: Option<u64>,
 }
 
 impl Panel {
@@ -51,6 +67,8 @@ impl Panel {
             as_rate: false,
             unit: String::new(),
             max: None,
+            expr: None,
+            step_ms: None,
         }
     }
 
@@ -64,6 +82,8 @@ impl Panel {
             as_rate: false,
             unit: String::new(),
             max: Some(max),
+            expr: None,
+            step_ms: None,
         }
     }
 
@@ -77,6 +97,8 @@ impl Panel {
             as_rate: false,
             unit: String::new(),
             max: None,
+            expr: None,
+            step_ms: None,
         }
     }
 
@@ -90,7 +112,33 @@ impl Panel {
             as_rate: false,
             unit: String::new(),
             max: None,
+            expr: None,
+            step_ms: None,
         }
+    }
+
+    /// Creates a graph panel driven by a TeeQL expression instead of a
+    /// selector (`Panel::teeql("EPC eviction rate", "sum by (node) \
+    /// (rate(sgx_pages_evicted_total[30s]))")`).  Use [`Panel::with_kind`]
+    /// to switch the visualisation.
+    pub fn teeql(title: impl Into<String>, expr: impl Into<String>) -> Self {
+        let mut panel = Self::graph(title, Selector::all());
+        panel.expr = Some(expr.into());
+        panel
+    }
+
+    /// Changes the visualisation type.
+    #[must_use]
+    pub fn with_kind(mut self, kind: PanelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the evaluation step used in expression mode.
+    #[must_use]
+    pub fn with_step_ms(mut self, step_ms: u64) -> Self {
+        self.step_ms = Some(step_ms.max(1));
+        self
     }
 
     /// Displays the per-second rate of a counter instead of its raw value.
@@ -115,8 +163,15 @@ impl Panel {
     }
 
     /// Evaluates the panel against `db` over `[start_ms, end_ms]`.
+    ///
+    /// In expression mode the open-ended range (`0..u64::MAX`) is clamped to
+    /// the data the database actually holds, and the expression is evaluated
+    /// at `step_ms` intervals across it.
     pub fn evaluate(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64) -> PanelData {
-        let results = db.query_range(&self.selector, start_ms, end_ms);
+        let results = match &self.expr {
+            Some(expr) => self.evaluate_expr(db, expr, start_ms, end_ms),
+            None => db.query_range(&self.selector, start_ms, end_ms),
+        };
         let series: Vec<(String, Vec<(u64, f64)>)> = results
             .iter()
             .map(|r| {
@@ -143,6 +198,42 @@ impl Panel {
             current,
             max: self.max,
         }
+    }
+
+    /// Expression-mode evaluation: range-evaluates the TeeQL expression and
+    /// adapts the result to the selector path's [`QueryResult`] shape.
+    /// Malformed or ill-typed expressions yield no results (panels must not
+    /// panic while rendering).
+    fn evaluate_expr(
+        &self,
+        db: &TimeSeriesDb,
+        expr: &str,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<QueryResult> {
+        let (Some(oldest), Some(newest)) = (db.oldest_timestamp(), db.newest_timestamp()) else {
+            return Vec::new();
+        };
+        let start = start_ms.max(oldest);
+        let end = end_ms.min(newest);
+        if start > end {
+            return Vec::new();
+        }
+        let step = self.step_ms.unwrap_or_else(|| ((end - start) / 60).max(1_000));
+        let engine = QueryEngine::new(db.clone());
+        engine
+            .range_query(expr, start, end, step)
+            .map(|series| {
+                series
+                    .into_iter()
+                    .map(|s| QueryResult {
+                        name: s.name.unwrap_or_default(),
+                        labels: s.labels,
+                        points: s.points,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -265,6 +356,58 @@ mod tests {
         let text = table.render(40);
         assert!(text.contains("n1"));
         assert!(text.contains("pages"));
+    }
+
+    #[test]
+    fn teeql_panel_evaluates_expressions() {
+        let panel =
+            Panel::teeql("Syscall rate", "sum by (syscall) (rate(teemon_syscalls_total[20s]))")
+                .with_unit("calls/s")
+                .with_step_ms(5_000);
+        let data = panel.evaluate(&db(), 0, u64::MAX);
+        assert!(!data.is_empty());
+        // 100 syscalls per 5 s tick → 20/s once the window has two samples.
+        assert!((data.current.unwrap() - 20.0).abs() < 1e-9);
+        assert!(data.series[0].0.contains("syscall"), "grouped label kept: {}", data.series[0].0);
+        let rendered = data.render(60);
+        assert!(rendered.contains("Syscall rate"));
+        // Expression panels honour explicit (clamped) ranges too.
+        let clamped = panel.evaluate(&db(), 10_000, 30_000);
+        assert!(clamped.aggregated.iter().all(|(t, _)| (10_000..=30_000).contains(t)));
+    }
+
+    #[test]
+    fn teeql_panel_arithmetic_expression() {
+        // Free EPC as a percentage of capacity — impossible with the plain
+        // selector path, one line of TeeQL.
+        let panel = Panel::teeql("EPC free %", "sgx_nr_free_pages / 24000 * 100")
+            .with_kind(PanelKind::SingleStat)
+            .with_step_ms(5_000);
+        let data = panel.evaluate(&db(), 0, u64::MAX);
+        // Latest sample: 24_000 - 9_000 = 15_000 pages → 62.5 %.
+        assert!((data.current.unwrap() - 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_teeql_renders_as_empty_panel() {
+        for bad in ["rate(", "rate(sgx_nr_free_pages)", "sum(1)"] {
+            let panel = Panel::teeql("broken", bad);
+            let data = panel.evaluate(&db(), 0, u64::MAX);
+            assert!(data.is_empty(), "`{bad}` must evaluate to an empty panel");
+            let _ = data.render(40); // and rendering must not panic
+        }
+        // An empty database is handled before the engine is even consulted.
+        let empty = Panel::teeql("no data", "up").evaluate(&TimeSeriesDb::new(), 0, u64::MAX);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn teeql_panel_serde_round_trips() {
+        let panel = Panel::teeql("r", "rate(x_total[1m])").with_step_ms(2_000);
+        let json = serde_json::to_string(&panel).unwrap();
+        let parsed: Panel = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, panel);
+        assert_eq!(parsed.expr.as_deref(), Some("rate(x_total[1m])"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! §5.1: "To collect the SGX metrics, we instrument the official Intel SGX
 //! driver source code at specific function calls … for each metric, there is a
-//! file with the same name in `/sys/module/isgx/parameters`.  [An] interface
+//! file with the same name in `/sys/module/isgx/parameters`.  \[An\] interface
 //! component … reads the metrics and exposes them in the OpenMetrics format to
 //! its metrics endpoint."  [`SgxExporter`] is that interface component; the
 //! "files" are the simulated driver's [`teemon_sgx_sim::DriverStats`].

@@ -1,0 +1,644 @@
+//! The TeeQL evaluator: instant and range queries over a [`TimeSeriesDb`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use teemon_metrics::Labels;
+use teemon_tsdb::{query, AggregateOp, TimeSeriesDb};
+
+use crate::ast::{BinOp, Expr, Grouping, RangeFunc};
+use crate::lexer::ParseError;
+use crate::parser::parse;
+
+/// Per-series point accumulator used while stitching range results.
+type SeriesAccumulator = BTreeMap<(Option<String>, Labels), Vec<(u64, f64)>>;
+
+/// One sample of an instant vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSample {
+    /// Metric name, when the value still carries one (selectors keep it,
+    /// functions and aggregations drop it, mirroring PromQL).
+    pub name: Option<String>,
+    /// Series labels.
+    pub labels: Labels,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One series of a range (matrix) result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeSeries {
+    /// Metric name, when the series still carries one.
+    pub name: Option<String>,
+    /// Series labels.
+    pub labels: Labels,
+    /// `(timestamp_ms, value)` points in chronological order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl RangeSeries {
+    /// A display label for the series: `name{labels}`, `name`, or the labels
+    /// alone when the name was dropped by the expression.
+    pub fn display_name(&self) -> String {
+        match (&self.name, self.labels.is_empty()) {
+            (Some(name), true) => name.clone(),
+            (Some(name), false) => format!("{name}{}", self.labels),
+            (None, _) => self.labels.to_string(),
+        }
+    }
+}
+
+/// The result of evaluating an expression at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar.
+    Scalar(f64),
+    /// An instant vector: one sample per matching series.
+    Vector(Vec<VectorSample>),
+    /// A range vector: per-series points over a window (only produced by a
+    /// bare range selector like `m[5m]`).
+    Matrix(Vec<RangeSeries>),
+}
+
+impl Value {
+    /// The instant-vector samples, when this value is a vector.
+    pub fn as_vector(&self) -> Option<&[VectorSample]> {
+        match self {
+            Value::Vector(samples) => Some(samples),
+            _ => None,
+        }
+    }
+
+    /// The scalar, when this value is a scalar.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Why an evaluation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A range-vector function was applied to something that is not a range
+    /// selector.
+    RangeRequired(RangeFunc),
+    /// A range vector appeared where an instant vector or scalar is needed.
+    UnexpectedRange,
+    /// The quantile parameter is outside `[0, 1]`.
+    InvalidQuantile(f64),
+    /// An aggregation was applied to a scalar.
+    VectorRequired(&'static str),
+    /// A range query was issued with `step_ms == 0`.
+    ZeroStep,
+    /// A vector-vector binary operation found several right-hand samples
+    /// with the same label set, so matching would be ambiguous.
+    ManyToOneMatch(Labels),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::RangeRequired(func) => {
+                write!(f, "{func} expects a range vector argument like `metric[5m]`")
+            }
+            EvalError::UnexpectedRange => {
+                write!(f, "range vectors are only valid as range-function arguments")
+            }
+            EvalError::InvalidQuantile(q) => {
+                write!(f, "quantile must be between 0 and 1, got {q}")
+            }
+            EvalError::VectorRequired(what) => {
+                write!(f, "{what} expects an instant vector operand")
+            }
+            EvalError::ZeroStep => write!(f, "range query step must be non-zero"),
+            EvalError::ManyToOneMatch(labels) => {
+                write!(f, "many-to-one matching: multiple right-hand series share {labels}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A parse or evaluation failure for string-level query entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The query parsed but could not be evaluated.
+    Eval(EvalError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<EvalError> for QueryError {
+    fn from(e: EvalError) -> Self {
+        QueryError::Eval(e)
+    }
+}
+
+/// Evaluates TeeQL expressions against a [`TimeSeriesDb`].
+///
+/// ```
+/// use teemon_metrics::Labels;
+/// use teemon_query::{QueryEngine, Value};
+/// use teemon_tsdb::TimeSeriesDb;
+///
+/// let db = TimeSeriesDb::new();
+/// for (t, v) in [(0u64, 0.0), (5_000, 100.0), (10_000, 200.0)] {
+///     db.append("requests_total", &Labels::from_pairs([("node", "n1")]), t, v);
+/// }
+/// let engine = QueryEngine::new(db);
+/// let value = engine.instant_query("rate(requests_total[10s])", 10_000).unwrap();
+/// let Value::Vector(samples) = value else { panic!() };
+/// assert_eq!(samples[0].value, 20.0); // 200 requests over 10 s
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    db: TimeSeriesDb,
+    lookback_ms: u64,
+}
+
+impl QueryEngine {
+    /// Default staleness window for instant selectors: samples older than
+    /// this (relative to the query time) are not returned.
+    pub const DEFAULT_LOOKBACK_MS: u64 = 5 * 60 * 1000;
+
+    /// Creates an engine over `db` with the default lookback window.
+    pub fn new(db: TimeSeriesDb) -> Self {
+        Self { db, lookback_ms: Self::DEFAULT_LOOKBACK_MS }
+    }
+
+    /// Overrides the instant-selector staleness window.
+    #[must_use]
+    pub fn with_lookback_ms(mut self, lookback_ms: u64) -> Self {
+        self.lookback_ms = lookback_ms.max(1);
+        self
+    }
+
+    /// The database queried.
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+
+    /// Parses and evaluates `query` at `at_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error or the evaluation error.
+    pub fn instant_query(&self, query: &str, at_ms: u64) -> Result<Value, QueryError> {
+        Ok(self.instant(&parse(query)?, at_ms)?)
+    }
+
+    /// Parses and evaluates `query` at every step of `[start_ms, end_ms]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error or the evaluation error.
+    pub fn range_query(
+        &self,
+        query: &str,
+        start_ms: u64,
+        end_ms: u64,
+        step_ms: u64,
+    ) -> Result<Vec<RangeSeries>, QueryError> {
+        Ok(self.range(&parse(query)?, start_ms, end_ms, step_ms)?)
+    }
+
+    /// Evaluates a parsed expression at one instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] when the expression is not well-typed (e.g. a
+    /// range function over an instant vector).
+    pub fn instant(&self, expr: &Expr, at_ms: u64) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Number(n) => Ok(Value::Scalar(*n)),
+            Expr::Selector(selector) => {
+                let oldest_live = at_ms.saturating_sub(self.lookback_ms);
+                let samples = self
+                    .db
+                    .query_instant(selector, at_ms)
+                    .into_iter()
+                    .filter(|r| r.points.first().map(|(t, _)| *t >= oldest_live).unwrap_or(false))
+                    .map(|r| VectorSample {
+                        name: Some(r.name),
+                        labels: r.labels,
+                        value: r.points[0].1,
+                    })
+                    .collect();
+                Ok(Value::Vector(samples))
+            }
+            Expr::Range { selector, window_ms } => {
+                let start = at_ms.saturating_sub(*window_ms);
+                let series = self
+                    .db
+                    .query_range(selector, start, at_ms)
+                    .into_iter()
+                    .map(|r| RangeSeries { name: Some(r.name), labels: r.labels, points: r.points })
+                    .collect();
+                Ok(Value::Matrix(series))
+            }
+            Expr::Call { func, param, arg } => self.call(*func, *param, arg, at_ms),
+            Expr::Aggregate { op, grouping, expr } => {
+                let Value::Vector(samples) = self.instant(expr, at_ms)? else {
+                    return Err(EvalError::VectorRequired("aggregation"));
+                };
+                Ok(Value::Vector(aggregate_vector(&samples, *op, grouping)))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lhs = self.instant(lhs, at_ms)?;
+                let rhs = self.instant(rhs, at_ms)?;
+                binary(*op, lhs, rhs)
+            }
+        }
+    }
+
+    /// Evaluates a parsed expression at every step of `[start_ms, end_ms]`,
+    /// stitching the per-step instant results into range series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ZeroStep`] for a zero step and propagates the
+    /// expression's evaluation errors.  A whole-query range selector
+    /// (`m[5m]`) is not rangeable and yields [`EvalError::UnexpectedRange`].
+    pub fn range(
+        &self,
+        expr: &Expr,
+        start_ms: u64,
+        end_ms: u64,
+        step_ms: u64,
+    ) -> Result<Vec<RangeSeries>, EvalError> {
+        if step_ms == 0 {
+            return Err(EvalError::ZeroStep);
+        }
+        if start_ms > end_ms {
+            return Ok(Vec::new());
+        }
+        let mut series: SeriesAccumulator = BTreeMap::new();
+        let mut t = start_ms;
+        loop {
+            match self.instant(expr, t)? {
+                Value::Scalar(v) => {
+                    series.entry((None, Labels::new())).or_default().push((t, v));
+                }
+                Value::Vector(samples) => {
+                    for sample in samples {
+                        series
+                            .entry((sample.name, sample.labels))
+                            .or_default()
+                            .push((t, sample.value));
+                    }
+                }
+                Value::Matrix(_) => return Err(EvalError::UnexpectedRange),
+            }
+            let Some(next) = t.checked_add(step_ms) else { break };
+            if next > end_ms {
+                break;
+            }
+            t = next;
+        }
+        Ok(series
+            .into_iter()
+            .map(|((name, labels), points)| RangeSeries { name, labels, points })
+            .collect())
+    }
+
+    fn call(
+        &self,
+        func: RangeFunc,
+        param: Option<f64>,
+        arg: &Expr,
+        at_ms: u64,
+    ) -> Result<Value, EvalError> {
+        let Value::Matrix(series) = self.instant(arg, at_ms)? else {
+            return Err(EvalError::RangeRequired(func));
+        };
+        if let Some(q) = param {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(EvalError::InvalidQuantile(q));
+            }
+        }
+        let samples = series
+            .into_iter()
+            .filter_map(|s| {
+                apply_range_func(func, param, &s.points).map(|value| VectorSample {
+                    name: None,
+                    labels: s.labels,
+                    value,
+                })
+            })
+            .collect();
+        Ok(Value::Vector(samples))
+    }
+}
+
+fn apply_range_func(func: RangeFunc, param: Option<f64>, points: &[(u64, f64)]) -> Option<f64> {
+    let values = || points.iter().map(|(_, v)| *v).collect::<Vec<f64>>();
+    match func {
+        RangeFunc::Rate => query::rate(points),
+        RangeFunc::Increase => query::increase(points),
+        RangeFunc::AvgOverTime => AggregateOp::Avg.apply(&values()),
+        RangeFunc::MinOverTime => AggregateOp::Min.apply(&values()),
+        RangeFunc::MaxOverTime => AggregateOp::Max.apply(&values()),
+        RangeFunc::SumOverTime => AggregateOp::Sum.apply(&values()),
+        RangeFunc::CountOverTime => AggregateOp::Count.apply(&values()),
+        RangeFunc::QuantileOverTime => query::quantile_over_time(points, param.unwrap_or(0.5)),
+        RangeFunc::LastOverTime => points.last().map(|(_, v)| *v),
+    }
+}
+
+fn aggregate_vector(
+    samples: &[VectorSample],
+    op: AggregateOp,
+    grouping: &Grouping,
+) -> Vec<VectorSample> {
+    let mut groups: BTreeMap<Labels, Vec<f64>> = BTreeMap::new();
+    for sample in samples {
+        let key = match grouping {
+            Grouping::None => Labels::new(),
+            Grouping::By(keep) => Labels::from_pairs(
+                sample.labels.iter().filter(|(k, _)| keep.iter().any(|want| want == k)),
+            ),
+            Grouping::Without(drop) => Labels::from_pairs(
+                sample.labels.iter().filter(|(k, _)| !drop.iter().any(|want| want == k)),
+            ),
+        };
+        groups.entry(key).or_default().push(sample.value);
+    }
+    groups
+        .into_iter()
+        .filter_map(|(labels, values)| {
+            op.apply(&values).map(|value| VectorSample { name: None, labels, value })
+        })
+        .collect()
+}
+
+fn binary(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, EvalError> {
+    match (lhs, rhs) {
+        (Value::Matrix(_), _) | (_, Value::Matrix(_)) => Err(EvalError::UnexpectedRange),
+        (Value::Scalar(a), Value::Scalar(b)) => Ok(Value::Scalar(op.apply(a, b))),
+        (Value::Vector(v), Value::Scalar(s)) => Ok(Value::Vector(if op.is_comparison() {
+            v.into_iter().filter(|sample| op.compare(sample.value, s)).collect()
+        } else {
+            v.into_iter()
+                .map(|sample| VectorSample {
+                    name: None,
+                    labels: sample.labels,
+                    value: op.apply(sample.value, s),
+                })
+                .collect()
+        })),
+        (Value::Scalar(s), Value::Vector(v)) => Ok(Value::Vector(if op.is_comparison() {
+            v.into_iter().filter(|sample| op.compare(s, sample.value)).collect()
+        } else {
+            v.into_iter()
+                .map(|sample| VectorSample {
+                    name: None,
+                    labels: sample.labels,
+                    value: op.apply(s, sample.value),
+                })
+                .collect()
+        })),
+        (Value::Vector(lhs), Value::Vector(rhs)) => {
+            // One-to-one matching on identical label sets (names ignored).
+            // Several right-hand samples with the same labels would make the
+            // match ambiguous, so that is an error rather than a silent pick.
+            let mut by_labels: BTreeMap<&Labels, f64> = BTreeMap::new();
+            for sample in &rhs {
+                if by_labels.insert(&sample.labels, sample.value).is_some() {
+                    return Err(EvalError::ManyToOneMatch(sample.labels.clone()));
+                }
+            }
+            Ok(Value::Vector(if op.is_comparison() {
+                lhs.into_iter()
+                    .filter(|sample| {
+                        by_labels
+                            .get(&sample.labels)
+                            .map(|other| op.compare(sample.value, *other))
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            } else {
+                lhs.into_iter()
+                    .filter_map(|sample| {
+                        by_labels.get(&sample.labels).map(|other| VectorSample {
+                            name: None,
+                            labels: sample.labels.clone(),
+                            value: op.apply(sample.value, *other),
+                        })
+                    })
+                    .collect()
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    /// 2 nodes × 2 syscalls of counters at 5 s resolution, plus a gauge.
+    fn db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..13u64 {
+            for (node, scale) in [("n1", 1.0), ("n2", 3.0)] {
+                for (syscall, per_tick) in [("read", 100.0), ("futex", 20.0)] {
+                    db.append(
+                        "teemon_syscalls_total",
+                        &Labels::from_pairs([("node", node), ("syscall", syscall)]),
+                        t * 5_000,
+                        t as f64 * per_tick * scale,
+                    );
+                }
+                db.append(
+                    "sgx_nr_free_pages",
+                    &Labels::from_pairs([("node", node)]),
+                    t * 5_000,
+                    24_000.0 - t as f64 * 1_000.0 * scale,
+                );
+            }
+        }
+        db
+    }
+
+    fn vector(engine: &QueryEngine, q: &str, at: u64) -> Vec<VectorSample> {
+        match engine.instant_query(q, at).unwrap() {
+            Value::Vector(v) => v,
+            other => panic!("expected vector for `{q}`, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectors_respect_matchers_and_lookback() {
+        let engine = QueryEngine::new(db());
+        assert_eq!(vector(&engine, "sgx_nr_free_pages", 60_000).len(), 2);
+        let one = vector(&engine, r#"sgx_nr_free_pages{node="n2"}"#, 60_000);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name.as_deref(), Some("sgx_nr_free_pages"));
+        assert_eq!(one[0].value, 24_000.0 - 12.0 * 3_000.0);
+        // Beyond the lookback window the series goes stale.
+        let stale = QueryEngine::new(db()).with_lookback_ms(10_000);
+        assert!(vector(&stale, "sgx_nr_free_pages", 500_000).is_empty());
+    }
+
+    #[test]
+    fn rate_and_aggregation_by_node() {
+        let engine = QueryEngine::new(db());
+        // Each node's read counter grows 100·scale per 5 s → 20·scale per s;
+        // futex adds 4·scale per s.
+        let per_node = vector(&engine, "sum by (node) (rate(teemon_syscalls_total[30s]))", 60_000);
+        assert_eq!(per_node.len(), 2);
+        let value_of = |node: &str| {
+            per_node.iter().find(|s| s.labels.get("node") == Some(node)).map(|s| s.value).unwrap()
+        };
+        assert!((value_of("n1") - 24.0).abs() < 1e-9);
+        assert!((value_of("n2") - 72.0).abs() < 1e-9);
+        // `without` keeps the complementary labels.
+        let per_syscall =
+            vector(&engine, "sum without (node) (rate(teemon_syscalls_total[30s]))", 60_000);
+        assert_eq!(per_syscall.len(), 2);
+        assert!(per_syscall.iter().all(|s| s.labels.get("syscall").is_some()));
+        // Global sum collapses everything.
+        let total = vector(&engine, "sum(rate(teemon_syscalls_total[30s]))", 60_000);
+        assert_eq!(total.len(), 1);
+        assert!(total[0].labels.is_empty());
+        assert!((total[0].value - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_time_functions_summarise_windows() {
+        let engine = QueryEngine::new(db());
+        let q = r#"avg_over_time(sgx_nr_free_pages{node="n1"}[20s])"#;
+        // Window [40s, 60s]: values at t=8..=12 → 24_000 - 1_000·{8..12}.
+        let avg = vector(&engine, q, 60_000);
+        assert!((avg[0].value - (24_000.0 - 10_000.0)).abs() < 1e-9);
+        let max = vector(&engine, r#"max_over_time(sgx_nr_free_pages{node="n1"}[20s])"#, 60_000);
+        assert_eq!(max[0].value, 16_000.0);
+        let count = vector(&engine, "count_over_time(sgx_nr_free_pages[20s])", 60_000);
+        assert_eq!(count.len(), 2);
+        assert_eq!(count[0].value, 5.0);
+        let median = vector(
+            &engine,
+            r#"quantile_over_time(0.5, sgx_nr_free_pages{node="n1"}[20s])"#,
+            60_000,
+        );
+        assert_eq!(median[0].value, 14_000.0);
+        let last = vector(&engine, r#"last_over_time(sgx_nr_free_pages{node="n1"}[20s])"#, 60_000);
+        assert_eq!(last[0].value, 12_000.0);
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons_filter_vectors() {
+        let engine = QueryEngine::new(db());
+        // Scalar arithmetic on a vector.
+        let pct = vector(&engine, "sgx_nr_free_pages / 24000 * 100", 0);
+        assert_eq!(pct.len(), 2);
+        assert!((pct[0].value - 100.0).abs() < 1e-9);
+        assert_eq!(pct[0].name, None, "arithmetic drops the metric name");
+        // Comparison keeps only matching samples (filter semantics).
+        let low = vector(&engine, "sgx_nr_free_pages < 5000", 60_000);
+        assert_eq!(low.len(), 1, "only n2 dropped below 5000 pages");
+        assert_eq!(low[0].labels.get("node"), Some("n2"));
+        assert_eq!(low[0].name.as_deref(), Some("sgx_nr_free_pages"));
+        // Scalar-scalar comparison returns 0/1.
+        assert_eq!(engine.instant_query("1 + 1 == 2", 0).unwrap(), Value::Scalar(1.0));
+        // Vector-vector arithmetic matches on identical label sets.
+        let ratio = vector(
+            &engine,
+            "sum by (node) (teemon_syscalls_total) / sum by (node) (sgx_nr_free_pages)",
+            0,
+        );
+        assert_eq!(ratio.len(), 2);
+    }
+
+    #[test]
+    fn range_queries_stitch_instant_steps() {
+        let engine = QueryEngine::new(db());
+        let series = engine
+            .range_query("sum by (node) (rate(teemon_syscalls_total[30s]))", 30_000, 60_000, 15_000)
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 3, "steps at 30, 45, 60 s");
+            assert!(s.points.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        // Scalar expressions produce one label-less series.
+        let scalar = engine.range_query("42", 0, 10_000, 5_000).unwrap();
+        assert_eq!(scalar.len(), 1);
+        assert_eq!(scalar[0].points, vec![(0, 42.0), (5_000, 42.0), (10_000, 42.0)]);
+        assert_eq!(scalar[0].display_name(), "{}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let engine = QueryEngine::new(db());
+        assert_eq!(
+            engine.instant_query("rate(sgx_nr_free_pages)", 0),
+            Err(QueryError::Eval(EvalError::RangeRequired(RangeFunc::Rate)))
+        );
+        assert_eq!(
+            engine.instant_query("sum(1)", 0),
+            Err(QueryError::Eval(EvalError::VectorRequired("aggregation")))
+        );
+        assert_eq!(
+            engine.instant_query("sgx_nr_free_pages[5m] + 1", 0),
+            Err(QueryError::Eval(EvalError::UnexpectedRange))
+        );
+        assert_eq!(
+            engine.instant_query("quantile_over_time(1.5, sgx_nr_free_pages[5m])", 0),
+            Err(QueryError::Eval(EvalError::InvalidQuantile(1.5)))
+        );
+        assert!(matches!(
+            engine.range_query("up", 0, 1, 0),
+            Err(QueryError::Eval(EvalError::ZeroStep))
+        ));
+        // An inverted range is empty, not a phantom sample at start_ms.
+        assert_eq!(engine.range_query("sgx_nr_free_pages", 20_000, 10_000, 5_000), Ok(Vec::new()));
+        assert!(matches!(engine.instant_query("up[", 0), Err(QueryError::Parse(_))));
+        // A name-less rhs selector matching several metrics with identical
+        // label sets is ambiguous, not a silent pick.
+        let dup = TimeSeriesDb::new();
+        let labels = Labels::from_pairs([("node", "n1")]);
+        dup.append("metric_a", &labels, 0, 7.0);
+        dup.append("metric_b", &labels, 0, 100.0);
+        let dup_engine = QueryEngine::new(dup);
+        assert!(matches!(
+            dup_engine.instant_query(r#"metric_a + {node="n1"}"#, 0),
+            Err(QueryError::Eval(EvalError::ManyToOneMatch(_)))
+        ));
+        let msg = EvalError::ManyToOneMatch(labels).to_string();
+        assert!(msg.contains("many-to-one"), "{msg}");
+        // Errors render readable messages.
+        let msg = QueryError::from(EvalError::RangeRequired(RangeFunc::Rate)).to_string();
+        assert!(msg.contains("rate"), "{msg}");
+    }
+
+    #[test]
+    fn bare_range_selector_returns_a_matrix() {
+        let engine = QueryEngine::new(db());
+        let Value::Matrix(series) = engine.instant_query("sgx_nr_free_pages[10s]", 60_000).unwrap()
+        else {
+            panic!("expected matrix");
+        };
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 3);
+        assert_eq!(series[0].display_name(), "sgx_nr_free_pages{node=\"n1\"}");
+    }
+}

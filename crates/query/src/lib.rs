@@ -1,0 +1,72 @@
+//! TeeQL — a PromQL-style query language over the TEEMon aggregation
+//! database, plus the recording/alert rule subsystem built on it.
+//!
+//! The paper's PMAG component "provides detailed quantitative analysis by
+//! selecting and applying aggregation functions to query results" (§4); in
+//! the reference implementation that power comes from Prometheus' query
+//! language.  This crate supplies the equivalent programmable layer:
+//!
+//! * [`parse`] — lexer + recursive-descent parser producing a typed
+//!   [`Expr`] whose `Display` rendering is valid TeeQL that reparses to an
+//!   equal tree,
+//! * [`QueryEngine`] — instant and range evaluation over a
+//!   [`teemon_tsdb::TimeSeriesDb`],
+//! * [`RuleEngine`] — [`RecordingRule`]s that write derived series back into
+//!   the database and [`AlertRule`]s (expression + `for` hold + severity)
+//!   that supersede the ad-hoc [`teemon_analysis::ThresholdKind`] path
+//!   ([`compile_threshold`] converts the legacy rules).
+//!
+//! # The language
+//!
+//! ```text
+//! expr     := expr (== | != | > | < | >= | <=) expr     comparisons filter
+//!           | expr (+ | -) expr | expr (* | /) expr     scalar arithmetic
+//!           | (sum|avg|min|max|count) [by|without (labels)] (expr)
+//!           | func(expr) | quantile_over_time(q, expr)  range functions
+//!           | name{label="v", label!="v"} [window]      selectors
+//!           | number | (expr)
+//! func     := rate | increase | avg_over_time | min_over_time
+//!           | max_over_time | sum_over_time | count_over_time
+//!           | last_over_time
+//! window   := [5s] | [5m] | [1h30m] | [250ms] | ...
+//! ```
+//!
+//! ```
+//! use teemon_metrics::Labels;
+//! use teemon_query::{QueryEngine, Value};
+//! use teemon_tsdb::TimeSeriesDb;
+//!
+//! let db = TimeSeriesDb::new();
+//! for t in 0..12u64 {
+//!     for node in ["n1", "n2"] {
+//!         let labels = Labels::from_pairs([("node", node)]);
+//!         db.append("sgx_pages_evicted_total", &labels, t * 5_000, (t * 40) as f64);
+//!     }
+//! }
+//! let engine = QueryEngine::new(db);
+//! let value = engine
+//!     .instant_query("sum by (node) (rate(sgx_pages_evicted_total[30s]))", 55_000)
+//!     .unwrap();
+//! let Value::Vector(per_node) = value else { panic!() };
+//! assert_eq!(per_node.len(), 2);
+//! assert!((per_node[0].value - 8.0).abs() < 1e-9); // 40 pages / 5 s
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+
+pub use ast::{
+    aggregate_op_from_name, aggregate_op_name, format_duration_ms, BinOp, Expr, Grouping, RangeFunc,
+};
+pub use eval::{EvalError, QueryEngine, QueryError, RangeSeries, Value, VectorSample};
+pub use lexer::ParseError;
+pub use parser::parse;
+pub use rules::{
+    compile_threshold, sgx_default_alerts, Alert, AlertRule, AlertState, RecordingRule, Rule,
+    RuleEngine, RuleEvalSummary, RuleGroup,
+};

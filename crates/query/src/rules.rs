@@ -1,0 +1,575 @@
+//! Recording and alert rules evaluated on a cadence over the database.
+//!
+//! This is the programmable replacement for the ad-hoc
+//! [`teemon_analysis::ThresholdKind`] path: a recording rule evaluates a
+//! TeeQL expression and writes the result back into the database as a new
+//! series (queryable like any scraped metric), and an alert rule fires when
+//! an expression returns a non-empty vector continuously for its `for`
+//! duration.  [`compile_threshold`] converts the legacy threshold rules into
+//! equivalent TeeQL alert expressions.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use teemon_analysis::{Severity, Threshold, ThresholdKind};
+use teemon_metrics::Labels;
+use teemon_tsdb::TimeSeriesDb;
+
+use crate::ast::{BinOp, Expr, RangeFunc};
+use crate::eval::{QueryEngine, Value};
+
+/// A rule deriving a new series from an expression (`record = expr`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingRule {
+    /// Name of the derived series (by convention `level:metric:operation`,
+    /// e.g. `node:syscalls:rate5m`).
+    pub record: String,
+    /// The evaluated expression.
+    pub expr: Expr,
+    /// Extra labels attached to every derived sample.
+    pub labels: Labels,
+}
+
+impl RecordingRule {
+    /// Creates a recording rule.
+    pub fn new(record: impl Into<String>, expr: Expr) -> Self {
+        Self { record: record.into(), expr, labels: Labels::new() }
+    }
+
+    /// Attaches an extra label to every derived sample.
+    #[must_use]
+    pub fn with_label(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(name, value);
+        self
+    }
+}
+
+/// A rule raising an alert while an expression keeps returning samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Alert name (appears in [`Alert::rule`] and the `ALERTS` series).
+    pub name: String,
+    /// The alert condition; every sample the expression returns is an active
+    /// alert instance, keyed by its label set.
+    pub expr: Expr,
+    /// How long the condition must hold before the alert transitions from
+    /// [`AlertState::Pending`] to [`AlertState::Firing`].
+    pub for_ms: u64,
+    /// Severity attached to raised alerts.
+    pub severity: Severity,
+    /// Human-oriented root-cause hint copied into raised alerts.
+    pub hint: String,
+}
+
+impl AlertRule {
+    /// Creates an alert rule that fires immediately (no `for` hold).
+    pub fn new(name: impl Into<String>, expr: Expr, severity: Severity) -> Self {
+        Self { name: name.into(), expr, for_ms: 0, severity, hint: String::new() }
+    }
+
+    /// Requires the condition to hold this long before firing.
+    #[must_use]
+    pub fn with_for_ms(mut self, for_ms: u64) -> Self {
+        self.for_ms = for_ms;
+        self
+    }
+
+    /// Sets the root-cause hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = hint.into();
+        self
+    }
+
+    /// Compiles a legacy [`Threshold`] rule into an equivalent TeeQL alert
+    /// rule evaluating over `window_ms` windows.
+    pub fn from_threshold(threshold: &Threshold, window_ms: u64) -> Self {
+        Self {
+            name: threshold.name.clone(),
+            expr: compile_threshold(threshold, window_ms),
+            for_ms: 0,
+            severity: threshold.severity,
+            hint: threshold.hint.clone(),
+        }
+    }
+}
+
+/// Compiles a [`Threshold`] into the TeeQL expression it denotes:
+/// `MeanAbove(v)` becomes `avg_over_time(sel[w]) > v`, `MaxAbove` uses
+/// `max_over_time`, `MedianAbove` uses `quantile_over_time(0.5, ...)`, and
+/// `MeanBelow` flips the comparison.
+pub fn compile_threshold(threshold: &Threshold, window_ms: u64) -> Expr {
+    let range = Expr::Range { selector: threshold.selector.clone(), window_ms: window_ms.max(1) };
+    let (func, param, op, value) = match threshold.kind {
+        ThresholdKind::MeanAbove(v) => (RangeFunc::AvgOverTime, None, BinOp::Gt, v),
+        ThresholdKind::MeanBelow(v) => (RangeFunc::AvgOverTime, None, BinOp::Lt, v),
+        ThresholdKind::MaxAbove(v) => (RangeFunc::MaxOverTime, None, BinOp::Gt, v),
+        ThresholdKind::MedianAbove(v) => (RangeFunc::QuantileOverTime, Some(0.5), BinOp::Gt, v),
+    };
+    Expr::Binary {
+        op,
+        lhs: Box::new(Expr::Call { func, param, arg: Box::new(range) }),
+        rhs: Box::new(Expr::Number(value)),
+    }
+}
+
+/// The default SGX alert rules: [`Threshold::sgx_defaults`] compiled to TeeQL
+/// over `window_ms` windows.
+pub fn sgx_default_alerts(window_ms: u64) -> Vec<AlertRule> {
+    Threshold::sgx_defaults().iter().map(|t| AlertRule::from_threshold(t, window_ms)).collect()
+}
+
+/// A recording or alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// Derives a new series.
+    Recording(RecordingRule),
+    /// Raises alerts.
+    Alert(AlertRule),
+}
+
+impl From<RecordingRule> for Rule {
+    fn from(rule: RecordingRule) -> Self {
+        Rule::Recording(rule)
+    }
+}
+
+impl From<AlertRule> for Rule {
+    fn from(rule: AlertRule) -> Self {
+        Rule::Alert(rule)
+    }
+}
+
+/// A named set of rules evaluated together on one cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleGroup {
+    /// Group name (for diagnostics).
+    pub name: String,
+    /// Evaluation cadence in milliseconds.
+    pub interval_ms: u64,
+    /// The rules, evaluated in order (recording rules therefore feed later
+    /// rules of the same group on the *next* evaluation at the earliest).
+    pub rules: Vec<Rule>,
+}
+
+impl RuleGroup {
+    /// Creates an empty group evaluating every `interval_ms`.
+    pub fn new(name: impl Into<String>, interval_ms: u64) -> Self {
+        Self { name: name.into(), interval_ms: interval_ms.max(1), rules: Vec::new() }
+    }
+
+    /// Adds a rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: impl Into<Rule>) -> Self {
+        self.rules.push(rule.into());
+        self
+    }
+}
+
+/// Lifecycle state of an alert instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// The condition holds but has not yet held for the rule's `for`
+    /// duration.
+    Pending,
+    /// The condition has held long enough; the alert is active.
+    Firing,
+}
+
+/// One active alert instance (one label set of one alert rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the rule that raised the alert.
+    pub rule: String,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Label set identifying the instance.
+    pub labels: Labels,
+    /// The condition expression's most recent value for this instance.
+    pub value: f64,
+    /// When the condition first started holding (ms).
+    pub since_ms: u64,
+    /// Pending or firing.
+    pub state: AlertState,
+    /// The rule's root-cause hint.
+    pub hint: String,
+}
+
+/// Summary of one [`RuleEngine::evaluate_due`] pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleEvalSummary {
+    /// Groups whose cadence was due and which were therefore evaluated.
+    pub groups_evaluated: usize,
+    /// Samples written back by recording rules.
+    pub samples_recorded: usize,
+    /// Alerts currently firing (after this pass).
+    pub alerts_firing: usize,
+    /// Human-readable evaluation errors (`group/rule: error`), if any.
+    pub errors: Vec<String>,
+}
+
+struct GroupState {
+    group: RuleGroup,
+    last_eval_ms: Option<u64>,
+    /// Active alert instances keyed by (rule index in group, label set).
+    active: HashMap<(usize, Labels), Alert>,
+}
+
+/// Evaluates rule groups against a database on their cadences.
+///
+/// The engine shares the database with the monitoring stack: recording rules
+/// append derived series, and firing (not pending) alerts are additionally
+/// exported as the `ALERTS{alertname=..., severity=...}` metric so dashboards
+/// can plot them.
+pub struct RuleEngine {
+    engine: QueryEngine,
+    db: TimeSeriesDb,
+    inner: Mutex<Vec<GroupState>>,
+}
+
+impl RuleEngine {
+    /// Creates an engine over `db` with no groups.
+    pub fn new(db: TimeSeriesDb) -> Self {
+        Self { engine: QueryEngine::new(db.clone()), db, inner: Mutex::new(Vec::new()) }
+    }
+
+    /// Adds a rule group.
+    pub fn add_group(&self, group: RuleGroup) {
+        self.inner.lock().push(GroupState { group, last_eval_ms: None, active: HashMap::new() });
+    }
+
+    /// Number of configured groups.
+    pub fn group_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Total number of configured rules across all groups.
+    pub fn rule_count(&self) -> usize {
+        self.inner.lock().iter().map(|g| g.group.rules.len()).sum()
+    }
+
+    /// Evaluates every group whose cadence has elapsed at `now_ms`.
+    pub fn evaluate_due(&self, now_ms: u64) -> RuleEvalSummary {
+        self.evaluate(now_ms, false)
+    }
+
+    /// Evaluates every group regardless of cadence (a forced tick).
+    pub fn evaluate_all(&self, now_ms: u64) -> RuleEvalSummary {
+        self.evaluate(now_ms, true)
+    }
+
+    fn evaluate(&self, now_ms: u64, force: bool) -> RuleEvalSummary {
+        let mut summary = RuleEvalSummary::default();
+        let mut inner = self.inner.lock();
+        for state in inner.iter_mut() {
+            let due = force
+                || state
+                    .last_eval_ms
+                    .map(|last| now_ms.saturating_sub(last) >= state.group.interval_ms)
+                    .unwrap_or(true);
+            if !due {
+                continue;
+            }
+            state.last_eval_ms = Some(now_ms);
+            summary.groups_evaluated += 1;
+            self.evaluate_group(state, now_ms, &mut summary);
+        }
+        summary.alerts_firing = inner
+            .iter()
+            .flat_map(|g| g.active.values())
+            .filter(|a| a.state == AlertState::Firing)
+            .count();
+        summary
+    }
+
+    fn evaluate_group(&self, state: &mut GroupState, now_ms: u64, summary: &mut RuleEvalSummary) {
+        let GroupState { group, active, .. } = state;
+        for (index, rule) in group.rules.iter().enumerate() {
+            match rule {
+                Rule::Recording(recording) => match self.engine.instant(&recording.expr, now_ms) {
+                    Ok(value) => {
+                        summary.samples_recorded += self.record(recording, value, now_ms);
+                    }
+                    Err(err) => {
+                        summary.errors.push(format!("{}/{}: {err}", group.name, recording.record))
+                    }
+                },
+                Rule::Alert(alert) => match self.engine.instant(&alert.expr, now_ms) {
+                    Ok(value) => self.transition_alerts(active, index, alert, &value, now_ms),
+                    Err(err) => {
+                        summary.errors.push(format!("{}/{}: {err}", group.name, alert.name))
+                    }
+                },
+            }
+        }
+    }
+
+    fn record(&self, rule: &RecordingRule, value: Value, now_ms: u64) -> usize {
+        let samples = match value {
+            Value::Scalar(v) => {
+                vec![(rule.labels.clone(), v)]
+            }
+            Value::Vector(samples) => {
+                samples.into_iter().map(|s| (s.labels.merged(&rule.labels), s.value)).collect()
+            }
+            Value::Matrix(_) => return 0,
+        };
+        let mut recorded = 0;
+        for (labels, v) in samples {
+            if self.db.append(&rule.record, &labels, now_ms, v) {
+                recorded += 1;
+            }
+        }
+        recorded
+    }
+
+    fn transition_alerts(
+        &self,
+        active: &mut HashMap<(usize, Labels), Alert>,
+        rule_index: usize,
+        rule: &AlertRule,
+        value: &Value,
+        now_ms: u64,
+    ) {
+        let samples: Vec<(Labels, f64)> = match value {
+            Value::Scalar(v) if *v != 0.0 => vec![(Labels::new(), *v)],
+            Value::Scalar(_) => Vec::new(),
+            Value::Vector(samples) => samples.iter().map(|s| (s.labels.clone(), s.value)).collect(),
+            Value::Matrix(_) => Vec::new(),
+        };
+        // Instances no longer returned by the expression resolve.
+        let present: Vec<Labels> = samples.iter().map(|(l, _)| l.clone()).collect();
+        active.retain(|(index, labels), _| *index != rule_index || present.contains(labels));
+        for (labels, sample_value) in samples {
+            let key = (rule_index, labels.clone());
+            let since_ms = active.get(&key).map(|a| a.since_ms).unwrap_or(now_ms);
+            let alert_state = if now_ms.saturating_sub(since_ms) >= rule.for_ms {
+                AlertState::Firing
+            } else {
+                AlertState::Pending
+            };
+            if alert_state == AlertState::Firing {
+                let export = labels
+                    .with("alertname", rule.name.clone())
+                    .with("severity", format!("{:?}", rule.severity).to_lowercase());
+                self.db.append("ALERTS", &export, now_ms, 1.0);
+            }
+            active.insert(
+                key,
+                Alert {
+                    rule: rule.name.clone(),
+                    severity: rule.severity,
+                    labels,
+                    value: sample_value,
+                    since_ms,
+                    state: alert_state,
+                    hint: rule.hint.clone(),
+                },
+            );
+        }
+    }
+
+    /// Every pending or firing alert instance, most severe first.
+    pub fn active_alerts(&self) -> Vec<Alert> {
+        let mut alerts: Vec<Alert> =
+            self.inner.lock().iter().flat_map(|g| g.active.values().cloned()).collect();
+        alerts.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.rule.cmp(&b.rule)));
+        alerts
+    }
+
+    /// Only the firing alert instances, most severe first.
+    pub fn firing_alerts(&self) -> Vec<Alert> {
+        self.active_alerts().into_iter().filter(|a| a.state == AlertState::Firing).collect()
+    }
+}
+
+impl std::fmt::Debug for RuleEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleEngine")
+            .field("groups", &self.group_count())
+            .field("rules", &self.rule_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use teemon_tsdb::Selector;
+
+    fn counter_db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..25u64 {
+            for (node, scale) in [("n1", 1.0), ("n2", 5.0)] {
+                db.append(
+                    "requests_total",
+                    &Labels::from_pairs([("node", node)]),
+                    t * 5_000,
+                    t as f64 * 50.0 * scale,
+                );
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn recording_rules_write_derived_series() {
+        let db = counter_db();
+        let engine = RuleEngine::new(db.clone());
+        engine.add_group(
+            RuleGroup::new("derived", 5_000).with_rule(
+                RecordingRule::new(
+                    "node:requests:rate30s",
+                    parse("sum by (node) (rate(requests_total[30s]))").unwrap(),
+                )
+                .with_label("source", "teeql"),
+            ),
+        );
+        let summary = engine.evaluate_due(120_000);
+        assert_eq!(summary.groups_evaluated, 1);
+        assert_eq!(summary.samples_recorded, 2);
+        assert!(summary.errors.is_empty());
+        let results = db.query_instant(&Selector::metric("node:requests:rate30s"), u64::MAX);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.labels.get("source") == Some("teeql")));
+        // The derived series is itself queryable through TeeQL.
+        let q = QueryEngine::new(db);
+        let value = q.instant_query(r#"node:requests:rate30s{node="n2"}"#, 120_000).unwrap();
+        assert_eq!(value.as_vector().unwrap().len(), 1);
+        assert!((value.as_vector().unwrap()[0].value - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cadence_gates_evaluation() {
+        let engine = RuleEngine::new(counter_db());
+        engine.add_group(
+            RuleGroup::new("g", 60_000)
+                .with_rule(RecordingRule::new("x:y:z", parse("sum(requests_total)").unwrap())),
+        );
+        assert_eq!(engine.evaluate_due(0).groups_evaluated, 1);
+        assert_eq!(engine.evaluate_due(30_000).groups_evaluated, 0, "not due yet");
+        assert_eq!(engine.evaluate_due(60_000).groups_evaluated, 1);
+        assert_eq!(engine.evaluate_all(61_000).groups_evaluated, 1, "forced");
+    }
+
+    #[test]
+    fn alerts_hold_for_duration_then_fire_and_resolve() {
+        let db = TimeSeriesDb::new();
+        let engine = RuleEngine::new(db.clone());
+        engine.add_group(
+            RuleGroup::new("alerts", 5_000).with_rule(
+                AlertRule::new(
+                    "free_pages_low",
+                    parse("free_pages < 1000").unwrap(),
+                    Severity::Critical,
+                )
+                .with_for_ms(10_000)
+                .with_hint("EPC nearly exhausted"),
+            ),
+        );
+        let labels = Labels::from_pairs([("node", "n1")]);
+        // Healthy: no alert.
+        db.append("free_pages", &labels, 0, 20_000.0);
+        engine.evaluate_due(0);
+        assert!(engine.active_alerts().is_empty());
+        // Condition starts holding: pending.
+        db.append("free_pages", &labels, 5_000, 100.0);
+        engine.evaluate_due(5_000);
+        let active = engine.active_alerts();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].state, AlertState::Pending);
+        assert_eq!(active[0].since_ms, 5_000);
+        assert!(engine.firing_alerts().is_empty());
+        // Still holding at +5 s: still pending (for = 10 s).
+        db.append("free_pages", &labels, 10_000, 90.0);
+        engine.evaluate_due(10_000);
+        assert_eq!(engine.active_alerts()[0].state, AlertState::Pending);
+        // Held for 10 s: firing, and exported as the ALERTS series.
+        db.append("free_pages", &labels, 15_000, 80.0);
+        let summary = engine.evaluate_due(15_000);
+        assert_eq!(summary.alerts_firing, 1);
+        let firing = engine.firing_alerts();
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].rule, "free_pages_low");
+        assert_eq!(firing[0].value, 80.0);
+        assert_eq!(firing[0].hint, "EPC nearly exhausted");
+        let exported = db.query_instant(
+            &Selector::metric("ALERTS").with_label("alertname", "free_pages_low"),
+            u64::MAX,
+        );
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].labels.get("severity"), Some("critical"));
+        // Condition clears: the alert resolves.
+        db.append("free_pages", &labels, 20_000, 20_000.0);
+        engine.evaluate_due(20_000);
+        assert!(engine.active_alerts().is_empty());
+    }
+
+    #[test]
+    fn thresholds_compile_to_teeql() {
+        let thresholds = Threshold::sgx_defaults();
+        for t in &thresholds {
+            let expr = compile_threshold(t, 300_000);
+            // The compiled expression round-trips through the parser.
+            assert_eq!(parse(&expr.to_string()).unwrap(), expr);
+        }
+        let mean_below = thresholds.iter().find(|t| t.name == "epc_free_pages_low").unwrap();
+        assert_eq!(
+            compile_threshold(mean_below, 300_000).to_string(),
+            "avg_over_time(sgx_nr_free_pages[5m]) < 512"
+        );
+        let median = Threshold::new(
+            "m",
+            Selector::metric("latency_ms"),
+            ThresholdKind::MedianAbove(10.0),
+            Severity::Info,
+            "",
+        );
+        assert_eq!(
+            compile_threshold(&median, 60_000).to_string(),
+            "quantile_over_time(0.5, latency_ms[1m]) > 10"
+        );
+        let alerts = sgx_default_alerts(300_000);
+        assert_eq!(alerts.len(), thresholds.len());
+        assert_eq!(alerts[0].name, thresholds[0].name);
+        assert_eq!(alerts[0].severity, thresholds[0].severity);
+    }
+
+    #[test]
+    fn compiled_threshold_fires_like_the_legacy_detector() {
+        // The legacy path: MeanBelow(512) over sgx_nr_free_pages windows.
+        let db = TimeSeriesDb::new();
+        let labels = Labels::from_pairs([("node", "n1")]);
+        for minute in 0..10u64 {
+            let free = if minute < 5 { 20_000.0 } else { 100.0 };
+            db.append("sgx_nr_free_pages", &labels, minute * 60_000, free);
+        }
+        let engine = RuleEngine::new(db);
+        let mut group = RuleGroup::new("sgx", 60_000);
+        for alert in sgx_default_alerts(300_000) {
+            group = group.with_rule(alert);
+        }
+        engine.add_group(group);
+        // At t=10 min the 5-minute window covers only the collapsed values.
+        let summary = engine.evaluate_due(10 * 60_000);
+        assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+        let firing = engine.firing_alerts();
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].rule, "epc_free_pages_low");
+        assert!(firing[0].hint.contains("EPC"));
+    }
+
+    #[test]
+    fn rule_errors_are_reported_not_fatal() {
+        let engine = RuleEngine::new(TimeSeriesDb::new());
+        engine.add_group(
+            RuleGroup::new("broken", 1_000)
+                .with_rule(RecordingRule::new("bad", parse("rate(up)").unwrap()))
+                .with_rule(AlertRule::new("ok", parse("up == 1").unwrap(), Severity::Info)),
+        );
+        let summary = engine.evaluate_due(0);
+        assert_eq!(summary.errors.len(), 1);
+        assert!(summary.errors[0].contains("broken/bad"), "{:?}", summary.errors);
+    }
+}

@@ -29,7 +29,7 @@ pub mod scrape;
 pub mod series;
 pub mod storage;
 
-pub use query::{AggregateOp, QueryResult, RangePoint, Selector};
+pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
     CollectorEndpoint, MetricsEndpoint, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
     TextEndpoint, TextSource,

@@ -6,6 +6,8 @@
 //! provides that query layer: [`Selector`]s pick series, and the free
 //! functions aggregate the resulting [`QueryResult`]s.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
 
@@ -18,6 +20,34 @@ pub enum LabelMatch {
     NotEquals(String, String),
     /// Label must exist (any value).
     Exists(String),
+}
+
+/// Escapes a label value for TeeQL / exposition-style rendering.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl fmt::Display for LabelMatch {
+    /// Renders the matcher in TeeQL syntax.  [`LabelMatch::Exists`] prints as
+    /// `label!=""` — the TeeQL parser canonicalises that form back to
+    /// `Exists`, so a `NotEquals(_, "")` matcher is not representable in
+    /// query text (construct it programmatically if you really need it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelMatch::Equals(k, v) => write!(f, "{k}=\"{}\"", escape_label_value(v)),
+            LabelMatch::NotEquals(k, v) => write!(f, "{k}!=\"{}\"", escape_label_value(v)),
+            LabelMatch::Exists(k) => write!(f, "{k}!=\"\""),
+        }
+    }
 }
 
 /// A series selector: an optional metric-name filter plus label matchers.
@@ -80,6 +110,29 @@ impl Selector {
     }
 }
 
+impl fmt::Display for Selector {
+    /// Renders the selector in TeeQL syntax: `name`, `name{matchers}`,
+    /// `{matchers}` for a name-less selector, or `{}` for the match-all
+    /// selector.  The output parses back to an equal selector with
+    /// `teemon_query`'s parser (modulo the [`LabelMatch::Exists`] caveat).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            f.write_str(name)?;
+            if self.matchers.is_empty() {
+                return Ok(());
+            }
+        }
+        write!(f, "{{")?;
+        for (i, m) in self.matchers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 /// One series' contribution to a query answer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryResult {
@@ -137,21 +190,37 @@ pub fn aggregate_latest(results: &[QueryResult], op: AggregateOp) -> Option<f64>
 /// Aggregates across series per timestamp.  Timestamps are the union of all
 /// series' timestamps; series contribute their most recent value at or before
 /// each timestamp.
+///
+/// Each series' points must be in chronological order (which
+/// [`crate::TimeSeriesDb`] guarantees).  The walk keeps one forward cursor
+/// per series over the merged timestamp union, so the cost is
+/// `O(total_points + timestamps × series)` instead of the quadratic
+/// per-timestamp reverse scan it replaces.
 pub fn aggregate_over_time(results: &[QueryResult], op: AggregateOp) -> Vec<RangePoint> {
     let mut timestamps: Vec<u64> =
         results.iter().flat_map(|r| r.points.iter().map(|(t, _)| *t)).collect();
     timestamps.sort_unstable();
     timestamps.dedup();
-    timestamps
-        .into_iter()
-        .filter_map(|ts| {
-            let values: Vec<f64> = results
-                .iter()
-                .filter_map(|r| r.points.iter().rev().find(|(t, _)| *t <= ts).map(|(_, v)| *v))
-                .collect();
-            op.apply(&values).map(|v| (ts, v))
-        })
-        .collect()
+    let mut cursors = vec![0usize; results.len()];
+    let mut latest: Vec<Option<f64>> = vec![None; results.len()];
+    let mut values = Vec::with_capacity(results.len());
+    let mut out = Vec::with_capacity(timestamps.len());
+    for ts in timestamps {
+        values.clear();
+        for (i, r) in results.iter().enumerate() {
+            while cursors[i] < r.points.len() && r.points[cursors[i]].0 <= ts {
+                latest[i] = Some(r.points[cursors[i]].1);
+                cursors[i] += 1;
+            }
+            if let Some(v) = latest[i] {
+                values.push(v);
+            }
+        }
+        if let Some(v) = op.apply(&values) {
+            out.push((ts, v));
+        }
+    }
+    out
 }
 
 /// Per-second rate of increase of a counter over the window covered by
@@ -195,12 +264,17 @@ pub fn increase(points: &[(u64, f64)]) -> Option<f64> {
 }
 
 /// Exact quantile (`0 ≤ q ≤ 1`) of the values in `points`.
+///
+/// `NaN` inputs are ordered after every finite value (IEEE 754 total order),
+/// so upper quantiles of a window containing `NaN`s are `NaN` while lower
+/// quantiles stay meaningful — and the sort is deterministic regardless of
+/// where the `NaN`s appear in the input.
 pub fn quantile_over_time(points: &[(u64, f64)], q: f64) -> Option<f64> {
     if points.is_empty() {
         return None;
     }
     let mut values: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (values.len() - 1) as f64;
     let lower = pos.floor() as usize;
@@ -287,6 +361,31 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_over_time_with_staggered_series() {
+        // Three series whose timestamps interleave without ever coinciding:
+        // the per-series cursors must carry the last-seen value forward.
+        let results: Vec<QueryResult> = (0..3u64)
+            .map(|i| QueryResult {
+                name: "m".into(),
+                labels: labels(&[("node", &format!("n{i}"))]),
+                points: (0..4u64).map(|j| (j * 300 + i * 100, (i * 10 + j) as f64)).collect(),
+            })
+            .collect();
+        let summed = aggregate_over_time(&results, AggregateOp::Sum);
+        assert_eq!(summed.len(), 12, "union of 3x4 distinct timestamps");
+        // At t=0 only series 0 has reported; at t=200 all three have.
+        assert_eq!(summed[0], (0, 0.0));
+        assert_eq!(summed[2], (200, 0.0 + 10.0 + 20.0));
+        // The last point sums every series' final value.
+        assert_eq!(summed.last(), Some(&(1100, 3.0 + 13.0 + 23.0)));
+        // Count reflects how many series have reported so far.
+        let counted = aggregate_over_time(&results, AggregateOp::Count);
+        assert_eq!(counted[0].1, 1.0);
+        assert_eq!(counted[1].1, 2.0);
+        assert_eq!(counted[11].1, 3.0);
+    }
+
+    #[test]
     fn quantiles_over_time() {
         let points: Vec<(u64, f64)> = (0..100).map(|i| (i as u64, i as f64)).collect();
         assert_eq!(quantile_over_time(&points, 0.0), Some(0.0));
@@ -294,5 +393,43 @@ mod tests {
         let median = quantile_over_time(&points, 0.5).unwrap();
         assert!((median - 49.5).abs() < 1e-9);
         assert_eq!(quantile_over_time(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles_are_nan_safe() {
+        // NaNs sort after every finite value under the IEEE total order, so
+        // the result is deterministic no matter where the NaN sits.
+        let with_nan = vec![(0, 3.0), (1, f64::NAN), (2, 1.0), (3, 2.0)];
+        assert_eq!(quantile_over_time(&with_nan, 0.0), Some(1.0));
+        // The median interpolates the two middle finite values: [1, 2, 3, NaN].
+        let median = quantile_over_time(&with_nan, 0.5).unwrap();
+        assert!((median - 2.5).abs() < 1e-9);
+        assert!(quantile_over_time(&with_nan, 1.0).unwrap().is_nan());
+        // A NaN in any position yields the same answers.
+        let nan_first = vec![(0, f64::NAN), (1, 3.0), (2, 1.0), (3, 2.0)];
+        assert_eq!(quantile_over_time(&nan_first, 0.0), Some(1.0));
+        assert!(quantile_over_time(&nan_first, 1.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn selector_display_is_teeql_syntax() {
+        assert_eq!(Selector::all().to_string(), "{}");
+        assert_eq!(Selector::metric("up").to_string(), "up");
+        assert_eq!(Selector::metric("up").with_label("node", "n1").to_string(), "up{node=\"n1\"}");
+        assert_eq!(
+            Selector::metric("m")
+                .with_label("a", "x")
+                .without_label_value("b", "y")
+                .with_label_present("c")
+                .to_string(),
+            "m{a=\"x\", b!=\"y\", c!=\"\"}"
+        );
+        let nameless = Selector::all().with_label("node", "n1");
+        assert_eq!(nameless.to_string(), "{node=\"n1\"}");
+        // Quotes and backslashes in values are escaped.
+        assert_eq!(
+            Selector::metric("m").with_label("a", "q\"\\u").to_string(),
+            "m{a=\"q\\\"\\\\u\"}"
+        );
     }
 }

@@ -76,6 +76,11 @@ impl Series {
         self.chunks.iter().rev().find_map(|c| c.end())
     }
 
+    /// Timestamp of the oldest retained sample.
+    pub fn first_timestamp(&self) -> Option<u64> {
+        self.chunks.iter().find_map(|c| c.start())
+    }
+
     /// The newest sample.
     pub fn last_sample(&self) -> Option<Sample> {
         self.chunks.iter().rev().find_map(|c| c.samples.last().copied())

@@ -165,6 +165,12 @@ impl TimeSeriesDb {
         self.inner.read().series.iter().filter_map(|s| s.last_timestamp()).max()
     }
 
+    /// The oldest retained timestamp across every series (used by query
+    /// consumers to clamp open-ended ranges to the data actually stored).
+    pub fn oldest_timestamp(&self) -> Option<u64> {
+        self.inner.read().series.iter().filter_map(|s| s.first_timestamp()).min()
+    }
+
     /// Applies the retention policy relative to the newest stored timestamp.
     /// Returns the number of samples dropped.
     pub fn apply_retention(&self) -> usize {
@@ -216,6 +222,9 @@ mod tests {
         let stats = db.stats();
         assert_eq!(stats.samples, 3);
         assert_eq!(stats.rejected_samples, 0);
+        assert_eq!(db.oldest_timestamp(), Some(1_000));
+        assert_eq!(db.newest_timestamp(), Some(2_000));
+        assert_eq!(TimeSeriesDb::new().oldest_timestamp(), None);
     }
 
     #[test]

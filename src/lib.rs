@@ -14,6 +14,7 @@ pub use teemon_frameworks as frameworks;
 pub use teemon_kernel_sim as kernel_sim;
 pub use teemon_metrics as metrics;
 pub use teemon_orchestrator as orchestrator;
+pub use teemon_query as query;
 pub use teemon_sgx_sim as sgx_sim;
 pub use teemon_sim_core as sim_core;
 pub use teemon_tsdb as tsdb;
