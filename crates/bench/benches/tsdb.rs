@@ -1,0 +1,260 @@
+//! Storage-engine microbenchmarks (`micro/tsdb`): append throughput,
+//! selector queries at 10 k series, and multi-threaded append scaling —
+//! each measured against the pre-overhaul engine (one global lock, an owned
+//! `(String, Labels)` key map, and O(total-series) matcher scans with
+//! deep-cloned results), which is retained here as `LinearScanDb` so the
+//! speedup stays visible as both engines evolve.
+//!
+//! Set `TEEMON_BENCH_SMOKE=1` (as CI does) to shrink the data set and sample
+//! counts for a fast correctness pass.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon_metrics::Labels;
+use teemon_tsdb::{Sample, Selector, Series, TimeSeriesDb};
+
+fn smoke() -> bool {
+    std::env::var_os("TEEMON_BENCH_SMOKE").is_some()
+}
+
+fn sample_count() -> usize {
+    if smoke() {
+        2
+    } else {
+        20
+    }
+}
+
+/// Series cardinality for the selector benchmarks.
+fn series_total() -> usize {
+    if smoke() {
+        512
+    } else {
+        10_000
+    }
+}
+
+/// The storage engine this PR replaced: every series behind one `RwLock`,
+/// an owned-key index that allocates `name.to_string() + labels.clone()` on
+/// every lookup, and selectors answered by scanning and deep-cloning every
+/// series.  Kept as the bench baseline.
+#[derive(Default)]
+struct LinearScanDb {
+    inner: RwLock<LinearInner>,
+}
+
+#[derive(Default)]
+struct LinearInner {
+    series: Vec<Series>,
+    index: HashMap<(String, Labels), usize>,
+}
+
+impl LinearScanDb {
+    fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
+        let mut inner = self.inner.write().unwrap();
+        let idx = match inner.index.get(&(name.to_string(), labels.clone())) {
+            Some(idx) => *idx,
+            None => {
+                let idx = inner.series.len();
+                inner.series.push(Series::new(name.to_string(), labels.clone(), 120));
+                inner.index.insert((name.to_string(), labels.clone()), idx);
+                idx
+            }
+        };
+        inner.series[idx].append(Sample { timestamp_ms, value })
+    }
+
+    fn select(&self, selector: &Selector) -> Vec<Series> {
+        self.inner
+            .read()
+            .unwrap()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .cloned()
+            .collect()
+    }
+
+    fn query_instant(&self, selector: &Selector, at_ms: u64) -> Vec<(String, Labels, f64)> {
+        self.inner
+            .read()
+            .unwrap()
+            .series
+            .iter()
+            .filter(|s| selector.matches(&s.name, &s.labels))
+            .filter_map(|s| {
+                s.at(at_ms).map(|sample| (s.name.clone(), s.labels.clone(), sample.value))
+            })
+            .collect()
+    }
+}
+
+/// `count` series shaped like a monitored cluster: `metric-m{node, job, idx}`
+/// over 8 metric names and 64 nodes, each with `samples` points at 5 s
+/// resolution.  Returns the key set so benches can append to existing series.
+fn populate<F: Fn(&str, &Labels, u64, f64) -> bool>(
+    count: usize,
+    samples: u64,
+    append: F,
+) -> Vec<(String, Labels)> {
+    let keys: Vec<(String, Labels)> = (0..count)
+        .map(|i| {
+            (
+                format!("teemon_metric_{}_total", i % 8),
+                Labels::from_pairs([
+                    ("node", format!("node-{}", i % 64)),
+                    ("job", "sgx_exporter".to_string()),
+                    ("idx", format!("{i}")),
+                ]),
+            )
+        })
+        .collect();
+    for t in 0..samples {
+        for (name, labels) in &keys {
+            assert!(append(name, labels, t * 5_000, t as f64));
+        }
+    }
+    keys
+}
+
+/// Append throughput to existing series: the scrape-tick hot path.
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/tsdb");
+    group.sample_size(sample_count());
+
+    let count = series_total().min(1_024);
+    let db = TimeSeriesDb::new();
+    let keys = populate(count, 4, |n, l, t, v| db.append(n, l, t, v));
+    let tick = AtomicU64::new(1_000_000);
+    let mut next = 0usize;
+    group.bench_function("append_existing/indexed", |b| {
+        b.iter(|| {
+            let (name, labels) = &keys[next % keys.len()];
+            next += 1;
+            let t = tick.fetch_add(1, Ordering::Relaxed);
+            black_box(db.append(name, labels, t, 1.0))
+        })
+    });
+
+    let baseline = LinearScanDb::default();
+    let keys = populate(count, 4, |n, l, t, v| baseline.append(n, l, t, v));
+    let tick = AtomicU64::new(1_000_000);
+    let mut next = 0usize;
+    group.bench_function("append_existing/linear_baseline", |b| {
+        b.iter(|| {
+            let (name, labels) = &keys[next % keys.len()];
+            next += 1;
+            let t = tick.fetch_add(1, Ordering::Relaxed);
+            black_box(baseline.append(name, labels, t, 1.0))
+        })
+    });
+    group.finish();
+}
+
+/// Selector queries at 10 k series: the index answers from postings lists
+/// sized by the match, the baseline scans and deep-clones everything.
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/tsdb");
+    group.sample_size(sample_count());
+    let count = series_total();
+    // Two sealed chunks per series (chunk_size 120): selection on the new
+    // engine shares them by `Arc`, the baseline deep-clones every sample.
+    let samples: u64 = if smoke() { 8 } else { 240 };
+
+    // One node's share is count/64 series.  `node-8` aligns with
+    // `metric_0` (8 ≡ 0 mod 8), so the narrow selector matches exactly that
+    // node's share rather than an empty set.
+    let narrow = Selector::metric("teemon_metric_0_total").with_label("node", "node-8");
+    let node_wide = Selector::all().with_label("node", "node-7");
+
+    let db = TimeSeriesDb::new();
+    populate(count, samples, |n, l, t, v| db.append(n, l, t, v));
+    group.bench_function("select_at_10k/indexed", |b| {
+        b.iter(|| black_box(db.select(black_box(&narrow))))
+    });
+    group.bench_function("select_node_at_10k/indexed", |b| {
+        b.iter(|| black_box(db.select(black_box(&node_wide))))
+    });
+    group.bench_function("query_instant_at_10k/indexed", |b| {
+        b.iter(|| black_box(db.query_instant(black_box(&narrow), 40_000)))
+    });
+
+    let baseline = LinearScanDb::default();
+    populate(count, samples, |n, l, t, v| baseline.append(n, l, t, v));
+    group.bench_function("select_at_10k/linear_baseline", |b| {
+        b.iter(|| black_box(baseline.select(black_box(&narrow))))
+    });
+    group.bench_function("select_node_at_10k/linear_baseline", |b| {
+        b.iter(|| black_box(baseline.select(black_box(&node_wide))))
+    });
+    group.bench_function("query_instant_at_10k/linear_baseline", |b| {
+        b.iter(|| black_box(baseline.query_instant(black_box(&narrow), 40_000)))
+    });
+    group.finish();
+}
+
+/// Multi-threaded append scaling: the same total sample volume pushed by one
+/// thread vs spread over four threads.  Sharded locks let the four-thread
+/// run overlap; the baseline's single lock would serialise it.
+fn bench_append_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/tsdb");
+    group.sample_size(sample_count());
+    const THREADS: u64 = 4;
+    let per_thread: u64 = if smoke() { 512 } else { 8_192 };
+
+    let db = TimeSeriesDb::new();
+    let keys: Vec<Vec<Labels>> = (0..THREADS)
+        .map(|thread| {
+            (0..16)
+                .map(|i| {
+                    Labels::from_pairs([
+                        ("node", format!("node-{thread}")),
+                        ("idx", format!("{i}")),
+                    ])
+                })
+                .collect()
+        })
+        .collect();
+    let tick = AtomicU64::new(0);
+    group.bench_function("append_mt/1_thread", |b| {
+        b.iter(|| {
+            let base = tick.fetch_add(per_thread * THREADS, Ordering::Relaxed);
+            for i in 0..per_thread * THREADS {
+                // (i / 16) decorrelates the thread index from i % 16, so the
+                // single thread covers all 64 series the 4-thread run writes.
+                let labels = &keys[((i / 16) % THREADS) as usize][(i % 16) as usize];
+                black_box(db.append("mt_total", labels, base + i, 1.0));
+            }
+        })
+    });
+
+    let db = TimeSeriesDb::new();
+    let tick = AtomicU64::new(0);
+    group.bench_function("append_mt/4_threads", |b| {
+        b.iter(|| {
+            let base = tick.fetch_add(per_thread, Ordering::Relaxed);
+            std::thread::scope(|scope| {
+                for thread_keys in &keys {
+                    scope.spawn(|| {
+                        for i in 0..per_thread {
+                            let labels = &thread_keys[(i % 16) as usize];
+                            black_box(db.append("mt_total", labels, base + i, 1.0));
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_append, bench_select, bench_append_scaling
+}
+criterion_main!(benches);

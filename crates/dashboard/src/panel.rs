@@ -166,24 +166,32 @@ impl Panel {
     ///
     /// In expression mode the open-ended range (`0..u64::MAX`) is clamped to
     /// the data the database actually holds, and the expression is evaluated
-    /// at `step_ms` intervals across it.
+    /// at `step_ms` intervals across it.  In selector mode the panel reads
+    /// through the zero-copy snapshot API: one inverted-index lookup, then a
+    /// pre-sized range walk over `Arc`-shared chunks per series.
     pub fn evaluate(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64) -> PanelData {
-        let results = match &self.expr {
-            Some(expr) => self.evaluate_expr(db, expr, start_ms, end_ms),
-            None => db.query_range(&self.selector, start_ms, end_ms),
+        let series: Vec<(String, Vec<(u64, f64)>)> = match &self.expr {
+            Some(expr) => self
+                .evaluate_expr(db, expr, start_ms, end_ms)
+                .into_iter()
+                .map(|r| {
+                    let label = if r.labels.is_empty() {
+                        r.name
+                    } else {
+                        format!("{}{}", r.name, r.labels)
+                    };
+                    (label, r.points)
+                })
+                .collect(),
+            None => db
+                .select(&self.selector)
+                .iter()
+                .map(|snap| (snap.display_name(), snap.points_in(start_ms, end_ms)))
+                .filter(|(_, points)| !points.is_empty())
+                .collect(),
         };
-        let series: Vec<(String, Vec<(u64, f64)>)> = results
-            .iter()
-            .map(|r| {
-                let label = if r.labels.is_empty() {
-                    r.name.clone()
-                } else {
-                    format!("{}{}", r.name, r.labels)
-                };
-                (label, r.points.clone())
-            })
-            .collect();
-        let aggregated = query::aggregate_over_time(&results, self.aggregate);
+        let point_sets: Vec<&[(u64, f64)]> = series.iter().map(|(_, p)| p.as_slice()).collect();
+        let aggregated = query::aggregate_series_over_time(&point_sets, self.aggregate);
         let current = if self.as_rate {
             query::rate(&aggregated)
         } else {

@@ -1,10 +1,11 @@
 //! The TeeQL evaluator: instant and range queries over a [`TimeSeriesDb`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 use teemon_metrics::Labels;
-use teemon_tsdb::{query, AggregateOp, TimeSeriesDb};
+use teemon_tsdb::{query, AggregateOp, Selector, SeriesSnapshot, TimeSeriesDb};
 
 use crate::ast::{BinOp, Expr, Grouping, RangeFunc};
 use crate::lexer::ParseError;
@@ -12,6 +13,52 @@ use crate::parser::parse;
 
 /// Per-series point accumulator used while stitching range results.
 type SeriesAccumulator = BTreeMap<(Option<String>, Labels), Vec<(u64, f64)>>;
+
+/// One selected series with its key strings materialised once per query.
+struct SelectedSeries {
+    snapshot: SeriesSnapshot,
+    name: String,
+    labels: Labels,
+}
+
+/// Per-query cache of selector evaluations, keyed by the selector's address
+/// inside the expression tree.  The `'e` lifetime ties the cache to the
+/// expression being evaluated, so a cached address can never outlive (or be
+/// reused after) the selector it identifies.
+///
+/// This is what makes reads zero-copy end to end: each selector hits the
+/// database's inverted index once per query — not once per range step — and
+/// every step after that walks the same `Arc`-shared chunks through the
+/// snapshot cursor API.  Each selector's snapshots are immutable once taken,
+/// so all steps of a range query see identical data for that selector
+/// (distinct selectors in one expression may still snapshot at slightly
+/// different instants under live ingestion).
+#[derive(Default)]
+struct SelectionCache<'e> {
+    by_selector: HashMap<usize, Rc<Vec<SelectedSeries>>>,
+    _expr: std::marker::PhantomData<&'e Selector>,
+}
+
+impl<'e> SelectionCache<'e> {
+    fn selection(&mut self, db: &TimeSeriesDb, selector: &'e Selector) -> Rc<Vec<SelectedSeries>> {
+        let key = selector as *const Selector as usize;
+        if let Some(cached) = self.by_selector.get(&key) {
+            return Rc::clone(cached);
+        }
+        let selected = Rc::new(
+            db.select(selector)
+                .into_iter()
+                .map(|snapshot| SelectedSeries {
+                    name: snapshot.name().to_string(),
+                    labels: snapshot.to_labels(),
+                    snapshot,
+                })
+                .collect::<Vec<_>>(),
+        );
+        self.by_selector.insert(key, Rc::clone(&selected));
+        selected
+    }
+}
 
 /// One sample of an instant vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,43 +276,61 @@ impl QueryEngine {
     /// Returns an [`EvalError`] when the expression is not well-typed (e.g. a
     /// range function over an instant vector).
     pub fn instant(&self, expr: &Expr, at_ms: u64) -> Result<Value, EvalError> {
+        self.eval_instant(expr, at_ms, &mut SelectionCache::default())
+    }
+
+    fn eval_instant<'e>(
+        &self,
+        expr: &'e Expr,
+        at_ms: u64,
+        cache: &mut SelectionCache<'e>,
+    ) -> Result<Value, EvalError> {
         match expr {
             Expr::Number(n) => Ok(Value::Scalar(*n)),
             Expr::Selector(selector) => {
                 let oldest_live = at_ms.saturating_sub(self.lookback_ms);
-                let samples = self
-                    .db
-                    .query_instant(selector, at_ms)
-                    .into_iter()
-                    .filter(|r| r.points.first().map(|(t, _)| *t >= oldest_live).unwrap_or(false))
-                    .map(|r| VectorSample {
-                        name: Some(r.name),
-                        labels: r.labels,
-                        value: r.points[0].1,
-                    })
-                    .collect();
+                let selection = cache.selection(&self.db, selector);
+                let mut samples = Vec::with_capacity(selection.len());
+                for series in selection.iter() {
+                    let Some(sample) = series.snapshot.at(at_ms) else { continue };
+                    if sample.timestamp_ms < oldest_live {
+                        continue;
+                    }
+                    samples.push(VectorSample {
+                        name: Some(series.name.clone()),
+                        labels: series.labels.clone(),
+                        value: sample.value,
+                    });
+                }
                 Ok(Value::Vector(samples))
             }
             Expr::Range { selector, window_ms } => {
                 let start = at_ms.saturating_sub(*window_ms);
-                let series = self
-                    .db
-                    .query_range(selector, start, at_ms)
-                    .into_iter()
-                    .map(|r| RangeSeries { name: Some(r.name), labels: r.labels, points: r.points })
-                    .collect();
-                Ok(Value::Matrix(series))
+                let selection = cache.selection(&self.db, selector);
+                let mut out = Vec::with_capacity(selection.len());
+                for series in selection.iter() {
+                    let points = series.snapshot.points_in(start, at_ms);
+                    if points.is_empty() {
+                        continue;
+                    }
+                    out.push(RangeSeries {
+                        name: Some(series.name.clone()),
+                        labels: series.labels.clone(),
+                        points,
+                    });
+                }
+                Ok(Value::Matrix(out))
             }
-            Expr::Call { func, param, arg } => self.call(*func, *param, arg, at_ms),
+            Expr::Call { func, param, arg } => self.call(*func, *param, arg, at_ms, cache),
             Expr::Aggregate { op, grouping, expr } => {
-                let Value::Vector(samples) = self.instant(expr, at_ms)? else {
+                let Value::Vector(samples) = self.eval_instant(expr, at_ms, cache)? else {
                     return Err(EvalError::VectorRequired("aggregation"));
                 };
                 Ok(Value::Vector(aggregate_vector(&samples, *op, grouping)))
             }
             Expr::Binary { op, lhs, rhs } => {
-                let lhs = self.instant(lhs, at_ms)?;
-                let rhs = self.instant(rhs, at_ms)?;
+                let lhs = self.eval_instant(lhs, at_ms, cache)?;
+                let rhs = self.eval_instant(rhs, at_ms, cache)?;
                 binary(*op, lhs, rhs)
             }
         }
@@ -279,6 +344,11 @@ impl QueryEngine {
     /// Returns [`EvalError::ZeroStep`] for a zero step and propagates the
     /// expression's evaluation errors.  A whole-query range selector
     /// (`m[5m]`) is not rangeable and yields [`EvalError::UnexpectedRange`].
+    ///
+    /// Selectors are resolved against the storage index once for the whole
+    /// query; every step then reads the same immutable `Arc`-shared chunk
+    /// snapshots, so concurrent ingestion cannot make one selector's data
+    /// shift between steps.
     pub fn range(
         &self,
         expr: &Expr,
@@ -292,10 +362,11 @@ impl QueryEngine {
         if start_ms > end_ms {
             return Ok(Vec::new());
         }
+        let mut cache = SelectionCache::default();
         let mut series: SeriesAccumulator = BTreeMap::new();
         let mut t = start_ms;
         loop {
-            match self.instant(expr, t)? {
+            match self.eval_instant(expr, t, &mut cache)? {
                 Value::Scalar(v) => {
                     series.entry((None, Labels::new())).or_default().push((t, v));
                 }
@@ -321,14 +392,15 @@ impl QueryEngine {
             .collect())
     }
 
-    fn call(
+    fn call<'e>(
         &self,
         func: RangeFunc,
         param: Option<f64>,
-        arg: &Expr,
+        arg: &'e Expr,
         at_ms: u64,
+        cache: &mut SelectionCache<'e>,
     ) -> Result<Value, EvalError> {
-        let Value::Matrix(series) = self.instant(arg, at_ms)? else {
+        let Value::Matrix(series) = self.eval_instant(arg, at_ms, cache)? else {
             return Err(EvalError::RangeRequired(func));
         };
         if let Some(q) = param {

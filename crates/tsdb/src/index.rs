@@ -1,0 +1,254 @@
+//! The inverted index: postings lists from metric name and `(label, value)`
+//! pairs to series, plus the compiled form of a [`Selector`].
+//!
+//! Each lock shard maintains one [`Postings`] over its own series.  Series
+//! are registered in creation order, so every postings list is sorted and
+//! selection is a sorted-list intersection over the lists named by the
+//! selector — cost proportional to the smallest postings list touched, not to
+//! the total number of series (the way Prometheus' head index answers
+//! matchers).
+//!
+//! [`Selector`]: crate::query::Selector
+
+use std::collections::HashMap;
+
+use crate::query::{LabelMatch, Selector};
+use crate::symbols::{SymbolId, SymbolTable};
+
+/// Per-shard postings lists.  All lists hold shard-local series indices in
+/// ascending order.
+#[derive(Debug, Default)]
+pub(crate) struct Postings {
+    /// Metric name → series.
+    names: HashMap<SymbolId, Vec<u32>>,
+    /// `(label key, label value)` → series.
+    pairs: HashMap<(SymbolId, SymbolId), Vec<u32>>,
+    /// Label key (any value) → series; serves `Exists` and post-filtered
+    /// `NotEquals` matchers.
+    keys: HashMap<SymbolId, Vec<u32>>,
+}
+
+impl Postings {
+    /// Registers a new series under its name and every label pair.  `local`
+    /// must be greater than every previously registered index so the lists
+    /// stay sorted.
+    pub(crate) fn register(&mut self, local: u32, name: SymbolId, labels: &[(SymbolId, SymbolId)]) {
+        self.names.entry(name).or_default().push(local);
+        for &(key, value) in labels {
+            self.pairs.entry((key, value)).or_default().push(local);
+            self.keys.entry(key).or_default().push(local);
+        }
+    }
+
+    fn name_list(&self, name: SymbolId) -> Option<&[u32]> {
+        self.names.get(&name).map(Vec::as_slice)
+    }
+
+    fn pair_list(&self, key: SymbolId, value: SymbolId) -> Option<&[u32]> {
+        self.pairs.get(&(key, value)).map(Vec::as_slice)
+    }
+
+    fn key_list(&self, key: SymbolId) -> Option<&[u32]> {
+        self.keys.get(&key).map(Vec::as_slice)
+    }
+}
+
+/// A [`Selector`] compiled against the symbol table.
+///
+/// Compilation resolves every string the selector mentions to its symbol
+/// once, before any shard lock is taken.  A selector that names a string the
+/// database has never interned can match nothing, which short-circuits the
+/// whole query ([`SelectorPlan::Nothing`]).
+#[derive(Debug)]
+pub(crate) enum SelectorPlan {
+    /// The selector cannot match any series in this database.
+    Nothing,
+    /// Intersect the postings lists, then post-filter.
+    Filtered {
+        /// Required metric name.
+        name: Option<SymbolId>,
+        /// `label == value` matchers (pure postings intersection).
+        eq: Vec<(SymbolId, SymbolId)>,
+        /// `label` must exist (postings on the label key).
+        exists: Vec<SymbolId>,
+        /// `label != value` matchers: candidates come from the label-key
+        /// postings, the value inequality is checked per candidate.
+        neq: Vec<(SymbolId, SymbolId)>,
+    },
+}
+
+impl SelectorPlan {
+    /// Compiles `selector` against `symbols`.
+    pub(crate) fn compile(selector: &Selector, symbols: &SymbolTable) -> Self {
+        let name = match &selector.name {
+            Some(n) => match symbols.get(n) {
+                Some(sym) => Some(sym),
+                None => return SelectorPlan::Nothing,
+            },
+            None => None,
+        };
+        let mut eq = Vec::new();
+        let mut exists = Vec::new();
+        let mut neq = Vec::new();
+        for matcher in &selector.matchers {
+            match matcher {
+                LabelMatch::Equals(k, v) => match (symbols.get(k), symbols.get(v)) {
+                    (Some(k), Some(v)) => eq.push((k, v)),
+                    // A never-interned key or value cannot be present.
+                    _ => return SelectorPlan::Nothing,
+                },
+                LabelMatch::Exists(k) => match symbols.get(k) {
+                    Some(k) => exists.push(k),
+                    None => return SelectorPlan::Nothing,
+                },
+                LabelMatch::NotEquals(k, v) => match symbols.get(k) {
+                    // A never-interned value differs from every stored value,
+                    // so the matcher degenerates to existence of the key.
+                    Some(k) => match symbols.get(v) {
+                        Some(v) => neq.push((k, v)),
+                        None => exists.push(k),
+                    },
+                    None => return SelectorPlan::Nothing,
+                },
+            }
+        }
+        SelectorPlan::Filtered { name, eq, exists, neq }
+    }
+
+    /// Shard-local candidate series for this plan: the intersection of every
+    /// postings list the plan names.  `NotEquals` value checks are NOT
+    /// applied here; the caller post-filters with [`SelectorPlan::neq_pairs`].
+    pub(crate) fn candidates(&self, postings: &Postings) -> Candidates {
+        let SelectorPlan::Filtered { name, eq, exists, neq } = self else {
+            return Candidates::Listed(Vec::new());
+        };
+        // A matcher whose postings list is absent in this shard matches
+        // nothing here.
+        let mut required: Vec<Option<&[u32]>> = Vec::new();
+        if let Some(name) = name {
+            required.push(postings.name_list(*name));
+        }
+        for &(k, v) in eq {
+            required.push(postings.pair_list(k, v));
+        }
+        for &k in exists {
+            required.push(postings.key_list(k));
+        }
+        for &(k, _) in neq {
+            required.push(postings.key_list(k));
+        }
+        if required.iter().any(Option::is_none) {
+            Candidates::Listed(Vec::new())
+        } else if required.is_empty() {
+            Candidates::All
+        } else {
+            let mut lists: Vec<&[u32]> = required.into_iter().flatten().collect();
+            Candidates::Listed(intersect(&mut lists))
+        }
+    }
+
+    /// The `(key, value)` pairs candidates must NOT carry (value inequality
+    /// checked per candidate series by the caller).
+    pub(crate) fn neq_pairs(&self) -> &[(SymbolId, SymbolId)] {
+        match self {
+            SelectorPlan::Filtered { neq, .. } => neq,
+            SelectorPlan::Nothing => &[],
+        }
+    }
+}
+
+/// The series of one shard a compiled selector may match.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Candidates {
+    /// Every series in the shard (the plan carries no postings constraint).
+    All,
+    /// Exactly these shard-local indices, ascending.
+    Listed(Vec<u32>),
+}
+
+/// Intersection of sorted postings lists, smallest list first so the work is
+/// bounded by the most selective matcher.
+fn intersect(lists: &mut [&[u32]]) -> Vec<u32> {
+    lists.sort_by_key(|l| l.len());
+    let (smallest, rest) = lists.split_first().expect("intersect requires at least one list");
+    smallest
+        .iter()
+        .copied()
+        .filter(|id| rest.iter().all(|list| list.binary_search(id).is_ok()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(strings: &[&str]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for s in strings {
+            table.intern(s);
+        }
+        table
+    }
+
+    #[test]
+    fn intersection_is_sorted_and_minimal() {
+        let a: &[u32] = &[0, 2, 4, 6, 8];
+        let b: &[u32] = &[2, 3, 4, 8, 9];
+        let c: &[u32] = &[4, 8];
+        assert_eq!(intersect(&mut [a, b, c]), vec![4, 8]);
+        assert_eq!(intersect(&mut [a, &[]]), Vec::<u32>::new());
+        assert_eq!(intersect(&mut [a]), a.to_vec());
+    }
+
+    #[test]
+    fn unknown_strings_compile_to_nothing() {
+        let table = table_with(&["up", "node", "n1"]);
+        assert!(matches!(
+            SelectorPlan::compile(&Selector::metric("missing"), &table),
+            SelectorPlan::Nothing
+        ));
+        assert!(matches!(
+            SelectorPlan::compile(&Selector::metric("up").with_label("node", "unseen"), &table),
+            SelectorPlan::Nothing
+        ));
+        assert!(matches!(
+            SelectorPlan::compile(&Selector::all().with_label_present("pod"), &table),
+            SelectorPlan::Nothing
+        ));
+    }
+
+    #[test]
+    fn unknown_not_equals_value_degenerates_to_exists() {
+        let table = table_with(&["node"]);
+        let plan =
+            SelectorPlan::compile(&Selector::all().without_label_value("node", "unseen"), &table);
+        match plan {
+            SelectorPlan::Filtered { exists, neq, .. } => {
+                assert_eq!(exists.len(), 1);
+                assert!(neq.is_empty());
+            }
+            SelectorPlan::Nothing => panic!("plan must stay satisfiable"),
+        }
+    }
+
+    #[test]
+    fn postings_drive_candidates() {
+        let mut table = SymbolTable::default();
+        let up = table.intern("up");
+        let node = table.intern("node");
+        let n1 = table.intern("n1");
+        let n2 = table.intern("n2");
+        let mut postings = Postings::default();
+        postings.register(0, up, &[(node, n1)]);
+        postings.register(1, up, &[(node, n2)]);
+
+        let plan = SelectorPlan::compile(&Selector::metric("up").with_label("node", "n2"), &table);
+        assert_eq!(plan.candidates(&postings), Candidates::Listed(vec![1]));
+        let all = SelectorPlan::compile(&Selector::all(), &table);
+        assert_eq!(all.candidates(&postings), Candidates::All);
+        // A matcher absent from this shard's postings matches nothing here.
+        let other_shard =
+            SelectorPlan::compile(&Selector::metric("up").with_label_present("node"), &table);
+        assert_eq!(other_shard.candidates(&Postings::default()), Candidates::Listed(Vec::new()));
+    }
+}

@@ -6,8 +6,13 @@
 //! label-matched range queries with aggregation functions.  This crate is the
 //! Rust equivalent:
 //!
-//! * [`TimeSeriesDb`] — labelled series, chunked append-only storage,
-//!   retention,
+//! * [`TimeSeriesDb`] — the storage engine: interned series keys, an
+//!   inverted label index answering selectors as postings intersections,
+//!   series spread over lock shards so scrapers append concurrently, and
+//!   chunked append-only storage with retention,
+//! * [`SeriesSnapshot`] — zero-copy reads: selection returns `Arc`-shared
+//!   sealed chunks with a binary-searching cursor API instead of deep-cloned
+//!   series,
 //! * [`Selector`] and the [`query`] module — instant/range queries, label
 //!   matching, `rate`, `sum`/`avg`/`min`/`max` aggregation and quantiles,
 //! * [`Scraper`] — the pull loop: scrapes typed [`MetricsEndpoint`]s on an
@@ -24,10 +29,13 @@
 
 #![warn(missing_docs)]
 
+mod index;
 pub mod query;
 pub mod scrape;
 pub mod series;
+pub mod snapshot;
 pub mod storage;
+mod symbols;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
@@ -35,4 +43,5 @@ pub use scrape::{
     TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};
-pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig};
+pub use snapshot::{SampleCursor, SeriesSnapshot};
+pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig, SHARD_COUNT};

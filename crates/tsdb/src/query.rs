@@ -197,19 +197,31 @@ pub fn aggregate_latest(results: &[QueryResult], op: AggregateOp) -> Option<f64>
 /// `O(total_points + timestamps × series)` instead of the quadratic
 /// per-timestamp reverse scan it replaces.
 pub fn aggregate_over_time(results: &[QueryResult], op: AggregateOp) -> Vec<RangePoint> {
+    let series: Vec<&[(u64, f64)]> = results.iter().map(|r| r.points.as_slice()).collect();
+    aggregate_series_over_time(&series, op)
+}
+
+/// [`aggregate_over_time`] over bare point series, for callers that read
+/// through the zero-copy snapshot API and never materialise
+/// [`QueryResult`]s.
+pub fn aggregate_series_over_time<P: AsRef<[(u64, f64)]>>(
+    series: &[P],
+    op: AggregateOp,
+) -> Vec<RangePoint> {
     let mut timestamps: Vec<u64> =
-        results.iter().flat_map(|r| r.points.iter().map(|(t, _)| *t)).collect();
+        series.iter().flat_map(|p| p.as_ref().iter().map(|(t, _)| *t)).collect();
     timestamps.sort_unstable();
     timestamps.dedup();
-    let mut cursors = vec![0usize; results.len()];
-    let mut latest: Vec<Option<f64>> = vec![None; results.len()];
-    let mut values = Vec::with_capacity(results.len());
+    let mut cursors = vec![0usize; series.len()];
+    let mut latest: Vec<Option<f64>> = vec![None; series.len()];
+    let mut values = Vec::with_capacity(series.len());
     let mut out = Vec::with_capacity(timestamps.len());
     for ts in timestamps {
         values.clear();
-        for (i, r) in results.iter().enumerate() {
-            while cursors[i] < r.points.len() && r.points[cursors[i]].0 <= ts {
-                latest[i] = Some(r.points[cursors[i]].1);
+        for (i, p) in series.iter().enumerate() {
+            let points = p.as_ref();
+            while cursors[i] < points.len() && points[cursors[i]].0 <= ts {
+                latest[i] = Some(points[cursors[i]].1);
                 cursors[i] += 1;
             }
             if let Some(v) = latest[i] {

@@ -40,6 +40,73 @@ impl Chunk {
     }
 }
 
+/// The newest sample at or before `at_ms` in a timestamp-ordered slice
+/// (binary search; ties resolve to the last stored sample).
+pub(crate) fn sample_at(samples: &[Sample], at_ms: u64) -> Option<Sample> {
+    let idx = samples.partition_point(|s| s.timestamp_ms <= at_ms);
+    if idx == 0 {
+        None
+    } else {
+        Some(samples[idx - 1])
+    }
+}
+
+/// The newest sample at or before `at_ms` across time-ordered chunks: binary
+/// search to the covering chunk, then binary search inside it.  Empty chunks
+/// may only appear at the tail (the open head), which both partition
+/// predicates treat as "after everything".
+pub(crate) fn at_in_chunks<C: std::borrow::Borrow<Chunk>>(
+    chunks: &[C],
+    at_ms: u64,
+) -> Option<Sample> {
+    let idx = chunks.partition_point(|c| match c.borrow().start() {
+        Some(start) => start <= at_ms,
+        None => false,
+    });
+    if idx == 0 {
+        None
+    } else {
+        sample_at(&chunks[idx - 1].borrow().samples, at_ms)
+    }
+}
+
+/// Appends every sample in `[start_ms, end_ms]` to `out` (mapped through
+/// `map`), binary-searching to the first overlapping chunk and pre-reserving
+/// the exact chunk span instead of testing every chunk's bounds.
+pub(crate) fn extend_range<C: std::borrow::Borrow<Chunk>, T>(
+    chunks: &[C],
+    start_ms: u64,
+    end_ms: u64,
+    out: &mut Vec<T>,
+    map: impl Fn(Sample) -> T,
+) {
+    let lo = chunks.partition_point(|c| match c.borrow().end() {
+        Some(end) => end < start_ms,
+        None => false,
+    });
+    let hi = chunks.partition_point(|c| match c.borrow().start() {
+        Some(start) => start <= end_ms,
+        None => false,
+    });
+    if lo >= hi {
+        return;
+    }
+    let overlapping = &chunks[lo..hi];
+    out.reserve(overlapping.iter().map(|c| c.borrow().samples.len()).sum());
+    for (i, chunk) in overlapping.iter().enumerate() {
+        let samples = &chunk.borrow().samples;
+        // Only the boundary chunks can straddle the range.
+        let slice = if i == 0 || i + 1 == overlapping.len() {
+            let a = samples.partition_point(|s| s.timestamp_ms < start_ms);
+            let b = samples.partition_point(|s| s.timestamp_ms <= end_ms);
+            &samples[a..b]
+        } else {
+            &samples[..]
+        };
+        out.extend(slice.iter().map(|s| map(*s)));
+    }
+}
+
 /// A labelled time series with chunked, append-only sample storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
@@ -52,7 +119,9 @@ pub struct Series {
 }
 
 impl Series {
-    pub(crate) fn new(name: String, labels: Labels, chunk_size: usize) -> Self {
+    /// Creates an empty series.  `chunk_size` is clamped to at least one
+    /// sample per chunk.
+    pub fn new(name: String, labels: Labels, chunk_size: usize) -> Self {
         Self { name, labels, chunks: vec![Chunk::default()], chunk_size: chunk_size.max(1) }
     }
 
@@ -101,33 +170,20 @@ impl Series {
         self.chunks.iter().filter(|c| !c.samples.is_empty()).count()
     }
 
-    /// Samples within `[start_ms, end_ms]` in chronological order.
+    /// Samples within `[start_ms, end_ms]` in chronological order.  Binary
+    /// searches to the first overlapping chunk and pre-sizes the output, so
+    /// the cost scales with the samples returned, not the samples stored.
     pub fn range(&self, start_ms: u64, end_ms: u64) -> Vec<Sample> {
         let mut out = Vec::new();
-        for chunk in &self.chunks {
-            match (chunk.start(), chunk.end()) {
-                (Some(s), Some(e)) if e >= start_ms && s <= end_ms => {
-                    out.extend(
-                        chunk
-                            .samples
-                            .iter()
-                            .filter(|s| s.timestamp_ms >= start_ms && s.timestamp_ms <= end_ms)
-                            .copied(),
-                    );
-                }
-                _ => {}
-            }
-        }
+        extend_range(&self.chunks, start_ms, end_ms, &mut out, |s| s);
         out
     }
 
     /// The newest sample at or before `at_ms` (instant-query semantics).
+    /// Chunks are time-ordered, so this binary searches to the covering chunk
+    /// and then within it instead of flat-scanning every sample.
     pub fn at(&self, at_ms: u64) -> Option<Sample> {
-        self.chunks
-            .iter()
-            .flat_map(|c| c.samples.iter())
-            .rfind(|s| s.timestamp_ms <= at_ms)
-            .copied()
+        at_in_chunks(&self.chunks, at_ms)
     }
 
     /// Drops every chunk whose newest sample is older than `cutoff_ms`.

@@ -1,0 +1,177 @@
+//! Zero-copy read handles over stored series.
+//!
+//! A [`SeriesSnapshot`] is what [`crate::TimeSeriesDb::select`] returns: the
+//! series' sealed chunks shared by `Arc` (no sample is copied), the open head
+//! chunk copied once (bounded by `chunk_size` samples), and the metric
+//! name/label strings shared with the database's symbol table.  Taking a
+//! snapshot is O(chunks) regardless of how many samples the series holds, and
+//! the snapshot stays consistent while the database keeps ingesting.
+//!
+//! Reads go through [`SeriesSnapshot::at`] (binary search),
+//! [`SeriesSnapshot::points_in`] (pre-sized range materialisation) or the
+//! streaming [`SampleCursor`].
+
+use std::sync::Arc;
+
+use teemon_metrics::Labels;
+
+use crate::series::{at_in_chunks, extend_range, Chunk, Sample, SeriesId};
+
+/// An immutable, cheaply clonable view of one series at selection time.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    pub(crate) id: SeriesId,
+    name: Arc<str>,
+    labels: Arc<[(Arc<str>, Arc<str>)]>,
+    /// Time-ordered, non-empty chunks: the sealed chunks plus (when the
+    /// series has unsealed samples) one chunk holding a copy of the head.
+    chunks: Vec<Arc<Chunk>>,
+}
+
+impl SeriesSnapshot {
+    pub(crate) fn new(
+        id: SeriesId,
+        name: Arc<str>,
+        labels: Arc<[(Arc<str>, Arc<str>)]>,
+        chunks: Vec<Arc<Chunk>>,
+    ) -> Self {
+        Self { id, name, labels, chunks }
+    }
+
+    /// The identifier the database assigned to this series (creation order).
+    pub fn series_id(&self) -> SeriesId {
+        self.id
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The labels as `(name, value)` pairs in sorted name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.labels.iter().map(|(k, v)| (&**k, &**v))
+    }
+
+    /// The value of one label, if present.
+    pub fn label_value(&self, name: &str) -> Option<&str> {
+        label_value(&self.labels, name)
+    }
+
+    /// Materialises the labels as an owned [`Labels`] set (the boundary back
+    /// into the string-keyed world; allocates).
+    pub fn to_labels(&self) -> Labels {
+        Labels::from_pairs(self.labels())
+    }
+
+    /// `name{labels}` in the same format the owned query results use, or the
+    /// bare name for an unlabelled series.
+    pub fn display_name(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.to_string()
+        } else {
+            format!("{}{}", self.name, self.to_labels())
+        }
+    }
+
+    /// Number of samples in the snapshot.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.samples.len()).sum()
+    }
+
+    /// `true` when the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Number of chunks backing the snapshot.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Timestamp of the oldest sample.
+    pub fn first_timestamp(&self) -> Option<u64> {
+        self.chunks.first().and_then(|c| c.start())
+    }
+
+    /// Timestamp of the newest sample.
+    pub fn last_timestamp(&self) -> Option<u64> {
+        self.chunks.last().and_then(|c| c.end())
+    }
+
+    /// The newest sample.
+    pub fn last_sample(&self) -> Option<Sample> {
+        self.chunks.last().and_then(|c| c.samples.last().copied())
+    }
+
+    /// The newest sample at or before `at_ms` (instant-query semantics);
+    /// binary search over chunk bounds, then within the covering chunk.
+    pub fn at(&self, at_ms: u64) -> Option<Sample> {
+        at_in_chunks(&self.chunks, at_ms)
+    }
+
+    /// `(timestamp_ms, value)` points within `[start_ms, end_ms]`, pre-sized
+    /// and in chronological order.
+    pub fn points_in(&self, start_ms: u64, end_ms: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        extend_range(&self.chunks, start_ms, end_ms, &mut out, |s| (s.timestamp_ms, s.value));
+        out
+    }
+
+    /// A streaming cursor over the samples within `[start_ms, end_ms]`.
+    /// Positions itself with the same chunk binary search as
+    /// [`SeriesSnapshot::at`]; iteration never copies a chunk.
+    pub fn cursor(&self, start_ms: u64, end_ms: u64) -> SampleCursor<'_> {
+        let chunk = self.chunks.partition_point(|c| match c.end() {
+            Some(end) => end < start_ms,
+            None => false,
+        });
+        let sample = self
+            .chunks
+            .get(chunk)
+            .map(|c| c.samples.partition_point(|s| s.timestamp_ms < start_ms))
+            .unwrap_or(0);
+        SampleCursor { chunks: &self.chunks, chunk, sample, end_ms }
+    }
+
+    /// A cursor over every sample in the snapshot.
+    pub fn samples(&self) -> SampleCursor<'_> {
+        self.cursor(0, u64::MAX)
+    }
+}
+
+/// The value of `name` in an interned label slice (binary search; labels are
+/// sorted by key).  Shared by snapshots and the storage engine's series.
+pub(crate) fn label_value<'a>(labels: &'a [(Arc<str>, Arc<str>)], name: &str) -> Option<&'a str> {
+    labels.binary_search_by(|(k, _)| (**k).cmp(name)).ok().map(|idx| &*labels[idx].1)
+}
+
+/// A forward cursor over one snapshot's samples, bounded by an end timestamp.
+#[derive(Debug, Clone)]
+pub struct SampleCursor<'a> {
+    chunks: &'a [Arc<Chunk>],
+    chunk: usize,
+    sample: usize,
+    end_ms: u64,
+}
+
+impl Iterator for SampleCursor<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        loop {
+            let chunk = self.chunks.get(self.chunk)?;
+            match chunk.samples.get(self.sample) {
+                Some(sample) if sample.timestamp_ms <= self.end_ms => {
+                    self.sample += 1;
+                    return Some(*sample);
+                }
+                Some(_) => return None,
+                None => {
+                    self.chunk += 1;
+                    self.sample = 0;
+                }
+            }
+        }
+    }
+}

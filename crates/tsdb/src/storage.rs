@@ -1,14 +1,39 @@
-//! The time-series database: labelled series, append, retention.
+//! The storage engine: interned series keys, an inverted label index, sharded
+//! locks and zero-copy reads.
+//!
+//! Layout:
+//!
+//! * one shared symbol table interns every metric name, label key and label
+//!   value once,
+//! * series are spread over [`SHARD_COUNT`] lock shards by series-key hash,
+//!   so concurrent scrapers append without serialising on one lock,
+//! * each shard keeps a postings index (name and `(label, value)` →
+//!   series) and cheap aggregates (sample/chunk/rejection counts, min/max
+//!   timestamp), so selection and [`TimeSeriesDb::stats`] never scan series,
+//! * the append hot path resolves an existing series by hashing the borrowed
+//!   `(&str, &Labels)` key directly — no `String` or `Labels` clone, no
+//!   allocation at all,
+//! * reads hand out [`SeriesSnapshot`]s: sealed chunks are `Arc`-shared, only
+//!   the open head chunk (at most `chunk_size` samples) is copied.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
 
+use crate::index::{Candidates, Postings, SelectorPlan};
 use crate::query::{QueryResult, Selector};
-use crate::series::{Sample, Series, SeriesId};
+use crate::series::{at_in_chunks, sample_at, Chunk, Sample, SeriesId};
+use crate::snapshot::SeriesSnapshot;
+use crate::symbols::{SymbolId, SymbolTable};
+
+/// Number of lock shards.  A power of two so the shard of a key hash is a
+/// mask, sized for "more shards than scraper threads" on typical hosts.
+pub const SHARD_COUNT: usize = 16;
 
 /// Static configuration of the database.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +52,7 @@ impl Default for TsdbConfig {
 }
 
 /// Storage statistics (what the aggregator's own `/metrics` would expose).
+/// Served from per-shard aggregates; never scans series.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageStats {
     /// Number of distinct series.
@@ -39,18 +65,229 @@ pub struct StorageStats {
     pub rejected_samples: u64,
 }
 
+/// One stored series: interned key, resolved key strings (shared with the
+/// symbol table) and chunked samples — sealed immutable chunks behind `Arc`
+/// plus the open head.
+struct MemSeries {
+    id: SeriesId,
+    name: Arc<str>,
+    labels: Arc<[(Arc<str>, Arc<str>)]>,
+    label_syms: Box<[(SymbolId, SymbolId)]>,
+    sealed: Vec<Arc<Chunk>>,
+    head: Vec<Sample>,
+}
+
+/// What one append did, so the shard can maintain its aggregates.
+enum Appended {
+    Rejected,
+    Accepted {
+        /// The head chunk went from empty to non-empty (a new chunk exists).
+        opened_chunk: bool,
+    },
+}
+
+impl MemSeries {
+    fn last_timestamp(&self) -> Option<u64> {
+        self.head
+            .last()
+            .map(|s| s.timestamp_ms)
+            .or_else(|| self.sealed.last().and_then(|c| c.end()))
+    }
+
+    fn first_timestamp(&self) -> Option<u64> {
+        self.sealed
+            .first()
+            .and_then(|c| c.start())
+            .or_else(|| self.head.first().map(|s| s.timestamp_ms))
+    }
+
+    /// Appends in the hot path: no allocation unless the head chunk seals
+    /// (the head keeps `chunk_size` capacity reserved).
+    fn append(&mut self, sample: Sample, chunk_size: usize) -> Appended {
+        if let Some(last) = self.last_timestamp() {
+            if sample.timestamp_ms < last {
+                return Appended::Rejected;
+            }
+        }
+        let opened_chunk = self.head.is_empty();
+        self.head.push(sample);
+        if self.head.len() >= chunk_size {
+            let samples = std::mem::replace(&mut self.head, Vec::with_capacity(chunk_size));
+            self.sealed.push(Arc::new(Chunk { samples }));
+        }
+        Appended::Accepted { opened_chunk }
+    }
+
+    fn at(&self, at_ms: u64) -> Option<Sample> {
+        // Head samples are the newest; fall back to the sealed chunks.
+        sample_at(&self.head, at_ms).or_else(|| at_in_chunks(&self.sealed, at_ms))
+    }
+
+    fn points_in(&self, start_ms: u64, end_ms: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        crate::series::extend_range(&self.sealed, start_ms, end_ms, &mut out, |s| {
+            (s.timestamp_ms, s.value)
+        });
+        let a = self.head.partition_point(|s| s.timestamp_ms < start_ms);
+        let b = self.head.partition_point(|s| s.timestamp_ms <= end_ms);
+        out.reserve(b.saturating_sub(a));
+        out.extend(self.head[a..b].iter().map(|s| (s.timestamp_ms, s.value)));
+        out
+    }
+
+    fn snapshot(&self) -> SeriesSnapshot {
+        let mut chunks = self.sealed.clone();
+        if !self.head.is_empty() {
+            chunks.push(Arc::new(Chunk { samples: self.head.clone() }));
+        }
+        SeriesSnapshot::new(self.id, Arc::clone(&self.name), Arc::clone(&self.labels), chunks)
+    }
+
+    /// Drops whole chunks (and the head) whose newest sample is older than
+    /// `cutoff_ms`.  Returns `(samples_dropped, chunks_dropped)`.
+    fn drop_before(&mut self, cutoff_ms: u64) -> (usize, usize) {
+        let mut samples = 0;
+        let mut chunks = 0;
+        let keep_from = self.sealed.partition_point(|c| match c.end() {
+            Some(end) => end < cutoff_ms,
+            None => false,
+        });
+        for chunk in self.sealed.drain(..keep_from) {
+            samples += chunk.samples.len();
+            chunks += 1;
+        }
+        if self.sealed.is_empty() {
+            if let Some(last) = self.head.last() {
+                if last.timestamp_ms < cutoff_ms {
+                    samples += self.head.len();
+                    chunks += 1;
+                    self.head.clear();
+                }
+            }
+        }
+        (samples, chunks)
+    }
+
+    /// The value symbol of label `key`, if the series carries that label.
+    fn label_value_sym(&self, key: SymbolId) -> Option<SymbolId> {
+        self.label_syms.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// `true` when the borrowed key equals this series' interned key.
+    fn key_matches(&self, name: &str, labels: &Labels) -> bool {
+        &*self.name == name
+            && self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels.iter())
+                .all(|((sk, sv), (k, v))| &**sk == k && &**sv == v)
+    }
+}
+
+/// Near-pass-through hasher for the key index: its keys are already uniform
+/// 64-bit series-key hashes, so re-hashing them through SipHash on every
+/// append would be wasted hot-path work.  A single Fibonacci multiply still
+/// redistributes the bits, because every key in one shard shares its low
+/// bits (the shard selector) and `HashMap` derives bucket indices from them.
 #[derive(Default)]
-struct DbInner {
-    series: Vec<Series>,
-    index: HashMap<(String, Labels), SeriesId>,
+struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("key index only hashes u64 keys");
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct ShardInner {
+    series: Vec<MemSeries>,
+    /// Series-key hash → shard-local indices with that hash (collision list).
+    key_index: HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PreHashed>>,
+    postings: Postings,
+    samples: u64,
+    chunks: u64,
     rejected: u64,
+    min_ts: Option<u64>,
+    max_ts: Option<u64>,
+}
+
+impl ShardInner {
+    /// Borrowed-key lookup: no allocation, no string clone.
+    fn find(&self, key_hash: u64, name: &str, labels: &Labels) -> Option<u32> {
+        self.key_index
+            .get(&key_hash)?
+            .iter()
+            .copied()
+            .find(|&local| self.series[local as usize].key_matches(name, labels))
+    }
+
+    /// Shard-local matches for a compiled selector, postings-first with the
+    /// `!=` value checks applied per candidate.
+    fn matches(&self, plan: &SelectorPlan) -> Vec<u32> {
+        let mut candidates = match plan.candidates(&self.postings) {
+            Candidates::All => (0..self.series.len() as u32).collect::<Vec<u32>>(),
+            Candidates::Listed(list) => list,
+        };
+        let neq = plan.neq_pairs();
+        if !neq.is_empty() {
+            candidates.retain(|&local| {
+                let series = &self.series[local as usize];
+                neq.iter().all(|&(key, value)| {
+                    series.label_value_sym(key).map(|actual| actual != value).unwrap_or(false)
+                })
+            });
+        }
+        candidates
+    }
+}
+
+struct DbShared {
+    symbols: RwLock<SymbolTable>,
+    shards: [RwLock<ShardInner>; SHARD_COUNT],
+    next_id: AtomicU64,
+}
+
+impl Default for DbShared {
+    fn default() -> Self {
+        Self {
+            symbols: RwLock::default(),
+            shards: std::array::from_fn(|_| RwLock::default()),
+            next_id: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A pull-based, labelled time-series database.  Clones share storage.
 #[derive(Clone, Default)]
 pub struct TimeSeriesDb {
     config: TsdbConfig,
-    inner: Arc<RwLock<DbInner>>,
+    shared: Arc<DbShared>,
+}
+
+/// Stable hash of a borrowed series key (metric name + sorted label pairs).
+/// Used both to pick the lock shard and as the key-index hash, so one hash
+/// computation serves the whole append path.
+fn series_key_hash(name: &str, labels: &Labels) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    for (k, v) in labels.iter() {
+        k.hash(&mut hasher);
+        v.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+fn shard_of(key_hash: u64) -> usize {
+    (key_hash as usize) & (SHARD_COUNT - 1)
 }
 
 impl TimeSeriesDb {
@@ -61,7 +298,7 @@ impl TimeSeriesDb {
 
     /// Creates a database with explicit configuration.
     pub fn with_config(config: TsdbConfig) -> Self {
-        Self { config, inner: Arc::new(RwLock::new(DbInner::default())) }
+        Self { config, shared: Arc::new(DbShared::default()) }
     }
 
     /// The configuration in effect.
@@ -72,103 +309,184 @@ impl TimeSeriesDb {
     /// Appends one sample to the series identified by `name` + `labels`,
     /// creating the series on first use.  Returns `false` when the sample was
     /// rejected (out of order).
+    ///
+    /// Appending to an existing series is allocation-free: the borrowed key
+    /// is hashed directly (picking the lock shard and the key-index slot) and
+    /// verified against the interned key strings, and the head chunk has its
+    /// capacity pre-reserved.  Only series creation and chunk sealing
+    /// allocate.
     pub fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
-        let mut inner = self.inner.write();
-        let id = match inner.index.get(&(name.to_string(), labels.clone())) {
-            Some(id) => *id,
-            None => {
-                let id = SeriesId(inner.series.len() as u64);
-                inner.series.push(Series::new(
-                    name.to_string(),
-                    labels.clone(),
-                    self.config.chunk_size,
-                ));
-                inner.index.insert((name.to_string(), labels.clone()), id);
-                id
-            }
+        let key_hash = series_key_hash(name, labels);
+        let mut inner = self.shared.shards[shard_of(key_hash)].write();
+        let local = match inner.find(key_hash, name, labels) {
+            Some(local) => local,
+            None => self.create_series(&mut inner, key_hash, name, labels),
         };
-        let accepted = inner.series[id.0 as usize].append(Sample { timestamp_ms, value });
-        if !accepted {
-            inner.rejected += 1;
+        let chunk_size = self.config.chunk_size.max(1);
+        match inner.series[local as usize].append(Sample { timestamp_ms, value }, chunk_size) {
+            Appended::Rejected => {
+                inner.rejected += 1;
+                false
+            }
+            Appended::Accepted { opened_chunk } => {
+                inner.samples += 1;
+                if opened_chunk {
+                    inner.chunks += 1;
+                }
+                inner.max_ts = Some(inner.max_ts.map_or(timestamp_ms, |m| m.max(timestamp_ms)));
+                inner.min_ts = Some(inner.min_ts.map_or(timestamp_ms, |m| m.min(timestamp_ms)));
+                true
+            }
         }
-        accepted
+    }
+
+    /// Slow path: intern the key and register the series in the shard's
+    /// postings.  Called with the shard write lock held; the symbol-table
+    /// lock is the inner lock of the pair (query paths release it before
+    /// touching any shard).
+    fn create_series(
+        &self,
+        inner: &mut ShardInner,
+        key_hash: u64,
+        name: &str,
+        labels: &Labels,
+    ) -> u32 {
+        let mut symbols = self.shared.symbols.write();
+        let name_sym = symbols.intern(name);
+        let name_arc = Arc::clone(symbols.resolve(name_sym));
+        let mut label_syms = Vec::with_capacity(labels.len());
+        let mut label_arcs = Vec::with_capacity(labels.len());
+        for (k, v) in labels.iter() {
+            let key_sym = symbols.intern(k);
+            let value_sym = symbols.intern(v);
+            label_syms.push((key_sym, value_sym));
+            label_arcs.push((
+                Arc::clone(symbols.resolve(key_sym)),
+                Arc::clone(symbols.resolve(value_sym)),
+            ));
+        }
+        drop(symbols);
+
+        let id = SeriesId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let local = u32::try_from(inner.series.len()).expect("fewer than 2^32 series per shard");
+        inner.postings.register(local, name_sym, &label_syms);
+        inner.key_index.entry(key_hash).or_default().push(local);
+        inner.series.push(MemSeries {
+            id,
+            name: name_arc,
+            labels: label_arcs.into(),
+            label_syms: label_syms.into_boxed_slice(),
+            sealed: Vec::new(),
+            head: Vec::with_capacity(self.config.chunk_size.max(1)),
+        });
+        local
     }
 
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
-        self.inner.read().series.len()
+        self.shared.next_id.load(Ordering::Relaxed) as usize
     }
 
-    /// Storage statistics.
+    /// Number of distinct interned strings (metric names, label keys, label
+    /// values).
+    pub fn symbol_count(&self) -> usize {
+        self.shared.symbols.read().len()
+    }
+
+    /// Number of series per lock shard — a diagnostic for how evenly the
+    /// series-key hash spreads ingest load.
+    pub fn shard_series_counts(&self) -> [usize; SHARD_COUNT] {
+        std::array::from_fn(|i| self.shared.shards[i].read().series.len())
+    }
+
+    /// Storage statistics, folded from the per-shard aggregates in O(shards).
     pub fn stats(&self) -> StorageStats {
-        let inner = self.inner.read();
-        StorageStats {
-            series: inner.series.len() as u64,
-            samples: inner.series.iter().map(|s| s.len() as u64).sum(),
-            chunks: inner.series.iter().map(|s| s.chunk_count() as u64).sum(),
-            rejected_samples: inner.rejected,
+        let mut stats = StorageStats::default();
+        for shard in &self.shared.shards {
+            let inner = shard.read();
+            stats.series += inner.series.len() as u64;
+            stats.samples += inner.samples;
+            stats.chunks += inner.chunks;
+            stats.rejected_samples += inner.rejected;
         }
+        stats
     }
 
-    /// Returns clones of every series matching `selector`.
-    pub fn select(&self, selector: &Selector) -> Vec<Series> {
-        self.inner
-            .read()
-            .series
-            .iter()
-            .filter(|s| selector.matches(&s.name, &s.labels))
-            .cloned()
-            .collect()
+    /// Compiles `selector` once against the symbol table.  The symbol lock is
+    /// released before any shard lock is taken (lock order: shard, then
+    /// symbols).
+    fn plan(&self, selector: &Selector) -> SelectorPlan {
+        let symbols = self.shared.symbols.read();
+        SelectorPlan::compile(selector, &symbols)
+    }
+
+    /// Runs `f` over every series matching `selector`, shard by shard, and
+    /// returns the collected results in series-creation order.
+    fn for_matching<T>(&self, selector: &Selector, f: impl Fn(&MemSeries) -> Option<T>) -> Vec<T> {
+        let plan = self.plan(selector);
+        if matches!(plan, SelectorPlan::Nothing) {
+            return Vec::new();
+        }
+        let mut out: Vec<(SeriesId, T)> = Vec::new();
+        for shard in &self.shared.shards {
+            let inner = shard.read();
+            for local in inner.matches(&plan) {
+                let series = &inner.series[local as usize];
+                if let Some(value) = f(series) {
+                    out.push((series.id, value));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out.into_iter().map(|(_, value)| value).collect()
+    }
+
+    /// Zero-copy selection: a [`SeriesSnapshot`] for every series matching
+    /// `selector`, in creation order.  Sealed chunks are shared, not cloned;
+    /// only the open head chunk of each series is copied.
+    pub fn select(&self, selector: &Selector) -> Vec<SeriesSnapshot> {
+        self.for_matching(selector, |series| Some(series.snapshot()))
     }
 
     /// Instant query: the newest sample at or before `at_ms` for every
     /// matching series.
     pub fn query_instant(&self, selector: &Selector, at_ms: u64) -> Vec<QueryResult> {
-        self.inner
-            .read()
-            .series
-            .iter()
-            .filter(|s| selector.matches(&s.name, &s.labels))
-            .filter_map(|s| {
-                s.at(at_ms).map(|sample| QueryResult {
-                    name: s.name.clone(),
-                    labels: s.labels.clone(),
-                    points: vec![(sample.timestamp_ms, sample.value)],
-                })
+        self.for_matching(selector, |series| {
+            series.at(at_ms).map(|sample| QueryResult {
+                name: series.name.to_string(),
+                labels: materialise_labels(&series.labels),
+                points: vec![(sample.timestamp_ms, sample.value)],
             })
-            .collect()
+        })
     }
 
     /// Range query: all samples in `[start_ms, end_ms]` for every matching
     /// series.
     pub fn query_range(&self, selector: &Selector, start_ms: u64, end_ms: u64) -> Vec<QueryResult> {
-        self.inner
-            .read()
-            .series
-            .iter()
-            .filter(|s| selector.matches(&s.name, &s.labels))
-            .map(|s| QueryResult {
-                name: s.name.clone(),
-                labels: s.labels.clone(),
-                points: s
-                    .range(start_ms, end_ms)
-                    .iter()
-                    .map(|p| (p.timestamp_ms, p.value))
-                    .collect(),
+        self.for_matching(selector, |series| {
+            let points = series.points_in(start_ms, end_ms);
+            if points.is_empty() {
+                return None;
+            }
+            Some(QueryResult {
+                name: series.name.to_string(),
+                labels: materialise_labels(&series.labels),
+                points,
             })
-            .filter(|r| !r.points.is_empty())
-            .collect()
+        })
     }
 
-    /// The newest timestamp across every series.
+    /// The newest timestamp across every series, folded from the per-shard
+    /// maxima in O(shards).
     pub fn newest_timestamp(&self) -> Option<u64> {
-        self.inner.read().series.iter().filter_map(|s| s.last_timestamp()).max()
+        self.shared.shards.iter().filter_map(|s| s.read().max_ts).max()
     }
 
     /// The oldest retained timestamp across every series (used by query
-    /// consumers to clamp open-ended ranges to the data actually stored).
+    /// consumers to clamp open-ended ranges), folded from the per-shard
+    /// minima in O(shards).
     pub fn oldest_timestamp(&self) -> Option<u64> {
-        self.inner.read().series.iter().filter_map(|s| s.first_timestamp()).min()
+        self.shared.shards.iter().filter_map(|s| s.read().min_ts).min()
     }
 
     /// Applies the retention policy relative to the newest stored timestamp.
@@ -176,26 +494,50 @@ impl TimeSeriesDb {
     pub fn apply_retention(&self) -> usize {
         let Some(newest) = self.newest_timestamp() else { return 0 };
         let cutoff = newest.saturating_sub(self.config.retention_ms);
-        let mut inner = self.inner.write();
-        inner.series.iter_mut().map(|s| s.drop_before(cutoff)).sum()
+        let mut dropped_total = 0;
+        for shard in &self.shared.shards {
+            let mut inner = shard.write();
+            let mut dropped_samples = 0u64;
+            let mut dropped_chunks = 0u64;
+            let mut min_ts = None;
+            for series in &mut inner.series {
+                let (samples, chunks) = series.drop_before(cutoff);
+                dropped_samples += samples as u64;
+                dropped_chunks += chunks as u64;
+                min_ts = match (min_ts, series.first_timestamp()) {
+                    (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            inner.samples -= dropped_samples;
+            inner.chunks -= dropped_chunks;
+            inner.min_ts = min_ts;
+            dropped_total += dropped_samples as usize;
+        }
+        dropped_total
     }
 
     /// All distinct values of label `label` among series matching `selector`
     /// (used by dashboards to build filter drop-downs, e.g. the process filter
     /// of Figure 3).
     pub fn label_values(&self, selector: &Selector, label: &str) -> Vec<String> {
-        let mut values: Vec<String> = self
-            .inner
-            .read()
-            .series
-            .iter()
-            .filter(|s| selector.matches(&s.name, &s.labels))
-            .filter_map(|s| s.labels.get(label).map(str::to_string))
-            .collect();
+        let mut values =
+            self.for_matching(selector, |series| series.label_value(label).map(str::to_string));
         values.sort();
         values.dedup();
         values
     }
+}
+
+impl MemSeries {
+    /// The value of one label by key string.
+    fn label_value(&self, name: &str) -> Option<&str> {
+        crate::snapshot::label_value(&self.labels, name)
+    }
+}
+
+fn materialise_labels(labels: &[(Arc<str>, Arc<str>)]) -> Labels {
+    Labels::from_pairs(labels.iter().map(|(k, v)| (&**k, &**v)))
 }
 
 impl std::fmt::Debug for TimeSeriesDb {
@@ -220,11 +562,31 @@ mod tests {
         assert!(db.append("sgx_nr_free_pages", &labels(&[("node", "n2")]), 1_000, 24_064.0));
         assert_eq!(db.series_count(), 2);
         let stats = db.stats();
+        assert_eq!(stats.series, 2);
         assert_eq!(stats.samples, 3);
+        assert_eq!(stats.chunks, 2);
         assert_eq!(stats.rejected_samples, 0);
         assert_eq!(db.oldest_timestamp(), Some(1_000));
         assert_eq!(db.newest_timestamp(), Some(2_000));
         assert_eq!(TimeSeriesDb::new().oldest_timestamp(), None);
+    }
+
+    #[test]
+    fn symbols_are_interned_once() {
+        let db = TimeSeriesDb::new();
+        for node in ["n1", "n2", "n3"] {
+            for syscall in ["read", "write"] {
+                db.append(
+                    "teemon_syscalls_total",
+                    &labels(&[("node", node), ("syscall", syscall)]),
+                    1_000,
+                    1.0,
+                );
+            }
+        }
+        // 1 metric name + 2 label keys + 3 node values + 2 syscall values.
+        assert_eq!(db.symbol_count(), 8);
+        assert_eq!(db.series_count(), 6);
     }
 
     #[test]
@@ -260,6 +622,72 @@ mod tests {
     }
 
     #[test]
+    fn results_come_back_in_creation_order() {
+        let db = TimeSeriesDb::new();
+        let names: Vec<String> = (0..40).map(|i| format!("node-{i:02}")).collect();
+        for (i, node) in names.iter().enumerate() {
+            db.append("up", &labels(&[("node", node)]), 1_000 + i as u64, 1.0);
+        }
+        let results = db.query_instant(&Selector::metric("up"), u64::MAX);
+        let got: Vec<&str> = results.iter().map(|r| r.labels.get("node").unwrap()).collect();
+        assert_eq!(got, names.iter().map(String::as_str).collect::<Vec<_>>());
+        let snaps = db.select(&Selector::metric("up"));
+        assert!(snaps.windows(2).all(|w| w[0].series_id() < w[1].series_id()));
+    }
+
+    #[test]
+    fn inverted_index_answers_matchers() {
+        let db = TimeSeriesDb::new();
+        for node in ["n1", "n2"] {
+            for syscall in ["read", "write", "futex"] {
+                db.append(
+                    "teemon_syscalls_total",
+                    &labels(&[("node", node), ("syscall", syscall)]),
+                    1_000,
+                    1.0,
+                );
+            }
+            db.append("sgx_nr_free_pages", &labels(&[("node", node)]), 1_000, 24_000.0);
+        }
+        // Equality postings.
+        let eq = Selector::metric("teemon_syscalls_total").with_label("syscall", "read");
+        assert_eq!(db.select(&eq).len(), 2);
+        // Existence: only syscall series carry the label.
+        let exists = Selector::all().with_label_present("syscall");
+        assert_eq!(db.select(&exists).len(), 6);
+        // Not-equals: label must exist and differ.
+        let neq = Selector::all().without_label_value("syscall", "read");
+        assert_eq!(db.select(&neq).len(), 4);
+        // Not-equals against a value the db never saw degenerates to exists.
+        let neq_unseen = Selector::all().without_label_value("syscall", "unseen");
+        assert_eq!(db.select(&neq_unseen).len(), 6);
+        // A never-interned name or label short-circuits to nothing.
+        assert!(db.select(&Selector::metric("missing")).is_empty());
+        assert!(db.select(&Selector::all().with_label("node", "n3")).is_empty());
+        assert!(db.select(&Selector::all().with_label_present("pod")).is_empty());
+    }
+
+    #[test]
+    fn snapshots_share_sealed_chunks() {
+        let db = TimeSeriesDb::with_config(TsdbConfig { chunk_size: 4, retention_ms: u64::MAX });
+        for t in 0..10u64 {
+            db.append("m", &Labels::new(), t * 1000, t as f64);
+        }
+        let a = &db.select(&Selector::metric("m"))[0];
+        let b = &db.select(&Selector::metric("m"))[0];
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.chunk_count(), 3, "two sealed chunks plus the head copy");
+        assert_eq!(a.at(3_500).unwrap().value, 3.0);
+        assert_eq!(a.points_in(2_000, 5_000).len(), 4);
+        let collected: Vec<u64> = a.cursor(2_000, 5_000).map(|s| s.timestamp_ms).collect();
+        assert_eq!(collected, vec![2_000, 3_000, 4_000, 5_000]);
+        // Snapshots taken before later appends stay frozen.
+        db.append("m", &Labels::new(), 20_000, 99.0);
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.last_timestamp(), Some(9_000));
+    }
+
+    #[test]
     fn retention_respects_window() {
         let db = TimeSeriesDb::with_config(TsdbConfig { chunk_size: 10, retention_ms: 5_000 });
         for t in 0..100u64 {
@@ -270,6 +698,13 @@ mod tests {
         // Recent data must survive.
         let recent = db.query_range(&Selector::metric("m"), 95_000, 99_000);
         assert_eq!(recent[0].points.len(), 5);
+        // The per-shard aggregates track the drop.
+        let stats = db.stats();
+        assert_eq!(stats.samples, 100 - dropped as u64);
+        assert_eq!(
+            db.oldest_timestamp(),
+            db.query_range(&Selector::metric("m"), 0, u64::MAX)[0].points.first().map(|(t, _)| *t)
+        );
     }
 
     #[test]

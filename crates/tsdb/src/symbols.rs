@@ -1,0 +1,87 @@
+//! String interning for series keys.
+//!
+//! Every metric name, label key and label value stored by the database is
+//! interned exactly once.  A series key then becomes a small
+//! `(SymbolId, [(SymbolId, SymbolId)])` tuple instead of an owned
+//! `(String, Labels)` pair, so key comparisons are integer comparisons and a
+//! ten-thousand-series database with three label keys shared by every series
+//! stores each key string once, not ten thousand times.
+//!
+//! Interned strings are handed out as `Arc<str>` so read paths (snapshots,
+//! query results) can share them without copying.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of one interned string inside a [`SymbolTable`].
+///
+/// Two symbols compare equal if and only if the strings they intern are
+/// equal, so label matching on the query path degenerates to `u32`
+/// comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct SymbolId(u32);
+
+/// The interner: deduplicated strings, addressable by [`SymbolId`] in O(1)
+/// and by string content through a hash lookup.
+#[derive(Debug, Default)]
+pub(crate) struct SymbolTable {
+    strings: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Looks up the symbol for `s` without interning it.  Allocation-free.
+    pub(crate) fn get(&self, s: &str) -> Option<SymbolId> {
+        self.ids.get(s).copied()
+    }
+
+    /// Interns `s`, returning the existing symbol when already present.
+    pub(crate) fn intern(&mut self, s: &str) -> SymbolId {
+        if let Some(id) = self.ids.get(s) {
+            return *id;
+        }
+        let id = SymbolId(u32::try_from(self.strings.len()).expect("fewer than 2^32 symbols"));
+        let string: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&string));
+        self.ids.insert(string, id);
+        id
+    }
+
+    /// The interned string behind `id`.
+    pub(crate) fn resolve(&self, id: SymbolId) -> &Arc<str> {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub(crate) fn len(&self) -> usize {
+        self.strings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut table = SymbolTable::default();
+        let a = table.intern("node");
+        let b = table.intern("syscall");
+        assert_ne!(a, b);
+        assert_eq!(table.intern("node"), a);
+        assert_eq!(table.len(), 2);
+        assert_eq!(&**table.resolve(a), "node");
+        assert_eq!(table.get("syscall"), Some(b));
+        assert_eq!(table.get("missing"), None);
+    }
+
+    #[test]
+    fn resolved_strings_are_shared() {
+        let mut table = SymbolTable::default();
+        let id = table.intern("teemon_syscalls_total");
+        let first = Arc::clone(table.resolve(id));
+        let again = table.intern("teemon_syscalls_total");
+        let second = Arc::clone(table.resolve(again));
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+}

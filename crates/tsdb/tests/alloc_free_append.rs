@@ -1,0 +1,91 @@
+//! Code-level proof of the zero-allocation append hot path: a counting
+//! global allocator wraps the system allocator, and appending to an existing
+//! series (borrowed-key hash lookup + head push within reserved capacity)
+//! must perform zero heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use teemon_metrics::Labels;
+use teemon_tsdb::{Selector, TimeSeriesDb};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn append_to_existing_series_is_allocation_free() {
+    let db = TimeSeriesDb::new(); // chunk_size 120: the head never seals below
+    let labels = Labels::from_pairs([("node", "n1"), ("job", "sgx_exporter")]);
+    // Create the series (interns symbols, reserves head capacity) and warm up.
+    for t in 0..8u64 {
+        assert!(db.append("teemon_syscalls_total", &labels, t * 1_000, t as f64));
+    }
+    let before = allocations();
+    for t in 8..80u64 {
+        assert!(db.append("teemon_syscalls_total", &labels, t * 1_000, t as f64));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "append to an existing series must not allocate (key lookup is borrowed-key hashing, \
+         the head chunk has reserved capacity)"
+    );
+    assert_eq!(db.stats().samples, 80);
+}
+
+#[test]
+fn rejected_appends_are_allocation_free_too() {
+    let db = TimeSeriesDb::new();
+    let labels = Labels::from_pairs([("node", "n1")]);
+    db.append("m", &labels, 10_000, 1.0);
+    let before = allocations();
+    assert!(!db.append("m", &labels, 1_000, 2.0));
+    assert_eq!(allocations() - before, 0, "out-of-order rejection must not allocate");
+    assert_eq!(db.stats().rejected_samples, 1);
+}
+
+#[test]
+fn chunk_seal_allocates_only_at_the_boundary() {
+    let db = TimeSeriesDb::new(); // chunk_size 120
+    let labels = Labels::new();
+    for t in 0..119u64 {
+        db.append("m", &labels, t, 0.0);
+    }
+    // Sample 120 seals the chunk: the only allocations in a chunk's lifetime.
+    let before = allocations();
+    db.append("m", &labels, 200, 0.0);
+    assert!(allocations() > before, "sealing must move the head into a fresh Arc chunk");
+    // And the path is allocation-free again afterwards.
+    let before = allocations();
+    db.append("m", &labels, 201, 0.0);
+    assert_eq!(allocations() - before, 0);
+    assert_eq!(db.select(&Selector::metric("m"))[0].chunk_count(), 2);
+}
