@@ -1,0 +1,144 @@
+//! Range-query microbenchmarks (`micro/range_query`).
+//!
+//! The dashboard-driving workload: `rate()` range queries over 1 h and 24 h
+//! windows at a 15 s step across 100 series.  The streaming evaluator
+//! (sliding-window state machines, `O(samples touched)`) is measured against
+//! the retained per-step evaluator (`O(steps × window)`), which stays in the
+//! tree as `QueryEngine::range_per_step` — both the fallback and the
+//! equivalence oracle — so the speedup stays visible as both paths evolve.
+//!
+//! A second group compares scanning sealed chunks in their Gorilla-compressed
+//! form against the raw-chunk storage mode (`TsdbConfig::raw_chunks`), and
+//! the run prints the storage engine's bytes/sample so compression is
+//! recorded alongside the timings (see `BENCH_query_range.json`).
+//!
+//! Set `TEEMON_BENCH_SMOKE=1` (as CI does) to shrink the data set for a fast
+//! correctness pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teemon_metrics::Labels;
+use teemon_query::{parse, QueryEngine};
+use teemon_tsdb::{Selector, TimeSeriesDb, TsdbConfig};
+
+fn smoke() -> bool {
+    std::env::var_os("TEEMON_BENCH_SMOKE").is_some()
+}
+
+fn sample_count() -> usize {
+    if smoke() {
+        2
+    } else {
+        15
+    }
+}
+
+const SERIES: usize = 100;
+const SCRAPE_INTERVAL_MS: u64 = 15_000;
+const STEP_MS: u64 = 15_000;
+
+/// `SERIES` monotone counters over `span_ms` at the scrape cadence.
+fn populate(span_ms: u64, raw_chunks: bool) -> TimeSeriesDb {
+    let db = TimeSeriesDb::with_config(TsdbConfig {
+        chunk_size: 120,
+        retention_ms: u64::MAX,
+        raw_chunks,
+    });
+    let series = if smoke() { 8 } else { SERIES };
+    let keys: Vec<Labels> = (0..series)
+        .map(|i| {
+            Labels::from_pairs([("node", format!("node-{}", i % 10)), ("idx", format!("{i}"))])
+        })
+        .collect();
+    let ticks = span_ms / SCRAPE_INTERVAL_MS;
+    for t in 0..=ticks {
+        for (i, labels) in keys.iter().enumerate() {
+            db.append(
+                "bench_requests_total",
+                labels,
+                t * SCRAPE_INTERVAL_MS,
+                (t * (25 + i as u64)) as f64,
+            );
+        }
+    }
+    db
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/range_query");
+    group.sample_size(sample_count());
+
+    let windows: &[(&str, u64)] = if smoke() {
+        &[("10m", 10 * 60 * 1000)]
+    } else {
+        &[("1h", 60 * 60 * 1000), ("24h", 24 * 60 * 60 * 1000)]
+    };
+    for &(label, span_ms) in windows {
+        let db = populate(span_ms, false);
+        let engine = QueryEngine::new(db.clone());
+        let rate = parse("rate(bench_requests_total[5m])").unwrap();
+        let grouped = parse("sum by (node) (rate(bench_requests_total[5m]))").unwrap();
+        assert!(engine.streams_range(&rate, 0, span_ms), "rate must take the streaming path");
+        // Both paths must agree before we time them.
+        assert_eq!(
+            engine.range(&grouped, 0, span_ms, STEP_MS).unwrap().len(),
+            engine.range_per_step(&grouped, 0, span_ms, STEP_MS).unwrap().len(),
+        );
+
+        group.bench_function(format!("rate_{label}/streaming"), |b| {
+            b.iter(|| black_box(engine.range(black_box(&rate), 0, span_ms, STEP_MS).unwrap()))
+        });
+        group.bench_function(format!("rate_{label}/per_step_baseline"), |b| {
+            b.iter(|| {
+                black_box(engine.range_per_step(black_box(&rate), 0, span_ms, STEP_MS).unwrap())
+            })
+        });
+        group.bench_function(format!("sum_by_rate_{label}/streaming"), |b| {
+            b.iter(|| black_box(engine.range(black_box(&grouped), 0, span_ms, STEP_MS).unwrap()))
+        });
+        group.bench_function(format!("sum_by_rate_{label}/per_step_baseline"), |b| {
+            b.iter(|| {
+                black_box(engine.range_per_step(black_box(&grouped), 0, span_ms, STEP_MS).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full-range scans over sealed chunks: Gorilla-compressed vs raw storage.
+fn bench_chunk_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/range_query");
+    group.sample_size(sample_count());
+    let span_ms = if smoke() { 10 * 60 * 1000 } else { 60 * 60 * 1000 };
+    let selector = Selector::metric("bench_requests_total");
+
+    for (label, raw_chunks) in [("compressed", false), ("raw", true)] {
+        let db = populate(span_ms, raw_chunks);
+        let snapshots = db.select(&selector);
+        group.bench_function(format!("chunk_scan/{label}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for snapshot in &snapshots {
+                    total += black_box(snapshot.points_in(0, u64::MAX)).len();
+                }
+                total
+            })
+        });
+        let stats = db.stats();
+        println!(
+            "micro/range_query setup: {label} storage holds {} samples in {} bytes \
+             ({:.2} bytes/sample)",
+            stats.samples,
+            stats.resident_bytes,
+            stats.bytes_per_sample()
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_range, bench_chunk_scan
+}
+criterion_main!(benches);

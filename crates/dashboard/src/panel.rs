@@ -5,6 +5,13 @@
 //! a TeeQL expression evaluated by [`teemon_query::QueryEngine`], which puts
 //! the whole query language — `rate()`, `by`/`without` grouping, arithmetic —
 //! behind a single string (the way Grafana panels embed PromQL).
+//!
+//! Dashboards are the read path's heaviest customer: every refresh is a
+//! range query per panel.  Expression panels ride the engine's streaming
+//! range evaluator (`O(samples touched)` per refresh rather than
+//! `O(steps × window)`; see [`teemon_query::stream`]), and both paths read
+//! sealed chunks in their Gorilla-compressed form through streaming-decode
+//! cursors — a dashboard refresh never materialises a decompressed chunk.
 
 use serde::{Deserialize, Serialize};
 use teemon_query::QueryEngine;
@@ -166,9 +173,11 @@ impl Panel {
     ///
     /// In expression mode the open-ended range (`0..u64::MAX`) is clamped to
     /// the data the database actually holds, and the expression is evaluated
-    /// at `step_ms` intervals across it.  In selector mode the panel reads
-    /// through the zero-copy snapshot API: one inverted-index lookup, then a
-    /// pre-sized range walk over `Arc`-shared chunks per series.
+    /// at `step_ms` intervals across it — streamed by sliding-window state
+    /// machines when the expression supports it, per-step otherwise.  In
+    /// selector mode the panel reads through the zero-copy snapshot API: one
+    /// inverted-index lookup, then a pre-sized range walk over `Arc`-shared
+    /// (compressed) chunks per series.
     pub fn evaluate(&self, db: &TimeSeriesDb, start_ms: u64, end_ms: u64) -> PanelData {
         let series: Vec<(String, Vec<(u64, f64)>)> = match &self.expr {
             Some(expr) => self
@@ -407,6 +416,38 @@ mod tests {
         // An empty database is handled before the engine is even consulted.
         let empty = Panel::teeql("no data", "up").evaluate(&TimeSeriesDb::new(), 0, u64::MAX);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn panels_read_sealed_compressed_chunks() {
+        use teemon_tsdb::TsdbConfig;
+        // A tiny chunk size forces nearly all samples into sealed
+        // (Gorilla-compressed) chunks: both panel paths must read through
+        // the streaming decoders and agree with the default configuration.
+        let small_chunks = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 8,
+            retention_ms: u64::MAX,
+            raw_chunks: false,
+        });
+        let reference = db();
+        for t in 0..10u64 {
+            small_chunks.append(
+                "teemon_syscalls_total",
+                &Labels::from_pairs([("syscall", "read")]),
+                t * 5_000,
+                (t * 100) as f64,
+            );
+        }
+        let expr_panel =
+            Panel::teeql("rate", "sum by (syscall) (rate(teemon_syscalls_total[20s]))")
+                .with_step_ms(5_000);
+        let selector_panel = Panel::graph("raw", Selector::metric("teemon_syscalls_total"));
+        for panel in [expr_panel, selector_panel] {
+            let compressed = panel.evaluate(&small_chunks, 0, u64::MAX);
+            let head_only = panel.evaluate(&reference, 0, u64::MAX);
+            assert_eq!(compressed.aggregated, head_only.aggregated, "{}", panel.title);
+            assert_eq!(compressed.current, head_only.current);
+        }
     }
 
     #[test]

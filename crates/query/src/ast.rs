@@ -175,6 +175,27 @@ pub enum Grouping {
     Without(Vec<String>),
 }
 
+impl Grouping {
+    /// The aggregation-group key for a series carrying `labels`: empty for
+    /// [`Grouping::None`], the kept labels for `by`, the complement for
+    /// `without`.  The single definition shared by the per-step aggregator
+    /// and the streaming planner — their group identities must never drift
+    /// apart (the streaming path is cross-checked against the per-step
+    /// oracle).
+    pub fn key_for(&self, labels: &teemon_metrics::Labels) -> teemon_metrics::Labels {
+        use teemon_metrics::Labels;
+        match self {
+            Grouping::None => Labels::new(),
+            Grouping::By(keep) => {
+                Labels::from_pairs(labels.iter().filter(|(k, _)| keep.iter().any(|want| want == k)))
+            }
+            Grouping::Without(drop) => Labels::from_pairs(
+                labels.iter().filter(|(k, _)| !drop.iter().any(|want| want == k)),
+            ),
+        }
+    }
+}
+
 impl fmt::Display for Grouping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (keyword, labels) = match self {

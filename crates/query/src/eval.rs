@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use teemon_metrics::Labels;
 use teemon_tsdb::{query, AggregateOp, Selector, SeriesSnapshot, TimeSeriesDb};
@@ -10,9 +11,7 @@ use teemon_tsdb::{query, AggregateOp, Selector, SeriesSnapshot, TimeSeriesDb};
 use crate::ast::{BinOp, Expr, Grouping, RangeFunc};
 use crate::lexer::ParseError;
 use crate::parser::parse;
-
-/// Per-series point accumulator used while stitching range results.
-type SeriesAccumulator = BTreeMap<(Option<String>, Labels), Vec<(u64, f64)>>;
+use crate::stream;
 
 /// One selected series with its key strings materialised once per query.
 struct SelectedSeries {
@@ -336,8 +335,20 @@ impl QueryEngine {
         }
     }
 
-    /// Evaluates a parsed expression at every step of `[start_ms, end_ms]`,
-    /// stitching the per-step instant results into range series.
+    /// Evaluates a parsed expression at every step of `[start_ms, end_ms]`.
+    ///
+    /// Expressions made of selectors, range functions, grouped aggregations
+    /// and constant arithmetic/comparisons take the **streaming** path
+    /// ([`crate::stream`]): per-series sliding-window state machines advance
+    /// two monotone cursors across the steps and update the window aggregates
+    /// incrementally, so the whole range costs `O(samples touched)` instead
+    /// of `O(steps × window)`.  Everything else (vector-vector matching,
+    /// type errors) falls back to [`QueryEngine::range_per_step`].
+    ///
+    /// With debug assertions enabled and `TEEMON_VERIFY_STREAM=1` in the
+    /// environment, every streamed evaluation is cross-checked against the
+    /// per-step oracle and panics on divergence (CI runs the test suite this
+    /// way).
     ///
     /// # Errors
     ///
@@ -362,20 +373,79 @@ impl QueryEngine {
         if start_ms > end_ms {
             return Ok(Vec::new());
         }
+        if let Some(plan) = stream::plan(&self.db, self.lookback_ms, expr, start_ms, end_ms) {
+            let streamed = plan.run(start_ms, end_ms, step_ms);
+            if cfg!(debug_assertions) && verify_stream_enabled() {
+                let oracle = self.range_per_step(expr, start_ms, end_ms, step_ms)?;
+                assert!(
+                    stream::ranges_equivalent(&streamed, &oracle),
+                    "streaming evaluation diverged from the per-step oracle for `{expr}` over \
+                     [{start_ms}, {end_ms}] step {step_ms}\nstreamed: {streamed:?}\noracle: \
+                     {oracle:?}"
+                );
+            }
+            return Ok(streamed);
+        }
+        self.range_per_step(expr, start_ms, end_ms, step_ms)
+    }
+
+    /// `true` when `expr` would take the streaming path for this range (a
+    /// diagnostic for tests and benches; planning resolves the expression's
+    /// selectors, so this is not free).
+    pub fn streams_range(&self, expr: &Expr, start_ms: u64, end_ms: u64) -> bool {
+        stream::plan(&self.db, self.lookback_ms, expr, start_ms, end_ms).is_some()
+    }
+
+    /// The per-step range evaluator: runs the full instant pipeline at every
+    /// step and stitches the results into range series.  Retained as the
+    /// fallback for expressions the streamer cannot handle, as the
+    /// equivalence oracle for the streaming path, and as the baseline in the
+    /// `micro/range_query` bench.
+    ///
+    /// Points are accumulated in slots keyed by a per-query series id: each
+    /// distinct output identity resolves through the hash map once, and the
+    /// per-step work is an id lookup plus a point push — not a `BTreeMap`
+    /// walk comparing (and retaining clones of) name/label strings per step
+    /// per series.  Name/labels are attached to the final [`RangeSeries`]
+    /// only once, at the end.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QueryEngine::range`].
+    pub fn range_per_step(
+        &self,
+        expr: &Expr,
+        start_ms: u64,
+        end_ms: u64,
+        step_ms: u64,
+    ) -> Result<Vec<RangeSeries>, EvalError> {
+        if step_ms == 0 {
+            return Err(EvalError::ZeroStep);
+        }
+        if start_ms > end_ms {
+            return Ok(Vec::new());
+        }
         let mut cache = SelectionCache::default();
-        let mut series: SeriesAccumulator = BTreeMap::new();
+        let mut slot_of: HashMap<(Option<String>, Labels), usize> = HashMap::new();
+        let mut points: Vec<Vec<(u64, f64)>> = Vec::new();
+        let mut push = |key: (Option<String>, Labels), t: u64, value: f64| {
+            let slot = match slot_of.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    points.push(Vec::new());
+                    slot_of.insert(key, points.len() - 1);
+                    points.len() - 1
+                }
+            };
+            points[slot].push((t, value));
+        };
         let mut t = start_ms;
         loop {
             match self.eval_instant(expr, t, &mut cache)? {
-                Value::Scalar(v) => {
-                    series.entry((None, Labels::new())).or_default().push((t, v));
-                }
+                Value::Scalar(v) => push((None, Labels::new()), t, v),
                 Value::Vector(samples) => {
                     for sample in samples {
-                        series
-                            .entry((sample.name, sample.labels))
-                            .or_default()
-                            .push((t, sample.value));
+                        push((sample.name, sample.labels), t, sample.value);
                     }
                 }
                 Value::Matrix(_) => return Err(EvalError::UnexpectedRange),
@@ -386,9 +456,15 @@ impl QueryEngine {
             }
             t = next;
         }
-        Ok(series
+        let mut keyed: Vec<((Option<String>, Labels), usize)> = slot_of.into_iter().collect();
+        keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(keyed
             .into_iter()
-            .map(|((name, labels), points)| RangeSeries { name, labels, points })
+            .map(|((name, labels), slot)| RangeSeries {
+                name,
+                labels,
+                points: std::mem::take(&mut points[slot]),
+            })
             .collect())
     }
 
@@ -422,6 +498,15 @@ impl QueryEngine {
     }
 }
 
+/// `TEEMON_VERIFY_STREAM=1` turns on the streaming-vs-oracle cross-check in
+/// [`QueryEngine::range`] (debug builds only); checked once per process.
+fn verify_stream_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var_os("TEEMON_VERIFY_STREAM").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    })
+}
+
 fn apply_range_func(func: RangeFunc, param: Option<f64>, points: &[(u64, f64)]) -> Option<f64> {
     let values = || points.iter().map(|(_, v)| *v).collect::<Vec<f64>>();
     match func {
@@ -444,16 +529,7 @@ fn aggregate_vector(
 ) -> Vec<VectorSample> {
     let mut groups: BTreeMap<Labels, Vec<f64>> = BTreeMap::new();
     for sample in samples {
-        let key = match grouping {
-            Grouping::None => Labels::new(),
-            Grouping::By(keep) => Labels::from_pairs(
-                sample.labels.iter().filter(|(k, _)| keep.iter().any(|want| want == k)),
-            ),
-            Grouping::Without(drop) => Labels::from_pairs(
-                sample.labels.iter().filter(|(k, _)| !drop.iter().any(|want| want == k)),
-            ),
-        };
-        groups.entry(key).or_default().push(sample.value);
+        groups.entry(grouping.key_for(&sample.labels)).or_default().push(sample.value);
     }
     groups
         .into_iter()

@@ -10,7 +10,11 @@
 //!   [`Expr`] whose `Display` rendering is valid TeeQL that reparses to an
 //!   equal tree,
 //! * [`QueryEngine`] — instant and range evaluation over a
-//!   [`teemon_tsdb::TimeSeriesDb`],
+//!   [`teemon_tsdb::TimeSeriesDb`].  Range queries stream: the [`stream`]
+//!   module compiles supported expressions into per-series sliding-window
+//!   state machines whose cost is `O(samples touched)` rather than
+//!   `O(steps × window)`, with the per-step evaluator retained as fallback
+//!   and equivalence oracle,
 //! * [`RuleEngine`] — [`RecordingRule`]s that write derived series back into
 //!   the database and [`AlertRule`]s (expression + `for` hold + severity)
 //!   that supersede the ad-hoc [`teemon_analysis::ThresholdKind`] path
@@ -59,6 +63,7 @@ pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod stream;
 
 pub use ast::{
     aggregate_op_from_name, aggregate_op_name, format_duration_ms, BinOp, Expr, Grouping, RangeFunc,

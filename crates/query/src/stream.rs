@@ -1,0 +1,856 @@
+//! Streaming range-query evaluation.
+//!
+//! The per-step evaluator ([`crate::QueryEngine::range_per_step`]) re-runs
+//! the whole instant pipeline at every step: a 1 h / 15 s-step
+//! `rate(m[5m])` query extracts and re-aggregates ~240 overlapping 5 m
+//! windows per series, so its cost is `O(steps × window)`.  This module
+//! replaces that with per-series **sliding-window state machines**: two
+//! monotone cursors (window entry and exit) advance across the steps, every
+//! sample is admitted once and evicted once, and the window aggregates update
+//! incrementally — `O(samples touched)` overall.
+//!
+//! * `sum`/`avg` (and the reset-adjusted pair sum behind `rate`/`increase`)
+//!   are running deltas: a sample's contribution is added when it enters and
+//!   subtracted when it leaves.  Non-finite values are counted, not summed,
+//!   so a `NaN`/`±inf` passing through the window cannot poison it forever.
+//! * `min`/`max` use monotonic deques (amortised O(1) per sample).
+//! * `count`/`last_over_time` (and instant selectors, which are
+//!   `last_over_time` over the staleness lookback) read the window ends.
+//! * `quantile_over_time` re-sorts, but into one scratch buffer reused per
+//!   series instead of a fresh allocation per step.
+//!
+//! On top of the window layer, the plan composes the vector-shaped operators
+//! without ever materialising per-step `Value::Vector`s: every node's output
+//! universe (its series names/labels) is resolved **once** at plan time, and
+//! per step only a slab of `Option<f64>` slots moves between nodes.  Grouped
+//! aggregations fold child slots into group accumulators through a
+//! slot→group table computed once; arithmetic/comparison against constants
+//! maps slots in place.
+//!
+//! [`plan`] returns `None` for expressions outside this shape (vector-vector
+//! binary operations, aggregations over scalars, type errors, output-key
+//! collisions after name-dropping); the caller falls back to the per-step
+//! path, which also remains the equivalence oracle — see
+//! [`ranges_equivalent`] and the `TEEMON_VERIFY_STREAM` cross-check in
+//! [`crate::QueryEngine::range`].  Streamed results match the oracle exactly
+//! except for floating-point association in the running sums, which can
+//! differ in the last bits; the sums monitor their own accumulated error
+//! bound and rebuild exactly from the live window when cancellation (e.g. a
+//! huge sample leaving the window) would make the drift visible.
+
+use std::collections::VecDeque;
+
+use teemon_metrics::Labels;
+use teemon_tsdb::query::{quantile_of_sorted, reset_adjusted_delta};
+use teemon_tsdb::{AggregateOp, OwnedSampleCursor, TimeSeriesDb};
+
+use crate::ast::{BinOp, Expr, RangeFunc};
+use crate::eval::RangeSeries;
+
+/// Output identity of one streamed series, resolved once at plan time.
+type SeriesKey = (Option<String>, Labels);
+
+/// A compiled streaming evaluation: the node tree plus the output universe.
+///
+/// Built by [`plan`]; consumed by [`StreamPlan::run`].  Selectors were
+/// already resolved against the storage index during planning, so running
+/// the plan touches no locks and no index — only the immutable `Arc`-shared
+/// chunk snapshots each window machine's cursor walks.
+pub struct StreamPlan {
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    /// A constant scalar expression: one label-less series, present at every
+    /// step (what the per-step path produces for scalar queries).
+    Scalar(f64),
+    Vector {
+        root: Node,
+        keys: Vec<SeriesKey>,
+    },
+}
+
+impl StreamPlan {
+    /// Evaluates the plan over `[start_ms, end_ms]` at `step_ms` intervals.
+    /// The step grid is identical to the per-step evaluator's (`start`,
+    /// `start + step`, … up to and including the last step `<= end`).
+    pub fn run(self, start_ms: u64, end_ms: u64, step_ms: u64) -> Vec<RangeSeries> {
+        let step_ms = step_ms.max(1);
+        match self.kind {
+            PlanKind::Scalar(value) => {
+                let mut points = Vec::new();
+                for_each_step(start_ms, end_ms, step_ms, |t| points.push((t, value)));
+                vec![RangeSeries { name: None, labels: Labels::new(), points }]
+            }
+            PlanKind::Vector { mut root, keys } => {
+                let mut out = vec![None; keys.len()];
+                let mut points: Vec<Vec<(u64, f64)>> = vec![Vec::new(); keys.len()];
+                for_each_step(start_ms, end_ms, step_ms, |t| {
+                    root.step(t, &mut out);
+                    for (slot, value) in out.iter().enumerate() {
+                        if let Some(v) = value {
+                            points[slot].push((t, *v));
+                        }
+                    }
+                });
+                let mut series: Vec<RangeSeries> = keys
+                    .into_iter()
+                    .zip(points)
+                    .filter(|(_, points)| !points.is_empty())
+                    .map(|((name, labels), points)| RangeSeries { name, labels, points })
+                    .collect();
+                // The per-step accumulator returns series sorted by key.
+                series.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+                series
+            }
+        }
+    }
+}
+
+/// Walks the same step grid as the per-step evaluator (overflow-safe at the
+/// top of the `u64` range).
+fn for_each_step(start_ms: u64, end_ms: u64, step_ms: u64, mut f: impl FnMut(u64)) {
+    let mut t = start_ms;
+    loop {
+        f(t);
+        let Some(next) = t.checked_add(step_ms) else { break };
+        if next > end_ms {
+            break;
+        }
+        t = next;
+    }
+}
+
+/// Compiles `expr` into a streaming plan, or `None` when the expression
+/// needs the per-step fallback.  `lookback_ms` is the engine's instant-
+/// selector staleness window; `start_ms`/`end_ms` bound the sample range the
+/// window machines will ever touch.
+pub fn plan(
+    db: &TimeSeriesDb,
+    lookback_ms: u64,
+    expr: &Expr,
+    start_ms: u64,
+    end_ms: u64,
+) -> Option<StreamPlan> {
+    if let Some(value) = fold_const(expr) {
+        return Some(StreamPlan { kind: PlanKind::Scalar(value) });
+    }
+    let (root, keys) = plan_vector(db, lookback_ms, expr, start_ms, end_ms)?;
+    // Two output series with the same key would be merged (interleaved) by
+    // the per-step accumulator; that shape stays on the fallback path.
+    let mut sorted: Vec<&SeriesKey> = keys.iter().collect();
+    sorted.sort();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    Some(StreamPlan { kind: PlanKind::Vector { root, keys } })
+}
+
+/// Evaluates pure-number subtrees to their constant value.
+fn fold_const(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Number(n) => Some(*n),
+        Expr::Binary { op, lhs, rhs } => Some(op.apply(fold_const(lhs)?, fold_const(rhs)?)),
+        _ => None,
+    }
+}
+
+fn plan_vector(
+    db: &TimeSeriesDb,
+    lookback_ms: u64,
+    expr: &Expr,
+    start_ms: u64,
+    end_ms: u64,
+) -> Option<(Node, Vec<SeriesKey>)> {
+    match expr {
+        // An instant selector is `last_over_time` over the lookback window,
+        // with the metric name kept.
+        Expr::Selector(selector) => {
+            let window_ms = lookback_ms;
+            let mut keys = Vec::new();
+            let mut machines = Vec::new();
+            for snapshot in db.select(selector) {
+                keys.push((Some(snapshot.name().to_string()), snapshot.to_labels()));
+                machines.push(WindowMachine::new(
+                    snapshot.owned_cursor(start_ms.saturating_sub(window_ms), end_ms),
+                    window_ms,
+                    WindowFunc::Last,
+                ));
+            }
+            Some((Node::Windows { machines }, keys))
+        }
+        // A range function over a range selector: one window machine per
+        // series; the name is dropped (function semantics).
+        Expr::Call { func, param, arg } => {
+            let Expr::Range { selector, window_ms } = &**arg else { return None };
+            if let Some(q) = param {
+                if !(0.0..=1.0).contains(q) {
+                    return None; // fallback reports InvalidQuantile
+                }
+            }
+            let wf = match func {
+                RangeFunc::Rate => WindowFunc::Rate,
+                RangeFunc::Increase => WindowFunc::Increase,
+                RangeFunc::AvgOverTime => WindowFunc::Avg,
+                RangeFunc::MinOverTime => WindowFunc::Min,
+                RangeFunc::MaxOverTime => WindowFunc::Max,
+                RangeFunc::SumOverTime => WindowFunc::Sum,
+                RangeFunc::CountOverTime => WindowFunc::Count,
+                RangeFunc::QuantileOverTime => WindowFunc::Quantile(param.unwrap_or(0.5)),
+                RangeFunc::LastOverTime => WindowFunc::Last,
+            };
+            let mut keys = Vec::new();
+            let mut machines = Vec::new();
+            for snapshot in db.select(selector) {
+                keys.push((None, snapshot.to_labels()));
+                machines.push(WindowMachine::new(
+                    snapshot.owned_cursor(start_ms.saturating_sub(*window_ms), end_ms),
+                    *window_ms,
+                    wf,
+                ));
+            }
+            Some((Node::Windows { machines }, keys))
+        }
+        // Grouped aggregation: the slot→group table and the group label sets
+        // are fixed by the child's (plan-time) universe.
+        Expr::Aggregate { op, grouping, expr } => {
+            let (child, child_keys) = plan_vector(db, lookback_ms, expr, start_ms, end_ms)?;
+            let group_labels: Vec<Labels> =
+                child_keys.iter().map(|(_, labels)| grouping.key_for(labels)).collect();
+            let mut unique = group_labels.clone();
+            unique.sort();
+            unique.dedup();
+            let slot_group: Vec<usize> = group_labels
+                .iter()
+                .map(|labels| unique.binary_search(labels).expect("deduped from the same set"))
+                .collect();
+            let keys: Vec<SeriesKey> = unique.into_iter().map(|labels| (None, labels)).collect();
+            let scratch = vec![None; child_keys.len()];
+            let groups = keys.len();
+            Some((
+                Node::Group {
+                    input: Box::new(child),
+                    op: *op,
+                    slot_group,
+                    scratch,
+                    acc_value: vec![0.0; groups],
+                    acc_count: vec![0; groups],
+                },
+                keys,
+            ))
+        }
+        // Arithmetic / comparison against a constant side (either order).
+        // Arithmetic drops the metric name; comparisons filter and keep it.
+        Expr::Binary { op, lhs, rhs } => {
+            let (scalar, vector, scalar_left) = if let Some(s) = fold_const(lhs) {
+                (s, rhs, true)
+            } else if let Some(s) = fold_const(rhs) {
+                (s, lhs, false)
+            } else {
+                return None; // vector-vector matching stays per-step
+            };
+            let (child, child_keys) = plan_vector(db, lookback_ms, vector, start_ms, end_ms)?;
+            let keys = if op.is_comparison() {
+                child_keys
+            } else {
+                child_keys.into_iter().map(|(_, labels)| (None, labels)).collect()
+            };
+            let scratch = vec![None; keys.len()];
+            Some((
+                Node::Map { input: Box::new(child), op: *op, scalar, scalar_left, scratch },
+                keys,
+            ))
+        }
+        // `Number` is handled by `fold_const`; a bare `Range` is a type
+        // error for range queries — the fallback reports it.
+        _ => None,
+    }
+}
+
+/// One operator of the streaming pipeline.  `step` fills `out` (one slot per
+/// output series) with each series' value at `t`, `None` meaning absent.
+enum Node {
+    /// The leaves: per-series sliding-window machines over storage cursors.
+    Windows { machines: Vec<WindowMachine> },
+    /// Vector ⇄ constant arithmetic or filtering comparison.
+    Map { input: Box<Node>, op: BinOp, scalar: f64, scalar_left: bool, scratch: Vec<Option<f64>> },
+    /// Grouped cross-series aggregation via a plan-time slot→group table.
+    Group {
+        input: Box<Node>,
+        op: AggregateOp,
+        slot_group: Vec<usize>,
+        scratch: Vec<Option<f64>>,
+        acc_value: Vec<f64>,
+        acc_count: Vec<u32>,
+    },
+}
+
+impl Node {
+    fn step(&mut self, t: u64, out: &mut [Option<f64>]) {
+        match self {
+            Node::Windows { machines } => {
+                for (machine, slot) in machines.iter_mut().zip(out.iter_mut()) {
+                    *slot = machine.step(t);
+                }
+            }
+            Node::Map { input, op, scalar, scalar_left, scratch } => {
+                input.step(t, scratch);
+                for (value, slot) in scratch.iter().zip(out.iter_mut()) {
+                    *slot = value.and_then(|v| {
+                        let (lhs, rhs) = if *scalar_left { (*scalar, v) } else { (v, *scalar) };
+                        if op.is_comparison() {
+                            // Comparisons filter: the sample survives as-is.
+                            op.compare(lhs, rhs).then_some(v)
+                        } else {
+                            Some(op.apply(lhs, rhs))
+                        }
+                    });
+                }
+            }
+            Node::Group { input, op, slot_group, scratch, acc_value, acc_count } => {
+                input.step(t, scratch);
+                let init = match op {
+                    AggregateOp::Min => f64::INFINITY,
+                    AggregateOp::Max => f64::NEG_INFINITY,
+                    _ => 0.0,
+                };
+                acc_value.fill(init);
+                acc_count.fill(0);
+                // Fold child slots in order: the same accumulation order (and
+                // therefore bit-identical floats) as the per-step aggregator.
+                for (value, &group) in scratch.iter().zip(slot_group.iter()) {
+                    let Some(v) = value else { continue };
+                    acc_count[group] += 1;
+                    match op {
+                        AggregateOp::Sum | AggregateOp::Avg => acc_value[group] += v,
+                        AggregateOp::Min => acc_value[group] = acc_value[group].min(*v),
+                        AggregateOp::Max => acc_value[group] = acc_value[group].max(*v),
+                        AggregateOp::Count => {}
+                    }
+                }
+                for ((slot, value), count) in
+                    out.iter_mut().zip(acc_value.iter()).zip(acc_count.iter())
+                {
+                    *slot = (*count > 0).then(|| match op {
+                        AggregateOp::Sum | AggregateOp::Min | AggregateOp::Max => *value,
+                        AggregateOp::Avg => *value / f64::from(*count),
+                        AggregateOp::Count => f64::from(*count),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The aggregate a window machine maintains.
+#[derive(Clone, Copy)]
+enum WindowFunc {
+    Rate,
+    Increase,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    Last,
+    Quantile(f64),
+}
+
+/// A running sum that tracks non-finite contributions by *count* instead of
+/// folding them into the float, so add/subtract streams cannot get stuck at
+/// `NaN`/`±inf` after the offending sample leaves the window.  `value()`
+/// reproduces what a fresh left-to-right sum of the window would produce.
+///
+/// Incremental add/subtract accumulates rounding error — catastrophically so
+/// when a huge-magnitude sample absorbs smaller ones and then leaves the
+/// window.  The sum therefore tracks the largest magnitude its float ever
+/// reached and the number of operations applied; [`RunningSum::drifted`]
+/// reports when the accumulated error bound is no longer negligible against
+/// the current value (or simply after a few thousand operations), and the
+/// window machine responds by rebuilding the sum exactly from the live
+/// window contents — O(window), amortised away by the rebuild period.
+#[derive(Debug, Default, Clone)]
+struct RunningSum {
+    finite: f64,
+    nan: u32,
+    pos_inf: u32,
+    neg_inf: u32,
+    /// Largest |finite| the running float has reached since the last rebuild.
+    peak: f64,
+    /// Add/subtract operations since the last rebuild.
+    ops: u32,
+}
+
+/// Rebuild at the latest after this many incremental operations: keeps the
+/// worst-case relative drift around `PERIOD · ε ≈ 1e-12` of the peak.
+const REBUILD_PERIOD: u32 = 4096;
+
+impl RunningSum {
+    fn add(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan += 1;
+        } else if v == f64::INFINITY {
+            self.pos_inf += 1;
+        } else if v == f64::NEG_INFINITY {
+            self.neg_inf += 1;
+        } else {
+            self.finite += v;
+            self.peak = self.peak.max(self.finite.abs());
+            self.ops += 1;
+        }
+    }
+
+    fn sub(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan -= 1;
+        } else if v == f64::INFINITY {
+            self.pos_inf -= 1;
+        } else if v == f64::NEG_INFINITY {
+            self.neg_inf -= 1;
+        } else {
+            self.finite -= v;
+            self.peak = self.peak.max(self.finite.abs());
+            self.ops += 1;
+        }
+    }
+
+    /// `true` when the error accumulated by incremental updates may no
+    /// longer be negligible relative to the current value (cancellation),
+    /// when the accumulator itself stopped being finite (overflow — the
+    /// add/subtract stream can never bring it back, only a rebuild can), or
+    /// when the periodic rebuild is due.
+    fn drifted(&self) -> bool {
+        !self.finite.is_finite()
+            || self.ops >= REBUILD_PERIOD
+            || f64::from(self.ops) * f64::EPSILON * self.peak > self.finite.abs() * 1e-10
+    }
+
+    fn value(&self) -> f64 {
+        if self.nan > 0 || (self.pos_inf > 0 && self.neg_inf > 0) {
+            f64::NAN
+        } else if self.pos_inf > 0 {
+            f64::INFINITY
+        } else if self.neg_inf > 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.finite
+        }
+    }
+}
+
+/// The per-series sliding-window state machine.
+///
+/// `source` is the window-entry cursor (each stored sample is decoded and
+/// admitted exactly once); eviction pops the deque front as the window's
+/// trailing edge passes it.  Both edges move monotonically with the query
+/// step, which is what makes whole-range cost `O(samples touched)`.
+struct WindowMachine {
+    source: OwnedSampleCursor,
+    /// The next sample read from `source` but not yet inside the window.
+    pending: Option<(u64, f64)>,
+    window: VecDeque<(u64, f64)>,
+    window_ms: u64,
+    func: WindowFunc,
+    /// Running Σvalue (for `sum`/`avg`).
+    sum: RunningSum,
+    /// Running Σ reset-adjusted pair deltas (for `rate`/`increase`).
+    pairs: RunningSum,
+    /// Monotonic deques holding (sequence, value); fronts are the window's
+    /// min/max.  NaN samples are skipped — `f64::min`/`max` ignore them.
+    min_deque: VecDeque<(u64, f64)>,
+    max_deque: VecDeque<(u64, f64)>,
+    /// Sequence numbers of the window front/next-pushed element, linking the
+    /// monotonic deques to evictions.
+    front_seq: u64,
+    next_seq: u64,
+    /// Reused sort buffer for `quantile_over_time`.
+    scratch: Vec<f64>,
+}
+
+impl WindowMachine {
+    fn new(source: OwnedSampleCursor, window_ms: u64, func: WindowFunc) -> Self {
+        Self {
+            source,
+            pending: None,
+            window: VecDeque::new(),
+            window_ms,
+            func,
+            sum: RunningSum::default(),
+            pairs: RunningSum::default(),
+            min_deque: VecDeque::new(),
+            max_deque: VecDeque::new(),
+            front_seq: 0,
+            next_seq: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Advances the window to `[t - window_ms, t]` and evaluates the
+    /// function over it; `None` when the function is undefined there.
+    fn step(&mut self, t: u64) -> Option<f64> {
+        // Entry edge: admit samples up to t.
+        loop {
+            let (ts, value) = match self.pending.take() {
+                Some(sample) => sample,
+                None => match self.source.next() {
+                    Some(s) => (s.timestamp_ms, s.value),
+                    None => break,
+                },
+            };
+            if ts > t {
+                self.pending = Some((ts, value));
+                break;
+            }
+            self.push(ts, value);
+        }
+        // Exit edge: evict samples the trailing boundary passed.
+        let window_start = t.saturating_sub(self.window_ms);
+        while self.window.front().is_some_and(|&(ts, _)| ts < window_start) {
+            self.pop_front();
+        }
+        self.evaluate()
+    }
+
+    fn push(&mut self, ts: u64, value: f64) {
+        match self.func {
+            WindowFunc::Sum | WindowFunc::Avg => self.sum.add(value),
+            WindowFunc::Rate | WindowFunc::Increase => {
+                if let Some(&(_, prev)) = self.window.back() {
+                    self.pairs.add(reset_adjusted_delta(prev, value));
+                }
+            }
+            WindowFunc::Min => {
+                if !value.is_nan() {
+                    while self.min_deque.back().is_some_and(|&(_, back)| back >= value) {
+                        self.min_deque.pop_back();
+                    }
+                    self.min_deque.push_back((self.next_seq, value));
+                }
+            }
+            WindowFunc::Max => {
+                if !value.is_nan() {
+                    while self.max_deque.back().is_some_and(|&(_, back)| back <= value) {
+                        self.max_deque.pop_back();
+                    }
+                    self.max_deque.push_back((self.next_seq, value));
+                }
+            }
+            WindowFunc::Count | WindowFunc::Last | WindowFunc::Quantile(_) => {}
+        }
+        self.window.push_back((ts, value));
+        self.next_seq += 1;
+    }
+
+    fn pop_front(&mut self) {
+        let Some((_, value)) = self.window.pop_front() else { return };
+        let seq = self.front_seq;
+        self.front_seq += 1;
+        match self.func {
+            WindowFunc::Sum | WindowFunc::Avg => self.sum.sub(value),
+            WindowFunc::Rate | WindowFunc::Increase => {
+                if let Some(&(_, next)) = self.window.front() {
+                    self.pairs.sub(reset_adjusted_delta(value, next));
+                }
+            }
+            WindowFunc::Min => {
+                if self.min_deque.front().is_some_and(|&(front_seq, _)| front_seq == seq) {
+                    self.min_deque.pop_front();
+                }
+            }
+            WindowFunc::Max => {
+                if self.max_deque.front().is_some_and(|&(front_seq, _)| front_seq == seq) {
+                    self.max_deque.pop_front();
+                }
+            }
+            WindowFunc::Count | WindowFunc::Last | WindowFunc::Quantile(_) => {}
+        }
+    }
+
+    /// Recomputes the value sum exactly from the live window, in the same
+    /// left-to-right order as a fresh per-step evaluation.
+    fn rebuild_sum(&mut self) {
+        let mut sum = RunningSum::default();
+        for &(_, value) in &self.window {
+            sum.add(value);
+        }
+        sum.ops = 0;
+        sum.peak = sum.finite.abs();
+        self.sum = sum;
+    }
+
+    /// Recomputes the reset-adjusted pair sum exactly from the live window.
+    fn rebuild_pairs(&mut self) {
+        let mut pairs = RunningSum::default();
+        let mut prev: Option<f64> = None;
+        for &(_, value) in &self.window {
+            if let Some(prev) = prev {
+                pairs.add(reset_adjusted_delta(prev, value));
+            }
+            prev = Some(value);
+        }
+        pairs.ops = 0;
+        pairs.peak = pairs.finite.abs();
+        self.pairs = pairs;
+    }
+
+    fn evaluate(&mut self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        match self.func {
+            WindowFunc::Rate => {
+                if self.window.len() < 2 {
+                    return None;
+                }
+                if self.pairs.drifted() {
+                    self.rebuild_pairs();
+                }
+                let (t0, _) = *self.window.front().expect("len >= 2");
+                let (t1, _) = *self.window.back().expect("len >= 2");
+                if t1 <= t0 {
+                    return None;
+                }
+                Some(self.pairs.value() / ((t1 - t0) as f64 / 1000.0))
+            }
+            WindowFunc::Increase => (self.window.len() >= 2).then(|| {
+                if self.pairs.drifted() {
+                    self.rebuild_pairs();
+                }
+                self.pairs.value()
+            }),
+            WindowFunc::Sum => {
+                if self.sum.drifted() {
+                    self.rebuild_sum();
+                }
+                Some(self.sum.value())
+            }
+            WindowFunc::Avg => {
+                if self.sum.drifted() {
+                    self.rebuild_sum();
+                }
+                Some(self.sum.value() / self.window.len() as f64)
+            }
+            WindowFunc::Min => {
+                Some(self.min_deque.front().map(|&(_, v)| v).unwrap_or(f64::INFINITY))
+            }
+            WindowFunc::Max => {
+                Some(self.max_deque.front().map(|&(_, v)| v).unwrap_or(f64::NEG_INFINITY))
+            }
+            WindowFunc::Count => Some(self.window.len() as f64),
+            WindowFunc::Last => self.window.back().map(|&(_, v)| v),
+            WindowFunc::Quantile(q) => {
+                self.scratch.clear();
+                self.scratch.extend(self.window.iter().map(|&(_, v)| v));
+                self.scratch.sort_by(|a, b| a.total_cmp(b));
+                quantile_of_sorted(&self.scratch, q)
+            }
+        }
+    }
+}
+
+/// `true` when two range results agree: identical series keys and step
+/// grids, and per-point values equal up to floating-point re-association
+/// (relative 1e-9, treating equal-sign infinities and NaN pairs as equal).
+/// Used by the `TEEMON_VERIFY_STREAM` oracle cross-check and the
+/// equivalence property tests.
+pub fn ranges_equivalent(a: &[RangeSeries], b: &[RangeSeries]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.labels == y.labels
+                && x.points.len() == y.points.len()
+                && x.points
+                    .iter()
+                    .zip(&y.points)
+                    .all(|(&(ta, va), &(tb, vb))| ta == tb && values_close(va, vb))
+        })
+}
+
+fn values_close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true; // covers equal finites and equal-sign infinities
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= scale * 1e-9 + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::QueryEngine;
+
+    fn db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..50u64 {
+            for (node, scale) in [("n1", 1.0), ("n2", 3.0)] {
+                db.append(
+                    "requests_total",
+                    &Labels::from_pairs([("node", node)]),
+                    t * 5_000,
+                    t as f64 * 10.0 * scale,
+                );
+                db.append(
+                    "queue_depth",
+                    &Labels::from_pairs([("node", node)]),
+                    t * 5_000,
+                    ((t as f64) * 0.7).sin() * scale,
+                );
+            }
+        }
+        db
+    }
+
+    fn assert_streams_and_matches(query: &str, start: u64, end: u64, step: u64) {
+        let engine = QueryEngine::new(db());
+        let expr = parse(query).unwrap();
+        let plan = plan(engine.db(), QueryEngine::DEFAULT_LOOKBACK_MS, &expr, start, end)
+            .unwrap_or_else(|| panic!("`{query}` must stream"));
+        let streamed = plan.run(start, end, step);
+        let oracle = engine.range_per_step(&expr, start, end, step).unwrap();
+        assert!(
+            ranges_equivalent(&streamed, &oracle),
+            "`{query}` diverged\nstreamed: {streamed:?}\noracle: {oracle:?}"
+        );
+    }
+
+    #[test]
+    fn window_functions_match_the_oracle() {
+        for func in [
+            "rate",
+            "increase",
+            "avg_over_time",
+            "min_over_time",
+            "max_over_time",
+            "sum_over_time",
+            "count_over_time",
+            "last_over_time",
+        ] {
+            assert_streams_and_matches(&format!("{func}(requests_total[25s])"), 0, 245_000, 15_000);
+            assert_streams_and_matches(&format!("{func}(queue_depth[1m])"), 30_000, 200_000, 7_000);
+        }
+        assert_streams_and_matches("quantile_over_time(0.9, queue_depth[30s])", 0, 245_000, 5_000);
+    }
+
+    #[test]
+    fn selectors_aggregations_and_arithmetic_match_the_oracle() {
+        assert_streams_and_matches("requests_total", 0, 400_000, 15_000);
+        assert_streams_and_matches("sum by (node) (rate(requests_total[30s]))", 0, 245_000, 15_000);
+        assert_streams_and_matches("max without (node) (queue_depth)", 0, 245_000, 10_000);
+        assert_streams_and_matches("avg(rate(requests_total[20s]))", 0, 245_000, 15_000);
+        assert_streams_and_matches("queue_depth * 2 + 1", 0, 245_000, 15_000);
+        assert_streams_and_matches("100 - sum(queue_depth)", 0, 245_000, 15_000);
+        assert_streams_and_matches("queue_depth > 0.5", 0, 245_000, 5_000);
+        assert_streams_and_matches(
+            "2 < sum by (node) (rate(requests_total[30s]))",
+            0,
+            245_000,
+            15_000,
+        );
+        assert_streams_and_matches("4 + 4 * 2", 0, 30_000, 5_000);
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        let database = db();
+        let streams = |q: &str| plan(&database, 300_000, &parse(q).unwrap(), 0, 100_000).is_some();
+        // Vector-vector matching, type errors and invalid parameters are the
+        // per-step path's business.
+        assert!(!streams("requests_total + queue_depth"));
+        assert!(!streams("rate(requests_total)"));
+        assert!(!streams("sum(2)"));
+        assert!(!streams("quantile_over_time(1.5, queue_depth[30s])"));
+        assert!(!streams("requests_total[30s]"));
+        // A name-dropping function over two metrics with identical label sets
+        // would collide on the output key: fallback.
+        let dup = TimeSeriesDb::new();
+        let labels = Labels::from_pairs([("node", "n1")]);
+        for t in 0..10u64 {
+            dup.append("metric_a", &labels, t * 1000, t as f64);
+            dup.append("metric_b", &labels, t * 1000, t as f64 * 2.0);
+        }
+        assert!(
+            plan(&dup, 300_000, &parse("rate({node=\"n1\"}[10s])").unwrap(), 0, 9_000).is_none()
+        );
+        // But the same selector with names kept streams fine.
+        assert!(plan(&dup, 300_000, &parse("{node=\"n1\"}").unwrap(), 0, 9_000).is_some());
+    }
+
+    #[test]
+    fn running_sums_recover_from_catastrophic_cancellation() {
+        // A huge sample absorbs its small neighbours in the running float;
+        // once it leaves the window the sum must rebuild exactly, not stay
+        // stuck at the absorbed remainder.
+        let db = TimeSeriesDb::new();
+        for (t, v) in [(0u64, 1e300), (1_000, 1.0), (2_000, 2.0), (3_000, 3.0), (4_000, 4.0)] {
+            db.append("m", &Labels::new(), t, v);
+        }
+        let engine = QueryEngine::new(db.clone());
+        for query in
+            ["sum_over_time(m[2s])", "avg_over_time(m[2s])", "increase(m[2s])", "rate(m[2s])"]
+        {
+            let expr = parse(query).unwrap();
+            let streamed = plan(&db, 300_000, &expr, 0, 4_000).unwrap().run(0, 4_000, 1_000);
+            let oracle = engine.range_per_step(&expr, 0, 4_000, 1_000).unwrap();
+            assert!(
+                ranges_equivalent(&streamed, &oracle),
+                "`{query}`\nstreamed: {streamed:?}\noracle: {oracle:?}"
+            );
+        }
+        // Spot-check the headline case: sum over [2s,3s] and [3s,4s] windows.
+        let expr = parse("sum_over_time(m[1s])").unwrap();
+        let streamed = plan(&db, 300_000, &expr, 0, 4_000).unwrap().run(0, 4_000, 1_000);
+        assert_eq!(streamed[0].points[3], (3_000, 5.0));
+        assert_eq!(streamed[0].points[4], (4_000, 7.0));
+
+        // Accumulator overflow: two near-max samples push the running float
+        // to +inf (matching the oracle while they are in the window); the
+        // sum must rebuild back to finite once they leave rather than stay
+        // pinned at inf.
+        let overflow = TimeSeriesDb::new();
+        for (t, v) in [(0u64, 1e308), (1_000, 1e308), (2_000, 5.0), (3_000, 6.0)] {
+            overflow.append("m", &Labels::new(), t, v);
+        }
+        let engine = QueryEngine::new(overflow.clone());
+        for query in ["sum_over_time(m[1s])", "avg_over_time(m[2s])", "increase(m[1s])"] {
+            let expr = parse(query).unwrap();
+            let streamed = plan(&overflow, 300_000, &expr, 0, 3_000).unwrap().run(0, 3_000, 1_000);
+            let oracle = engine.range_per_step(&expr, 0, 3_000, 1_000).unwrap();
+            assert!(
+                ranges_equivalent(&streamed, &oracle),
+                "`{query}`\nstreamed: {streamed:?}\noracle: {oracle:?}"
+            );
+        }
+        let summed = engine.range_query("sum_over_time(m[1s])", 0, 3_000, 1_000).unwrap();
+        assert_eq!(summed[0].points[3], (3_000, 11.0), "must recover from inf");
+    }
+
+    #[test]
+    fn running_sums_recover_from_non_finite_values() {
+        let db = TimeSeriesDb::new();
+        let values = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY, 4.0, 5.0, 6.0];
+        for (t, v) in values.iter().enumerate() {
+            db.append("weird", &Labels::new(), t as u64 * 1_000, *v);
+        }
+        let engine = QueryEngine::new(db.clone());
+        for query in [
+            "sum_over_time(weird[2s])",
+            "avg_over_time(weird[3s])",
+            "min_over_time(weird[2s])",
+            "max_over_time(weird[2s])",
+            "increase(weird[2s])",
+        ] {
+            let expr = parse(query).unwrap();
+            let plan = plan(&db, 300_000, &expr, 0, 8_000).unwrap();
+            let streamed = plan.run(0, 8_000, 1_000);
+            let oracle = engine.range_per_step(&expr, 0, 8_000, 1_000).unwrap();
+            assert!(
+                ranges_equivalent(&streamed, &oracle),
+                "`{query}`\nstreamed: {streamed:?}\noracle: {oracle:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: the streaming range evaluator must be indistinguishable
+//! (up to floating-point re-association in the running sums) from the
+//! per-step oracle it replaced, over generated series contents, expressions,
+//! ranges and step sizes.
+
+use proptest::proptest;
+use teemon_metrics::Labels;
+use teemon_query::stream::{plan, ranges_equivalent};
+use teemon_query::{parse, QueryEngine};
+use teemon_tsdb::{TimeSeriesDb, TsdbConfig};
+
+/// One generated series: metric selector, node selector and sample shapes.
+type SeriesSpec = (u8, u8, Vec<(u8, u16)>);
+
+/// Builds a database from generated per-series shapes.  `chunk_size` is kept
+/// tiny so sealed (compressed) chunks are exercised, not just the head.
+fn build_db(series_specs: &[SeriesSpec]) -> TimeSeriesDb {
+    let db = TimeSeriesDb::with_config(TsdbConfig {
+        chunk_size: 7,
+        retention_ms: u64::MAX,
+        raw_chunks: false,
+    });
+    for (i, (metric_kind, node, samples)) in series_specs.iter().enumerate() {
+        let metric = ["requests_total", "queue_depth", "free_pages"][*metric_kind as usize % 3];
+        let labels =
+            Labels::from_pairs([("node", format!("n{}", node % 3)), ("idx", format!("{i}"))]);
+        let mut ts = u64::from(*node % 3) * 1_700; // stagger the series
+        let mut counter = 0.0f64;
+        for (gap, raw) in samples {
+            ts += u64::from(gap % 4) * 2_500; // gap 0 → duplicate timestamp
+            let value = match metric_kind % 3 {
+                0 => {
+                    // Counter with occasional resets.
+                    if raw % 17 == 0 {
+                        counter = f64::from(raw % 5);
+                    } else {
+                        counter += f64::from(raw % 100);
+                    }
+                    counter
+                }
+                1 => f64::from(*raw) / 7.0 - 4_000.0, // gauge, negative values
+                _ => f64::from(raw % 512) * 0.25,
+            };
+            db.append(metric, &labels, ts, value);
+        }
+    }
+    db
+}
+
+/// The streamable expression pool; `pick` selects, `w`/`q` parameterise.
+fn build_query(pick: u8, w: u8, q: u8) -> String {
+    let window = ["7s", "20s", "45s", "2m"][w as usize % 4];
+    let quantile = f64::from(q % 11) / 10.0;
+    match pick % 14 {
+        0 => "requests_total".to_string(),
+        1 => format!("rate(requests_total[{window}])"),
+        2 => format!("increase(requests_total[{window}])"),
+        3 => format!("avg_over_time(queue_depth[{window}])"),
+        4 => format!("min_over_time(queue_depth[{window}])"),
+        5 => format!("max_over_time(queue_depth[{window}])"),
+        6 => format!("sum_over_time(free_pages[{window}])"),
+        7 => format!("count_over_time(queue_depth[{window}])"),
+        8 => format!("last_over_time(free_pages[{window}])"),
+        9 => format!("quantile_over_time({quantile}, queue_depth[{window}])"),
+        10 => format!("sum by (node) (rate(requests_total[{window}]))"),
+        11 => "max without (idx) (queue_depth) * 3 - 1".to_string(),
+        12 => format!("avg(sum_over_time(free_pages[{window}])) > 100"),
+        _ => format!("count by (node) (increase(requests_total[{window}])) + 0.5"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn streaming_matches_per_step_oracle(
+        series_specs in proptest::collection::vec(
+            (0u8..6, 0u8..6, proptest::collection::vec((0u8..8, 0u16..u16::MAX), 1..40)),
+            1..6,
+        ),
+        pick in 0u8..56,
+        w in 0u8..8,
+        q in 0u8..22,
+        start in 0u64..120_000,
+        span in 1u64..300_000,
+        step in 1u64..40_000,
+    ) {
+        let db = build_db(&series_specs);
+        let engine = QueryEngine::new(db.clone());
+        let query = build_query(pick, w, q);
+        let expr = parse(&query).unwrap();
+        let end = start + span;
+
+        // Every template must actually exercise the streaming path.
+        let streamed = plan(&db, QueryEngine::DEFAULT_LOOKBACK_MS, &expr, start, end)
+            .unwrap_or_else(|| panic!("`{query}` must stream"))
+            .run(start, end, step);
+        assert_eq!(engine.range(&expr, start, end, step).as_deref(), Ok(&streamed[..]));
+
+        let oracle = engine.range_per_step(&expr, start, end, step).unwrap();
+        assert!(
+            ranges_equivalent(&streamed, &oracle),
+            "`{query}` over [{start}, {end}] step {step} diverged\n\
+             streamed: {streamed:?}\noracle: {oracle:?}"
+        );
+    }
+}

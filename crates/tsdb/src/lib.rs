@@ -10,8 +10,13 @@
 //!   inverted label index answering selectors as postings intersections,
 //!   series spread over lock shards so scrapers append concurrently, and
 //!   chunked append-only storage with retention,
+//! * [`chunk_codec`] — Gorilla-style sealed-chunk compression (delta-of-delta
+//!   timestamps, XOR-encoded floats): sealed chunks cost a few bytes per
+//!   16-byte sample, and the decoder streams so queries never materialise a
+//!   decompressed chunk ([`StorageStats::bytes_per_sample`] reports the
+//!   realised ratio),
 //! * [`SeriesSnapshot`] — zero-copy reads: selection returns `Arc`-shared
-//!   sealed chunks with a binary-searching cursor API instead of deep-cloned
+//!   sealed chunks with a footer-seeking cursor API instead of deep-cloned
 //!   series,
 //! * [`Selector`] and the [`query`] module — instant/range queries, label
 //!   matching, `rate`, `sum`/`avg`/`min`/`max` aggregation and quantiles,
@@ -29,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk_codec;
 mod index;
 pub mod query;
 pub mod scrape;
@@ -43,5 +49,5 @@ pub use scrape::{
     TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};
-pub use snapshot::{SampleCursor, SeriesSnapshot};
+pub use snapshot::{OwnedSampleCursor, SampleCursor, SeriesSnapshot};
 pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig, SHARD_COUNT};

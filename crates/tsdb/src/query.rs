@@ -235,6 +235,22 @@ pub fn aggregate_series_over_time<P: AsRef<[(u64, f64)]>>(
     out
 }
 
+/// The contribution of one adjacent counter-sample pair to `increase()`/
+/// `rate()`, handling counter resets the way Prometheus does: a decrease
+/// means the counter restarted, so the post-reset value *is* the increase.
+///
+/// Exposed as the shared building block between the whole-window functions
+/// below and the query engine's sliding-window streamer, which adds a pair's
+/// contribution when its samples enter the window and subtracts it when they
+/// leave instead of rescanning the window every step.
+pub fn reset_adjusted_delta(prev: f64, next: f64) -> f64 {
+    if next >= prev {
+        next - prev
+    } else {
+        next
+    }
+}
+
 /// Per-second rate of increase of a counter over the window covered by
 /// `points`, handling counter resets the way Prometheus' `rate()` does
 /// (a decrease is treated as a reset to zero).
@@ -249,14 +265,7 @@ pub fn rate(points: &[(u64, f64)]) -> Option<f64> {
     }
     let mut increase = 0.0;
     for window in points.windows(2) {
-        let (_, prev) = window[0];
-        let (_, next) = window[1];
-        if next >= prev {
-            increase += next - prev;
-        } else {
-            // Counter reset: count the post-reset value as the increase.
-            increase += next;
-        }
+        increase += reset_adjusted_delta(window[0].1, window[1].1);
     }
     Some(increase / ((t1 - t0) as f64 / 1000.0))
 }
@@ -268,9 +277,7 @@ pub fn increase(points: &[(u64, f64)]) -> Option<f64> {
     }
     let mut total = 0.0;
     for window in points.windows(2) {
-        let (_, prev) = window[0];
-        let (_, next) = window[1];
-        total += if next >= prev { next - prev } else { next };
+        total += reset_adjusted_delta(window[0].1, window[1].1);
     }
     Some(total)
 }
@@ -282,11 +289,20 @@ pub fn increase(points: &[(u64, f64)]) -> Option<f64> {
 /// quantiles stay meaningful — and the sort is deterministic regardless of
 /// where the `NaN`s appear in the input.
 pub fn quantile_over_time(points: &[(u64, f64)], q: f64) -> Option<f64> {
-    if points.is_empty() {
-        return None;
-    }
     let mut values: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
     values.sort_by(|a, b| a.total_cmp(b));
+    quantile_of_sorted(&values, q)
+}
+
+/// Exact interpolated quantile of values already sorted by
+/// [`f64::total_cmp`]; `None` for an empty slice.  The interpolation core of
+/// [`quantile_over_time`], exposed separately so callers that keep a reusable
+/// scratch buffer (the query engine's per-series window streamer) avoid
+/// allocating a fresh value vector per evaluation step.
+pub fn quantile_of_sorted(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (values.len() - 1) as f64;
     let lower = pos.floor() as usize;

@@ -329,6 +329,9 @@ impl Scraper {
         for target in targets.iter() {
             outcomes.push(self.scrape_target(target, now_ms));
         }
+        if !outcomes.is_empty() {
+            self.record_storage_metrics(now_ms);
+        }
         outcomes
     }
 
@@ -345,7 +348,25 @@ impl Scraper {
                 outcomes.push(self.scrape_target(target, now_ms));
             }
         }
+        if !outcomes.is_empty() {
+            self.record_storage_metrics(now_ms);
+        }
         outcomes
+    }
+
+    /// Self-monitoring: records the storage engine's own footprint as
+    /// gauges after every scrape round that touched at least one target, so
+    /// chunk-compression wins (`teemon_tsdb_bytes_per_sample` vs the 16-byte
+    /// raw sample) are observable from inside the system — queryable with
+    /// TeeQL and plottable on dashboards like any other metric.
+    fn record_storage_metrics(&self, now_ms: u64) {
+        let stats = self.db.stats();
+        let labels = Labels::new();
+        self.db.append("teemon_tsdb_resident_bytes", &labels, now_ms, stats.resident_bytes as f64);
+        self.db.append("teemon_tsdb_bytes_per_sample", &labels, now_ms, stats.bytes_per_sample());
+        // A gauge (not `_total`): retention makes the stored-sample count go
+        // down, so a counter name would bait bogus rate() queries.
+        self.db.append("teemon_tsdb_samples", &labels, now_ms, stats.samples as f64);
     }
 
     /// Modelled base duration of one scrape in seconds (connection setup and
@@ -480,6 +501,28 @@ mod tests {
         assert_eq!(results[0].points.len(), 5);
         let r = crate::query::rate(&results[0].points).unwrap();
         assert!((r - 2.0).abs() < 1e-9, "10 events per 5s = 2/s, got {r}");
+    }
+
+    #[test]
+    fn storage_self_metrics_are_recorded() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let registry = Registry::new();
+        registry.gauge_family("g", "gauge").default_instance().set(1.0);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("job", "n1:1"),
+            registry_collector("job", registry),
+        );
+        scraper.scrape_once(5_000);
+        let resident = db.query_instant(&Selector::metric("teemon_tsdb_resident_bytes"), 5_000);
+        assert_eq!(resident.len(), 1);
+        assert!(resident[0].points[0].1 > 0.0);
+        let per_sample = db.query_instant(&Selector::metric("teemon_tsdb_bytes_per_sample"), 5_000);
+        assert!(per_sample[0].points[0].1 > 0.0);
+        // No targets, no self metrics: an idle scraper must not grow the db.
+        let idle = TimeSeriesDb::new();
+        Scraper::new(idle.clone()).scrape_once(1_000);
+        assert_eq!(idle.series_count(), 0);
     }
 
     #[test]

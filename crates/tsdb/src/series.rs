@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
 
+use crate::chunk_codec::{self, GorillaState};
+
 /// Identifier of a series inside one [`crate::TimeSeriesDb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SeriesId(pub(crate) u64);
@@ -23,20 +25,247 @@ pub struct Sample {
     pub value: f64,
 }
 
-/// Samples are grouped into fixed-size chunks for retrieval and retention, the
-/// way Prometheus groups samples into head/immutable chunks.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// In-memory size of one raw sample, used for the resident-bytes estimate in
+/// [`crate::StorageStats`].
+pub(crate) const SAMPLE_BYTES: usize = std::mem::size_of::<Sample>();
+
+/// How a chunk stores its samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum ChunkData {
+    /// Plain samples: the open head chunk, and sealed chunks when compression
+    /// is disabled (or the codec declined the input).
+    Raw(Vec<Sample>),
+    /// A sealed, Gorilla-compressed block (see [`crate::chunk_codec`]).
+    Compressed(Vec<u8>),
+}
+
+/// Samples are grouped into chunks for retrieval and retention, the way
+/// Prometheus groups samples into head/immutable chunks.  Every chunk carries
+/// a `(start, end, count)` footer so time-based seeks (`at`, `points_in`,
+/// cursors, retention) never touch — let alone decompress — the payload of a
+/// chunk outside the queried range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct Chunk {
-    pub(crate) samples: Vec<Sample>,
+    pub(crate) start_ms: u64,
+    pub(crate) end_ms: u64,
+    pub(crate) count: u32,
+    pub(crate) data: ChunkData,
+}
+
+impl Default for Chunk {
+    fn default() -> Self {
+        Self::new_open()
+    }
 }
 
 impl Chunk {
-    pub(crate) fn start(&self) -> Option<u64> {
-        self.samples.first().map(|s| s.timestamp_ms)
+    /// An empty, appendable raw chunk.
+    pub(crate) fn new_open() -> Self {
+        Self { start_ms: 0, end_ms: 0, count: 0, data: ChunkData::Raw(Vec::new()) }
     }
 
+    /// A raw chunk over `samples` (assumed time-ordered).
+    pub(crate) fn from_samples(samples: Vec<Sample>) -> Self {
+        Self {
+            start_ms: samples.first().map(|s| s.timestamp_ms).unwrap_or(0),
+            end_ms: samples.last().map(|s| s.timestamp_ms).unwrap_or(0),
+            count: samples.len() as u32,
+            data: ChunkData::Raw(samples),
+        }
+    }
+
+    /// Seals `samples` into an immutable chunk, Gorilla-compressing the
+    /// payload when `compress` is set (falling back to raw storage if the
+    /// codec rejects the input, which ordered appends never produce).
+    pub(crate) fn sealed(samples: Vec<Sample>, compress: bool) -> Self {
+        if compress {
+            if let Some(bytes) = chunk_codec::encode(&samples) {
+                return Self {
+                    start_ms: samples.first().map(|s| s.timestamp_ms).unwrap_or(0),
+                    end_ms: samples.last().map(|s| s.timestamp_ms).unwrap_or(0),
+                    count: samples.len() as u32,
+                    data: ChunkData::Compressed(bytes),
+                };
+            }
+        }
+        Self::from_samples(samples)
+    }
+
+    /// Appends to an open (raw) chunk, maintaining the footer.
+    pub(crate) fn push(&mut self, sample: Sample) {
+        let ChunkData::Raw(samples) = &mut self.data else {
+            unreachable!("appends only target the open raw chunk");
+        };
+        if samples.is_empty() {
+            self.start_ms = sample.timestamp_ms;
+        }
+        self.end_ms = sample.timestamp_ms;
+        self.count += 1;
+        samples.push(sample);
+    }
+
+    /// Timestamp of the first sample, `None` when empty.
+    pub(crate) fn start(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.start_ms)
+    }
+
+    /// Timestamp of the last sample, `None` when empty.
     pub(crate) fn end(&self) -> Option<u64> {
-        self.samples.last().map(|s| s.timestamp_ms)
+        (self.count > 0).then_some(self.end_ms)
+    }
+
+    /// Number of stored samples (from the footer; never decodes).
+    pub(crate) fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bytes held by the payload (raw samples or the compressed block); the
+    /// basis of the engine's resident-bytes estimate.
+    pub(crate) fn data_bytes(&self) -> usize {
+        match &self.data {
+            ChunkData::Raw(samples) => samples.len() * SAMPLE_BYTES,
+            ChunkData::Compressed(bytes) => bytes.len(),
+        }
+    }
+
+    /// The last sample (decodes the tail of a compressed chunk).
+    pub(crate) fn last_sample(&self) -> Option<Sample> {
+        if self.is_empty() {
+            return None;
+        }
+        match &self.data {
+            ChunkData::Raw(samples) => samples.last().copied(),
+            ChunkData::Compressed(_) => self.iter_samples().last(),
+        }
+    }
+
+    /// The newest sample at or before `at_ms`: binary search in a raw chunk,
+    /// a bounded streaming scan (at most `count` decodes) in a compressed one.
+    pub(crate) fn sample_at(&self, at_ms: u64) -> Option<Sample> {
+        match &self.data {
+            ChunkData::Raw(samples) => sample_at(samples, at_ms),
+            ChunkData::Compressed(_) => {
+                if self.is_empty() || self.start_ms > at_ms {
+                    return None;
+                }
+                let mut best = None;
+                for sample in self.iter_samples() {
+                    if sample.timestamp_ms > at_ms {
+                        break;
+                    }
+                    best = Some(sample);
+                }
+                best
+            }
+        }
+    }
+
+    /// Appends every sample in `[start_ms, end_ms]` to `out` through `map`.
+    /// Raw chunks slice by binary search; compressed chunks stream-decode,
+    /// skipping the filter when the footer proves full containment.
+    pub(crate) fn extend_into<T>(
+        &self,
+        start_ms: u64,
+        end_ms: u64,
+        out: &mut Vec<T>,
+        map: &impl Fn(Sample) -> T,
+    ) {
+        match &self.data {
+            ChunkData::Raw(samples) => {
+                let a = samples.partition_point(|s| s.timestamp_ms < start_ms);
+                let b = samples.partition_point(|s| s.timestamp_ms <= end_ms);
+                out.extend(samples[a..b].iter().map(|s| map(*s)));
+            }
+            ChunkData::Compressed(_) => {
+                if self.is_empty() || self.start_ms > end_ms || self.end_ms < start_ms {
+                    return;
+                }
+                if start_ms <= self.start_ms && self.end_ms <= end_ms {
+                    out.extend(self.iter_samples().map(map));
+                } else {
+                    for sample in self.iter_samples() {
+                        if sample.timestamp_ms > end_ms {
+                            break;
+                        }
+                        if sample.timestamp_ms >= start_ms {
+                            out.push(map(sample));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates the chunk's samples in order (streaming decode when
+    /// compressed).
+    pub(crate) fn iter_samples(&self) -> ChunkSamples<'_> {
+        ChunkSamples { chunk: self, state: ChunkIterState::start(self) }
+    }
+}
+
+/// Per-chunk cursor position: a slice index for raw chunks, the streaming
+/// decoder registers for compressed ones.  Kept separate from the chunk so
+/// owning cursors (which hold the chunk behind an `Arc`) need no
+/// self-reference.
+#[derive(Debug, Clone)]
+pub(crate) enum ChunkIterState {
+    Raw(usize),
+    Compressed(GorillaState),
+}
+
+impl ChunkIterState {
+    /// A cursor at the beginning of `chunk`.
+    pub(crate) fn start(chunk: &Chunk) -> Self {
+        match &chunk.data {
+            ChunkData::Raw(_) => ChunkIterState::Raw(0),
+            ChunkData::Compressed(_) => ChunkIterState::Compressed(GorillaState::new()),
+        }
+    }
+
+    /// A cursor positioned at the first sample with `timestamp_ms >=
+    /// start_ms` — O(log n) for raw chunks.  Compressed chunks start at the
+    /// beginning (the caller's `< start_ms` skip loop pays the bounded
+    /// decode), since the bit stream cannot be entered mid-way.
+    pub(crate) fn positioned(chunk: &Chunk, start_ms: u64) -> Self {
+        match &chunk.data {
+            ChunkData::Raw(samples) => {
+                ChunkIterState::Raw(samples.partition_point(|s| s.timestamp_ms < start_ms))
+            }
+            ChunkData::Compressed(_) => ChunkIterState::Compressed(GorillaState::new()),
+        }
+    }
+
+    /// The next sample of `chunk`, or `None` when exhausted.
+    pub(crate) fn next(&mut self, chunk: &Chunk) -> Option<Sample> {
+        match (self, &chunk.data) {
+            (ChunkIterState::Raw(idx), ChunkData::Raw(samples)) => {
+                let sample = samples.get(*idx).copied()?;
+                *idx += 1;
+                Some(sample)
+            }
+            (ChunkIterState::Compressed(state), ChunkData::Compressed(bytes)) => {
+                (state.emitted() < chunk.count).then(|| state.next(bytes))
+            }
+            _ => unreachable!("cursor state built from this chunk"),
+        }
+    }
+}
+
+/// Borrowed iterator over one chunk's samples.
+pub(crate) struct ChunkSamples<'a> {
+    chunk: &'a Chunk,
+    state: ChunkIterState,
+}
+
+impl Iterator for ChunkSamples<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        self.state.next(self.chunk)
     }
 }
 
@@ -52,9 +281,9 @@ pub(crate) fn sample_at(samples: &[Sample], at_ms: u64) -> Option<Sample> {
 }
 
 /// The newest sample at or before `at_ms` across time-ordered chunks: binary
-/// search to the covering chunk, then binary search inside it.  Empty chunks
-/// may only appear at the tail (the open head), which both partition
-/// predicates treat as "after everything".
+/// search over the chunk footers to the covering chunk, then a search inside
+/// it.  Empty chunks may only appear at the tail (the open head), which both
+/// partition predicates treat as "after everything".
 pub(crate) fn at_in_chunks<C: std::borrow::Borrow<Chunk>>(
     chunks: &[C],
     at_ms: u64,
@@ -66,13 +295,13 @@ pub(crate) fn at_in_chunks<C: std::borrow::Borrow<Chunk>>(
     if idx == 0 {
         None
     } else {
-        sample_at(&chunks[idx - 1].borrow().samples, at_ms)
+        chunks[idx - 1].borrow().sample_at(at_ms)
     }
 }
 
 /// Appends every sample in `[start_ms, end_ms]` to `out` (mapped through
-/// `map`), binary-searching to the first overlapping chunk and pre-reserving
-/// the exact chunk span instead of testing every chunk's bounds.
+/// `map`), binary-searching the chunk footers to the overlapping span and
+/// pre-reserving its exact sample count instead of testing every chunk.
 pub(crate) fn extend_range<C: std::borrow::Borrow<Chunk>, T>(
     chunks: &[C],
     start_ms: u64,
@@ -92,22 +321,17 @@ pub(crate) fn extend_range<C: std::borrow::Borrow<Chunk>, T>(
         return;
     }
     let overlapping = &chunks[lo..hi];
-    out.reserve(overlapping.iter().map(|c| c.borrow().samples.len()).sum());
-    for (i, chunk) in overlapping.iter().enumerate() {
-        let samples = &chunk.borrow().samples;
-        // Only the boundary chunks can straddle the range.
-        let slice = if i == 0 || i + 1 == overlapping.len() {
-            let a = samples.partition_point(|s| s.timestamp_ms < start_ms);
-            let b = samples.partition_point(|s| s.timestamp_ms <= end_ms);
-            &samples[a..b]
-        } else {
-            &samples[..]
-        };
-        out.extend(slice.iter().map(|s| map(*s)));
+    out.reserve(overlapping.iter().map(|c| c.borrow().len()).sum());
+    for chunk in overlapping {
+        chunk.borrow().extend_into(start_ms, end_ms, out, &map);
     }
 }
 
 /// A labelled time series with chunked, append-only sample storage.
+///
+/// This standalone type keeps every chunk raw; the compressing sealed-chunk
+/// path lives in the storage engine ([`crate::TimeSeriesDb`]), which also
+/// retains this representation as the uncompressed baseline for benches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
     /// Metric name.
@@ -122,7 +346,7 @@ impl Series {
     /// Creates an empty series.  `chunk_size` is clamped to at least one
     /// sample per chunk.
     pub fn new(name: String, labels: Labels, chunk_size: usize) -> Self {
-        Self { name, labels, chunks: vec![Chunk::default()], chunk_size: chunk_size.max(1) }
+        Self { name, labels, chunks: vec![Chunk::new_open()], chunk_size: chunk_size.max(1) }
     }
 
     /// Appends a sample; samples older than the newest stored timestamp are
@@ -133,10 +357,10 @@ impl Series {
                 return false;
             }
         }
-        if self.chunks.last().map(|c| c.samples.len() >= self.chunk_size).unwrap_or(true) {
-            self.chunks.push(Chunk::default());
+        if self.chunks.last().map(|c| c.len() >= self.chunk_size).unwrap_or(true) {
+            self.chunks.push(Chunk::new_open());
         }
-        self.chunks.last_mut().expect("chunk pushed above").samples.push(sample);
+        self.chunks.last_mut().expect("chunk pushed above").push(sample);
         true
     }
 
@@ -152,12 +376,12 @@ impl Series {
 
     /// The newest sample.
     pub fn last_sample(&self) -> Option<Sample> {
-        self.chunks.iter().rev().find_map(|c| c.samples.last().copied())
+        self.chunks.iter().rev().find_map(|c| c.last_sample())
     }
 
     /// Number of stored samples.
     pub fn len(&self) -> usize {
-        self.chunks.iter().map(|c| c.samples.len()).sum()
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// `true` when the series holds no samples.
@@ -167,7 +391,7 @@ impl Series {
 
     /// Number of chunks currently held.
     pub fn chunk_count(&self) -> usize {
-        self.chunks.iter().filter(|c| !c.samples.is_empty()).count()
+        self.chunks.iter().filter(|c| !c.is_empty()).count()
     }
 
     /// Samples within `[start_ms, end_ms]` in chronological order.  Binary
@@ -192,13 +416,13 @@ impl Series {
         let mut dropped = 0;
         self.chunks.retain(|chunk| match chunk.end() {
             Some(end) if end < cutoff_ms => {
-                dropped += chunk.samples.len();
+                dropped += chunk.len();
                 false
             }
             _ => true,
         });
         if self.chunks.is_empty() {
-            self.chunks.push(Chunk::default());
+            self.chunks.push(Chunk::new_open());
         }
         dropped
     }
@@ -256,5 +480,31 @@ mod tests {
         assert_eq!(s.last_sample(), None);
         assert_eq!(s.at(1_000), None);
         assert!(s.range(0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn sealed_chunks_answer_like_raw_ones() {
+        let samples: Vec<Sample> =
+            (0..40u64).map(|t| Sample { timestamp_ms: t * 500, value: (t as f64).cos() }).collect();
+        let raw = Chunk::sealed(samples.clone(), false);
+        let compressed = Chunk::sealed(samples.clone(), true);
+        assert!(matches!(compressed.data, ChunkData::Compressed(_)));
+        assert!(compressed.data_bytes() < raw.data_bytes());
+        assert_eq!(raw.start(), compressed.start());
+        assert_eq!(raw.end(), compressed.end());
+        assert_eq!(raw.len(), compressed.len());
+        assert_eq!(raw.last_sample(), compressed.last_sample());
+        for at in [0, 499, 500, 7_777, 19_500, u64::MAX] {
+            assert_eq!(raw.sample_at(at), compressed.sample_at(at), "at {at}");
+        }
+        let collect = |c: &Chunk, lo, hi| {
+            let mut out = Vec::new();
+            c.extend_into(lo, hi, &mut out, &|s| s);
+            out
+        };
+        for (lo, hi) in [(0, u64::MAX), (250, 1_750), (500, 19_500), (20_000, 30_000)] {
+            assert_eq!(collect(&raw, lo, hi), collect(&compressed, lo, hi), "[{lo}, {hi}]");
+        }
+        assert_eq!(compressed.iter_samples().collect::<Vec<_>>(), samples);
     }
 }

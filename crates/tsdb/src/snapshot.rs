@@ -1,21 +1,30 @@
 //! Zero-copy read handles over stored series.
 //!
 //! A [`SeriesSnapshot`] is what [`crate::TimeSeriesDb::select`] returns: the
-//! series' sealed chunks shared by `Arc` (no sample is copied), the open head
-//! chunk copied once (bounded by `chunk_size` samples), and the metric
-//! name/label strings shared with the database's symbol table.  Taking a
-//! snapshot is O(chunks) regardless of how many samples the series holds, and
-//! the snapshot stays consistent while the database keeps ingesting.
+//! series' sealed chunks shared by `Arc` (no sample is copied or decoded),
+//! the open head chunk copied once (bounded by `chunk_size` samples), and the
+//! metric name/label strings shared with the database's symbol table.  Taking
+//! a snapshot is O(chunks) regardless of how many samples the series holds,
+//! and the snapshot stays consistent while the database keeps ingesting.
 //!
-//! Reads go through [`SeriesSnapshot::at`] (binary search),
-//! [`SeriesSnapshot::points_in`] (pre-sized range materialisation) or the
-//! streaming [`SampleCursor`].
+//! Reads go through [`SeriesSnapshot::at`] (footer binary search, then a
+//! bounded in-chunk search), [`SeriesSnapshot::points_in`] (pre-sized range
+//! materialisation) or the streaming cursors.  Sealed chunks are
+//! Gorilla-compressed (see [`crate::chunk_codec`]); the cursors decode them
+//! incrementally — a few words of decoder state per chunk — so a range scan
+//! never materialises a decompressed chunk, and chunks outside the queried
+//! window are skipped by their `(start, end, count)` footers without touching
+//! the compressed payload at all.
+//!
+//! [`SampleCursor`] borrows the snapshot; [`OwnedSampleCursor`] shares the
+//! chunks by `Arc` instead, for long-lived consumers like the query engine's
+//! sliding-window state machines that cannot hold a borrow.
 
 use std::sync::Arc;
 
 use teemon_metrics::Labels;
 
-use crate::series::{at_in_chunks, extend_range, Chunk, Sample, SeriesId};
+use crate::series::{at_in_chunks, extend_range, Chunk, ChunkIterState, Sample, SeriesId};
 
 /// An immutable, cheaply clonable view of one series at selection time.
 #[derive(Debug, Clone)]
@@ -25,7 +34,7 @@ pub struct SeriesSnapshot {
     labels: Arc<[(Arc<str>, Arc<str>)]>,
     /// Time-ordered, non-empty chunks: the sealed chunks plus (when the
     /// series has unsealed samples) one chunk holding a copy of the head.
-    chunks: Vec<Arc<Chunk>>,
+    chunks: Arc<[Arc<Chunk>]>,
 }
 
 impl SeriesSnapshot {
@@ -35,7 +44,7 @@ impl SeriesSnapshot {
         labels: Arc<[(Arc<str>, Arc<str>)]>,
         chunks: Vec<Arc<Chunk>>,
     ) -> Self {
-        Self { id, name, labels, chunks }
+        Self { id, name, labels, chunks: chunks.into() }
     }
 
     /// The identifier the database assigned to this series (creation order).
@@ -74,9 +83,9 @@ impl SeriesSnapshot {
         }
     }
 
-    /// Number of samples in the snapshot.
+    /// Number of samples in the snapshot (from chunk footers; never decodes).
     pub fn len(&self) -> usize {
-        self.chunks.iter().map(|c| c.samples.len()).sum()
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// `true` when the snapshot holds no samples.
@@ -87,6 +96,12 @@ impl SeriesSnapshot {
     /// Number of chunks backing the snapshot.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// Bytes resident in the backing chunks (compressed size for sealed
+    /// chunks, raw size for the head copy).
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.data_bytes()).sum()
     }
 
     /// Timestamp of the oldest sample.
@@ -101,11 +116,12 @@ impl SeriesSnapshot {
 
     /// The newest sample.
     pub fn last_sample(&self) -> Option<Sample> {
-        self.chunks.last().and_then(|c| c.samples.last().copied())
+        self.chunks.last().and_then(|c| c.last_sample())
     }
 
-    /// The newest sample at or before `at_ms` (instant-query semantics);
-    /// binary search over chunk bounds, then within the covering chunk.
+    /// The newest sample at or before `at_ms` (instant-query semantics):
+    /// binary search over the chunk footers, then a bounded search inside the
+    /// covering chunk.
     pub fn at(&self, at_ms: u64) -> Option<Sample> {
         at_in_chunks(&self.chunks, at_ms)
     }
@@ -119,24 +135,26 @@ impl SeriesSnapshot {
     }
 
     /// A streaming cursor over the samples within `[start_ms, end_ms]`.
-    /// Positions itself with the same chunk binary search as
-    /// [`SeriesSnapshot::at`]; iteration never copies a chunk.
+    /// Positions itself by the chunk footers; iteration decodes compressed
+    /// chunks incrementally and never copies one.
     pub fn cursor(&self, start_ms: u64, end_ms: u64) -> SampleCursor<'_> {
-        let chunk = self.chunks.partition_point(|c| match c.end() {
-            Some(end) => end < start_ms,
-            None => false,
-        });
-        let sample = self
-            .chunks
-            .get(chunk)
-            .map(|c| c.samples.partition_point(|s| s.timestamp_ms < start_ms))
-            .unwrap_or(0);
-        SampleCursor { chunks: &self.chunks, chunk, sample, end_ms }
+        SampleCursor { chunks: &self.chunks, core: CursorCore::new(&self.chunks, start_ms, end_ms) }
     }
 
     /// A cursor over every sample in the snapshot.
     pub fn samples(&self) -> SampleCursor<'_> {
         self.cursor(0, u64::MAX)
+    }
+
+    /// Like [`SeriesSnapshot::cursor`], but sharing the chunks by `Arc` so
+    /// the cursor is `'static` and can outlive the snapshot (the query
+    /// engine's per-series sliding-window machines hold one for the whole
+    /// range evaluation).
+    pub fn owned_cursor(&self, start_ms: u64, end_ms: u64) -> OwnedSampleCursor {
+        OwnedSampleCursor {
+            core: CursorCore::new(&self.chunks, start_ms, end_ms),
+            chunks: Arc::clone(&self.chunks),
+        }
     }
 }
 
@@ -146,32 +164,90 @@ pub(crate) fn label_value<'a>(labels: &'a [(Arc<str>, Arc<str>)], name: &str) ->
     labels.binary_search_by(|(k, _)| (**k).cmp(name)).ok().map(|idx| &*labels[idx].1)
 }
 
+/// Chunk-walking state shared by the borrowed and owning cursors: the index
+/// of the chunk being read, the in-chunk position (slice index or streaming
+/// decoder registers) and the `[start_ms, end_ms]` bounds.
+#[derive(Debug, Clone)]
+struct CursorCore {
+    /// Index of the next chunk to open (the chunk being read is at
+    /// `next_chunk - 1` while `state` is `Some`).
+    next_chunk: usize,
+    state: Option<ChunkIterState>,
+    start_ms: u64,
+    end_ms: u64,
+    done: bool,
+}
+
+impl CursorCore {
+    fn new(chunks: &[Arc<Chunk>], start_ms: u64, end_ms: u64) -> Self {
+        // Skip chunks that end before the range starts via their footers.
+        let next_chunk = chunks.partition_point(|c| match c.end() {
+            Some(end) => end < start_ms,
+            None => false,
+        });
+        Self { next_chunk, state: None, start_ms, end_ms, done: false }
+    }
+
+    fn next(&mut self, chunks: &[Arc<Chunk>]) -> Option<Sample> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(state) = &mut self.state {
+                match state.next(&chunks[self.next_chunk - 1]) {
+                    // Only the first opened chunk can straddle the range
+                    // start; a compressed one is skipped sample by sample.
+                    Some(s) if s.timestamp_ms < self.start_ms => continue,
+                    Some(s) if s.timestamp_ms <= self.end_ms => return Some(s),
+                    Some(_) => {
+                        self.done = true;
+                        return None;
+                    }
+                    None => self.state = None,
+                }
+            } else {
+                match chunks.get(self.next_chunk) {
+                    Some(chunk) => {
+                        self.next_chunk += 1;
+                        self.state = Some(ChunkIterState::positioned(chunk, self.start_ms));
+                    }
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A forward cursor over one snapshot's samples, bounded by an end timestamp.
 #[derive(Debug, Clone)]
 pub struct SampleCursor<'a> {
     chunks: &'a [Arc<Chunk>],
-    chunk: usize,
-    sample: usize,
-    end_ms: u64,
+    core: CursorCore,
 }
 
 impl Iterator for SampleCursor<'_> {
     type Item = Sample;
 
     fn next(&mut self) -> Option<Sample> {
-        loop {
-            let chunk = self.chunks.get(self.chunk)?;
-            match chunk.samples.get(self.sample) {
-                Some(sample) if sample.timestamp_ms <= self.end_ms => {
-                    self.sample += 1;
-                    return Some(*sample);
-                }
-                Some(_) => return None,
-                None => {
-                    self.chunk += 1;
-                    self.sample = 0;
-                }
-            }
-        }
+        self.core.next(self.chunks)
+    }
+}
+
+/// A forward cursor that co-owns the snapshot's chunks (`Arc`-shared), so it
+/// has no lifetime tie to the [`SeriesSnapshot`] it came from.
+#[derive(Debug, Clone)]
+pub struct OwnedSampleCursor {
+    chunks: Arc<[Arc<Chunk>]>,
+    core: CursorCore,
+}
+
+impl Iterator for OwnedSampleCursor {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        self.core.next(&self.chunks)
     }
 }

@@ -14,7 +14,13 @@
 //!   `(&str, &Labels)` key directly — no `String` or `Labels` clone, no
 //!   allocation at all,
 //! * reads hand out [`SeriesSnapshot`]s: sealed chunks are `Arc`-shared, only
-//!   the open head chunk (at most `chunk_size` samples) is copied.
+//!   the open head chunk (at most `chunk_size` samples) is copied,
+//! * sealed chunks are Gorilla-compressed ([`crate::chunk_codec`]): the open
+//!   head stays a plain `Vec<Sample>` so the append hot path is untouched,
+//!   and when the head fills it is encoded once into a delta-of-delta /
+//!   XOR-float block that snapshots decode *streamingly* at read time.  The
+//!   per-shard `bytes` aggregate tracks the resident footprint, surfaced as
+//!   [`StorageStats::resident_bytes`] / [`StorageStats::bytes_per_sample`].
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -27,7 +33,7 @@ use teemon_metrics::Labels;
 
 use crate::index::{Candidates, Postings, SelectorPlan};
 use crate::query::{QueryResult, Selector};
-use crate::series::{at_in_chunks, sample_at, Chunk, Sample, SeriesId};
+use crate::series::{at_in_chunks, sample_at, Chunk, Sample, SeriesId, SAMPLE_BYTES};
 use crate::snapshot::SeriesSnapshot;
 use crate::symbols::{SymbolId, SymbolTable};
 
@@ -43,11 +49,16 @@ pub struct TsdbConfig {
     /// Retention window in milliseconds; samples older than
     /// `newest - retention_ms` may be dropped by [`TimeSeriesDb::apply_retention`].
     pub retention_ms: u64,
+    /// Keep sealed chunks as raw samples instead of Gorilla-compressing them
+    /// (see [`crate::chunk_codec`]).  Off by default; the raw mode exists as
+    /// an escape hatch and as the like-for-like baseline in the benches.
+    #[serde(default)]
+    pub raw_chunks: bool,
 }
 
 impl Default for TsdbConfig {
     fn default() -> Self {
-        Self { chunk_size: 120, retention_ms: 24 * 60 * 60 * 1000 }
+        Self { chunk_size: 120, retention_ms: 24 * 60 * 60 * 1000, raw_chunks: false }
     }
 }
 
@@ -63,6 +74,23 @@ pub struct StorageStats {
     pub chunks: u64,
     /// Samples rejected because they were out of order.
     pub rejected_samples: u64,
+    /// Estimated bytes resident in sample storage: the compressed size of
+    /// sealed chunks plus 16 bytes per unsealed head sample.  Maintained
+    /// incrementally per shard (appends, seals, retention), so reading it
+    /// never scans storage.
+    pub resident_bytes: u64,
+}
+
+impl StorageStats {
+    /// Average resident bytes per stored sample (`0.0` when empty) — the
+    /// headline compression number; raw samples cost 16 bytes each.
+    pub fn bytes_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.resident_bytes as f64 / self.samples as f64
+        }
+    }
 }
 
 /// One stored series: interned key, resolved key strings (shared with the
@@ -83,6 +111,9 @@ enum Appended {
     Accepted {
         /// The head chunk went from empty to non-empty (a new chunk exists).
         opened_chunk: bool,
+        /// When the append filled the head, the sealed chunk's payload size
+        /// in bytes (compressed unless `raw_chunks` is set).
+        sealed_bytes: Option<usize>,
     },
 }
 
@@ -102,8 +133,9 @@ impl MemSeries {
     }
 
     /// Appends in the hot path: no allocation unless the head chunk seals
-    /// (the head keeps `chunk_size` capacity reserved).
-    fn append(&mut self, sample: Sample, chunk_size: usize) -> Appended {
+    /// (the head keeps `chunk_size` capacity reserved).  Sealing compresses
+    /// the full head into a Gorilla block unless `raw_chunks` is set.
+    fn append(&mut self, sample: Sample, chunk_size: usize, raw_chunks: bool) -> Appended {
         if let Some(last) = self.last_timestamp() {
             if sample.timestamp_ms < last {
                 return Appended::Rejected;
@@ -111,11 +143,14 @@ impl MemSeries {
         }
         let opened_chunk = self.head.is_empty();
         self.head.push(sample);
+        let mut sealed_bytes = None;
         if self.head.len() >= chunk_size {
             let samples = std::mem::replace(&mut self.head, Vec::with_capacity(chunk_size));
-            self.sealed.push(Arc::new(Chunk { samples }));
+            let chunk = Chunk::sealed(samples, !raw_chunks);
+            sealed_bytes = Some(chunk.data_bytes());
+            self.sealed.push(Arc::new(chunk));
         }
-        Appended::Accepted { opened_chunk }
+        Appended::Accepted { opened_chunk, sealed_bytes }
     }
 
     fn at(&self, at_ms: u64) -> Option<Sample> {
@@ -138,34 +173,38 @@ impl MemSeries {
     fn snapshot(&self) -> SeriesSnapshot {
         let mut chunks = self.sealed.clone();
         if !self.head.is_empty() {
-            chunks.push(Arc::new(Chunk { samples: self.head.clone() }));
+            chunks.push(Arc::new(Chunk::from_samples(self.head.clone())));
         }
         SeriesSnapshot::new(self.id, Arc::clone(&self.name), Arc::clone(&self.labels), chunks)
     }
 
     /// Drops whole chunks (and the head) whose newest sample is older than
-    /// `cutoff_ms`.  Returns `(samples_dropped, chunks_dropped)`.
-    fn drop_before(&mut self, cutoff_ms: u64) -> (usize, usize) {
+    /// `cutoff_ms`.  Returns `(samples_dropped, chunks_dropped,
+    /// bytes_dropped)` so the shard can maintain its aggregates.
+    fn drop_before(&mut self, cutoff_ms: u64) -> (usize, usize, u64) {
         let mut samples = 0;
         let mut chunks = 0;
+        let mut bytes = 0u64;
         let keep_from = self.sealed.partition_point(|c| match c.end() {
             Some(end) => end < cutoff_ms,
             None => false,
         });
         for chunk in self.sealed.drain(..keep_from) {
-            samples += chunk.samples.len();
+            samples += chunk.len();
             chunks += 1;
+            bytes += chunk.data_bytes() as u64;
         }
         if self.sealed.is_empty() {
             if let Some(last) = self.head.last() {
                 if last.timestamp_ms < cutoff_ms {
                     samples += self.head.len();
                     chunks += 1;
+                    bytes += (self.head.len() * SAMPLE_BYTES) as u64;
                     self.head.clear();
                 }
             }
         }
-        (samples, chunks)
+        (samples, chunks, bytes)
     }
 
     /// The value symbol of label `key`, if the series carries that label.
@@ -216,6 +255,8 @@ struct ShardInner {
     samples: u64,
     chunks: u64,
     rejected: u64,
+    /// Resident payload bytes (sealed chunk data + 16 per head sample).
+    bytes: u64,
     min_ts: Option<u64>,
     max_ts: Option<u64>,
 }
@@ -323,13 +364,26 @@ impl TimeSeriesDb {
             None => self.create_series(&mut inner, key_hash, name, labels),
         };
         let chunk_size = self.config.chunk_size.max(1);
-        match inner.series[local as usize].append(Sample { timestamp_ms, value }, chunk_size) {
+        let raw_chunks = self.config.raw_chunks;
+        match inner.series[local as usize].append(
+            Sample { timestamp_ms, value },
+            chunk_size,
+            raw_chunks,
+        ) {
             Appended::Rejected => {
                 inner.rejected += 1;
                 false
             }
-            Appended::Accepted { opened_chunk } => {
+            Appended::Accepted { opened_chunk, sealed_bytes } => {
                 inner.samples += 1;
+                inner.bytes += SAMPLE_BYTES as u64;
+                if let Some(sealed) = sealed_bytes {
+                    // The head's raw samples became a (usually smaller) block.
+                    inner.bytes = inner
+                        .bytes
+                        .saturating_sub((chunk_size * SAMPLE_BYTES) as u64)
+                        .saturating_add(sealed as u64);
+                }
                 if opened_chunk {
                     inner.chunks += 1;
                 }
@@ -408,6 +462,7 @@ impl TimeSeriesDb {
             stats.samples += inner.samples;
             stats.chunks += inner.chunks;
             stats.rejected_samples += inner.rejected;
+            stats.resident_bytes += inner.bytes;
         }
         stats
     }
@@ -499,11 +554,13 @@ impl TimeSeriesDb {
             let mut inner = shard.write();
             let mut dropped_samples = 0u64;
             let mut dropped_chunks = 0u64;
+            let mut dropped_bytes = 0u64;
             let mut min_ts = None;
             for series in &mut inner.series {
-                let (samples, chunks) = series.drop_before(cutoff);
+                let (samples, chunks, bytes) = series.drop_before(cutoff);
                 dropped_samples += samples as u64;
                 dropped_chunks += chunks as u64;
+                dropped_bytes += bytes;
                 min_ts = match (min_ts, series.first_timestamp()) {
                     (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
                     (a, b) => a.or(b),
@@ -511,6 +568,7 @@ impl TimeSeriesDb {
             }
             inner.samples -= dropped_samples;
             inner.chunks -= dropped_chunks;
+            inner.bytes = inner.bytes.saturating_sub(dropped_bytes);
             inner.min_ts = min_ts;
             dropped_total += dropped_samples as usize;
         }
@@ -669,7 +727,11 @@ mod tests {
 
     #[test]
     fn snapshots_share_sealed_chunks() {
-        let db = TimeSeriesDb::with_config(TsdbConfig { chunk_size: 4, retention_ms: u64::MAX });
+        let db = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 4,
+            retention_ms: u64::MAX,
+            raw_chunks: false,
+        });
         for t in 0..10u64 {
             db.append("m", &Labels::new(), t * 1000, t as f64);
         }
@@ -689,7 +751,11 @@ mod tests {
 
     #[test]
     fn retention_respects_window() {
-        let db = TimeSeriesDb::with_config(TsdbConfig { chunk_size: 10, retention_ms: 5_000 });
+        let db = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 10,
+            retention_ms: 5_000,
+            raw_chunks: false,
+        });
         for t in 0..100u64 {
             db.append("m", &Labels::new(), t * 1000, t as f64);
         }
@@ -705,6 +771,80 @@ mod tests {
             db.oldest_timestamp(),
             db.query_range(&Selector::metric("m"), 0, u64::MAX)[0].points.first().map(|(t, _)| *t)
         );
+    }
+
+    #[test]
+    fn compressed_and_raw_storage_answer_identically() {
+        let compressed = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 16,
+            retention_ms: u64::MAX,
+            raw_chunks: false,
+        });
+        let raw = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 16,
+            retention_ms: u64::MAX,
+            raw_chunks: true,
+        });
+        for t in 0..100u64 {
+            for db in [&compressed, &raw] {
+                db.append("counter_total", &labels(&[("node", "n1")]), t * 5_000, (t * 40) as f64);
+                db.append("gauge", &labels(&[("node", "n1")]), t * 5_000, (t as f64 * 0.37).sin());
+            }
+        }
+        for selector in [Selector::metric("counter_total"), Selector::metric("gauge")] {
+            let a = &compressed.select(&selector)[0];
+            let b = &raw.select(&selector)[0];
+            assert_eq!(a.points_in(0, u64::MAX), b.points_in(0, u64::MAX));
+            assert_eq!(a.points_in(17_000, 333_000), b.points_in(17_000, 333_000));
+            for at in [0, 4_999, 5_000, 123_456, u64::MAX] {
+                assert_eq!(a.at(at), b.at(at), "at {at}");
+            }
+            assert_eq!(
+                a.cursor(40_000, 200_000).collect::<Vec<_>>(),
+                b.cursor(40_000, 200_000).collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                a.owned_cursor(0, u64::MAX).collect::<Vec<_>>(),
+                a.samples().collect::<Vec<_>>(),
+            );
+            assert_eq!(a.last_sample(), b.last_sample());
+        }
+        // Identical logical contents, far fewer resident bytes.
+        let (c, r) = (compressed.stats(), raw.stats());
+        assert_eq!(c.samples, r.samples);
+        assert_eq!((c.series, c.chunks), (r.series, r.chunks));
+        assert_eq!(r.resident_bytes, r.samples * SAMPLE_BYTES as u64);
+        assert!(
+            c.resident_bytes * 2 < r.resident_bytes,
+            "compression saved too little: {} vs {}",
+            c.resident_bytes,
+            r.resident_bytes
+        );
+        assert!(c.bytes_per_sample() < 8.0, "{}", c.bytes_per_sample());
+        assert_eq!(StorageStats::default().bytes_per_sample(), 0.0);
+    }
+
+    #[test]
+    fn resident_bytes_track_retention() {
+        let db = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 10,
+            retention_ms: 20_000,
+            raw_chunks: false,
+        });
+        for t in 0..200u64 {
+            db.append("m", &Labels::new(), t * 1_000, t as f64);
+        }
+        let before = db.stats();
+        assert!(before.resident_bytes > 0);
+        let dropped = db.apply_retention();
+        assert!(dropped > 0);
+        let after = db.stats();
+        assert!(after.resident_bytes < before.resident_bytes);
+        assert_eq!(after.samples, before.samples - dropped as u64);
+        // The estimate stays consistent with what snapshots report.
+        let snap_bytes: u64 =
+            db.select(&Selector::all()).iter().map(|s| s.resident_bytes() as u64).sum();
+        assert_eq!(after.resident_bytes, snap_bytes);
     }
 
     #[test]
