@@ -333,24 +333,29 @@ impl HostMonitor {
     /// Performs one forced scrape of every target at the kernel's current
     /// virtual time (per-target intervals do not gate a manual tick).
     /// Returns the number of healthy targets.
+    ///
+    /// Runs through the scraper's ingest fast lane and the allocation-free
+    /// [`teemon_tsdb::RoundSummary`] path — a steady-state tick touches each
+    /// storage shard lock once and allocates nothing.
     pub fn scrape_tick(&self) -> usize {
         let now = self.kernel.clock().now_millis();
-        let healthy = self.scraper.scrape_once(now).iter().filter(|o| o.up).count();
+        let healthy = self.scraper.scrape_round(now).healthy;
         self.rules.evaluate_due(now);
         healthy
     }
 
     /// Runs `ticks` scrape rounds spaced by the scraper's global interval,
     /// advancing the simulated clock accordingly.  Each round scrapes only
-    /// the targets that are due, so per-target intervals thin out slow
-    /// targets here.
+    /// the targets that are due (via the batched
+    /// [`teemon_tsdb::Scraper::scrape_round_due`] path), so per-target
+    /// intervals thin out slow targets here.
     pub fn run_scrape_loop(&self, ticks: u64) {
         for _ in 0..ticks {
             self.kernel
                 .clock()
                 .advance(teemon_sim_core::SimDuration::from_millis(self.scraper.interval_ms()));
             let now = self.kernel.clock().now_millis();
-            self.scraper.scrape_due(now);
+            self.scraper.scrape_round_due(now);
             self.rules.evaluate_due(now);
         }
     }

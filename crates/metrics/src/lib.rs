@@ -10,6 +10,9 @@
 //! * [`Collector`] — the **typed scrape contract**: exporters hand the
 //!   aggregation component (PMAG) structured [`FamilySnapshot`]s directly,
 //!   with no text round-trip on the in-process path,
+//! * [`series_hash`] / [`SeriesKey`] — stable structural identity of wire
+//!   series over borrowed snapshot data, the foundation of the aggregator's
+//!   per-target scrape cache (zero allocation on a steady-state hit),
 //! * [`encode_text`](exposition::encode_text) /
 //!   [`parse_families`](exposition::parse_families) — the OpenMetrics-style
 //!   text exposition format, kept as an explicit edge adapter for external
@@ -48,6 +51,7 @@ pub mod collector;
 pub mod error;
 pub mod exposition;
 pub mod family;
+pub mod identity;
 pub mod label;
 pub mod registry;
 pub mod snapshot;
@@ -56,6 +60,7 @@ pub mod value;
 pub use collector::{CollectError, Collector, RegistryCollector};
 pub use error::MetricError;
 pub use family::{CounterFamily, GaugeFamily, HistogramFamily, MetricFamily, SummaryFamily};
+pub use identity::{series_hash, SeriesKey};
 pub use label::{LabelName, Labels, MetricName};
 pub use registry::{Registry, SnapshotSource};
 pub use snapshot::{merge_families, FamilySnapshot, MetricKind, MetricPoint, PointValue, Sample};

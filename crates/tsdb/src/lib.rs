@@ -45,9 +45,11 @@ mod symbols;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
-    CollectorEndpoint, MetricsEndpoint, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
-    TextEndpoint, TextSource,
+    CollectorEndpoint, IngestMode, MetricsEndpoint, RoundSummary, ScrapeError, ScrapeOutcome,
+    ScrapeTargetConfig, Scraper, TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};
 pub use snapshot::{OwnedSampleCursor, SampleCursor, SeriesSnapshot};
-pub use storage::{StorageStats, TimeSeriesDb, TsdbConfig, SHARD_COUNT};
+pub use storage::{
+    BatchOutcome, HandleAppend, SeriesHandle, StorageStats, TimeSeriesDb, TsdbConfig, SHARD_COUNT,
+};

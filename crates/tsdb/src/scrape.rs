@@ -16,16 +16,42 @@
 //! external consumers (and can itself be scraped, paying the encode/parse
 //! round-trip deliberately), while [`Scraper::add_text_source`] ingests raw
 //! exposition documents from targets that only speak text.
+//!
+//! # The ingest fast lane
+//!
+//! A scrape target emits the *same* series set round after round, so paying
+//! key hashing, label merging, symbol interning and an index lookup per
+//! sample per round is almost pure waste.  The scraper therefore keeps a
+//! **per-target scrape cache** (the default, [`IngestMode::FastLane`]): one
+//! entry per wire sample, holding the sample's structural identity
+//! ([`teemon_metrics::SeriesKey`]), the target-label-merged key and a
+//! resolved [`crate::SeriesHandle`].  A steady-state round walks the
+//! borrowed snapshots positionally, verifies identity with a cheap
+//! structural hash plus real equality, and hands the whole round to
+//! [`TimeSeriesDb::append_batch`], which takes each shard lock once per
+//! round.  No allocation (for plain counter/gauge/untyped points —
+//! histogram and summary families allocate their `le`/`quantile` label
+//! expansions in the snapshot walk itself), no interning, no index
+//! traffic.  Churn (new,
+//! vanished or reordered series) flips the round into a repair pass that
+//! reuses every surviving entry's handle and resolves only what actually
+//! changed; stale handles (series evicted by retention or dropped) are
+//! re-resolved by key, so the fast lane can miss a beat but never writes to
+//! the wrong series.  [`IngestMode::PerSample`] keeps the pre-cache path —
+//! merge + [`TimeSeriesDb::append`] per sample — as the correctness oracle
+//! and bench baseline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use teemon_metrics::{exposition, CollectError, Collector, FamilySnapshot, Labels, MetricError};
+use teemon_metrics::{
+    exposition, identity, CollectError, Collector, FamilySnapshot, Labels, MetricError, SeriesKey,
+};
 
-use crate::storage::TimeSeriesDb;
+use crate::storage::{HandleAppend, SeriesHandle, TimeSeriesDb};
 
 /// Why scraping one target failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +101,32 @@ pub trait MetricsEndpoint: Send + Sync {
     /// Returns a [`ScrapeError`] when the endpoint is unreachable or failing,
     /// which the scraper records as `up == 0`.
     fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError>;
+
+    /// Hands the current snapshots to `visit` by reference instead of
+    /// returning them by value.  The scraper ingests through this method, so
+    /// an endpoint that maintains its snapshots in place (updating values
+    /// without reallocating points) can override it and make a steady-state
+    /// scrape round allocation-free end to end; the default simply wraps
+    /// [`MetricsEndpoint::scrape`] and visits the freshly collected
+    /// families.
+    ///
+    /// Contract: implementations must invoke `visit` **exactly once** on
+    /// success, passing the complete round (chunked delivery would make the
+    /// scraper's per-round sample accounting and scrape cache see partial
+    /// rounds), and must not scrape the same target from *inside* `visit`
+    /// (the scraper holds the target's ingest-cache lock while `visit`
+    /// runs; collecting before calling `visit` — as the default does — is
+    /// always safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScrapeError`] when the endpoint is unreachable or
+    /// failing; `visit` is not called in that case.
+    fn scrape_visit(&self, visit: &mut dyn FnMut(&[FamilySnapshot])) -> Result<(), ScrapeError> {
+        let families = self.scrape()?;
+        visit(&families);
+        Ok(())
+    }
 }
 
 impl<F> MetricsEndpoint for F
@@ -211,6 +263,9 @@ impl ScrapeTargetConfig {
         self
     }
 
+    /// Builds the merged target label set (`job`, `instance`, extras).  The
+    /// scraper calls this **once at registration** and reuses the result
+    /// every round — not per scrape.
     fn target_labels(&self) -> Labels {
         let mut labels =
             Labels::from_pairs([("job", self.job.clone()), ("instance", self.instance.clone())]);
@@ -243,11 +298,148 @@ pub struct ScrapeOutcome {
 struct Target {
     config: ScrapeTargetConfig,
     endpoint: Arc<dyn MetricsEndpoint>,
+    /// `job`/`instance`/extra labels, merged once at registration.
+    base_labels: Labels,
+    /// The per-target ingest cache of the fast lane.
+    cache: Mutex<TargetCache>,
     /// Virtual time of the last scrape; `u64::MAX` = never scraped.
     last_scrape_ms: AtomicU64,
 }
 
 const NEVER: u64 = u64::MAX;
+
+/// One cached wire sample of a target: the sample's structural identity as
+/// the exporter emits it, the storage key (exporter labels merged with the
+/// target labels) and the resolved series handle.
+struct CacheEntry {
+    key: SeriesKey,
+    merged: Labels,
+    handle: SeriesHandle,
+}
+
+/// The per-target scrape cache: one [`CacheEntry`] per wire sample in
+/// snapshot order, plus the reusable batch buffer handed to
+/// [`TimeSeriesDb::append_batch`].  Steady state, the cache turns a scrape
+/// round into: one structural hash + one equality check per sample, one
+/// batch append.  Any churn — a series appearing, vanishing or moving —
+/// fails the positional check and triggers [`TargetCache::rebuild`], which
+/// reuses every surviving entry and resolves only what changed.
+#[derive(Default)]
+struct TargetCache {
+    entries: Vec<CacheEntry>,
+    batch: Vec<(SeriesHandle, u64, f64)>,
+}
+
+impl TargetCache {
+    /// The fast positional pass: verifies every wire sample against the
+    /// cached identity at its position and fills `batch` with
+    /// handle-addressed samples.  Returns `false` — without touching storage
+    /// — as soon as the round's shape deviates from the cache (new, vanished
+    /// or reordered series).  Sets `scraped` to the number of wire samples
+    /// seen.  Allocation-free apart from first-round `batch` growth.
+    fn fill(&mut self, families: &[FamilySnapshot], now_ms: u64, scraped: &mut u64) -> bool {
+        self.batch.clear();
+        let mut idx = 0usize;
+        let mut matched = true;
+        for family in families {
+            family.for_each_sample(|name, labels, value, timestamp_ms| {
+                let position = idx;
+                idx += 1;
+                if !matched {
+                    return;
+                }
+                let hash = identity::series_hash(name, labels);
+                match self.entries.get(position) {
+                    Some(entry) if entry.key.matches(hash, name, labels) => {
+                        self.batch.push((entry.handle, timestamp_ms.unwrap_or(now_ms), value));
+                    }
+                    _ => matched = false,
+                }
+            });
+        }
+        *scraped = idx as u64;
+        matched && idx == self.entries.len()
+    }
+
+    /// The repair pass after churn: rebuilds the entry list in snapshot
+    /// order, reusing the handle of every series that survived (validated
+    /// against a generation snapshot, re-resolved when its shard moved on)
+    /// and resolving only genuinely new series.  Entries whose series
+    /// vanished from the snapshot are dropped with the old list.
+    fn rebuild(&mut self, families: &[FamilySnapshot], base_labels: &Labels, db: &TimeSeriesDb) {
+        let old = std::mem::take(&mut self.entries);
+        let mut reuse: HashMap<u64, Vec<CacheEntry>> = HashMap::with_capacity(old.len());
+        for entry in old {
+            reuse.entry(entry.key.hash()).or_default().push(entry);
+        }
+        let generations = db.shard_generations();
+        for family in families {
+            family.for_each_sample(|name, labels, _, _| {
+                let hash = identity::series_hash(name, labels);
+                let reused = reuse.get_mut(&hash).and_then(|candidates| {
+                    candidates
+                        .iter()
+                        .position(|e| e.key.matches(hash, name, labels))
+                        .map(|at| candidates.swap_remove(at))
+                });
+                let entry = match reused {
+                    Some(mut entry) => {
+                        if !db.handle_live_under(entry.handle, &generations) {
+                            entry.handle = db.resolve(entry.key.name(), &entry.merged);
+                        }
+                        entry
+                    }
+                    None => {
+                        let merged = labels.merged(base_labels);
+                        let handle = db.resolve(name, &merged);
+                        CacheEntry { key: SeriesKey::capture(name, labels), merged, handle }
+                    }
+                };
+                self.entries.push(entry);
+            });
+        }
+    }
+}
+
+/// How the scraper moves samples into storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestMode {
+    /// The default: per-target scrape cache + [`TimeSeriesDb::append_batch`]
+    /// (one shard lock per round, zero allocation steady state).
+    #[default]
+    FastLane,
+    /// The pre-cache path — merge target labels and call
+    /// [`TimeSeriesDb::append`] for every sample, every round.  Retained as
+    /// the correctness oracle (see `tests/ingest_equivalence.rs`) and the
+    /// bench baseline (`micro/ingest`).
+    PerSample,
+}
+
+/// What one scrape round did, in aggregate — the allocation-free counterpart
+/// of a `Vec<ScrapeOutcome>`, returned by [`Scraper::scrape_round`] /
+/// [`Scraper::scrape_round_due`] for callers (like the monitor loops) that
+/// don't need per-target details.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Targets scraped this round.
+    pub targets: usize,
+    /// Targets that were up.
+    pub healthy: usize,
+    /// Wire samples the targets exposed.
+    pub samples_scraped: u64,
+    /// Samples storage accepted.
+    pub samples_added: u64,
+}
+
+/// Per-target result of one round, before any strings are cloned for the
+/// public [`ScrapeOutcome`].
+struct TargetRound {
+    up: bool,
+    scraped: u64,
+    ingested: u64,
+    duration_seconds: f64,
+    error: Option<String>,
+}
 
 /// The scrape manager: a set of targets feeding one [`TimeSeriesDb`].
 #[derive(Clone)]
@@ -255,18 +447,20 @@ pub struct Scraper {
     db: TimeSeriesDb,
     targets: Arc<RwLock<Vec<Target>>>,
     scrape_interval_ms: u64,
+    ingest: IngestMode,
 }
 
 impl Scraper {
     /// Default scrape interval: the paper queries exporters every 5 seconds.
     pub const DEFAULT_INTERVAL_MS: u64 = 5_000;
 
-    /// Creates a scraper feeding `db`.
+    /// Creates a scraper feeding `db` (fast-lane ingest by default).
     pub fn new(db: TimeSeriesDb) -> Self {
         Self {
             db,
             targets: Arc::new(RwLock::new(Vec::new())),
             scrape_interval_ms: Self::DEFAULT_INTERVAL_MS,
+            ingest: IngestMode::default(),
         }
     }
 
@@ -275,6 +469,18 @@ impl Scraper {
     pub fn with_interval_ms(mut self, interval_ms: u64) -> Self {
         self.scrape_interval_ms = interval_ms.max(1);
         self
+    }
+
+    /// Selects how samples move into storage (see [`IngestMode`]).
+    #[must_use]
+    pub fn with_ingest_mode(mut self, ingest: IngestMode) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// The ingest mode in effect.
+    pub fn ingest_mode(&self) -> IngestMode {
+        self.ingest
     }
 
     /// The configured scrape interval in milliseconds.
@@ -287,11 +493,15 @@ impl Scraper {
         &self.db
     }
 
-    /// Registers a typed scrape target.
+    /// Registers a typed scrape target.  The target's `job`/`instance`/extra
+    /// labels are merged once here; scrape rounds reuse the merged set.
     pub fn add_target(&self, config: ScrapeTargetConfig, endpoint: Arc<dyn MetricsEndpoint>) {
+        let base_labels = config.target_labels();
         self.targets.write().push(Target {
             config,
             endpoint,
+            base_labels,
+            cache: Mutex::new(TargetCache::default()),
             last_scrape_ms: AtomicU64::new(NEVER),
         });
     }
@@ -324,14 +534,8 @@ impl Scraper {
     /// Scrapes every target once, regardless of per-target intervals,
     /// stamping samples with `now_ms`.
     pub fn scrape_once(&self, now_ms: u64) -> Vec<ScrapeOutcome> {
-        let targets = self.targets.read();
-        let mut outcomes = Vec::with_capacity(targets.len());
-        for target in targets.iter() {
-            outcomes.push(self.scrape_target(target, now_ms));
-        }
-        if !outcomes.is_empty() {
-            self.record_storage_metrics(now_ms);
-        }
+        let mut outcomes = Vec::new();
+        self.drive(now_ms, false, |target, round| outcomes.push(Self::outcome(target, round)));
         outcomes
     }
 
@@ -339,19 +543,74 @@ impl Scraper {
     /// are always due, others when their per-target interval (falling back to
     /// the scraper's global interval) has elapsed.
     pub fn scrape_due(&self, now_ms: u64) -> Vec<ScrapeOutcome> {
-        let targets = self.targets.read();
         let mut outcomes = Vec::new();
+        self.drive(now_ms, true, |target, round| outcomes.push(Self::outcome(target, round)));
+        outcomes
+    }
+
+    /// Like [`Scraper::scrape_once`], but folds the round into a
+    /// [`RoundSummary`] instead of materialising per-target outcomes.  This
+    /// is the monitoring loop's path: a steady-state round of plain
+    /// counter/gauge points performs zero heap allocations end to end
+    /// (proved by `tests/alloc_free_scrape.rs`; histogram/summary families
+    /// allocate their bucket/quantile label expansions in the snapshot
+    /// walk).
+    pub fn scrape_round(&self, now_ms: u64) -> RoundSummary {
+        self.round(now_ms, false)
+    }
+
+    /// Like [`Scraper::scrape_due`], but returning a [`RoundSummary`] — the
+    /// allocation-free counterpart for interval-gated loops.
+    pub fn scrape_round_due(&self, now_ms: u64) -> RoundSummary {
+        self.round(now_ms, true)
+    }
+
+    fn due(&self, target: &Target, now_ms: u64) -> bool {
+        let last = target.last_scrape_ms.load(Ordering::Relaxed);
+        let interval = target.config.interval_ms.unwrap_or(self.scrape_interval_ms);
+        last == NEVER || now_ms.saturating_sub(last) >= interval
+    }
+
+    fn round(&self, now_ms: u64, due_only: bool) -> RoundSummary {
+        let mut summary = RoundSummary::default();
+        self.drive(now_ms, due_only, |_, round| {
+            summary.targets += 1;
+            summary.healthy += usize::from(round.up);
+            summary.samples_scraped += round.scraped;
+            summary.samples_added += round.ingested;
+        });
+        summary
+    }
+
+    /// The one scrape-round driver behind `scrape_once`/`scrape_due`/the
+    /// round summaries: iterates targets (optionally due-gated), scrapes
+    /// each, hands the result to `sink`, and records the storage
+    /// self-monitoring gauges when at least one target was touched.
+    fn drive(&self, now_ms: u64, due_only: bool, mut sink: impl FnMut(&Target, TargetRound)) {
+        let targets = self.targets.read();
+        let mut scraped_any = false;
         for target in targets.iter() {
-            let last = target.last_scrape_ms.load(Ordering::Relaxed);
-            let interval = target.config.interval_ms.unwrap_or(self.scrape_interval_ms);
-            if last == NEVER || now_ms.saturating_sub(last) >= interval {
-                outcomes.push(self.scrape_target(target, now_ms));
+            if due_only && !self.due(target, now_ms) {
+                continue;
             }
+            let round = self.scrape_target(target, now_ms);
+            scraped_any = true;
+            sink(target, round);
         }
-        if !outcomes.is_empty() {
+        if scraped_any {
             self.record_storage_metrics(now_ms);
         }
-        outcomes
+    }
+
+    fn outcome(target: &Target, round: TargetRound) -> ScrapeOutcome {
+        ScrapeOutcome {
+            job: target.config.job.clone(),
+            instance: target.config.instance.clone(),
+            up: round.up,
+            samples: round.ingested,
+            duration_seconds: round.duration_seconds,
+            error: round.error,
+        }
     }
 
     /// Self-monitoring: records the storage engine's own footprint as
@@ -377,47 +636,98 @@ impl Scraper {
     const SCRAPE_BASE_SECONDS: f64 = 500e-6;
     const SCRAPE_PER_SAMPLE_SECONDS: f64 = 2e-6;
 
-    fn scrape_target(&self, target: &Target, now_ms: u64) -> ScrapeOutcome {
-        let base_labels = target.config.target_labels();
-        let result = target.endpoint.scrape();
+    fn scrape_target(&self, target: &Target, now_ms: u64) -> TargetRound {
+        let result = match self.ingest {
+            IngestMode::FastLane => self.ingest_fast(target, now_ms),
+            IngestMode::PerSample => self.ingest_per_sample(target, now_ms),
+        };
         target.last_scrape_ms.store(now_ms, Ordering::Relaxed);
         let (up, scraped, ingested, error) = match result {
-            Ok(families) => {
-                let mut scraped = 0u64;
-                let mut ingested = 0u64;
-                for family in &families {
-                    family.for_each_sample(|name, labels, value, timestamp_ms| {
-                        scraped += 1;
-                        let labels = labels.merged(&base_labels);
-                        let ts = timestamp_ms.unwrap_or(now_ms);
-                        if self.db.append(name, &labels, ts, value) {
-                            ingested += 1;
-                        }
-                    });
-                }
-                (true, scraped, ingested, None)
-            }
+            Ok((scraped, ingested)) => (true, scraped, ingested, None),
             Err(error) => (false, 0, 0, Some(error.to_string())),
         };
         let duration_seconds =
             Self::SCRAPE_BASE_SECONDS + scraped as f64 * Self::SCRAPE_PER_SAMPLE_SECONDS;
-        self.db.append("up", &base_labels, now_ms, if up { 1.0 } else { 0.0 });
-        self.db.append("scrape_duration_seconds", &base_labels, now_ms, duration_seconds);
+        let base_labels = &target.base_labels;
+        self.db.append("up", base_labels, now_ms, if up { 1.0 } else { 0.0 });
+        self.db.append("scrape_duration_seconds", base_labels, now_ms, duration_seconds);
         if up {
             // Prometheus semantics: `_scraped` counts the samples the target
             // exposed, `_added` the ones storage accepted (out-of-order
             // samples are rejected by the series).
-            self.db.append("scrape_samples_scraped", &base_labels, now_ms, scraped as f64);
-            self.db.append("scrape_samples_added", &base_labels, now_ms, ingested as f64);
+            self.db.append("scrape_samples_scraped", base_labels, now_ms, scraped as f64);
+            self.db.append("scrape_samples_added", base_labels, now_ms, ingested as f64);
         }
-        ScrapeOutcome {
-            job: target.config.job.clone(),
-            instance: target.config.instance.clone(),
-            up,
-            samples: ingested,
-            duration_seconds,
-            error,
-        }
+        TargetRound { up, scraped, ingested, duration_seconds, error }
+    }
+
+    /// The fast lane: cache-verify the borrowed snapshots, batch-append by
+    /// handle, repair the cache on churn and re-resolve stale handles.
+    /// Returns `(samples scraped, samples ingested)`.
+    fn ingest_fast(&self, target: &Target, now_ms: u64) -> Result<(u64, u64), ScrapeError> {
+        let mut scraped = 0u64;
+        let mut ingested = 0u64;
+        // The cache lock is taken inside the visit, not around the whole
+        // scrape, so an endpoint whose *collect* step transitively scrapes
+        // this target again (a composing/gateway endpoint) does not deadlock
+        // on its own cache.
+        target.endpoint.scrape_visit(&mut |families| {
+            let mut cache = target.cache.lock();
+            let cache = &mut *cache;
+            if !cache.fill(families, now_ms, &mut scraped) {
+                cache.rebuild(families, &target.base_labels, &self.db);
+                let repaired = cache.fill(families, now_ms, &mut scraped);
+                debug_assert!(
+                    repaired,
+                    "a rebuilt cache must match the snapshots it was built from"
+                );
+            }
+            let outcome = self.db.append_batch(&cache.batch);
+            ingested = outcome.appended;
+            // Stale handles: the series was evicted or dropped after the
+            // cache resolved it.  Re-resolve by key (re-creating the series
+            // if need be) and append the held-back sample individually.  A
+            // concurrent drop can race the re-resolve and stale it again, so
+            // the second attempt falls back to the by-key append, which
+            // cannot be stale — a stale handle may cost extra work but never
+            // loses a sample.
+            for &index in &outcome.stale {
+                let (_, timestamp_ms, value) = cache.batch[index];
+                let entry = &mut cache.entries[index];
+                entry.handle = self.db.resolve(entry.key.name(), &entry.merged);
+                match self.db.append_handle(entry.handle, timestamp_ms, value) {
+                    HandleAppend::Appended => ingested += 1,
+                    HandleAppend::Rejected => {}
+                    HandleAppend::Stale => {
+                        if self.db.append(entry.key.name(), &entry.merged, timestamp_ms, value) {
+                            ingested += 1;
+                        }
+                    }
+                }
+            }
+        })?;
+        Ok((scraped, ingested))
+    }
+
+    /// The per-sample oracle path ([`IngestMode::PerSample`]): merge target
+    /// labels and append each sample by key, exactly as every round did
+    /// before the cache existed.
+    fn ingest_per_sample(&self, target: &Target, now_ms: u64) -> Result<(u64, u64), ScrapeError> {
+        let mut scraped = 0u64;
+        let mut ingested = 0u64;
+        target.endpoint.scrape_visit(&mut |families| {
+            for family in families {
+                family.for_each_sample(|name, labels, value, timestamp_ms| {
+                    scraped += 1;
+                    let labels = labels.merged(&target.base_labels);
+                    let ts = timestamp_ms.unwrap_or(now_ms);
+                    if self.db.append(name, &labels, ts, value) {
+                        ingested += 1;
+                    }
+                });
+            }
+        })?;
+        Ok((scraped, ingested))
     }
 
     /// Instances whose most recent `up` sample is 0 at `now_ms` — the health
@@ -608,6 +918,136 @@ mod tests {
         assert_eq!(scraper.scrape_due(15_000).len(), 2);
         // scrape_once ignores the gating entirely.
         assert_eq!(scraper.scrape_once(15_500).len(), 2);
+    }
+
+    #[test]
+    fn fast_lane_round_equals_per_sample_round() {
+        // Same registry scraped through both ingest modes: identical
+        // contents, and the fast lane keeps working across rounds.
+        let registry = Registry::new();
+        let family = registry.counter_family("teemon_syscalls_total", "syscalls");
+        for syscall in ["read", "write", "futex"] {
+            family.with(&Labels::from_pairs([("syscall", syscall)])).inc_by(5.0);
+        }
+        let make = |mode: IngestMode| {
+            let db = TimeSeriesDb::new();
+            let scraper = Scraper::new(db.clone()).with_ingest_mode(mode);
+            scraper.add_collector(
+                ScrapeTargetConfig::new("sgx_exporter", "n1:9090").with_label("node", "n1"),
+                registry_collector("sgx_exporter", registry.clone()),
+            );
+            (db, scraper)
+        };
+        let (fast_db, fast) = make(IngestMode::FastLane);
+        let (slow_db, slow) = make(IngestMode::PerSample);
+        assert_eq!(fast.ingest_mode(), IngestMode::FastLane);
+        for round in 1..=5u64 {
+            family.with(&Labels::from_pairs([("syscall", "read")])).inc_by(1.0);
+            let a = fast.scrape_once(round * 5_000);
+            let b = slow.scrape_once(round * 5_000);
+            assert_eq!(a, b);
+        }
+        assert_eq!(fast_db.stats(), slow_db.stats());
+        let series = |db: &TimeSeriesDb| {
+            db.select(&Selector::all())
+                .iter()
+                .map(|s| (s.name().to_string(), s.to_labels(), s.points_in(0, u64::MAX)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(series(&fast_db), series(&slow_db));
+    }
+
+    #[test]
+    fn fast_lane_repairs_cache_on_series_churn() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let registry = Registry::new();
+        let family = registry.gauge_family("proc_cpu", "cpu");
+        family.with(&Labels::from_pairs([("process", "redis")])).set(1.0);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("cadvisor", "n1:8080"),
+            registry_collector("cadvisor", registry.clone()),
+        );
+        scraper.scrape_once(5_000);
+        // A process appears: the cached round shape changes mid-stream.
+        family.with(&Labels::from_pairs([("process", "nginx")])).set(2.0);
+        scraper.scrape_once(10_000);
+        scraper.scrape_once(15_000);
+        let results = db.query_range(&Selector::metric("proc_cpu"), 0, u64::MAX);
+        assert_eq!(results.len(), 2);
+        let points_of = |process: &str| {
+            results
+                .iter()
+                .find(|r| r.labels.get("process") == Some(process))
+                .map(|r| r.points.len())
+                .unwrap()
+        };
+        assert_eq!(points_of("redis"), 3, "cached series kept appending through the churn");
+        assert_eq!(points_of("nginx"), 2, "new series picked up from its first round");
+    }
+
+    #[test]
+    fn fast_lane_re_resolves_dropped_series_mid_stream() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        let registry = Registry::new();
+        let family = registry.gauge_family("g", "gauge");
+        family.with(&Labels::from_pairs([("case", "kept")])).set(1.0);
+        family.with(&Labels::from_pairs([("case", "dropped")])).set(2.0);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("job", "n1:1"),
+            registry_collector("job", registry),
+        );
+        scraper.scrape_once(5_000);
+        // An operator drops the series between rounds; the target's cache
+        // still holds a handle resolved under the old shard generation.
+        assert_eq!(db.drop_series(&Selector::metric("g").with_label("case", "dropped")), 1);
+        let outcomes = scraper.scrape_once(10_000);
+        assert!(outcomes[0].up);
+        let results = db.query_range(&Selector::metric("g"), 0, u64::MAX);
+        assert_eq!(results.len(), 2, "the dropped series was transparently re-created");
+        for r in &results {
+            match r.labels.get("case") {
+                Some("kept") => {
+                    assert_eq!(r.points.iter().map(|p| p.0).collect::<Vec<_>>(), [5_000, 10_000]);
+                    assert!(r.points.iter().all(|p| p.1 == 1.0), "no misrouted values");
+                }
+                Some("dropped") => {
+                    assert_eq!(r.points, vec![(10_000, 2.0)], "fresh series, fresh history");
+                }
+                other => panic!("unexpected series {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_summaries_match_outcome_totals() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db).with_interval_ms(5_000);
+        let registry = Registry::new();
+        registry.gauge_family("g", "gauge").default_instance().set(1.0);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("fast", "n1:1"),
+            registry_collector("fast", registry.clone()),
+        );
+        scraper.add_collector(
+            ScrapeTargetConfig::new("slow", "n1:2").with_interval_ms(15_000),
+            registry_collector("slow", registry),
+        );
+        scraper.add_target(
+            ScrapeTargetConfig::new("down", "n1:3"),
+            Arc::new(|| Err(ScrapeError::Unreachable("nope".to_string()))),
+        );
+        let summary = scraper.scrape_round(0);
+        assert_eq!(summary.targets, 3);
+        assert_eq!(summary.healthy, 2);
+        assert_eq!(summary.samples_scraped, 2);
+        assert_eq!(summary.samples_added, 2);
+        // 5 s later only the fast and the failing target are due.
+        let due = scraper.scrape_round_due(5_000);
+        assert_eq!((due.targets, due.healthy, due.samples_added), (2, 1, 1));
+        // The due-gated summary saw the same world as scrape_due would.
+        assert_eq!(scraper.scrape_round_due(5_000).targets, 0, "nothing due right after");
     }
 
     #[test]

@@ -20,14 +20,23 @@
 //!   and when the head fills it is encoded once into a delta-of-delta /
 //!   XOR-float block that snapshots decode *streamingly* at read time.  The
 //!   per-shard `bytes` aggregate tracks the resident footprint, surfaced as
-//!   [`StorageStats::resident_bytes`] / [`StorageStats::bytes_per_sample`].
+//!   [`StorageStats::resident_bytes`] / [`StorageStats::bytes_per_sample`],
+//! * the **ingest fast lane**: [`TimeSeriesDb::resolve`] turns a series key
+//!   into a cheap [`SeriesHandle`] once, and
+//!   [`TimeSeriesDb::append_batch`] appends a whole scrape round of
+//!   `(handle, timestamp, value)` samples taking each shard lock **once per
+//!   round** instead of once per sample.  Handles carry the owning shard's
+//!   generation: series eviction ([`TimeSeriesDb::apply_retention`] dropping
+//!   fully-aged series, [`TimeSeriesDb::drop_series`]) bumps the generation,
+//!   so a stale handle is reported back for re-resolution instead of ever
+//!   writing to the wrong series.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
 
@@ -93,16 +102,69 @@ impl StorageStats {
     }
 }
 
+/// A resolved reference to one stored series: the owning lock shard, the
+/// shard-local series slot, and the shard generation the resolution happened
+/// under.  Handles are the currency of the ingest fast lane
+/// ([`TimeSeriesDb::resolve`] / [`TimeSeriesDb::append_batch`]): a scrape
+/// cache resolves each series once and then appends by handle, skipping key
+/// hashing, symbol interning and index lookups on every later round.
+///
+/// Handles are plain `Copy` values and never dangle: any operation that can
+/// move or drop series within a shard (retention evicting fully-aged series,
+/// [`TimeSeriesDb::drop_series`]) bumps that shard's generation, after which
+/// every previously issued handle into the shard is *stale*.  Stale handles
+/// are reported back (never silently redirected), and the holder re-resolves
+/// by key — see [`BatchOutcome::stale`] and [`HandleAppend::Stale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesHandle {
+    shard: u16,
+    local: u32,
+    generation: u64,
+}
+
+/// What one handle-addressed append did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleAppend {
+    /// The sample was stored.
+    Appended,
+    /// The sample was out of order and rejected (counted in
+    /// [`StorageStats::rejected_samples`]).
+    Rejected,
+    /// The handle's shard generation has moved on (series were evicted or
+    /// dropped); nothing was written.  Re-resolve the key with
+    /// [`TimeSeriesDb::resolve`] and retry.
+    Stale,
+}
+
+/// Result of one [`TimeSeriesDb::append_batch`] round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Samples stored.
+    pub appended: u64,
+    /// Samples rejected as out of order.
+    pub rejected: u64,
+    /// Indices into the input batch whose handles were stale; nothing was
+    /// written for them.  Empty on a steady-state round — and an empty `Vec`
+    /// does not allocate, keeping the batch path allocation-free.
+    pub stale: Vec<usize>,
+}
+
 /// One stored series: interned key, resolved key strings (shared with the
 /// symbol table) and chunked samples — sealed immutable chunks behind `Arc`
 /// plus the open head.
 struct MemSeries {
     id: SeriesId,
     name: Arc<str>,
+    name_sym: SymbolId,
     labels: Arc<[(Arc<str>, Arc<str>)]>,
     label_syms: Box<[(SymbolId, SymbolId)]>,
     sealed: Vec<Arc<Chunk>>,
     head: Vec<Sample>,
+    /// `true` once any sample was stored.  Guards retention eviction: a
+    /// freshly resolved series that has not seen its first append yet is
+    /// *new*, not *fully aged* — evicting it would pointlessly invalidate
+    /// every handle in the shard.
+    ever_appended: bool,
 }
 
 /// What one append did, so the shard can maintain its aggregates.
@@ -143,6 +205,7 @@ impl MemSeries {
         }
         let opened_chunk = self.head.is_empty();
         self.head.push(sample);
+        self.ever_appended = true;
         let mut sealed_bytes = None;
         if self.head.len() >= chunk_size {
             let samples = std::mem::replace(&mut self.head, Vec::with_capacity(chunk_size));
@@ -207,6 +270,30 @@ impl MemSeries {
         (samples, chunks, bytes)
     }
 
+    /// `true` when the series once held data and retention has since drained
+    /// every chunk — the eviction criterion.  A freshly resolved series that
+    /// is still waiting for its first append is empty but NOT drained.
+    fn is_drained(&self) -> bool {
+        self.ever_appended && self.sealed.is_empty() && self.head.is_empty()
+    }
+
+    /// Stored samples (sealed + head), for aggregate maintenance on drops.
+    fn sample_count(&self) -> u64 {
+        self.sealed.iter().map(|c| c.len() as u64).sum::<u64>() + self.head.len() as u64
+    }
+
+    /// Held chunks (sealed + the head when non-empty).
+    fn chunk_total(&self) -> u64 {
+        self.sealed.len() as u64 + u64::from(!self.head.is_empty())
+    }
+
+    /// Resident payload bytes, matching the shard's incremental `bytes`
+    /// accounting (sealed chunk payloads + 16 per head sample).
+    fn resident_bytes(&self) -> u64 {
+        self.sealed.iter().map(|c| c.data_bytes() as u64).sum::<u64>()
+            + (self.head.len() * SAMPLE_BYTES) as u64
+    }
+
     /// The value symbol of label `key`, if the series carries that label.
     fn label_value_sym(&self, key: SymbolId) -> Option<SymbolId> {
         self.label_syms.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
@@ -252,6 +339,10 @@ struct ShardInner {
     /// Series-key hash → shard-local indices with that hash (collision list).
     key_index: HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PreHashed>>,
     postings: Postings,
+    /// Bumped whenever shard-local series indices are invalidated (series
+    /// evicted by retention or dropped); stale [`SeriesHandle`]s are detected
+    /// by comparing against this.
+    generation: u64,
     samples: u64,
     chunks: u64,
     rejected: u64,
@@ -269,6 +360,62 @@ impl ShardInner {
             .iter()
             .copied()
             .find(|&local| self.series[local as usize].key_matches(name, labels))
+    }
+
+    /// Folds the result of one [`MemSeries::append`] into the shard
+    /// aggregates.  Returns `true` when the sample was stored.  Shared by the
+    /// per-sample and the batched append paths so the accounting cannot
+    /// diverge.
+    fn record_append(&mut self, result: Appended, timestamp_ms: u64, chunk_size: usize) -> bool {
+        match result {
+            Appended::Rejected => {
+                self.rejected += 1;
+                false
+            }
+            Appended::Accepted { opened_chunk, sealed_bytes } => {
+                self.samples += 1;
+                self.bytes += SAMPLE_BYTES as u64;
+                if let Some(sealed) = sealed_bytes {
+                    // The head's raw samples became a (usually smaller) block.
+                    self.bytes = self
+                        .bytes
+                        .saturating_sub((chunk_size * SAMPLE_BYTES) as u64)
+                        .saturating_add(sealed as u64);
+                }
+                if opened_chunk {
+                    self.chunks += 1;
+                }
+                self.max_ts = Some(self.max_ts.map_or(timestamp_ms, |m| m.max(timestamp_ms)));
+                self.min_ts = Some(self.min_ts.map_or(timestamp_ms, |m| m.min(timestamp_ms)));
+                true
+            }
+        }
+    }
+
+    /// Rebuilds the key index and postings from the surviving series and
+    /// bumps the shard generation.  Must be called after any operation that
+    /// removes series (and thereby renumbers shard-local indices); every
+    /// previously issued handle into this shard becomes stale.
+    fn rebuild_after_removal(&mut self) {
+        self.key_index.clear();
+        self.postings = Postings::default();
+        for (local, series) in self.series.iter().enumerate() {
+            let local = u32::try_from(local).expect("fewer than 2^32 series per shard");
+            let hash = series_key_hash_pairs(
+                &series.name,
+                series.labels.iter().map(|(k, v)| (&**k, &**v)),
+            );
+            self.key_index.entry(hash).or_default().push(local);
+            self.postings.register(local, series.name_sym, &series.label_syms);
+        }
+        self.generation += 1;
+    }
+
+    /// Recomputes the min/max timestamp aggregates from the stored series
+    /// (used after removals, where incremental maintenance cannot shrink).
+    fn refresh_time_bounds(&mut self) {
+        self.min_ts = self.series.iter().filter_map(MemSeries::first_timestamp).min();
+        self.max_ts = self.series.iter().filter_map(MemSeries::last_timestamp).max();
     }
 
     /// Shard-local matches for a compiled selector, postings-first with the
@@ -318,9 +465,15 @@ pub struct TimeSeriesDb {
 /// Used both to pick the lock shard and as the key-index hash, so one hash
 /// computation serves the whole append path.
 fn series_key_hash(name: &str, labels: &Labels) -> u64 {
+    series_key_hash_pairs(name, labels.iter())
+}
+
+/// [`series_key_hash`] over any borrowed pair iterator, so index rebuilds can
+/// hash a stored series' interned strings without materialising a `Labels`.
+fn series_key_hash_pairs<'a>(name: &str, pairs: impl Iterator<Item = (&'a str, &'a str)>) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     name.hash(&mut hasher);
-    for (k, v) in labels.iter() {
+    for (k, v) in pairs {
         k.hash(&mut hasher);
         v.hash(&mut hasher);
     }
@@ -365,33 +518,191 @@ impl TimeSeriesDb {
         };
         let chunk_size = self.config.chunk_size.max(1);
         let raw_chunks = self.config.raw_chunks;
-        match inner.series[local as usize].append(
+        let result = inner.series[local as usize].append(
             Sample { timestamp_ms, value },
             chunk_size,
             raw_chunks,
-        ) {
-            Appended::Rejected => {
-                inner.rejected += 1;
-                false
-            }
-            Appended::Accepted { opened_chunk, sealed_bytes } => {
-                inner.samples += 1;
-                inner.bytes += SAMPLE_BYTES as u64;
-                if let Some(sealed) = sealed_bytes {
-                    // The head's raw samples became a (usually smaller) block.
-                    inner.bytes = inner
-                        .bytes
-                        .saturating_sub((chunk_size * SAMPLE_BYTES) as u64)
-                        .saturating_add(sealed as u64);
-                }
-                if opened_chunk {
-                    inner.chunks += 1;
-                }
-                inner.max_ts = Some(inner.max_ts.map_or(timestamp_ms, |m| m.max(timestamp_ms)));
-                inner.min_ts = Some(inner.min_ts.map_or(timestamp_ms, |m| m.min(timestamp_ms)));
-                true
+        );
+        inner.record_append(result, timestamp_ms, chunk_size)
+    }
+
+    /// Resolves `name` + `labels` to a [`SeriesHandle`], creating the series
+    /// on first use — the slow half of the ingest fast lane, paid once per
+    /// series per cache (re)build.  The returned handle stays valid until the
+    /// owning shard evicts or drops series (see [`SeriesHandle`]); appending
+    /// through it afterwards reports [`HandleAppend::Stale`] rather than ever
+    /// touching another series.
+    pub fn resolve(&self, name: &str, labels: &Labels) -> SeriesHandle {
+        let key_hash = series_key_hash(name, labels);
+        let shard = shard_of(key_hash);
+        {
+            // Optimistic read: steady-state re-resolves share the lock.
+            let inner = self.shared.shards[shard].read();
+            if let Some(local) = inner.find(key_hash, name, labels) {
+                return SeriesHandle { shard: shard as u16, local, generation: inner.generation };
             }
         }
+        let mut inner = self.shared.shards[shard].write();
+        let local = match inner.find(key_hash, name, labels) {
+            Some(local) => local,
+            None => self.create_series(&mut inner, key_hash, name, labels),
+        };
+        SeriesHandle { shard: shard as u16, local, generation: inner.generation }
+    }
+
+    /// `true` when `handle` still addresses a live series (its shard has not
+    /// evicted or dropped series since the handle was resolved).
+    pub fn handle_live(&self, handle: SeriesHandle) -> bool {
+        let inner = self.shared.shards[handle.shard as usize].read();
+        handle.generation == inner.generation && (handle.local as usize) < inner.series.len()
+    }
+
+    /// The current generation of every lock shard, in shard order.  A scrape
+    /// cache snapshots these once per repair pass to validate a batch of
+    /// handles without locking per handle.
+    pub fn shard_generations(&self) -> [u64; SHARD_COUNT] {
+        std::array::from_fn(|i| self.shared.shards[i].read().generation)
+    }
+
+    /// Whether `handle` is still live under the given generation snapshot
+    /// (from [`TimeSeriesDb::shard_generations`]).  Lock-free.
+    pub fn handle_live_under(
+        &self,
+        handle: SeriesHandle,
+        generations: &[u64; SHARD_COUNT],
+    ) -> bool {
+        generations[handle.shard as usize] == handle.generation
+    }
+
+    /// Appends one sample through a resolved handle.  Unlike
+    /// [`TimeSeriesDb::append`] this never hashes the key or touches the key
+    /// index; unlike [`TimeSeriesDb::append_batch`] it locks the shard for a
+    /// single sample — use it for stragglers (e.g. re-appending after a stale
+    /// handle was re-resolved), not for whole rounds.
+    pub fn append_handle(
+        &self,
+        handle: SeriesHandle,
+        timestamp_ms: u64,
+        value: f64,
+    ) -> HandleAppend {
+        let chunk_size = self.config.chunk_size.max(1);
+        let raw_chunks = self.config.raw_chunks;
+        let mut inner = self.shared.shards[handle.shard as usize].write();
+        if handle.generation != inner.generation || (handle.local as usize) >= inner.series.len() {
+            return HandleAppend::Stale;
+        }
+        let result = inner.series[handle.local as usize].append(
+            Sample { timestamp_ms, value },
+            chunk_size,
+            raw_chunks,
+        );
+        if inner.record_append(result, timestamp_ms, chunk_size) {
+            HandleAppend::Appended
+        } else {
+            HandleAppend::Rejected
+        }
+    }
+
+    /// Appends a whole scrape round of handle-addressed samples, taking each
+    /// shard's write lock **once per round** instead of once per sample.
+    /// Samples are grouped by shard; within a shard they apply in input
+    /// order, so per-series semantics (out-of-order rejection, chunk sealing)
+    /// are identical to issuing the same appends one by one.
+    ///
+    /// Stale handles (their shard evicted or dropped series since
+    /// resolution) are skipped and reported by input index in
+    /// [`BatchOutcome::stale`]; the caller re-resolves those keys and retries
+    /// — a stale handle can miss a beat but never write to the wrong series.
+    /// On a steady-state round the call performs zero heap allocations.
+    pub fn append_batch(&self, batch: &[(SeriesHandle, u64, f64)]) -> BatchOutcome {
+        let chunk_size = self.config.chunk_size.max(1);
+        let raw_chunks = self.config.raw_chunks;
+        let mut outcome = BatchOutcome::default();
+        // 16 passes over the input beat one lock round-trip per sample: the
+        // scan is branch-predictable integer compares, and shards whose
+        // samples were all consumed earlier are skipped without locking.
+        let mut remaining = batch.len();
+        for shard in 0..SHARD_COUNT as u16 {
+            if remaining == 0 {
+                break;
+            }
+            let mut inner: Option<RwLockWriteGuard<'_, ShardInner>> = None;
+            for (index, &(handle, timestamp_ms, value)) in batch.iter().enumerate() {
+                if handle.shard != shard {
+                    continue;
+                }
+                remaining -= 1;
+                let inner = inner.get_or_insert_with(|| self.shared.shards[shard as usize].write());
+                if handle.generation != inner.generation
+                    || (handle.local as usize) >= inner.series.len()
+                {
+                    outcome.stale.push(index);
+                    continue;
+                }
+                let result = inner.series[handle.local as usize].append(
+                    Sample { timestamp_ms, value },
+                    chunk_size,
+                    raw_chunks,
+                );
+                if inner.record_append(result, timestamp_ms, chunk_size) {
+                    outcome.appended += 1;
+                } else {
+                    outcome.rejected += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Drops every series matching `selector` — chunks, head and index
+    /// entries — and returns how many series were removed.  Affected shards
+    /// bump their generation, so outstanding [`SeriesHandle`]s into them
+    /// become stale (reported, never misrouted).  This is the cardinality
+    /// clean-up knife: vanished scrape targets, renamed metrics, runaway
+    /// label values.
+    ///
+    /// Known limit: interned *symbols* (names, label keys/values) are never
+    /// reclaimed — dropping series frees their samples and index entries,
+    /// but an all-time-unique label value keeps its string in the symbol
+    /// table (symbol GC is an open roadmap item).
+    pub fn drop_series(&self, selector: &Selector) -> usize {
+        let plan = self.plan(selector);
+        if matches!(plan, SelectorPlan::Nothing) {
+            return 0;
+        }
+        let mut dropped = 0;
+        for shard in &self.shared.shards {
+            let mut inner = shard.write();
+            let victims = inner.matches(&plan);
+            if victims.is_empty() {
+                continue;
+            }
+            // `matches` returns ascending shard-local indices; walk them
+            // alongside a retain pass.
+            let mut next_victim = 0usize;
+            let mut local = 0u32;
+            let mut removed_samples = 0u64;
+            let mut removed_chunks = 0u64;
+            let mut removed_bytes = 0u64;
+            inner.series.retain(|series| {
+                let doomed = victims.get(next_victim) == Some(&local);
+                if doomed {
+                    next_victim += 1;
+                    removed_samples += series.sample_count();
+                    removed_chunks += series.chunk_total();
+                    removed_bytes += series.resident_bytes();
+                }
+                local += 1;
+                !doomed
+            });
+            dropped += victims.len();
+            inner.samples -= removed_samples;
+            inner.chunks -= removed_chunks;
+            inner.bytes = inner.bytes.saturating_sub(removed_bytes);
+            inner.rebuild_after_removal();
+            inner.refresh_time_bounds();
+        }
+        dropped
     }
 
     /// Slow path: intern the key and register the series in the shard's
@@ -428,17 +739,21 @@ impl TimeSeriesDb {
         inner.series.push(MemSeries {
             id,
             name: name_arc,
+            name_sym,
             labels: label_arcs.into(),
             label_syms: label_syms.into_boxed_slice(),
             sealed: Vec::new(),
             head: Vec::with_capacity(self.config.chunk_size.max(1)),
+            ever_appended: false,
         });
         local
     }
 
-    /// Number of distinct series.
+    /// Number of live series, folded from the shards in O(shards).  (Evicted
+    /// and dropped series no longer count; the total ever created is the
+    /// upper bound of [`SeriesId`] values.)
     pub fn series_count(&self) -> usize {
-        self.shared.next_id.load(Ordering::Relaxed) as usize
+        self.shared.shards.iter().map(|s| s.read().series.len()).sum()
     }
 
     /// Number of distinct interned strings (metric names, label keys, label
@@ -546,6 +861,13 @@ impl TimeSeriesDb {
 
     /// Applies the retention policy relative to the newest stored timestamp.
     /// Returns the number of samples dropped.
+    ///
+    /// A series whose every chunk ages out is **evicted** — its key leaves
+    /// the index and the shard bumps its generation, so cached
+    /// [`SeriesHandle`]s into that shard become stale (see [`SeriesHandle`]).
+    /// A target that stops exporting a metric therefore stops costing index
+    /// space one retention window later, instead of leaking a dead series
+    /// forever.
     pub fn apply_retention(&self) -> usize {
         let Some(newest) = self.newest_timestamp() else { return 0 };
         let cutoff = newest.saturating_sub(self.config.retention_ms);
@@ -555,12 +877,14 @@ impl TimeSeriesDb {
             let mut dropped_samples = 0u64;
             let mut dropped_chunks = 0u64;
             let mut dropped_bytes = 0u64;
+            let mut drained = false;
             let mut min_ts = None;
             for series in &mut inner.series {
                 let (samples, chunks, bytes) = series.drop_before(cutoff);
                 dropped_samples += samples as u64;
                 dropped_chunks += chunks as u64;
                 dropped_bytes += bytes;
+                drained |= series.is_drained();
                 min_ts = match (min_ts, series.first_timestamp()) {
                     (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
                     (a, b) => a.or(b),
@@ -569,7 +893,17 @@ impl TimeSeriesDb {
             inner.samples -= dropped_samples;
             inner.chunks -= dropped_chunks;
             inner.bytes = inner.bytes.saturating_sub(dropped_bytes);
-            inner.min_ts = min_ts;
+            if drained {
+                // Evicting renumbers the shard; the second walk to refresh
+                // both time bounds only runs on this rare path.
+                inner.series.retain(|series| !series.is_drained());
+                inner.rebuild_after_removal();
+                inner.refresh_time_bounds();
+            } else {
+                // Dropping old data can only raise the minimum (folded for
+                // free above); the maximum is untouched by retention.
+                inner.min_ts = min_ts;
+            }
             dropped_total += dropped_samples as usize;
         }
         dropped_total
@@ -865,5 +1199,174 @@ mod tests {
         let clone = db.clone();
         clone.append("m", &Labels::new(), 1, 1.0);
         assert_eq!(db.series_count(), 1);
+    }
+
+    #[test]
+    fn handles_resolve_once_and_batch_append() {
+        let db = TimeSeriesDb::new();
+        let keys: Vec<(String, Labels)> = (0..64)
+            .map(|i| (format!("metric_{}", i % 4), labels(&[("idx", &format!("{i}"))])))
+            .collect();
+        let handles: Vec<_> = keys.iter().map(|(n, l)| db.resolve(n, l)).collect();
+        assert_eq!(db.series_count(), 64, "resolve creates series on first use");
+        // Re-resolving returns the same handle.
+        for ((n, l), h) in keys.iter().zip(&handles) {
+            assert_eq!(db.resolve(n, l), *h);
+            assert!(db.handle_live(*h));
+        }
+
+        let batch: Vec<(SeriesHandle, u64, f64)> =
+            handles.iter().enumerate().map(|(i, &h)| (h, 1_000, i as f64)).collect();
+        let outcome = db.append_batch(&batch);
+        assert_eq!(outcome.appended, 64);
+        assert_eq!(outcome.rejected, 0);
+        assert!(outcome.stale.is_empty());
+
+        // Batched contents equal per-sample contents.
+        let other = TimeSeriesDb::new();
+        for (i, (n, l)) in keys.iter().enumerate() {
+            other.append(n, l, 1_000, i as f64);
+        }
+        assert_eq!(db.stats(), other.stats());
+        let (a, b) = (db.select(&Selector::all()), other.select(&Selector::all()));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.to_labels(), y.to_labels());
+            assert_eq!(x.points_in(0, u64::MAX), y.points_in(0, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn batch_rejections_and_duplicate_handles_match_per_sample_semantics() {
+        let db = TimeSeriesDb::new();
+        let l = labels(&[("node", "n1")]);
+        let h = db.resolve("m", &l);
+        // In-order, duplicate-timestamp and out-of-order samples for the same
+        // handle within one batch behave exactly like sequential appends.
+        let outcome =
+            db.append_batch(&[(h, 1_000, 1.0), (h, 1_000, 2.0), (h, 500, 3.0), (h, 2_000, 4.0)]);
+        assert_eq!(outcome.appended, 3);
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(db.stats().rejected_samples, 1);
+        let points = db.query_range(&Selector::metric("m"), 0, u64::MAX);
+        assert_eq!(points[0].points, vec![(1_000, 1.0), (1_000, 2.0), (2_000, 4.0)]);
+        assert_eq!(db.append_handle(h, 2_500, 5.0), HandleAppend::Appended);
+        assert_eq!(db.append_handle(h, 100, 0.0), HandleAppend::Rejected);
+    }
+
+    #[test]
+    fn drop_series_invalidates_handles_and_index() {
+        let db = TimeSeriesDb::new();
+        let keep = labels(&[("node", "n1")]);
+        let drop = labels(&[("node", "n2")]);
+        let h_keep = db.resolve("m", &keep);
+        let h_drop = db.resolve("m", &drop);
+        db.append_handle(h_keep, 1_000, 1.0);
+        db.append_handle(h_drop, 1_000, 2.0);
+
+        assert_eq!(db.drop_series(&Selector::metric("m").with_label("node", "n2")), 1);
+        assert_eq!(db.series_count(), 1);
+        assert!(db.select(&Selector::all().with_label("node", "n2")).is_empty());
+        let stats = db.stats();
+        assert_eq!((stats.series, stats.samples, stats.chunks), (1, 1, 1));
+
+        // Both handles lived in some shard; any handle into a rebuilt shard
+        // is stale now — appending through it must never hit another series.
+        let generations = db.shard_generations();
+        for (h, key) in [(h_keep, &keep), (h_drop, &drop)] {
+            if db.handle_live_under(h, &generations) {
+                assert_eq!(db.append_handle(h, 2_000, 9.0), HandleAppend::Appended);
+            } else {
+                assert!(!db.handle_live(h));
+                assert_eq!(db.append_handle(h, 2_000, 9.0), HandleAppend::Stale);
+                // Re-resolving repairs the fast lane.
+                let fresh = db.resolve("m", key);
+                assert_eq!(db.append_handle(fresh, 2_000, 9.0), HandleAppend::Appended);
+            }
+        }
+        // Nothing about n2's old data leaked into n1.
+        let n1 = db.query_range(&Selector::metric("m").with_label("node", "n1"), 0, u64::MAX);
+        assert_eq!(n1[0].points.first(), Some(&(1_000, 1.0)));
+        assert_eq!(db.drop_series(&Selector::metric("missing")), 0);
+    }
+
+    #[test]
+    fn batch_reports_stale_handles_mid_round() {
+        let db = TimeSeriesDb::new();
+        let a = db.resolve("m", &labels(&[("node", "n1")]));
+        let b = db.resolve("gone", &labels(&[("node", "n1")]));
+        db.append_batch(&[(a, 1_000, 1.0), (b, 1_000, 1.0)]);
+        // The drop lands between two rounds of a cached scraper: the cache
+        // still holds handles resolved under the old generation.
+        db.drop_series(&Selector::metric("gone"));
+        let outcome = db.append_batch(&[(a, 2_000, 2.0), (b, 2_000, 2.0)]);
+        let fresh_appends = outcome.appended;
+        // Every input either appended or came back stale — none vanished and
+        // none was misrouted into a surviving series.
+        assert_eq!(fresh_appends as usize + outcome.stale.len(), 2);
+        for &idx in &outcome.stale {
+            let (_, ts, v) = [(a, 2_000u64, 2.0f64), (b, 2_000, 2.0)][idx];
+            let key = if idx == 0 { "m" } else { "gone" };
+            let fresh = db.resolve(key, &labels(&[("node", "n1")]));
+            assert_eq!(db.append_handle(fresh, ts, v), HandleAppend::Appended);
+        }
+        let m = db.query_range(&Selector::metric("m"), 0, u64::MAX);
+        assert_eq!(m[0].points, vec![(1_000, 1.0), (2_000, 2.0)], "no lost samples for m");
+        let gone = db.query_range(&Selector::metric("gone"), 0, u64::MAX);
+        assert_eq!(gone[0].points, vec![(2_000, 2.0)], "re-resolved series got the new sample");
+    }
+
+    #[test]
+    fn retention_evicts_fully_aged_series() {
+        let db = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 4,
+            retention_ms: 10_000,
+            raw_chunks: false,
+        });
+        let dead = labels(&[("node", "old")]);
+        let live = labels(&[("node", "new")]);
+        let dead_handle = db.resolve("m", &dead);
+        for t in 0..8u64 {
+            db.append_handle(dead_handle, t * 1_000, 1.0);
+        }
+        for t in 0..40u64 {
+            db.append("m", &live, t * 1_000, 2.0);
+        }
+        let dropped = db.apply_retention();
+        assert!(dropped > 0);
+        // The dead series aged out entirely: evicted from storage and index.
+        assert_eq!(db.series_count(), 1);
+        assert!(db.select(&Selector::all().with_label("node", "old")).is_empty());
+        assert_eq!(db.stats().series, 1);
+        assert_eq!(db.append_handle(dead_handle, 50_000, 1.0), HandleAppend::Stale);
+        // The survivor still answers, and its creation-order id is retained.
+        let results = db.query_range(&Selector::metric("m"), 0, u64::MAX);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].labels.get("node"), Some("new"));
+        // A re-resolved key gets a fresh series (new id, empty history).
+        let reborn = db.resolve("m", &dead);
+        assert_eq!(db.append_handle(reborn, 60_000, 3.0), HandleAppend::Appended);
+        assert_eq!(db.series_count(), 2);
+    }
+
+    #[test]
+    fn retention_spares_resolved_but_never_appended_series() {
+        let db = TimeSeriesDb::with_config(TsdbConfig {
+            chunk_size: 4,
+            retention_ms: 5_000,
+            raw_chunks: false,
+        });
+        db.append("old", &Labels::new(), 1_000, 1.0);
+        db.append("old", &Labels::new(), 100_000, 1.0);
+        // Resolved (e.g. by a scrape cache mid-build) but not yet written.
+        let pending = db.resolve("pending", &labels(&[("node", "n1")]));
+        db.apply_retention();
+        // The empty-but-new series survives and its handle stays live — a
+        // maintenance pass between resolve and first append must not
+        // invalidate every handle in the shard.
+        assert!(db.handle_live(pending));
+        assert_eq!(db.append_handle(pending, 100_000, 2.0), HandleAppend::Appended);
+        assert_eq!(db.series_count(), 2);
     }
 }

@@ -1,0 +1,155 @@
+//! Code-level proof that a warm steady-state scrape round is
+//! **allocation-free end to end**: collect (an endpoint refreshing its
+//! snapshots in place) → scrape-cache hit (structural hash + equality over
+//! borrowed data) → shard-batched append → meta-metrics + storage
+//! self-monitoring gauges.  A counting global allocator wraps the system
+//! allocator, and after warm-up whole rounds must perform zero heap
+//! allocations.
+//!
+//! Companion to `alloc_free_append.rs`, which proves the same property for
+//! the raw `TimeSeriesDb::append` hot path in isolation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue};
+use teemon_tsdb::{MetricsEndpoint, ScrapeError, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// A collector-style endpoint that owns its snapshots and refreshes them
+/// **in place** each round (gauges move, counters accumulate — no point is
+/// added or removed, no string rebuilt).  This is the collect step of a
+/// steady-state round: the exporter's series set is fixed, only values
+/// change, so nothing needs to allocate.
+struct InPlaceEndpoint(Mutex<Vec<FamilySnapshot>>);
+
+impl InPlaceEndpoint {
+    fn new(series_per_family: usize) -> Self {
+        let mut families = Vec::new();
+        let mut gauges = FamilySnapshot::new("sgx_nr_free_pages", "free pages", MetricKind::Gauge);
+        let mut counters =
+            FamilySnapshot::new("teemon_syscalls_total", "syscalls", MetricKind::Counter);
+        for i in 0..series_per_family {
+            let labels = Labels::from_pairs([("idx", format!("{i}")), ("node", "n1".to_string())]);
+            gauges.points.push(MetricPoint::new(labels.clone(), PointValue::Gauge(24_000.0)));
+            counters.points.push(MetricPoint::new(labels, PointValue::Counter(0.0)));
+        }
+        families.push(gauges);
+        families.push(counters);
+        Self(Mutex::new(families))
+    }
+}
+
+impl MetricsEndpoint for InPlaceEndpoint {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        Ok(self.0.lock().clone())
+    }
+
+    fn scrape_visit(&self, visit: &mut dyn FnMut(&[FamilySnapshot])) -> Result<(), ScrapeError> {
+        let mut families = self.0.lock();
+        for family in families.iter_mut() {
+            for point in &mut family.points {
+                match &mut point.value {
+                    PointValue::Gauge(v) => *v -= 1.0,
+                    PointValue::Counter(v) => *v += 17.0,
+                    _ => {}
+                }
+            }
+        }
+        visit(&families);
+        Ok(())
+    }
+}
+
+#[test]
+fn steady_state_scrape_round_is_allocation_free() {
+    let db = TimeSeriesDb::new(); // chunk_size 120: no chunk seals below
+    let scraper = Scraper::new(db.clone());
+    scraper.add_target(
+        ScrapeTargetConfig::new("sgx_exporter", "node-1:9090").with_label("node", "node-1"),
+        Arc::new(InPlaceEndpoint::new(24)),
+    );
+
+    // Warm-up: round 1 builds the scrape cache (captures identities,
+    // resolves handles, sizes the batch buffer) and creates every series
+    // including the meta-metrics; round 2 proves the cache holds.
+    let summary = scraper.scrape_round(5_000);
+    assert_eq!((summary.targets, summary.healthy), (1, 1));
+    assert_eq!(summary.samples_scraped, 48);
+    scraper.scrape_round(10_000);
+
+    let before = allocations();
+    for round in 3..40u64 {
+        let summary = scraper.scrape_round(round * 5_000);
+        assert_eq!(summary.samples_added, 48);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "a warm steady-state scrape round (collect -> cache hit -> batch append -> \
+         meta metrics) must not allocate"
+    );
+
+    // The rounds really happened: 37 measured + 2 warm-up rounds of samples.
+    assert_eq!(db.stats().samples, 39 * 48 + 39 * 4 + 39 * 3, "samples + meta + self gauges");
+}
+
+#[test]
+fn churn_repairs_then_returns_to_allocation_free() {
+    let db = TimeSeriesDb::new();
+    let scraper = Scraper::new(db.clone());
+    let endpoint = Arc::new(InPlaceEndpoint::new(8));
+    scraper.add_target(ScrapeTargetConfig::new("job", "n1:1"), endpoint.clone());
+    scraper.scrape_round(5_000);
+    scraper.scrape_round(10_000);
+
+    // A series appears: this round must repair (and may allocate)…
+    endpoint
+        .0
+        .lock()
+        .first_mut()
+        .unwrap()
+        .points
+        .push(MetricPoint::new(Labels::from_pairs([("idx", "extra")]), PointValue::Gauge(1.0)));
+    scraper.scrape_round(15_000);
+    scraper.scrape_round(20_000);
+
+    // …after which the enlarged round is allocation-free again.
+    let before = allocations();
+    for round in 5..12u64 {
+        scraper.scrape_round(round * 5_000);
+    }
+    assert_eq!(allocations() - before, 0, "post-churn rounds must be allocation-free again");
+}
