@@ -10,9 +10,10 @@
 //! sample counts for a fast correctness pass.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
 use std::hint::black_box;
 use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue};
 use teemon_tsdb::{
@@ -59,11 +60,11 @@ struct SteadyEndpoint(Mutex<Vec<FamilySnapshot>>);
 
 impl MetricsEndpoint for SteadyEndpoint {
     fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
-        Ok(self.0.lock().unwrap().clone())
+        Ok(self.0.lock().clone())
     }
 
     fn scrape_visit(&self, visit: &mut dyn FnMut(&[FamilySnapshot])) -> Result<(), ScrapeError> {
-        let mut families = self.0.lock().unwrap();
+        let mut families = self.0.lock();
         for family in families.iter_mut() {
             for point in &mut family.points {
                 if let PointValue::Gauge(v) = &mut point.value {
@@ -87,12 +88,12 @@ struct ChurnEndpoint {
 
 impl MetricsEndpoint for ChurnEndpoint {
     fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
-        Ok(self.families.lock().unwrap().clone())
+        Ok(self.families.lock().clone())
     }
 
     fn scrape_visit(&self, visit: &mut dyn FnMut(&[FamilySnapshot])) -> Result<(), ScrapeError> {
         let round = self.round.fetch_add(1, Ordering::Relaxed);
-        let mut families = self.families.lock().unwrap();
+        let mut families = self.families.lock();
         let points = &mut families[0].points;
         let len = points.len();
         let start = (round as usize).wrapping_mul(self.churn) % len.max(1);

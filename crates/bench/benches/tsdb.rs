@@ -10,9 +10,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::RwLock;
 use std::hint::black_box;
 use teemon_metrics::Labels;
 use teemon_tsdb::{Sample, Selector, Series, TimeSeriesDb};
@@ -55,7 +55,7 @@ struct LinearInner {
 
 impl LinearScanDb {
     fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         let idx = match inner.index.get(&(name.to_string(), labels.clone())) {
             Some(idx) => *idx,
             None => {
@@ -71,7 +71,6 @@ impl LinearScanDb {
     fn select(&self, selector: &Selector) -> Vec<Series> {
         self.inner
             .read()
-            .unwrap()
             .series
             .iter()
             .filter(|s| selector.matches(&s.name, &s.labels))
@@ -82,7 +81,6 @@ impl LinearScanDb {
     fn query_instant(&self, selector: &Selector, at_ms: u64) -> Vec<(String, Labels, f64)> {
         self.inner
             .read()
-            .unwrap()
             .series
             .iter()
             .filter(|s| selector.matches(&s.name, &s.labels))

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{LockClass, RwLock};
 
 use crate::error::MetricError;
 use crate::label::{Labels, MetricName};
@@ -52,7 +52,7 @@ impl<M: Clone + Send + Sync + 'static> MetricFamily<M> {
             help: Arc::new(help.into()),
             kind,
             make: Arc::new(make),
-            instances: Arc::new(RwLock::new(HashMap::new())),
+            instances: Arc::new(RwLock::named(HashMap::new(), LockClass::new("metrics.family"))),
         })
     }
 

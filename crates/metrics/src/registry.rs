@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{LockClass, RwLock};
 
 use crate::error::MetricError;
 use crate::family::{CounterFamily, GaugeFamily, HistogramFamily, SummaryFamily};
@@ -81,7 +81,10 @@ impl Registry {
     /// (e.g. `{node="worker-3"}`), the way DaemonSet-deployed exporters tag
     /// their metrics with the node they run on.
     pub fn with_constant_labels(constant_labels: Labels) -> Self {
-        Self { inner: Arc::new(RwLock::new(Vec::new())), constant_labels }
+        Self {
+            inner: Arc::new(RwLock::named(Vec::new(), LockClass::new("metrics.registry"))),
+            constant_labels,
+        }
     }
 
     fn check_duplicate(&self, name: &str) -> Result<(), MetricError> {

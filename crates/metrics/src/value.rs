@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 
 use crate::error::MetricError;
 
@@ -231,12 +231,10 @@ impl Histogram {
         let counts = vec![0; bounds.len()];
         Ok(Self {
             bounds: Arc::new(bounds),
-            inner: Arc::new(Mutex::new(HistogramInner {
-                counts,
-                inf_count: 0,
-                sum: 0.0,
-                total: 0,
-            })),
+            inner: Arc::new(Mutex::named(
+                HistogramInner { counts, inf_count: 0, sum: 0.0, total: 0 },
+                LockClass::new("metrics.value"),
+            )),
         })
     }
 
@@ -383,7 +381,7 @@ impl Summary {
         Ok(Self {
             quantiles: Arc::new(quantiles),
             capacity: capacity.max(1),
-            inner: Arc::new(Mutex::new(SummaryInner::default())),
+            inner: Arc::new(Mutex::named(SummaryInner::default(), LockClass::new("metrics.value"))),
         })
     }
 

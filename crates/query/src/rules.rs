@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use teemon_analysis::{Severity, Threshold, ThresholdKind};
 use teemon_metrics::Labels;
 use teemon_tsdb::TimeSeriesDb;
@@ -230,7 +230,11 @@ pub struct RuleEngine {
 impl RuleEngine {
     /// Creates an engine over `db` with no groups.
     pub fn new(db: TimeSeriesDb) -> Self {
-        Self { engine: QueryEngine::new(db.clone()), db, inner: Mutex::new(Vec::new()) }
+        Self {
+            engine: QueryEngine::new(db.clone()),
+            db,
+            inner: Mutex::named(Vec::new(), LockClass::new("query.rules")),
+        }
     }
 
     /// Adds a rule group.

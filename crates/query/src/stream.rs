@@ -87,9 +87,9 @@ impl StreamPlan {
                 let mut points: Vec<Vec<(u64, f64)>> = vec![Vec::new(); keys.len()];
                 for_each_step(start_ms, end_ms, step_ms, |t| {
                     root.step(t, &mut out);
-                    for (slot, value) in out.iter().enumerate() {
+                    for (value, series_points) in out.iter().zip(points.iter_mut()) {
                         if let Some(v) = value {
-                            points[slot].push((t, *v));
+                            series_points.push((t, *v));
                         }
                     }
                 });
@@ -140,7 +140,7 @@ pub fn plan(
     // the per-step accumulator; that shape stays on the fallback path.
     let mut sorted: Vec<&SeriesKey> = keys.iter().collect();
     sorted.sort();
-    if sorted.windows(2).any(|w| w[0] == w[1]) {
+    if sorted.iter().zip(sorted.iter().skip(1)).any(|(a, b)| a == b) {
         return None;
     }
     Some(StreamPlan { kind: PlanKind::Vector { root, keys } })
@@ -222,6 +222,7 @@ fn plan_vector(
             unique.dedup();
             let slot_group: Vec<usize> = group_labels
                 .iter()
+                // teemon-verify: allow(no-unwrap): invariant — `unique` is a sorted dedup of these exact labels
                 .map(|labels| unique.binary_search(labels).expect("deduped from the same set"))
                 .collect();
             let keys: Vec<SeriesKey> = unique.into_iter().map(|labels| (None, labels)).collect();
@@ -320,11 +321,16 @@ impl Node {
                 // therefore bit-identical floats) as the per-step aggregator.
                 for (value, &group) in scratch.iter().zip(slot_group.iter()) {
                     let Some(v) = value else { continue };
-                    acc_count[group] += 1;
+                    let (Some(count), Some(acc)) =
+                        (acc_count.get_mut(group), acc_value.get_mut(group))
+                    else {
+                        continue; // unreachable: groups were built from these slots
+                    };
+                    *count += 1;
                     match op {
-                        AggregateOp::Sum | AggregateOp::Avg => acc_value[group] += v,
-                        AggregateOp::Min => acc_value[group] = acc_value[group].min(*v),
-                        AggregateOp::Max => acc_value[group] = acc_value[group].max(*v),
+                        AggregateOp::Sum | AggregateOp::Avg => *acc += v,
+                        AggregateOp::Min => *acc = acc.min(*v),
+                        AggregateOp::Max => *acc = acc.max(*v),
                         AggregateOp::Count => {}
                     }
                 }
@@ -605,8 +611,10 @@ impl WindowMachine {
                 if self.pairs.drifted() {
                     self.rebuild_pairs();
                 }
-                let (t0, _) = *self.window.front().expect("len >= 2");
-                let (t1, _) = *self.window.back().expect("len >= 2");
+                let (t0, t1) = match (self.window.front(), self.window.back()) {
+                    (Some(&(t0, _)), Some(&(t1, _))) => (t0, t1),
+                    _ => return None,
+                };
                 if t1 <= t0 {
                     return None;
                 }

@@ -45,7 +45,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{LockClass, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use teemon_metrics::{
     exposition, identity, CollectError, Collector, FamilySnapshot, Labels, MetricError, SeriesKey,
@@ -458,7 +458,9 @@ impl Scraper {
     pub fn new(db: TimeSeriesDb) -> Self {
         Self {
             db,
-            targets: Arc::new(RwLock::new(Vec::new())),
+            // Lock order during a round: targets (read) → target cache →
+            // storage shard; registered with the audit under those names.
+            targets: Arc::new(RwLock::named(Vec::new(), LockClass::new("scrape.targets"))),
             scrape_interval_ms: Self::DEFAULT_INTERVAL_MS,
             ingest: IngestMode::default(),
         }
@@ -501,7 +503,7 @@ impl Scraper {
             config,
             endpoint,
             base_labels,
-            cache: Mutex::new(TargetCache::default()),
+            cache: Mutex::named(TargetCache::default(), LockClass::new("scrape.target_cache")),
             last_scrape_ms: AtomicU64::new(NEVER),
         });
     }
@@ -692,8 +694,14 @@ impl Scraper {
             // cannot be stale — a stale handle may cost extra work but never
             // loses a sample.
             for &index in &outcome.stale {
-                let (_, timestamp_ms, value) = cache.batch[index];
-                let entry = &mut cache.entries[index];
+                // Stale indices address the batch the appender just consumed;
+                // the get-based destructuring keeps the round panic-free even
+                // if that invariant ever broke.
+                let (Some(&(_, timestamp_ms, value)), Some(entry)) =
+                    (cache.batch.get(index), cache.entries.get_mut(index))
+                else {
+                    continue;
+                };
                 entry.handle = self.db.resolve(entry.key.name(), &entry.merged);
                 match self.db.append_handle(entry.handle, timestamp_ms, value) {
                     HandleAppend::Appended => ingested += 1,

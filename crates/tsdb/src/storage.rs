@@ -36,7 +36,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockWriteGuard};
+use parking_lot::{LockClass, RwLock, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
 
@@ -208,6 +208,10 @@ impl MemSeries {
         self.ever_appended = true;
         let mut sealed_bytes = None;
         if self.head.len() >= chunk_size {
+            // Sealing is the one allocating step in a chunk's lifetime; the
+            // lock audit's no-alloc check is suspended for it explicitly.
+            #[cfg(lock_audit)]
+            let _allow = parking_lot::audit::allow_alloc();
             let samples = std::mem::replace(&mut self.head, Vec::with_capacity(chunk_size));
             let chunk = Chunk::sealed(samples, !raw_chunks);
             sealed_bytes = Some(chunk.data_bytes());
@@ -229,6 +233,7 @@ impl MemSeries {
         let a = self.head.partition_point(|s| s.timestamp_ms < start_ms);
         let b = self.head.partition_point(|s| s.timestamp_ms <= end_ms);
         out.reserve(b.saturating_sub(a));
+        // teemon-verify: allow(no-index): partition_point bounds satisfy a <= b <= len
         out.extend(self.head[a..b].iter().map(|s| (s.timestamp_ms, s.value)));
         out
     }
@@ -321,6 +326,7 @@ struct PreHashed(u64);
 
 impl Hasher for PreHashed {
     fn write(&mut self, _bytes: &[u8]) {
+        // teemon-verify: allow(no-panic): invariant — this hasher is only built for u64-keyed maps
         unreachable!("key index only hashes u64 keys");
     }
 
@@ -353,13 +359,28 @@ struct ShardInner {
 }
 
 impl ShardInner {
+    /// The series at shard-local index `local`.  The only raw series indexing
+    /// in the crate: every caller passes an index from the key index or the
+    /// postings, maintained under the same shard lock, or has validated it
+    /// against `series.len()` under the current generation.
+    fn series_at(&self, local: u32) -> &MemSeries {
+        // teemon-verify: allow(no-index): shard-local indices come from the key index/postings under this lock
+        &self.series[local as usize]
+    }
+
+    /// Mutable sibling of [`ShardInner::series_at`], same invariant.
+    fn series_at_mut(&mut self, local: u32) -> &mut MemSeries {
+        // teemon-verify: allow(no-index): shard-local indices come from the key index/postings under this lock
+        &mut self.series[local as usize]
+    }
+
     /// Borrowed-key lookup: no allocation, no string clone.
     fn find(&self, key_hash: u64, name: &str, labels: &Labels) -> Option<u32> {
         self.key_index
             .get(&key_hash)?
             .iter()
             .copied()
-            .find(|&local| self.series[local as usize].key_matches(name, labels))
+            .find(|&local| self.series_at(local).key_matches(name, labels))
     }
 
     /// Folds the result of one [`MemSeries::append`] into the shard
@@ -400,6 +421,7 @@ impl ShardInner {
         self.key_index.clear();
         self.postings = Postings::default();
         for (local, series) in self.series.iter().enumerate() {
+            // teemon-verify: allow(no-unwrap): invariant — u32 handles cap a shard at 2^32 series, unreachable in memory
             let local = u32::try_from(local).expect("fewer than 2^32 series per shard");
             let hash = series_key_hash_pairs(
                 &series.name,
@@ -428,7 +450,7 @@ impl ShardInner {
         let neq = plan.neq_pairs();
         if !neq.is_empty() {
             candidates.retain(|&local| {
-                let series = &self.series[local as usize];
+                let series = self.series_at(local);
                 neq.iter().all(|&(key, value)| {
                     series.label_value_sym(key).map(|actual| actual != value).unwrap_or(false)
                 })
@@ -447,10 +469,30 @@ struct DbShared {
 impl Default for DbShared {
     fn default() -> Self {
         Self {
-            symbols: RwLock::default(),
-            shards: std::array::from_fn(|_| RwLock::default()),
+            // Lock audit classes (see `parking_lot::audit`): the shard locks
+            // are `ordered` (multi-hold only via the ascending ordered path)
+            // and `no_alloc` (the append hot path must not allocate while a
+            // shard is write-locked); the symbol table is acquired *after* a
+            // shard on the creation path, never the other way around.
+            symbols: RwLock::named(SymbolTable::default(), LockClass::new("tsdb.symbols")),
+            shards: std::array::from_fn(|i| {
+                RwLock::named(
+                    ShardInner::default(),
+                    LockClass::new("tsdb.shard").instance(i as u32).ordered().no_alloc(),
+                )
+            }),
             next_id: AtomicU64::new(0),
         }
+    }
+}
+
+impl DbShared {
+    /// The lock shard at `index`.  Masked with `SHARD_COUNT - 1`, so the
+    /// accessor itself can never panic; every caller derives `index` from a
+    /// key hash or a [`SeriesHandle`], both already in range.
+    fn shard(&self, index: usize) -> &RwLock<ShardInner> {
+        // teemon-verify: allow(no-index): masked by SHARD_COUNT - 1, always in bounds
+        &self.shards[index & (SHARD_COUNT - 1)]
     }
 }
 
@@ -511,14 +553,14 @@ impl TimeSeriesDb {
     /// allocate.
     pub fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
         let key_hash = series_key_hash(name, labels);
-        let mut inner = self.shared.shards[shard_of(key_hash)].write();
+        let mut inner = self.shared.shard(shard_of(key_hash)).write();
         let local = match inner.find(key_hash, name, labels) {
             Some(local) => local,
             None => self.create_series(&mut inner, key_hash, name, labels),
         };
         let chunk_size = self.config.chunk_size.max(1);
         let raw_chunks = self.config.raw_chunks;
-        let result = inner.series[local as usize].append(
+        let result = inner.series_at_mut(local).append(
             Sample { timestamp_ms, value },
             chunk_size,
             raw_chunks,
@@ -537,12 +579,12 @@ impl TimeSeriesDb {
         let shard = shard_of(key_hash);
         {
             // Optimistic read: steady-state re-resolves share the lock.
-            let inner = self.shared.shards[shard].read();
+            let inner = self.shared.shard(shard).read();
             if let Some(local) = inner.find(key_hash, name, labels) {
                 return SeriesHandle { shard: shard as u16, local, generation: inner.generation };
             }
         }
-        let mut inner = self.shared.shards[shard].write();
+        let mut inner = self.shared.shard(shard).write();
         let local = match inner.find(key_hash, name, labels) {
             Some(local) => local,
             None => self.create_series(&mut inner, key_hash, name, labels),
@@ -553,7 +595,7 @@ impl TimeSeriesDb {
     /// `true` when `handle` still addresses a live series (its shard has not
     /// evicted or dropped series since the handle was resolved).
     pub fn handle_live(&self, handle: SeriesHandle) -> bool {
-        let inner = self.shared.shards[handle.shard as usize].read();
+        let inner = self.shared.shard(handle.shard as usize).read();
         handle.generation == inner.generation && (handle.local as usize) < inner.series.len()
     }
 
@@ -561,7 +603,7 @@ impl TimeSeriesDb {
     /// cache snapshots these once per repair pass to validate a batch of
     /// handles without locking per handle.
     pub fn shard_generations(&self) -> [u64; SHARD_COUNT] {
-        std::array::from_fn(|i| self.shared.shards[i].read().generation)
+        std::array::from_fn(|i| self.shared.shard(i).read().generation)
     }
 
     /// Whether `handle` is still live under the given generation snapshot
@@ -571,7 +613,7 @@ impl TimeSeriesDb {
         handle: SeriesHandle,
         generations: &[u64; SHARD_COUNT],
     ) -> bool {
-        generations[handle.shard as usize] == handle.generation
+        generations.get(handle.shard as usize).is_some_and(|&g| g == handle.generation)
     }
 
     /// Appends one sample through a resolved handle.  Unlike
@@ -587,11 +629,11 @@ impl TimeSeriesDb {
     ) -> HandleAppend {
         let chunk_size = self.config.chunk_size.max(1);
         let raw_chunks = self.config.raw_chunks;
-        let mut inner = self.shared.shards[handle.shard as usize].write();
+        let mut inner = self.shared.shard(handle.shard as usize).write();
         if handle.generation != inner.generation || (handle.local as usize) >= inner.series.len() {
             return HandleAppend::Stale;
         }
-        let result = inner.series[handle.local as usize].append(
+        let result = inner.series_at_mut(handle.local).append(
             Sample { timestamp_ms, value },
             chunk_size,
             raw_chunks,
@@ -618,6 +660,12 @@ impl TimeSeriesDb {
         let chunk_size = self.config.chunk_size.max(1);
         let raw_chunks = self.config.raw_chunks;
         let mut outcome = BatchOutcome::default();
+        // This loop is the one approved multi-shard path: shards are visited
+        // in ascending index order, so under the lock audit it runs as an
+        // ordered section.  (Today each shard guard drops before the next is
+        // taken; the section future-proofs overlapping holds.)
+        #[cfg(lock_audit)]
+        let _ordered = parking_lot::audit::ordered_section();
         // 16 passes over the input beat one lock round-trip per sample: the
         // scan is branch-predictable integer compares, and shards whose
         // samples were all consumed earlier are skipped without locking.
@@ -632,14 +680,18 @@ impl TimeSeriesDb {
                     continue;
                 }
                 remaining -= 1;
-                let inner = inner.get_or_insert_with(|| self.shared.shards[shard as usize].write());
+                let inner = inner.get_or_insert_with(|| self.shared.shard(shard as usize).write());
                 if handle.generation != inner.generation
                     || (handle.local as usize) >= inner.series.len()
                 {
+                    // Stale handles are rare (a drop/retention pass raced the
+                    // round); growing the report is allowed to allocate.
+                    #[cfg(lock_audit)]
+                    let _allow = parking_lot::audit::allow_alloc();
                     outcome.stale.push(index);
                     continue;
                 }
-                let result = inner.series[handle.local as usize].append(
+                let result = inner.series_at_mut(handle.local).append(
                     Sample { timestamp_ms, value },
                     chunk_size,
                     raw_chunks,
@@ -673,6 +725,10 @@ impl TimeSeriesDb {
         let mut dropped = 0;
         for shard in &self.shared.shards {
             let mut inner = shard.write();
+            // Dropping series is a cold maintenance path: collecting victims
+            // and rebuilding the index allocate under the shard lock.
+            #[cfg(lock_audit)]
+            let _allow = parking_lot::audit::allow_alloc();
             let victims = inner.matches(&plan);
             if victims.is_empty() {
                 continue;
@@ -716,6 +772,11 @@ impl TimeSeriesDb {
         name: &str,
         labels: &Labels,
     ) -> u32 {
+        // First sight of a series key: interning, postings registration and
+        // the series record itself all allocate, by design, under the shard
+        // write lock the caller holds.
+        #[cfg(lock_audit)]
+        let _allow = parking_lot::audit::allow_alloc();
         let mut symbols = self.shared.symbols.write();
         let name_sym = symbols.intern(name);
         let name_arc = Arc::clone(symbols.resolve(name_sym));
@@ -733,6 +794,7 @@ impl TimeSeriesDb {
         drop(symbols);
 
         let id = SeriesId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        // teemon-verify: allow(no-unwrap): invariant — u32 handles cap a shard at 2^32 series, unreachable in memory
         let local = u32::try_from(inner.series.len()).expect("fewer than 2^32 series per shard");
         inner.postings.register(local, name_sym, &label_syms);
         inner.key_index.entry(key_hash).or_default().push(local);
@@ -765,7 +827,7 @@ impl TimeSeriesDb {
     /// Number of series per lock shard — a diagnostic for how evenly the
     /// series-key hash spreads ingest load.
     pub fn shard_series_counts(&self) -> [usize; SHARD_COUNT] {
-        std::array::from_fn(|i| self.shared.shards[i].read().series.len())
+        std::array::from_fn(|i| self.shared.shard(i).read().series.len())
     }
 
     /// Storage statistics, folded from the per-shard aggregates in O(shards).
@@ -801,7 +863,7 @@ impl TimeSeriesDb {
         for shard in &self.shared.shards {
             let inner = shard.read();
             for local in inner.matches(&plan) {
-                let series = &inner.series[local as usize];
+                let series = inner.series_at(local);
                 if let Some(value) = f(series) {
                     out.push((series.id, value));
                 }
@@ -874,6 +936,10 @@ impl TimeSeriesDb {
         let mut dropped_total = 0;
         for shard in &self.shared.shards {
             let mut inner = shard.write();
+            // Retention is a cold maintenance path; evicting drained series
+            // rebuilds the index, which allocates under the shard lock.
+            #[cfg(lock_audit)]
+            let _allow = parking_lot::audit::allow_alloc();
             let mut dropped_samples = 0u64;
             let mut dropped_chunks = 0u64;
             let mut dropped_bytes = 0u64;

@@ -1,0 +1,502 @@
+//! Rule engine: applies the configured rules to lexed files, honours
+//! `teemon-verify: allow(...)` escape comments, and walks the workspace.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, RuleConfig, ALLOW_DIRECTIVE_RULE, KNOWN_RULES};
+use crate::lexer::{self, Token, TokenKind};
+
+/// One finding.  `file` is repo-relative with `/` separators.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+/// The escape-comment marker.  Assembled from pieces so this source file
+/// never contains the marker verbatim — the scanner is substring-based and
+/// would otherwise read its own implementation as a directive.
+const DIRECTIVE: &str = concat!("// teemon-verify", ": allow(");
+
+/// Parsed allow directives for one file: suppressed rules per target line,
+/// plus violations against the directives themselves.
+struct Allows {
+    /// line -> rule names suppressed on that line.
+    suppressed: BTreeMap<u32, Vec<String>>,
+    directive_violations: Vec<(u32, String)>,
+}
+
+/// Scans raw source lines for escape comments.  A directive on its own line
+/// applies to the next line; a trailing directive applies to its own line.
+/// Every directive must name known rules and carry a non-empty
+/// `: justification` — failures are violations in their own right
+/// ([`ALLOW_DIRECTIVE_RULE`]), and are never suppressible.
+fn scan_allows(source: &str) -> Allows {
+    let mut allows = Allows { suppressed: BTreeMap::new(), directive_violations: Vec::new() };
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let Some(pos) = raw_line.find(DIRECTIVE) else { continue };
+        let standalone = raw_line[..pos].trim().is_empty();
+        let rest = &raw_line[pos + DIRECTIVE.len()..];
+        let Some(close) = rest.find(')') else {
+            allows
+                .directive_violations
+                .push((line_no, "malformed allow directive: missing `)`".to_string()));
+            continue;
+        };
+        let rules: Vec<&str> =
+            rest[..close].split(',').map(str::trim).filter(|r| !r.is_empty()).collect();
+        if rules.is_empty() {
+            allows
+                .directive_violations
+                .push((line_no, "allow directive names no rules".to_string()));
+            continue;
+        }
+        for rule in &rules {
+            if !KNOWN_RULES.contains(rule) {
+                allows
+                    .directive_violations
+                    .push((line_no, format!("allow directive names unknown rule `{rule}`")));
+            }
+        }
+        let justification = rest[close + 1..].strip_prefix(':').map(str::trim).unwrap_or_default();
+        if justification.is_empty() {
+            allows.directive_violations.push((
+                line_no,
+                "allow directive carries no justification (`allow(rule): why`)".to_string(),
+            ));
+        }
+        let target = if standalone { line_no + 1 } else { line_no };
+        allows.suppressed.entry(target).or_default().extend(rules.iter().map(|r| r.to_string()));
+    }
+    allows
+}
+
+/// Lints one file under the given rules.  `rel_path` is only used to label
+/// violations.
+pub fn check_file(rel_path: &str, source: &str, rules: &[&RuleConfig]) -> Vec<Violation> {
+    let allows = scan_allows(source);
+    let mut violations: Vec<Violation> = allows
+        .directive_violations
+        .iter()
+        .map(|(line, message)| Violation {
+            file: rel_path.to_string(),
+            line: *line,
+            rule: ALLOW_DIRECTIVE_RULE.to_string(),
+            message: message.clone(),
+        })
+        .collect();
+    if !rules.is_empty() {
+        let tokens = lexer::lex(source);
+        let mask = lexer::cfg_test_mask(&tokens);
+        let production: Vec<&Token> =
+            tokens.iter().zip(&mask).filter(|(_, &m)| !m).map(|(t, _)| t).collect();
+        let everything: Vec<&Token> = tokens.iter().collect();
+        for rule in rules {
+            let view = if rule.include_tests { &everything } else { &production };
+            let mut findings: Vec<(u32, String)> = Vec::new();
+            match rule.name.as_str() {
+                "no-unwrap" => rule_no_unwrap(view, &mut findings),
+                "no-panic" => rule_no_panic(view, &mut findings),
+                "no-index" => rule_no_index(view, &mut findings),
+                "no-std-sync" => rule_no_std_sync(view, &mut findings),
+                "no-wallclock" => rule_no_wallclock(view, &mut findings),
+                "shard-lock-nesting" => rule_shard_lock_nesting(view, rule, &mut findings),
+                _ => {} // config::parse already rejected unknown names
+            }
+            for (line, message) in findings {
+                let suppressed = allows
+                    .suppressed
+                    .get(&line)
+                    .is_some_and(|rules| rules.iter().any(|r| r == &rule.name));
+                if !suppressed {
+                    violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: rule.name.clone(),
+                        message,
+                    });
+                }
+            }
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// `.unwrap()` / `.expect(` and their `_err` twins: panicking extraction.
+fn rule_no_unwrap(tokens: &[&Token], out: &mut Vec<(u32, String)>) {
+    const PANICKING: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+    for w in tokens.windows(3) {
+        if w[0].is_punct('.')
+            && w[1].kind == TokenKind::Ident
+            && PANICKING.contains(&w[1].text.as_str())
+            && w[2].is_punct('(')
+        {
+            out.push((
+                w[1].line,
+                format!(
+                    "`.{}(...)` on a hot path — handle the None/Err arm or add a justified allow",
+                    w[1].text
+                ),
+            ));
+        }
+    }
+}
+
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations.
+fn rule_no_panic(tokens: &[&Token], out: &mut Vec<(u32, String)>) {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for w in tokens.windows(2) {
+        if w[0].kind == TokenKind::Ident
+            && MACROS.contains(&w[0].text.as_str())
+            && w[1].is_punct('!')
+        {
+            out.push((w[0].line, format!("`{}!` on a hot path", w[0].text)));
+        }
+    }
+}
+
+/// Rust keywords that legitimately precede `[` without it being an index
+/// expression (`&mut [u8]`, `let [a, b] = ...`, `return [0; 4]`, ...).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// `expr[...]`: panicking index/slice.  Heuristic: a `[` directly after a
+/// non-keyword identifier, a `)`, or a `]` is an index expression; anything
+/// else (`#[attr]`, `vec![...]`, `&[u8]`, array literals) is not.
+fn rule_no_index(tokens: &[&Token], out: &mut Vec<(u32, String)>) {
+    for w in tokens.windows(2) {
+        if !w[1].is_punct('[') {
+            continue;
+        }
+        let indexes = match w[0].kind {
+            TokenKind::Ident => !KEYWORDS.contains(&w[0].text.as_str()),
+            TokenKind::Punct(c) => c == ')' || c == ']',
+            _ => false,
+        };
+        if indexes {
+            out.push((
+                w[1].line,
+                "indexing without `.get(...)` on a hot path — out-of-range panics".to_string(),
+            ));
+        }
+    }
+}
+
+/// `std::sync::Mutex` / `std::sync::RwLock`, in paths and in use-groups
+/// (`use std::sync::{Arc, Mutex}`).  The project standard is the audited
+/// `parking_lot` shim; `Arc`, `mpsc`, and `atomic` stay fine.
+fn rule_no_std_sync(tokens: &[&Token], out: &mut Vec<(u32, String)>) {
+    const BANNED: &[&str] = &["Mutex", "RwLock", "Condvar"];
+    let mut i = 0;
+    while i + 5 < tokens.len() {
+        let path = tokens[i].is_ident("std")
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("sync")
+            && tokens[i + 4].is_punct(':')
+            && tokens[i + 5].is_punct(':');
+        if !path {
+            i += 1;
+            continue;
+        }
+        let after = i + 6;
+        match tokens.get(after) {
+            Some(t) if t.kind == TokenKind::Ident && BANNED.contains(&t.text.as_str()) => {
+                out.push((
+                    t.line,
+                    format!("`std::sync::{}` — use the audited `parking_lot` shim", t.text),
+                ));
+            }
+            Some(t) if t.is_punct('{') => {
+                // Use-group: flag banned idents anywhere inside the braces.
+                let mut depth = 0u32;
+                for t in &tokens[after..] {
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if t.kind == TokenKind::Ident && BANNED.contains(&t.text.as_str()) {
+                        out.push((
+                            t.line,
+                            format!(
+                                "`std::sync::{{..., {}}}` — use the audited `parking_lot` shim",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i = after;
+    }
+}
+
+/// `SystemTime::now` / `Instant::now`: query evaluation must take time as a
+/// parameter so results are reproducible and testable.
+fn rule_no_wallclock(tokens: &[&Token], out: &mut Vec<(u32, String)>) {
+    for w in tokens.windows(4) {
+        if w[0].kind == TokenKind::Ident
+            && (w[0].text == "SystemTime" || w[0].text == "Instant")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].is_ident("now")
+        {
+            out.push((
+                w[3].line,
+                format!(
+                    "`{}::now` in query evaluation — thread the timestamp in as a parameter",
+                    w[0].text
+                ),
+            ));
+        }
+    }
+}
+
+/// More than one raw shard-lock acquisition (`shard(...).write()`,
+/// `shards[i].read()`, `shard.write()`) in one function body risks the
+/// deadlocks the ordered batch path exists to prevent.  Functions on the
+/// `allow_fns` list (the ordered helpers themselves) are exempt.
+///
+/// Lexical heuristic: guards taken one-per-iteration inside iterator
+/// closures count once, which is exactly right — they cannot overlap.
+fn rule_shard_lock_nesting(tokens: &[&Token], rule: &RuleConfig, out: &mut Vec<(u32, String)>) {
+    struct Frame {
+        name: String,
+        body_depth: u32,
+        acquisitions: u32,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0u32;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t.is_ident("fn") {
+            if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                pending_fn = Some(name.text.clone());
+            }
+        } else if t.is_punct(';') {
+            pending_fn = None; // trait method declaration without a body
+        } else if t.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                stack.push(Frame { name, body_depth: depth, acquisitions: 0 });
+            }
+        } else if t.is_punct('}') {
+            if stack.last().is_some_and(|f| f.body_depth == depth) {
+                stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.kind == TokenKind::Ident && rule.receivers.iter().any(|r| r == &t.text) {
+            if let Some(line) = acquisition_after(tokens, i + 1) {
+                if let Some(frame) = stack.last_mut() {
+                    frame.acquisitions += 1;
+                    if frame.acquisitions == 2 && !rule.allow_fns.contains(&frame.name) {
+                        out.push((line, format!(
+                            "fn `{}` takes a second raw shard lock — go through the ordered batch path or list it in allow_fns",
+                            frame.name
+                        )));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// After a shard receiver at `tokens[start - 1]`: optionally one `(...)` or
+/// `[...]` group, then `.read(` or `.write(`.  Returns the acquisition line.
+fn acquisition_after(tokens: &[&Token], start: usize) -> Option<u32> {
+    let mut j = start;
+    if let Some(TokenKind::Punct(open @ ('(' | '['))) = tokens.get(j).map(|t| t.kind) {
+        let close = if open == '(' { ')' } else { ']' };
+        let mut depth = 0u32;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+    if tokens.get(j)?.is_punct('.')
+        && matches!(tokens.get(j + 1), Some(t) if t.is_ident("read") || t.is_ident("write"))
+        && tokens.get(j + 2)?.is_punct('(')
+    {
+        tokens.get(j + 1).map(|t| t.line)
+    } else {
+        None
+    }
+}
+
+/// Walks the configured roots under `repo_root`, lints every `.rs` file with
+/// the rules whose `paths` cover it, and returns (violations, files seen).
+pub fn check_workspace(
+    repo_root: &Path,
+    config: &Config,
+) -> Result<(Vec<Violation>, usize), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in &config.roots {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let rel = relative_path(repo_root, file);
+        if config.exclude.iter().any(|prefix| path_covered(&rel, prefix)) {
+            continue;
+        }
+        let applicable: Vec<&RuleConfig> = config
+            .rules
+            .iter()
+            .filter(|rule| rule.paths.iter().any(|prefix| path_covered(&rel, prefix)))
+            .collect();
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        checked += 1;
+        violations.extend(check_file(&rel, &source, &applicable));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((violations, checked))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build output and VCS internals are never lint targets.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative path with `/` separators (config prefixes are written that
+/// way on every platform).
+fn relative_path(repo_root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(repo_root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Component-aligned prefix match: `"crates/tsdb"` covers
+/// `crates/tsdb/src/lib.rs` but not `crates/tsdb2/...`; `""` covers all.
+fn path_covered(rel: &str, prefix: &str) -> bool {
+    prefix.is_empty()
+        || rel == prefix
+        || rel.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(name: &str) -> RuleConfig {
+        RuleConfig {
+            name: name.to_string(),
+            paths: vec![String::new()],
+            include_tests: false,
+            receivers: vec!["shard".into(), "shards".into()],
+            allow_fns: vec!["resolve".into()],
+        }
+    }
+
+    fn run(name: &str, source: &str) -> Vec<Violation> {
+        let r = rule(name);
+        check_file("test.rs", source, &[&r])
+    }
+
+    #[test]
+    fn unwrap_in_strings_comments_and_tests_is_ignored() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n  // x.unwrap()\n  let _s = \"y.unwrap()\";\n  x.unwrap_or(0)\n}\n#[cfg(test)]\nmod tests { fn t(x: Option<u32>) { x.unwrap(); } }";
+        assert!(run("no-unwrap", src).is_empty());
+        let hot = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(run("no-unwrap", hot).len(), 1);
+    }
+
+    #[test]
+    fn index_heuristic_separates_expressions_from_types_and_attrs() {
+        let clean = "#[derive(Debug)]\nfn f(buf: &mut [u8], v: Vec<u32>) -> [u8; 2] {\n  let [a, b] = [1u8, 2];\n  let _ = vec![a, b];\n  [a, b]\n}";
+        assert!(run("no-index", clean).is_empty());
+        let hot = "fn f(v: &[u32], i: usize) -> u32 { v[i] + v[..2][0] }";
+        assert_eq!(run("no-index", hot).len(), 3);
+    }
+
+    #[test]
+    fn std_sync_is_caught_in_paths_and_use_groups() {
+        let clean = "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::mpsc;";
+        assert!(run("no-std-sync", clean).is_empty());
+        let bad = "use std::sync::{Arc, Mutex};\ntype G = std::sync::RwLock<u32>;";
+        assert_eq!(run("no-std-sync", bad).len(), 2);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_justification_only() {
+        let marker = super::DIRECTIVE;
+        let justified = format!(
+            "fn f(x: Option<u32>) -> u32 {{\n  {marker}no-unwrap): checked above\n  x.unwrap()\n}}"
+        );
+        assert!(run("no-unwrap", &justified).is_empty());
+        let trailing = format!(
+            "fn f(x: Option<u32>) -> u32 {{\n  x.unwrap() {marker}no-unwrap): checked above\n}}"
+        );
+        assert!(run("no-unwrap", &trailing).is_empty());
+        let bare =
+            format!("fn f(x: Option<u32>) -> u32 {{\n  {marker}no-unwrap)\n  x.unwrap()\n}}");
+        let violations = run("no-unwrap", &bare);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, ALLOW_DIRECTIVE_RULE);
+    }
+
+    #[test]
+    fn shard_nesting_counts_per_fn_and_honours_the_allowlist() {
+        let clean = "impl Db {\n fn a(&self) { let _g = self.shard(0).read(); }\n fn b(&self) { let _g = self.shards[1].write(); }\n fn resolve(&self) { let _r = self.shard(0).read(); let _w = self.shard(0).write(); }\n}";
+        assert!(run("shard-lock-nesting", clean).is_empty());
+        let bad = "impl Db {\n fn rebalance(&self) { let a = self.shards[0].read(); let b = self.shards[1].read(); }\n}";
+        let violations = run("shard-lock-nesting", bad);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("rebalance"));
+    }
+
+    #[test]
+    fn wallclock_reads_are_flagged() {
+        let bad = "fn f() { let t = std::time::Instant::now(); let s = SystemTime::now(); }";
+        assert_eq!(run("no-wallclock", bad).len(), 2);
+        let clean = "fn f(now_ms: u64) -> u64 { Clock::now(now_ms) }";
+        assert!(run("no-wallclock", clean).is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! A minimal, total lexer for Rust source.
+//!
+//! The verifier needs just enough token structure to recognise patterns like
+//! `.unwrap()`, `ident[`, or `std :: sync :: Mutex` without being fooled by
+//! comments, strings, raw strings, char literals, or lifetimes — the places
+//! where a grep-based lint goes wrong.  It does **not** parse Rust: it
+//! produces a flat token stream with line numbers, and it never fails —
+//! malformed input degrades to punctuation tokens rather than an error, so
+//! the walker can lint a tree that does not even compile.
+
+/// What a token is, to the precision the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `std`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `:`, ...).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// The content is irrelevant to every rule, so it is not retained.
+    Literal,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals so
+    /// a quote never swallows real tokens.
+    Lifetime,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The identifier text; empty for every other kind.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into a flat token stream.  Comments and whitespace are
+/// dropped; line numbers are preserved on every token.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { bytes: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'r' | b'b' if self.try_string_prefix() => {}
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct(b as char), "");
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: &str) {
+        self.tokens.push(Token { kind, text: text.to_string(), line: self.line });
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and `b'…'` prefixes.
+    /// Returns false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier, which the caller then lexes normally.
+    fn try_string_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let mut look = self.pos;
+        if self.bytes.get(look) == Some(&b'b') {
+            look += 1;
+        }
+        let raw = self.bytes.get(look) == Some(&b'r');
+        if raw {
+            look += 1;
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(look) == Some(&b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        match self.bytes.get(look) {
+            Some(&b'"') if raw || hashes == 0 => {
+                self.pos = look + 1;
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_body();
+                }
+                self.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: self.line,
+                });
+                true
+            }
+            Some(&b'\'') if !raw && hashes == 0 && start != look => {
+                // b'…': a byte literal.
+                self.pos = look;
+                self.quote();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.pos += 1;
+        self.string_body();
+        self.push(TokenKind::Literal, "");
+    }
+
+    /// Consumes a (non-raw) string body up to and including the closing `"`.
+    fn string_body(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a raw string body up to and including `"` + `hashes` `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.bytes.get(self.pos + 1 + seen) == Some(&b'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal) at a
+    /// leading quote.
+    fn quote(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.pos += 2;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    self.pos += 1;
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, "");
+            }
+            Some(b) if is_ident_continue(b) => {
+                let mut end = self.pos + 1;
+                while self.bytes.get(end).copied().is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    self.push(TokenKind::Literal, "");
+                } else {
+                    self.pos = end;
+                    self.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                // A single non-identifier char: '(' and friends.
+                self.pos += 3;
+                self.push(TokenKind::Literal, "");
+            }
+            _ => {
+                self.push(TokenKind::Punct('\''), "");
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.bytes.get(self.pos).copied().is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, &text);
+    }
+
+    fn number(&mut self) {
+        // Digits plus suffix/alphanumeric continuation; `.` is left to
+        // punctuation so `0..n` and `1.max(2)` keep their structure.
+        while self.bytes.get(self.pos).copied().is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Literal, "");
+    }
+}
+
+/// Marks every token that lives under a `#[cfg(test)]` item (attribute
+/// included) so rules that only police production code can skip them.  The
+/// item is the attribute's target: any further attributes, then either a
+/// `;`-terminated item or a braced one, tracked by brace depth.
+pub fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start = i;
+            let mut j = skip_attr(tokens, i);
+            // Further attributes stacked on the same item.
+            while j < tokens.len()
+                && tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                j = skip_attr(tokens, j);
+            }
+            // The item body: ends at `;` before any brace, or at the close
+            // of the first brace group.
+            let mut depth = 0u32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(';') && depth == 0 {
+                    j += 1;
+                    break;
+                } else if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            for flag in mask.iter_mut().take(j).skip(start) {
+                *flag = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True when `tokens[i..]` starts `#[cfg(test)]` exactly.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let Some(window) = tokens.get(i..i + 7) else {
+        return false;
+    };
+    window[0].is_punct('#')
+        && window[1].is_punct('[')
+        && window[2].is_ident("cfg")
+        && window[3].is_punct('(')
+        && window[4].is_ident("test")
+        && window[5].is_punct(')')
+        && window[6].is_punct(']')
+}
+
+/// Given `tokens[i]` == `#` and `tokens[i+1]` == `[`, returns the index just
+/// past the attribute's closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0u32;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let src = r##"
+            // a.unwrap() in a comment
+            /* nested /* block */ b.unwrap() */
+            let s = "c.unwrap()";
+            let r = r#"d.unwrap()"#;
+            let b = b"e.unwrap()";
+            keep();
+        "##;
+        assert_eq!(idents(&lex(src)), ["let", "s", "let", "r", "let", "b", "keep"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let tokens = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let literals = tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!((lifetimes, literals), (2, 1));
+        // The escaped forms too.
+        let tokens = lex(r"let c = '\n'; let q = '\''; let p = '(';");
+        assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nafter();";
+        let tokens = lex(src);
+        let after = tokens.iter().find(|t| t.is_ident("after")).map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_whole_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn also_live() {}";
+        let tokens = lex(src);
+        let mask = cfg_test_mask(&tokens);
+        let visible = tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(visible, ["fn", "live", "fn", "also_live"]);
+    }
+
+    #[test]
+    fn cfg_test_mask_handles_semicolon_items_and_stacked_attrs() {
+        let src = "#[cfg(test)]\nuse helper::unwrap_all;\n#[cfg(test)]\n#[allow(dead_code)]\nfn t() { a.unwrap() }\nfn live() {}";
+        let tokens = lex(src);
+        let mask = cfg_test_mask(&tokens);
+        let visible = tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(visible, ["fn", "live"]);
+    }
+}

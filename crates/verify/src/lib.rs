@@ -1,0 +1,21 @@
+//! teemon-verify: the project-invariant linter.
+//!
+//! The hot paths of the TSDB make promises the type system cannot state —
+//! no panicking extraction under a shard lock, no `std::sync` primitives
+//! bypassing the audited `parking_lot` shim, no wall-clock reads inside
+//! query evaluation, no nested raw shard-lock acquisition outside the
+//! ordered helpers.  This crate enforces them with a dependency-free
+//! token-level walker (the container has no crates.io, so no `syn`):
+//!
+//! - [`lexer`]: a total lexer producing identifiers, punctuation, literals,
+//!   and lifetimes with line numbers, plus the `#[cfg(test)]` mask.
+//! - [`config`]: the `verify.toml` reader (rules, per-path scoping).
+//! - [`engine`]: the rules, the `teemon-verify: allow(rule): why` escape
+//!   comments (justification required), and the workspace walker.
+//!
+//! Run as `cargo run -p teemon-verify --release` from the repo root; the
+//! binary exits non-zero when any violation survives.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;

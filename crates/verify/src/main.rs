@@ -1,0 +1,68 @@
+//! CLI entry point: `teemon-verify [--config <verify.toml>] [repo-root]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use teemon_verify::{config, engine};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => match args.next() {
+                Some(path) => config_path = Some(PathBuf::from(path)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: teemon-verify [--config <verify.toml>] [repo-root]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let config_path = config_path.unwrap_or_else(|| root.join("verify.toml"));
+
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("teemon-verify: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match config::parse(&text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("teemon-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match engine::check_workspace(&root, &config) {
+        Ok((violations, checked)) if violations.is_empty() => {
+            println!("teemon-verify: OK — {checked} files, 0 violations");
+            ExitCode::SUCCESS
+        }
+        Ok((violations, checked)) => {
+            for v in &violations {
+                println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+            println!("teemon-verify: {} violation(s) in {checked} files", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("teemon-verify: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("teemon-verify: {problem}");
+    eprintln!("usage: teemon-verify [--config <verify.toml>] [repo-root]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,13 @@
+//! Trips `allow-directive`: escape hatches that don't follow the contract.
+//! The suppression itself still works (no `no-unwrap` violation surfaces) —
+//! the directive violations keep the gate red instead.
+
+pub fn first(values: &[u64]) -> u64 {
+    // teemon-verify: allow(no-unwrap)
+    *values.first().unwrap()
+}
+
+pub fn last(values: &[u64]) -> u64 {
+    // teemon-verify: allow(no-unwrapped): the rule name has a typo
+    values.last().copied().unwrap_or(0)
+}

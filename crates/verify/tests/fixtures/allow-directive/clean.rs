@@ -1,0 +1,12 @@
+//! The clean twin: justified escapes in both accepted shapes — a standalone
+//! comment covering the next line, and a trailing comment on the line
+//! itself.  Neither the suppressed rule nor the directive check fires.
+
+pub fn first(values: &[u64]) -> u64 {
+    // teemon-verify: allow(no-unwrap): invariant — callers pass non-empty slices
+    *values.first().unwrap()
+}
+
+pub fn last(values: &[u64]) -> u64 {
+    *values.last().unwrap() // teemon-verify: allow(no-unwrap): invariant — callers pass non-empty slices
+}

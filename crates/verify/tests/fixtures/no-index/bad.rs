@@ -1,0 +1,13 @@
+//! Trips `no-index`: panicking index and slice expressions.
+
+pub fn pick(values: &[u64], i: usize) -> u64 {
+    values[i]
+}
+
+pub fn head(values: &[u64]) -> &[u64] {
+    &values[..2]
+}
+
+pub fn corner(matrix: &[Vec<u64>]) -> u64 {
+    matrix[0][0]
+}

@@ -1,0 +1,26 @@
+//! The clean twin: brackets that are NOT index expressions — attributes,
+//! array types and literals, slice patterns, macros — plus `.get(...)`.
+
+#[derive(Debug, Default)]
+pub struct Frame {
+    pub bytes: [u8; 4],
+}
+
+pub fn pick(values: &[u64], i: usize) -> u64 {
+    values.get(i).copied().unwrap_or_default()
+}
+
+pub fn build(buf: &mut [u8]) -> [u8; 2] {
+    let [a, b] = [buf.len() as u8, 2u8];
+    let _ = vec![a, b];
+    [a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_is_fine_in_tests() {
+        let values = [1u64, 2];
+        assert_eq!(values[0], 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Trips `no-panic`: explicit aborts in production code.
+
+pub fn dispatch(kind: u8) -> u32 {
+    match kind {
+        0 => 10,
+        1 => todo!("gauge support"),
+        2 => unimplemented!(),
+        3 => unreachable!("kinds stop at 2"),
+        _ => panic!("unknown kind {kind}"),
+    }
+}

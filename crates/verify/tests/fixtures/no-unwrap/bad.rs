@@ -1,0 +1,11 @@
+//! Trips `no-unwrap`: panicking extraction in production code.
+
+pub fn first_and_last(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    let last = values.last().expect("non-empty");
+    first + last
+}
+
+pub fn must_fail(result: Result<(), String>) -> String {
+    result.unwrap_err()
+}

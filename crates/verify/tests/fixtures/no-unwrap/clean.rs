@@ -1,0 +1,24 @@
+//! The clean twin: near-misses that must NOT trip `no-unwrap` — fallback
+//! combinators, mentions in comments and strings, and test-only unwraps.
+
+pub fn first_or_zero(values: &[u64]) -> u64 {
+    // values.first().unwrap() would panic on empty input; don't.
+    let doc = "call .unwrap() at your peril";
+    let _ = doc;
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn last_or_default(values: &[u64]) -> u64 {
+    values.last().copied().unwrap_or_else(|| 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let values = [1u64, 2];
+        assert_eq!(*values.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Trips `no-wallclock`: wall-clock reads inside evaluation.
+
+use std::time::{Instant, SystemTime};
+
+pub fn evaluate(samples: &[(u64, f64)]) -> (f64, u128) {
+    let started = Instant::now();
+    let _stamp = SystemTime::now();
+    let _qualified = std::time::Instant::now();
+    let sum: f64 = samples.iter().map(|&(_, v)| v).sum();
+    (sum, started.elapsed().as_nanos())
+}

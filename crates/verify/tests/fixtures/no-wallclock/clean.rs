@@ -1,0 +1,16 @@
+//! The clean twin: evaluation takes the timestamp as a parameter; idents
+//! that merely resemble the banned paths must NOT trip `no-wallclock`.
+
+pub struct Clock;
+
+impl Clock {
+    pub fn now(now_ms: u64) -> u64 {
+        now_ms
+    }
+}
+
+pub fn evaluate(samples: &[(u64, f64)], now_ms: u64) -> f64 {
+    // Instant::now() is exactly what this signature exists to avoid.
+    let cutoff = Clock::now(now_ms).saturating_sub(5_000);
+    samples.iter().filter(|&&(t, _)| t >= cutoff).map(|&(_, v)| v).sum()
+}

@@ -1,0 +1,19 @@
+//! Trips `shard-lock-nesting`: a second raw shard-lock acquisition in one
+//! function, the shape the ordered batch path exists to prevent.
+
+pub struct Db {
+    shards: [parking_lot::RwLock<Vec<u64>>; 8],
+}
+
+impl Db {
+    fn shard(&self, index: usize) -> &parking_lot::RwLock<Vec<u64>> {
+        &self.shards[index & 7]
+    }
+
+    pub fn rebalance(&self, from: usize, to: usize) -> usize {
+        let mut donor = self.shard(from).write();
+        let mut receiver = self.shard(to).write();
+        receiver.extend(donor.drain(..));
+        receiver.len()
+    }
+}

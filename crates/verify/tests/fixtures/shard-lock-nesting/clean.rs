@@ -1,0 +1,36 @@
+//! The clean twin: one raw acquisition per function is fine, iterator
+//! guards that cannot overlap are fine, and the allowlisted `resolve`
+//! (single-shard read-then-upgrade) is exempt.
+
+pub struct Db {
+    shards: [parking_lot::RwLock<Vec<u64>>; 8],
+}
+
+impl Db {
+    fn shard(&self, index: usize) -> &parking_lot::RwLock<Vec<u64>> {
+        &self.shards[index & 7]
+    }
+
+    pub fn push(&self, index: usize, value: u64) {
+        self.shard(index).write().push(value);
+    }
+
+    pub fn len_of(&self, index: usize) -> usize {
+        let inner = self.shards[index & 7].read();
+        inner.len()
+    }
+
+    pub fn total(&self) -> usize {
+        // One guard per iteration; they never overlap.
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn resolve(&self, index: usize, value: u64) -> usize {
+        if let Some(pos) = self.shard(index).read().iter().position(|&v| v == value) {
+            return pos;
+        }
+        let mut inner = self.shard(index).write();
+        inner.push(value);
+        inner.len() - 1
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end coverage for the lint gate:
+//!
+//! - every `tests/fixtures/<rule>/bad.rs` trips exactly its rule, and every
+//!   `clean.rs` twin stays silent;
+//! - the real workspace at the repo root is clean under the checked-in
+//!   `verify.toml` (the same invocation CI gates on);
+//! - the installed binary exits non-zero on the fixture corpus and zero on
+//!   the workspace.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use teemon_verify::{config, engine};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root resolves")
+}
+
+fn run_on(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let text = std::fs::read_to_string(root.join("verify.toml")).expect("config readable");
+    let config = config::parse(&text).expect("config parses");
+    let (violations, checked) = engine::check_workspace(root, &config).expect("walk succeeds");
+    assert!(checked > 0, "the walker found no files under {}", root.display());
+    let mut by_file: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for v in violations {
+        by_file.entry(v.file).or_default().push(v.rule);
+    }
+    by_file
+}
+
+#[test]
+fn every_bad_fixture_trips_exactly_its_rule() {
+    let by_file = run_on(&fixtures_root());
+    for rule in config::KNOWN_RULES {
+        let bad = format!("{rule}/bad.rs");
+        let rules = by_file
+            .get(&bad)
+            .unwrap_or_else(|| panic!("{bad} produced no violations; engine saw: {by_file:?}"));
+        assert!(rules.iter().all(|r| r == rule), "{bad} tripped foreign rules: {rules:?}");
+        let clean = format!("{rule}/clean.rs");
+        assert!(
+            !by_file.contains_key(&clean),
+            "{clean} must be violation-free, got: {:?}",
+            by_file.get(&clean)
+        );
+    }
+    // The escape-hatch contract: unjustified or misspelled directives are
+    // violations themselves; the justified twin is silent.
+    let meta =
+        by_file.get("allow-directive/bad.rs").expect("directive fixture produces violations");
+    assert_eq!(meta.len(), 2, "one unjustified + one unknown-rule: {meta:?}");
+    assert!(meta.iter().all(|r| r == config::ALLOW_DIRECTIVE_RULE), "{meta:?}");
+    assert!(!by_file.contains_key("allow-directive/clean.rs"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let by_file = run_on(&repo_root());
+    assert!(by_file.is_empty(), "the workspace must pass its own gate; violations: {by_file:#?}");
+}
+
+#[test]
+fn binary_gates_on_exit_code() {
+    let exe = env!("CARGO_BIN_EXE_teemon-verify");
+    let on_fixtures =
+        Command::new(exe).arg(fixtures_root()).output().expect("binary runs on fixtures");
+    assert_eq!(
+        on_fixtures.status.code(),
+        Some(1),
+        "fixture corpus must fail the gate: {}",
+        String::from_utf8_lossy(&on_fixtures.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&on_fixtures.stdout);
+    for rule in config::KNOWN_RULES {
+        assert!(stdout.contains(&format!("[{rule}]")), "report must mention {rule}:\n{stdout}");
+    }
+
+    let on_workspace =
+        Command::new(exe).arg(repo_root()).output().expect("binary runs on the workspace");
+    assert!(
+        on_workspace.status.success(),
+        "the workspace must pass: {}",
+        String::from_utf8_lossy(&on_workspace.stdout)
+    );
+    assert!(String::from_utf8_lossy(&on_workspace.stdout).contains("OK"));
+
+    let missing_config = Command::new(exe)
+        .args(["--config", "/nonexistent/verify.toml"])
+        .output()
+        .expect("binary runs with a bad config path");
+    assert_eq!(missing_config.status.code(), Some(2));
+}

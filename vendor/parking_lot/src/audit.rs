@@ -1,0 +1,486 @@
+//! Dynamic lock-order and allocation auditing, compiled only under
+//! `--cfg lock_audit`.
+//!
+//! Every acquisition records the lock's graph node on a per-thread held
+//! stack and inserts "held → acquired" edges into a global lock-order graph.
+//! Violations panic at the acquisition site with a description of the
+//! offending chain — strictly stronger than an at-exit report, because the
+//! failing test names the exact call path.  [`report`] still renders the
+//! accumulated graph for humans.
+//!
+//! Checks enforced on every acquisition:
+//!
+//! 1. **Recursive re-acquisition** of a lock the thread already holds
+//!    (a guaranteed self-deadlock under `std::sync`).
+//! 2. **Unordered same-class multi-hold** for classes marked
+//!    [`LockClass::ordered`]: a second lock of the class is only legal
+//!    inside an [`ordered_section`] and with a strictly ascending instance
+//!    id.
+//! 3. **Lock-order cycles**: if adding the new "held → acquired" edge would
+//!    close a cycle in the class graph, two call paths disagree about the
+//!    acquisition order — a potential deadlock.  The offending edge is *not*
+//!    inserted, so a deliberately provoked violation (as in the tests) does
+//!    not poison the graph for later checks.
+//!
+//! The allocation check is cooperative: [`alloc_armed`] reports whether the
+//! current thread holds an exclusive guard of a [`LockClass::no_alloc`]
+//! class outside an [`allow_alloc`] scope, and the test suite's counting
+//! global allocator panics when an allocation arrives while armed.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+use crate::LockClass;
+
+/// Which access the guard grants; read guards never arm the no-alloc check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Read,
+    Exclusive,
+}
+
+/// Identifies one acquisition on the per-thread held stack; stored in the
+/// guard and redeemed by [`on_release`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeldToken(u64);
+
+/// Per-lock audit identity, embedded in every `Mutex`/`RwLock`.
+#[derive(Debug)]
+pub(crate) struct LockAudit {
+    node: u32,
+    instance: u32,
+    ordered: bool,
+    no_alloc: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    token: u64,
+    node: u32,
+    instance: u32,
+    kind: Kind,
+    no_alloc: bool,
+    /// Address of the lock's `LockAudit`, stable while any guard borrows the
+    /// lock; used only to detect same-instance re-acquisition.
+    addr: usize,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `edges[from]` lists nodes acquired while `from` was held.
+    edges: HashMap<u32, Vec<u32>>,
+    /// Display name per node.
+    names: HashMap<u32, String>,
+    /// Named class → shared node.
+    classes: HashMap<&'static str, u32>,
+    next_node: u32,
+    acquisitions: u64,
+}
+
+static STATE: OnceLock<StdMutex<Graph>> = OnceLock::new();
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// Exclusive holds of `no_alloc` classes on this thread.
+    static NO_ALLOC_HOLDS: Cell<u32> = const { Cell::new(0) };
+    /// Depth of `allow_alloc` scopes.
+    static ALLOW_ALLOC: Cell<u32> = const { Cell::new(0) };
+    /// Depth of `ordered_section` scopes.
+    static ORDERED: Cell<u32> = const { Cell::new(0) };
+    /// True while audit bookkeeping itself runs (its own allocations must
+    /// not trip the counting allocator).
+    static IN_AUDIT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII flag marking audit-internal work; restores the previous value even
+/// when a check panics mid-bookkeeping.
+struct InAudit(bool);
+
+impl InAudit {
+    fn enter() -> Self {
+        let prev = IN_AUDIT.with(|c| c.replace(true));
+        InAudit(prev)
+    }
+}
+
+impl Drop for InAudit {
+    fn drop(&mut self) {
+        IN_AUDIT.with(|c| c.set(self.0));
+    }
+}
+
+fn state() -> &'static StdMutex<Graph> {
+    STATE.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+fn with_graph<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+    // A violation panic while the graph is locked poisons the std mutex;
+    // the graph stays internally consistent (offending edges are never
+    // inserted), so later checks ignore the poison.
+    let mut graph = state().lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut graph)
+}
+
+impl LockAudit {
+    /// Registers a lock under `class` (empty name → fresh anonymous node,
+    /// so unrelated unnamed locks never alias in the order graph).
+    pub(crate) fn register(class: LockClass) -> Self {
+        let _in_audit = InAudit::enter();
+        let node = with_graph(|graph| {
+            if class.name().is_empty() {
+                let node = graph.next_node;
+                graph.next_node += 1;
+                graph.names.insert(node, format!("<anonymous #{node}>"));
+                node
+            } else if let Some(&node) = graph.classes.get(class.name()) {
+                node
+            } else {
+                let node = graph.next_node;
+                graph.next_node += 1;
+                graph.classes.insert(class.name(), node);
+                graph.names.insert(node, class.name().to_string());
+                node
+            }
+        });
+        LockAudit {
+            node,
+            instance: class.instance_id(),
+            ordered: class.is_ordered(),
+            no_alloc: class.is_no_alloc(),
+        }
+    }
+
+    /// Records an acquisition *before* blocking on the underlying lock, so a
+    /// real deadlock still leaves the violating order in the report.
+    pub(crate) fn on_acquire(&self, kind: Kind) -> HeldToken {
+        let _in_audit = InAudit::enter();
+        let addr = self as *const LockAudit as usize;
+        let name = node_name(self.node);
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(prev) = held.iter().find(|h| h.addr == addr) {
+                die(&format!(
+                    "recursive acquisition: thread already holds {name} \
+                     (instance {}) and is acquiring it again — guaranteed deadlock",
+                    prev.instance
+                ));
+            }
+            if self.ordered {
+                if let Some(prev) =
+                    held.iter().filter(|h| h.node == self.node).max_by_key(|h| h.instance)
+                {
+                    if ORDERED.with(Cell::get) == 0 {
+                        die(&format!(
+                            "two {name} locks held simultaneously outside an ordered \
+                             section: holding instance {}, acquiring instance {}",
+                            prev.instance, self.instance
+                        ));
+                    }
+                    if self.instance <= prev.instance {
+                        die(&format!(
+                            "ordered section violated for {name}: acquiring instance {} \
+                             while holding instance {} — instances must strictly ascend",
+                            self.instance, prev.instance
+                        ));
+                    }
+                }
+            }
+            with_graph(|graph| {
+                graph.acquisitions += 1;
+                for h in held.iter() {
+                    if h.node != self.node {
+                        add_edge(graph, h.node, self.node);
+                    }
+                }
+            });
+            let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            held.push(Held {
+                token,
+                node: self.node,
+                instance: self.instance,
+                kind,
+                no_alloc: self.no_alloc,
+                addr,
+            });
+            if self.no_alloc && kind == Kind::Exclusive {
+                NO_ALLOC_HOLDS.with(|c| c.set(c.get() + 1));
+            }
+            HeldToken(token)
+        })
+    }
+}
+
+/// Pops the acquisition identified by `token` off the thread's held stack.
+pub(crate) fn on_release(token: HeldToken) {
+    let _in_audit = InAudit::enter();
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|h| h.token == token.0) {
+            let h = held.remove(pos);
+            if h.no_alloc && h.kind == Kind::Exclusive {
+                NO_ALLOC_HOLDS.with(|c| c.set(c.get().saturating_sub(1)));
+            }
+        }
+    });
+}
+
+/// Inserts `from → to`, panicking (without inserting) if the edge would
+/// close a cycle — i.e. some call path already acquires these classes in the
+/// opposite order.
+fn add_edge(graph: &mut Graph, from: u32, to: u32) {
+    if graph.edges.get(&from).is_some_and(|next| next.contains(&to)) {
+        return;
+    }
+    if let Some(path) = find_path(graph, to, from) {
+        let mut chain: Vec<String> = path.iter().map(|&node| node_name_in(graph, node)).collect();
+        chain.push(node_name_in(graph, to));
+        die(&format!(
+            "lock-order cycle: acquiring {} while holding {} inverts the established \
+             order {}",
+            node_name_in(graph, to),
+            node_name_in(graph, from),
+            chain.join(" -> "),
+        ));
+    }
+    graph.edges.entry(from).or_default().push(to);
+}
+
+/// Depth-first search for a path `from → … → to` in the established graph.
+fn find_path(graph: &Graph, from: u32, to: u32) -> Option<Vec<u32>> {
+    fn dfs(graph: &Graph, node: u32, to: u32, path: &mut Vec<u32>) -> bool {
+        if path.contains(&node) {
+            return false;
+        }
+        path.push(node);
+        if node == to {
+            return true;
+        }
+        if let Some(next) = graph.edges.get(&node) {
+            for &n in next {
+                if dfs(graph, n, to, path) {
+                    return true;
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+    let mut path = Vec::new();
+    if dfs(graph, from, to, &mut path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn node_name(node: u32) -> String {
+    with_graph(|graph| node_name_in(graph, node))
+}
+
+fn node_name_in(graph: &Graph, node: u32) -> String {
+    graph.names.get(&node).cloned().unwrap_or_else(|| format!("<node #{node}>"))
+}
+
+fn die(message: &str) -> ! {
+    panic!("lock-audit violation: {message}");
+}
+
+/// True when an allocation on the current thread would violate the
+/// "no allocation under an exclusive shard lock" rule.  Safe to call from a
+/// global allocator: returns `false` while audit bookkeeping runs or when
+/// thread-locals are unavailable (thread teardown).
+pub fn alloc_armed() -> bool {
+    let in_audit = IN_AUDIT.try_with(Cell::get).unwrap_or(true);
+    if in_audit {
+        return false;
+    }
+    let armed = NO_ALLOC_HOLDS.try_with(Cell::get).unwrap_or(0) > 0;
+    armed && ALLOW_ALLOC.try_with(Cell::get).unwrap_or(1) == 0
+}
+
+/// Scope guard suspending the no-alloc check (documented cold paths such as
+/// series creation or chunk sealing).  Not `Send`: the counters are
+/// thread-local.
+#[must_use = "the allow_alloc scope ends when the guard drops"]
+pub struct AllowAllocGuard(PhantomData<*const ()>);
+
+/// Enters an allocation-allowed scope on the current thread.
+pub fn allow_alloc() -> AllowAllocGuard {
+    ALLOW_ALLOC.with(|c| c.set(c.get() + 1));
+    AllowAllocGuard(PhantomData)
+}
+
+impl Drop for AllowAllocGuard {
+    fn drop(&mut self) {
+        ALLOW_ALLOC.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Scope guard permitting ascending multi-hold of `ordered` classes
+/// (`append_batch`'s sorted shard walk).  Not `Send`.
+#[must_use = "the ordered section ends when the guard drops"]
+pub struct OrderedSectionGuard(PhantomData<*const ()>);
+
+/// Enters an ordered section on the current thread.
+pub fn ordered_section() -> OrderedSectionGuard {
+    ORDERED.with(|c| c.set(c.get() + 1));
+    OrderedSectionGuard(PhantomData)
+}
+
+impl Drop for OrderedSectionGuard {
+    fn drop(&mut self) {
+        ORDERED.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Renders the accumulated lock-order graph: total acquisitions, every
+/// registered class, and the established `a -> b` order edges.
+pub fn report() -> String {
+    let _in_audit = InAudit::enter();
+    with_graph(|graph| {
+        let mut out = format!(
+            "lock-audit report: {} acquisitions, {} nodes, {} order edges\n",
+            graph.acquisitions,
+            graph.names.len(),
+            graph.edges.values().map(Vec::len).sum::<usize>(),
+        );
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for (&from, tos) in &graph.edges {
+            for &to in tos {
+                edges.push((node_name_in(graph, from), node_name_in(graph, to)));
+            }
+        }
+        edges.sort();
+        for (from, to) in edges {
+            out.push_str(&format!("  {from} -> {to}\n"));
+        }
+        out
+    })
+}
+
+/// Total acquisitions recorded so far (sanity hook for tests: proves the
+/// instrumentation actually ran).
+pub fn acquisition_count() -> u64 {
+    let _in_audit = InAudit::enter();
+    with_graph(|graph| graph.acquisitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mutex, RwLock};
+
+    #[test]
+    fn acquisitions_are_counted_and_released() {
+        let a = RwLock::named(0u32, LockClass::new("audit.test.count"));
+        let before = acquisition_count();
+        drop(a.read());
+        drop(a.write());
+        assert!(acquisition_count() >= before + 2);
+        HELD.with(|held| {
+            assert!(
+                !held.borrow().iter().any(|h| h.node == a.audit.node),
+                "released guards must leave the held stack"
+            );
+        });
+    }
+
+    #[test]
+    fn recursive_acquisition_panics() {
+        let m = Mutex::named((), LockClass::new("audit.test.recursive"));
+        let guard = m.lock();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _second = m.lock();
+        }))
+        .expect_err("second lock on the same thread must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("recursive acquisition"), "unexpected message: {msg}");
+        drop(guard);
+    }
+
+    #[test]
+    fn unordered_same_class_hold_panics_and_ordered_section_allows() {
+        let shard = |i| RwLock::named(i, LockClass::new("audit.test.shard").instance(i).ordered());
+        let (a, b) = (shard(0), shard(1));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g0 = a.write();
+            let _g1 = b.write();
+        }))
+        .expect_err("unordered multi-hold must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("outside an ordered section"), "unexpected message: {msg}");
+
+        // Ascending instances inside an ordered section are fine…
+        {
+            let _section = ordered_section();
+            let _g0 = a.write();
+            let _g1 = b.write();
+        }
+        // …but descending instances are not.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _section = ordered_section();
+            let _g1 = b.write();
+            let _g0 = a.write();
+        }))
+        .expect_err("descending instances must panic even inside an ordered section");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("strictly ascend"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn lock_order_cycle_panics_without_poisoning_the_graph() {
+        let a = Mutex::named((), LockClass::new("audit.test.cycle.a"));
+        let b = Mutex::named((), LockClass::new("audit.test.cycle.b"));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock(); // would establish b -> a: cycle
+        }))
+        .expect_err("order inversion must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "unexpected message: {msg}");
+        // The offending edge was not inserted: the same legal order still works.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn no_alloc_arming_follows_write_guards_and_allow_scopes() {
+        let shard = RwLock::named(0u32, LockClass::new("audit.test.noalloc").no_alloc());
+        assert!(!alloc_armed());
+        {
+            let _read = shard.read();
+            assert!(!alloc_armed(), "read guards must not arm the check");
+        }
+        {
+            let _write = shard.write();
+            assert!(alloc_armed(), "an exclusive no_alloc hold must arm the check");
+            {
+                let _allow = allow_alloc();
+                assert!(!alloc_armed(), "allow_alloc scopes must disarm the check");
+            }
+            assert!(alloc_armed());
+        }
+        assert!(!alloc_armed());
+    }
+
+    #[test]
+    fn report_lists_established_edges() {
+        let a = Mutex::named((), LockClass::new("audit.test.report.a"));
+        let b = Mutex::named((), LockClass::new("audit.test.report.b"));
+        let _ga = a.lock();
+        let _gb = b.lock();
+        let report = report();
+        assert!(
+            report.contains("audit.test.report.a -> audit.test.report.b"),
+            "report missing edge:\n{report}"
+        );
+    }
+}

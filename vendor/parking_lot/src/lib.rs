@@ -2,50 +2,244 @@
 //! workspace, backed by `std::sync`.  Poisoning is ignored (a panicked writer
 //! does not poison the lock), matching parking_lot semantics closely enough
 //! for the monitoring code paths here.
+//!
+//! # Lock auditing (`--cfg lock_audit`)
+//!
+//! Because every lock in the workspace goes through this shim, it doubles as
+//! the instrumentation point of the dynamic lock-order / deadlock detector.
+//! Compiled with `RUSTFLAGS="--cfg lock_audit"`, every acquisition and
+//! release is recorded by the [`audit`] module:
+//!
+//! * locks carry a registered [`LockClass`] (name, instance id, and the
+//!   `ordered` / `no_alloc` class rules) via [`Mutex::named`] /
+//!   [`RwLock::named`]; anonymous locks get a unique per-instance node,
+//! * per-thread acquisition stacks feed a global lock-order graph; an
+//!   acquisition that would close a cycle (a potential deadlock) panics
+//!   immediately with the offending chain,
+//! * re-acquiring a lock already held by the same thread panics (guaranteed
+//!   deadlock under `std::sync`),
+//! * holding two locks of an `ordered` class simultaneously panics unless
+//!   the thread is inside [`audit::ordered_section`] *and* instance ids
+//!   ascend — the rule behind "never hold two storage shards unordered",
+//! * while an exclusive guard of a `no_alloc` class is held,
+//!   [`audit::alloc_armed`] reports `true` (unless an
+//!   [`audit::allow_alloc`] scope marks a documented cold path), which a
+//!   counting global allocator in the test suite turns into an
+//!   "allocation under shard lock" check.
+//!
+//! Without the cfg, the class metadata is dropped at construction and the
+//! lock types compile down to the plain `std::sync` wrappers below — zero
+//! cost for production builds, identical API for both modes.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{
     Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
     RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
 };
 
+#[cfg(lock_audit)]
+pub mod audit;
+
+/// The audited identity of a lock: a class name shared by every lock that
+/// plays the same role (e.g. all 16 storage shards are `tsdb.shard`), an
+/// instance id distinguishing the locks within the class, and the class
+/// rules the [`audit`] module enforces.  Ignored entirely unless the
+/// workspace is compiled with `--cfg lock_audit`.
+#[derive(Debug, Clone, Copy)]
+pub struct LockClass {
+    name: &'static str,
+    instance: u32,
+    ordered: bool,
+    no_alloc: bool,
+}
+
+impl LockClass {
+    /// A class identified by `name`.  All locks constructed with the same
+    /// name share one node in the lock-order graph.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, instance: 0, ordered: false, no_alloc: false }
+    }
+
+    /// Distinguishes this lock from its class siblings (e.g. the shard id).
+    #[must_use]
+    pub const fn instance(mut self, instance: u32) -> Self {
+        self.instance = instance;
+        self
+    }
+
+    /// Marks the class as *ordered*: a thread may hold two locks of this
+    /// class at once only inside [`audit::ordered_section`], and only in
+    /// ascending instance order.
+    #[must_use]
+    pub const fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// Marks the class as *allocation-free under exclusive hold*: while a
+    /// write/lock guard of this class is held, [`audit::alloc_armed`]
+    /// reports `true` outside [`audit::allow_alloc`] scopes.
+    #[must_use]
+    pub const fn no_alloc(mut self) -> Self {
+        self.no_alloc = true;
+        self
+    }
+
+    /// The class name (`""` for anonymous locks).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The instance id within the class.
+    pub const fn instance_id(&self) -> u32 {
+        self.instance
+    }
+
+    /// Whether the class is ordered.
+    pub const fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// Whether the class forbids allocation under exclusive hold.
+    pub const fn is_no_alloc(&self) -> bool {
+        self.no_alloc
+    }
+}
+
 /// Read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(lock_audit)]
+    token: audit::HeldToken,
+    inner: StdRwLockReadGuard<'a, T>,
+}
+
 /// Write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(lock_audit)]
+    token: audit::HeldToken,
+    inner: StdRwLockWriteGuard<'a, T>,
+}
+
 /// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(lock_audit)]
+    token: audit::HeldToken,
+    inner: StdMutexGuard<'a, T>,
+}
+
+macro_rules! impl_guard {
+    ($guard:ident, $std:ident, mutable) => {
+        impl<T: ?Sized> Deref for $guard<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        impl<T: ?Sized> DerefMut for $guard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+
+        impl_guard!(@common $guard);
+    };
+    ($guard:ident, $std:ident, readonly) => {
+        impl<T: ?Sized> Deref for $guard<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        impl_guard!(@common $guard);
+    };
+    (@common $guard:ident) => {
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $guard<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+
+        #[cfg(lock_audit)]
+        impl<T: ?Sized> Drop for $guard<'_, T> {
+            fn drop(&mut self) {
+                audit::on_release(self.token);
+            }
+        }
+    };
+}
+
+impl_guard!(RwLockReadGuard, StdRwLockReadGuard, readonly);
+impl_guard!(RwLockWriteGuard, StdRwLockWriteGuard, mutable);
+impl_guard!(MutexGuard, StdMutexGuard, mutable);
 
 /// A reader-writer lock with parking_lot's non-poisoning `read`/`write` API.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(lock_audit)]
+    audit: audit::LockAudit,
+    inner: StdRwLock<T>,
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new unlocked lock.
+    /// Creates a new unlocked lock (anonymous audit class).
     pub fn new(value: T) -> Self {
-        Self(StdRwLock::new(value))
+        Self::named(value, LockClass::new(""))
+    }
+
+    /// Creates a new unlocked lock registered under `class` in the lock
+    /// audit.  Without `--cfg lock_audit` the class is dropped.
+    pub fn named(value: T, class: LockClass) -> Self {
+        #[cfg(not(lock_audit))]
+        let _ = class;
+        Self {
+            #[cfg(lock_audit)]
+            audit: audit::LockAudit::register(class),
+            inner: StdRwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_audit)]
+        let token = self.audit.on_acquire(audit::Kind::Read);
+        RwLockReadGuard {
+            #[cfg(lock_audit)]
+            token,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_audit)]
+        let token = self.audit.on_acquire(audit::Kind::Exclusive);
+        RwLockWriteGuard {
+            #[cfg(lock_audit)]
+            token,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -56,30 +250,57 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
 }
 
 /// A mutual-exclusion lock with parking_lot's non-poisoning `lock` API.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(StdMutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(lock_audit)]
+    audit: audit::LockAudit,
+    inner: StdMutex<T>,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new unlocked mutex.
+    /// Creates a new unlocked mutex (anonymous audit class).
     pub fn new(value: T) -> Self {
-        Self(StdMutex::new(value))
+        Self::named(value, LockClass::new(""))
+    }
+
+    /// Creates a new unlocked mutex registered under `class` in the lock
+    /// audit.  Without `--cfg lock_audit` the class is dropped.
+    pub fn named(value: T, class: LockClass) -> Self {
+        #[cfg(not(lock_audit))]
+        let _ = class;
+        Self {
+            #[cfg(lock_audit)]
+            audit: audit::LockAudit::register(class),
+            inner: StdMutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_audit)]
+        let token = self.audit.on_acquire(audit::Kind::Exclusive);
+        MutexGuard {
+            #[cfg(lock_audit)]
+            token,
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -105,5 +326,15 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn named_locks_behave_like_plain_ones() {
+        let class = LockClass::new("test.class").instance(3).ordered().no_alloc();
+        let lock = RwLock::named(7, class);
+        assert_eq!(*lock.read(), 7);
+        let m = Mutex::named(String::from("x"), LockClass::new("test.mutex"));
+        m.lock().push('y');
+        assert_eq!(m.into_inner(), "xy");
     }
 }
