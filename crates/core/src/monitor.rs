@@ -55,7 +55,8 @@ pub enum ScrapeTransport {
 ///     .exporter_interval_ms("cadvisor", 15_000)
 ///     .build();
 /// assert_eq!(host.mode(), MonitoringMode::Full);
-/// assert_eq!(host.scraper().target_count(), 4);
+/// // Four exporters plus the `teemon_self` self-scrape target.
+/// assert_eq!(host.scraper().target_count(), 5);
 /// ```
 pub struct MonitorBuilder {
     node: String,
@@ -67,6 +68,7 @@ pub struct MonitorBuilder {
     extra_collectors: Vec<(ScrapeTargetConfig, Arc<dyn Collector>)>,
     transport: ScrapeTransport,
     rule_groups: Vec<RuleGroup>,
+    self_observe_alerts: bool,
 }
 
 impl MonitorBuilder {
@@ -82,6 +84,7 @@ impl MonitorBuilder {
             extra_collectors: Vec::new(),
             transport: ScrapeTransport::default(),
             rule_groups: Vec::new(),
+            self_observe_alerts: false,
         }
     }
 
@@ -150,6 +153,17 @@ impl MonitorBuilder {
         self
     }
 
+    /// Adds the built-in `teemon_self` alert group
+    /// ([`teemon_query::self_observe_alerts`]) watching the engine's own
+    /// telemetry: query fallback rate, storage shard imbalance and
+    /// slow-query rate.  The group evaluates on the scrape interval's
+    /// cadence over the series the self-scrape target ingests.
+    #[must_use]
+    pub fn with_self_observe_alerts(mut self) -> Self {
+        self.self_observe_alerts = true;
+        self
+    }
+
     fn target_config(&self, job: &str, port: u16) -> ScrapeTargetConfig {
         let mut config = ScrapeTargetConfig::new(job, format!("{}:{port}", self.node))
             .with_label("node", self.node.clone());
@@ -169,6 +183,9 @@ impl MonitorBuilder {
         let rules = RuleEngine::new(db.clone());
         for group in &self.rule_groups {
             rules.add_group(group.clone());
+        }
+        if self.self_observe_alerts {
+            rules.add_group(teemon_query::self_observe_alerts(self.scrape_interval_ms));
         }
         let mut host = HostMonitor {
             node: self.node.clone(),
@@ -237,6 +254,10 @@ impl MonitorBuilder {
                 );
                 host.container_exporter = Some(containers);
                 host.ebpf_exporter = Some(ebpf);
+                // The engine watches itself: the self-scrape target snapshots
+                // the `teemon_obs` probes (scrape timings, shard heat, query
+                // modes, lock contention) into the same database every round.
+                host.scraper.add_self_target(format!("{}:self", self.node));
             }
         }
         for (config, collector) in &self.extra_collectors {
@@ -480,7 +501,7 @@ mod tests {
     }
 
     #[test]
-    fn full_monitoring_scrapes_all_four_exporters() {
+    fn full_monitoring_scrapes_all_exporters_and_the_self_target() {
         let host = HostMonitor::new("worker-1", MonitoringMode::Full);
         assert!(host.kernel().hooks().total_attached() > 0);
 
@@ -498,14 +519,16 @@ mod tests {
             memory_limit_bytes: 1 << 30,
         });
         host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
-        assert_eq!(host.scrape_tick(), 4);
+        assert_eq!(host.scrape_tick(), 5, "4 exporters + the teemon_self target");
 
-        // All exporter families land in the database.
+        // All exporter families land in the database, the engine's own
+        // telemetry among them.
         for metric in [
             "teemon_syscalls_total",
             "sgx_nr_free_pages",
             "node_cpu_cores",
             "container_spec_memory_limit_bytes",
+            "teemon_scrape_rounds_total",
         ] {
             assert!(
                 !host.db().query_instant(&Selector::metric(metric), u64::MAX).is_empty(),
@@ -562,9 +585,13 @@ mod tests {
                 Arc::new(RegistryCollector::new("redis_exporter", app_registry)),
             )
             .build();
-        assert_eq!(host.scraper().target_count(), 5, "4 standard exporters + 1 plugged in");
+        assert_eq!(
+            host.scraper().target_count(),
+            6,
+            "4 standard exporters + teemon_self + 1 plugged in"
+        );
         kernel.clock().advance(teemon_sim_core::SimDuration::from_secs(5));
-        assert_eq!(host.scrape_tick(), 5);
+        assert_eq!(host.scrape_tick(), 6);
         // The plugged-in collector's samples land in the shared db.
         let results = db.query_instant(&Selector::metric("app_requests_total"), u64::MAX);
         assert_eq!(results.len(), 1);
@@ -657,6 +684,25 @@ mod tests {
     }
 
     #[test]
+    fn builder_self_observe_alerts_evaluate_over_self_scraped_data() {
+        let host = MonitorBuilder::new("worker-5")
+            .mode(MonitoringMode::Full)
+            .scrape_interval_ms(5_000)
+            .with_self_observe_alerts()
+            .build();
+        assert_eq!(host.rules().group_count(), 1);
+        assert_eq!(host.rules().rule_count(), 3, "fallback, imbalance and slow-query alerts");
+        // The group evaluates inside the monitoring loop over the series the
+        // self target ingests — it must run cleanly against live self data
+        // (whether an alert fires depends on process-global probe history).
+        host.run_scrape_loop(4);
+        assert!(!host
+            .db()
+            .query_instant(&Selector::metric("teemon_tsdb_shard_series"), u64::MAX)
+            .is_empty());
+    }
+
+    #[test]
     fn builder_text_transport_round_trips_the_wire_format() {
         let typed = MonitorBuilder::new("wire-a").mode(MonitoringMode::Full).build();
         let text = MonitorBuilder::new("wire-a")
@@ -665,7 +711,7 @@ mod tests {
             .build();
         for host in [&typed, &text] {
             host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
-            assert_eq!(host.scrape_tick(), 4);
+            assert_eq!(host.scrape_tick(), 5);
         }
         // Both transports ingest the same series set.
         let series_of = |h: &HostMonitor| {
@@ -696,6 +742,6 @@ mod tests {
         assert_eq!((added, removed), (1, 1));
         assert_eq!(monitor.hosts().len(), 2);
         let healthy = monitor.scrape_all();
-        assert_eq!(healthy, 2 * 4);
+        assert_eq!(healthy, 2 * 5);
     }
 }

@@ -87,8 +87,9 @@ impl DashboardSet {
     }
 }
 
-/// Builds the three standard TEEMon dashboards (§5.3): SGX, containers and
-/// infrastructure.
+/// Builds the standard TEEMon dashboards: the three of §5.3 (SGX, containers
+/// and infrastructure) plus the dogfooded "Teemon Self" dashboard over the
+/// engine's own telemetry (`job="teemon_self"`).
 pub fn standard() -> DashboardSet {
     let sgx = Dashboard::new("SGX")
         .with_panel(
@@ -165,7 +166,43 @@ pub fn standard() -> DashboardSet {
             Panel::table("Scrape health", Selector::metric("up")).with_aggregate(AggregateOp::Min),
         );
 
-    DashboardSet { dashboards: vec![sgx, docker, infrastructure] }
+    // The engine watching itself: every panel reads series the self-scrape
+    // target ingests from `teemon_obs` probes (no external exporter involved).
+    let teemon_self = Dashboard::new("Teemon Self")
+        .with_panel(
+            Panel::teeql("Scrape rounds", "rate(teemon_scrape_rounds_total[30s])")
+                .with_unit("rounds/s"),
+        )
+        .with_panel(
+            Panel::stat("Resident bytes", Selector::metric("teemon_tsdb_resident_bytes"))
+                .with_unit("bytes"),
+        )
+        .with_panel(
+            Panel::stat("Stored samples", Selector::metric("teemon_tsdb_samples"))
+                .with_unit("samples"),
+        )
+        .with_panel(
+            Panel::table("Series per shard", Selector::metric("teemon_tsdb_shard_series"))
+                .with_unit("series"),
+        )
+        .with_panel(
+            Panel::teeql("Shard append heat", "rate(teemon_tsdb_shard_appends_total[30s])")
+                .with_unit("samples/s"),
+        )
+        .with_panel(
+            Panel::teeql("Query modes", "rate(teemon_query_range_total[30s])")
+                .with_unit("queries/s"),
+        )
+        .with_panel(
+            Panel::teeql("Slow queries", "rate(teemon_query_slow_total[30s])")
+                .with_unit("queries/s"),
+        )
+        .with_panel(
+            Panel::table("Lock contention", Selector::metric("teemon_lock_contended_total"))
+                .with_unit("acquires"),
+        );
+
+    DashboardSet { dashboards: vec![sgx, docker, infrastructure, teemon_self] }
 }
 
 #[cfg(test)]
@@ -192,15 +229,41 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_has_three_dashboards() {
+    fn standard_set_has_four_dashboards() {
         let set = standard();
-        assert_eq!(set.dashboards.len(), 3);
-        assert_eq!(set.titles(), vec!["SGX", "Containers", "Infrastructure"]);
+        assert_eq!(set.dashboards.len(), 4);
+        assert_eq!(set.titles(), vec!["SGX", "Containers", "Infrastructure", "Teemon Self"]);
         assert!(set.get("SGX").is_some());
         assert!(set.get("Nope").is_none());
         // The SGX dashboard shows EPC metrics and eBPF metrics (Figure 3).
         let sgx = set.get("SGX").unwrap();
         assert!(sgx.panels.len() >= 5);
+        // The self dashboard covers ingest, storage, query and lock probes.
+        let own = set.get("Teemon Self").unwrap();
+        assert!(own.panels.len() >= 6);
+    }
+
+    #[test]
+    fn self_dashboard_renders_from_self_scraped_series() {
+        let db = TimeSeriesDb::new();
+        let self_labels = Labels::from_pairs([("job", "teemon_self"), ("instance", "n1:self")]);
+        for t in 1..=6u64 {
+            db.append("teemon_scrape_rounds_total", &self_labels, t * 5_000, t as f64);
+            db.append("teemon_tsdb_resident_bytes", &self_labels, t * 5_000, 4096.0 * t as f64);
+            db.append("teemon_tsdb_samples", &self_labels, t * 5_000, 100.0 * t as f64);
+            for shard in 0..4u64 {
+                let mut labels = self_labels.clone();
+                labels.insert("shard", shard.to_string());
+                db.append("teemon_tsdb_shard_series", &labels, t * 5_000, 12.0);
+            }
+        }
+        let set = standard();
+        let rendered = set.get("Teemon Self").unwrap().render(&db, 0, u64::MAX, 50);
+        assert!(rendered.contains("Scrape rounds"));
+        assert!(rendered.contains("Resident bytes"));
+        assert!(rendered.contains("Series per shard"));
+        let evaluated = set.get("Teemon Self").unwrap().evaluate(&db, 0, u64::MAX);
+        assert!(evaluated.iter().filter(|p| !p.is_empty()).count() >= 4);
     }
 
     #[test]

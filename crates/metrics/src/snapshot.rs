@@ -278,8 +278,11 @@ pub struct Sample {
     pub timestamp_ms: Option<u64>,
 }
 
-/// Formats a bucket bound or quantile the way the exposition format expects.
-pub(crate) fn format_bound(v: f64) -> String {
+/// Formats a bucket bound or quantile the way the exposition format expects
+/// (`+Inf`/`-Inf` specials, plain `{}` otherwise).  Public so out-of-crate
+/// expanders — notably the self-telemetry snapshot in `teemon_obs` — produce
+/// byte-identical `le` labels to [`FamilySnapshot::for_each_sample`].
+pub fn format_bound(v: f64) -> String {
     if v == f64::INFINITY {
         "+Inf".to_string()
     } else if v == f64::NEG_INFINITY {

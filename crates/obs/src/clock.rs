@@ -1,0 +1,68 @@
+//! The monotonic clock behind every span timer and measured duration.
+//!
+//! Centralising the wall-clock read here keeps the rest of the engine free
+//! of `Instant` — in particular `teemon_query`, whose sources are gated by
+//! the `no-wallclock` lint (query *evaluation* takes `now_ms` as an input;
+//! only *self-timing* may read the host clock, and it does so through this
+//! module).  Reading the clock never allocates, so timed sections stay
+//! eligible for the allocation-free proofs.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since this process first read the clock.  Monotonic,
+/// allocation-free, safe to call from any thread.
+#[inline]
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A started stopwatch: captures [`now_ns`] at construction and measures
+/// from there.  `Copy`, so it can be threaded through closures freely.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    #[inline]
+    pub fn start() -> Self {
+        Self { started_ns: now_ns() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        now_ns().saturating_sub(self.started_ns)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward() {
+        let watch = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(watch.elapsed_ns() >= 1_000_000);
+        assert!(watch.elapsed_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! `teemon_obs` — always-on, allocation-free engine self-telemetry.
+//!
+//! The monitor's pitch is that observability should be cheap enough to leave
+//! on; this crate applies the same standard to the engine itself.  Every
+//! internal probe is a fixed static slot written with relaxed atomics — no
+//! registration, no locks, no allocation on the record path — so the engine
+//! can observe its own ingest, storage, query and locking behaviour in every
+//! build, not just instrumented ones:
+//!
+//! * [`probes`] — the static registry: counters, gauges, per-shard slots,
+//!   [`hist::LogLinearHist`] latency histograms and RAII [`Span`] timers,
+//!   recorded into directly by `teemon_tsdb` and `teemon_query`.  Lock
+//!   contention probes live in the `parking_lot` shim's `contention` table
+//!   and are exported alongside.
+//! * [`snapshot::SelfSnapshot`] — the probes pre-expanded into scalar metric
+//!   families for the engine's own scrape loop: built once, refreshed in
+//!   place with zero allocations, so self-scraping costs the same as any
+//!   other warm fast-lane target.
+//! * [`collector::ObsCollector`] — the same probes behind the standard
+//!   `Collector` trait (canonical bucketed histograms) for exposition and
+//!   registry composition.
+//! * [`slow`] — a fixed-capacity slow-query ring fed by the query layer.
+//! * [`clock`] — the monotonic clock and [`clock::Stopwatch`] behind every
+//!   measured duration (the only place the engine reads the host clock for
+//!   self-timing).
+//!
+//! The tsdb's scraper registers the self endpoint by default, so a running
+//! monitor's TSDB always contains a `job="teemon_self"` slice ready for the
+//! built-in "teemon self" dashboard and alert rules.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collector;
+pub mod hist;
+pub mod probes;
+pub mod slow;
+pub mod snapshot;
+
+pub use clock::{now_ns, Stopwatch};
+pub use collector::{ObsCollector, SELF_JOB};
+pub use hist::LogLinearHist;
+pub use probes::{registry, Counter, Gauge, ProbeDesc, ShardCounters, ShardGauges, Span, SHARDS};
+pub use slow::{set_threshold_seconds, slow_queries, SlowQuery};
+pub use snapshot::SelfSnapshot;

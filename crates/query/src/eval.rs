@@ -6,6 +6,7 @@ use std::rc::Rc;
 use std::sync::OnceLock;
 
 use teemon_metrics::Labels;
+use teemon_obs::{probes, slow, Stopwatch};
 use teemon_tsdb::{query, AggregateOp, Selector, SeriesSnapshot, TimeSeriesDb};
 
 use crate::ast::{BinOp, Expr, Grouping, RangeFunc};
@@ -92,6 +93,21 @@ impl RangeSeries {
             (None, _) => self.labels.to_string(),
         }
     }
+}
+
+/// What one instrumented range evaluation did (the per-run view of the
+/// `teemon_query_*` probes; `analyze` folds it into its report).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct RangeRun {
+    /// Whether the streaming evaluator answered (vs the per-step fallback).
+    pub streamed: bool,
+    /// Measured wall time in seconds.
+    pub wall_seconds: f64,
+    /// Chunk samples decoded by the window machines (0 on the fallback
+    /// path, which does not stream-decode).
+    pub samples_decoded: u64,
+    /// Drift-guard window rebuilds.
+    pub window_rebuilds: u64,
 }
 
 /// The result of evaluating an expression at one instant.
@@ -244,6 +260,11 @@ impl QueryEngine {
         &self.db
     }
 
+    /// The instant-selector staleness window in effect.
+    pub fn lookback_ms(&self) -> u64 {
+        self.lookback_ms
+    }
+
     /// Parses and evaluates `query` at `at_ms`.
     ///
     /// # Errors
@@ -367,26 +388,65 @@ impl QueryEngine {
         end_ms: u64,
         step_ms: u64,
     ) -> Result<Vec<RangeSeries>, EvalError> {
+        Ok(self.range_with_run(expr, start_ms, end_ms, step_ms)?.0)
+    }
+
+    /// The instrumented range funnel shared by [`QueryEngine::range`] and
+    /// `analyze`: evaluates, feeds the `teemon_query_*` probes (mode
+    /// counters, decode/rebuild counters, wall-time histogram, slow-query
+    /// ring) and reports what the run did.
+    pub(crate) fn range_with_run(
+        &self,
+        expr: &Expr,
+        start_ms: u64,
+        end_ms: u64,
+        step_ms: u64,
+    ) -> Result<(Vec<RangeSeries>, RangeRun), EvalError> {
         if step_ms == 0 {
             return Err(EvalError::ZeroStep);
         }
         if start_ms > end_ms {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), RangeRun::default()));
         }
-        if let Some(plan) = stream::plan(&self.db, self.lookback_ms, expr, start_ms, end_ms) {
-            let streamed = plan.run(start_ms, end_ms, step_ms);
-            if cfg!(debug_assertions) && verify_stream_enabled() {
-                let oracle = self.range_per_step(expr, start_ms, end_ms, step_ms)?;
-                assert!(
-                    stream::ranges_equivalent(&streamed, &oracle),
-                    "streaming evaluation diverged from the per-step oracle for `{expr}` over \
-                     [{start_ms}, {end_ms}] step {step_ms}\nstreamed: {streamed:?}\noracle: \
-                     {oracle:?}"
-                );
-            }
-            return Ok(streamed);
+        let watch = Stopwatch::start();
+        let (result, mut run) =
+            match stream::plan_or_reason(&self.db, self.lookback_ms, expr, start_ms, end_ms) {
+                Ok(plan) => {
+                    let (streamed, stats) = plan.run_with_stats(start_ms, end_ms, step_ms);
+                    if cfg!(debug_assertions) && verify_stream_enabled() {
+                        let oracle = self.range_per_step(expr, start_ms, end_ms, step_ms)?;
+                        assert!(
+                            stream::ranges_equivalent(&streamed, &oracle),
+                            "streaming evaluation diverged from the per-step oracle for `{expr}` \
+                             over [{start_ms}, {end_ms}] step {step_ms}\nstreamed: \
+                             {streamed:?}\noracle: {oracle:?}"
+                        );
+                    }
+                    probes::QUERY_STREAMED.inc();
+                    probes::QUERY_SAMPLES_DECODED.add(stats.samples_decoded);
+                    probes::QUERY_WINDOW_REBUILDS.add(stats.window_rebuilds);
+                    let run = RangeRun {
+                        streamed: true,
+                        samples_decoded: stats.samples_decoded,
+                        window_rebuilds: stats.window_rebuilds,
+                        wall_seconds: 0.0,
+                    };
+                    (streamed, run)
+                }
+                Err(_reason) => {
+                    probes::QUERY_FALLBACK.inc();
+                    let result = self.range_per_step(expr, start_ms, end_ms, step_ms)?;
+                    (result, RangeRun::default())
+                }
+            };
+        let wall_ns = watch.elapsed_ns();
+        run.wall_seconds = wall_ns as f64 / 1e9;
+        probes::QUERY_NS.record_ns(wall_ns);
+        // Only offenders pay for rendering the expression back to text.
+        if wall_ns >= slow::threshold_ns() {
+            slow::maybe_record(&expr.to_string(), wall_ns, run.samples_decoded, run.streamed);
         }
-        self.range_per_step(expr, start_ms, end_ms, step_ms)
+        Ok((result, run))
     }
 
     /// `true` when `expr` would take the streaming path for this range (a

@@ -60,6 +60,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod explain;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -69,9 +70,10 @@ pub use ast::{
     aggregate_op_from_name, aggregate_op_name, format_duration_ms, BinOp, Expr, Grouping, RangeFunc,
 };
 pub use eval::{EvalError, QueryEngine, QueryError, RangeSeries, Value, VectorSample};
+pub use explain::{Analyze, Explain, PlanChoice, PlanNode};
 pub use lexer::ParseError;
 pub use parser::parse;
 pub use rules::{
-    compile_threshold, sgx_default_alerts, Alert, AlertRule, AlertState, RecordingRule, Rule,
-    RuleEngine, RuleEvalSummary, RuleGroup,
+    compile_threshold, self_observe_alerts, sgx_default_alerts, Alert, AlertRule, AlertState,
+    RecordingRule, Rule, RuleEngine, RuleEvalSummary, RuleGroup,
 };

@@ -15,8 +15,9 @@ use teemon_analysis::{Severity, Threshold, ThresholdKind};
 use teemon_metrics::Labels;
 use teemon_tsdb::TimeSeriesDb;
 
-use crate::ast::{BinOp, Expr, RangeFunc};
+use crate::ast::{format_duration_ms, BinOp, Expr, RangeFunc};
 use crate::eval::{QueryEngine, Value};
+use crate::parser::parse;
 
 /// A rule deriving a new series from an expression (`record = expr`).
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +118,53 @@ pub fn compile_threshold(threshold: &Threshold, window_ms: u64) -> Expr {
 /// over `window_ms` windows.
 pub fn sgx_default_alerts(window_ms: u64) -> Vec<AlertRule> {
     Threshold::sgx_defaults().iter().map(|t| AlertRule::from_threshold(t, window_ms)).collect()
+}
+
+/// The built-in alert rules over the engine's own telemetry (the
+/// `job="teemon_self"` slice a self-scraping monitor maintains), evaluated
+/// by the standard rule engine like any user group:
+///
+/// * `teemon_query_fallback` — range queries are taking the
+///   `O(steps × window)` per-step path; `QueryEngine::explain` names the
+///   reason per query.
+/// * `teemon_shard_imbalance` — the hottest storage shard holds more than
+///   4× the mean series count, so one shard lock absorbs a disproportionate
+///   share of the ingest contention.
+/// * `teemon_slow_queries` — queries crossed the slow-query threshold; the
+///   offenders are in `teemon_obs::slow_queries()`.
+///
+/// `interval_ms` is the evaluation cadence; the rate windows span two
+/// cadences so a single scrape round cannot alias to zero.
+pub fn self_observe_alerts(interval_ms: u64) -> RuleGroup {
+    let interval_ms = interval_ms.max(1);
+    let window = format_duration_ms(interval_ms.saturating_mul(2).max(1_000));
+    let rule = |name: &str, query: String, severity, hint: &str| {
+        // teemon-verify: allow(no-unwrap): the expressions are built from
+        // compile-time templates; a unit test reparses every one of them.
+        AlertRule::new(name, parse(&query).expect("built-in rule parses"), severity).with_hint(hint)
+    };
+    RuleGroup::new("teemon_self", interval_ms)
+        .with_rule(rule(
+            "teemon_query_fallback",
+            format!(r#"rate(teemon_query_range_total{{mode="fallback"}}[{window}]) > 0"#),
+            Severity::Warning,
+            "range queries are falling back to per-step evaluation; run \
+             QueryEngine::explain on the offending queries for the reason",
+        ))
+        .with_rule(rule(
+            "teemon_shard_imbalance",
+            "max(teemon_tsdb_shard_series) > avg(teemon_tsdb_shard_series) * 4".to_string(),
+            Severity::Warning,
+            "one storage shard holds >4x the mean series count; label cardinality is \
+             hashing unevenly",
+        ))
+        .with_rule(rule(
+            "teemon_slow_queries",
+            format!("rate(teemon_query_slow_total[{window}]) > 0"),
+            Severity::Info,
+            "queries crossed the slow-query threshold; see teemon_obs::slow_queries() \
+             for the offenders",
+        ))
 }
 
 /// A recording or alert rule.
@@ -562,6 +610,44 @@ mod tests {
         assert_eq!(firing.len(), 1);
         assert_eq!(firing[0].rule, "epc_free_pages_low");
         assert!(firing[0].hint.contains("EPC"));
+    }
+
+    #[test]
+    fn self_observe_alerts_parse_and_fire_on_self_metrics() {
+        let group = self_observe_alerts(15_000);
+        assert_eq!(group.name, "teemon_self");
+        assert_eq!(group.rules.len(), 3);
+        // Every built-in expression round-trips through the parser (the
+        // group builder unwraps on this invariant).
+        for rule in &group.rules {
+            let Rule::Alert(alert) = rule else { panic!("self group is alerts only") };
+            assert_eq!(parse(&alert.expr.to_string()).unwrap(), alert.expr);
+        }
+        // Feed a database the shapes the self-scrape target would write and
+        // check the rules actually trip.
+        let db = TimeSeriesDb::new();
+        let fallback = Labels::from_pairs([("mode", "fallback")]);
+        for t in 0..10u64 {
+            // Fallback counter climbing => non-zero rate.
+            db.append("teemon_query_range_total", &fallback, t * 5_000, t as f64);
+            // Shard 0 hoards series while the others sit near empty (8
+            // shards: with n shards max/avg can approach n, so 4 shards
+            // could never trip the 4x rule).
+            for shard in 0..8u64 {
+                let series = if shard == 0 { 900.0 } else { 10.0 };
+                let labels = Labels::from_pairs([("shard", shard.to_string())]);
+                db.append("teemon_tsdb_shard_series", &labels, t * 5_000, series);
+            }
+        }
+        let engine = RuleEngine::new(db);
+        engine.add_group(group);
+        let summary = engine.evaluate_due(45_000);
+        assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+        let firing: Vec<String> = engine.firing_alerts().into_iter().map(|a| a.rule).collect();
+        assert!(firing.contains(&"teemon_query_fallback".to_string()), "{firing:?}");
+        assert!(firing.contains(&"teemon_shard_imbalance".to_string()), "{firing:?}");
+        // No slow queries recorded => that rule stays quiet.
+        assert!(!firing.contains(&"teemon_slow_queries".to_string()), "{firing:?}");
     }
 
     #[test]

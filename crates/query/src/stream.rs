@@ -47,6 +47,18 @@ use teemon_tsdb::{AggregateOp, OwnedSampleCursor, TimeSeriesDb};
 use crate::ast::{BinOp, Expr, RangeFunc};
 use crate::eval::RangeSeries;
 
+/// Work counters of one plan execution, totalled across every window
+/// machine when [`StreamPlan::run_with_stats`] finishes.  These feed the
+/// `teemon_query_samples_decoded_total` / `teemon_query_window_rebuilds_total`
+/// probes and `QueryEngine::analyze`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Chunk samples decoded (each stored sample is admitted exactly once).
+    pub samples_decoded: u64,
+    /// Exact window-aggregate rebuilds triggered by numeric-drift guards.
+    pub window_rebuilds: u64,
+}
+
 /// Output identity of one streamed series, resolved once at plan time.
 type SeriesKey = (Option<String>, Labels);
 
@@ -75,12 +87,26 @@ impl StreamPlan {
     /// The step grid is identical to the per-step evaluator's (`start`,
     /// `start + step`, … up to and including the last step `<= end`).
     pub fn run(self, start_ms: u64, end_ms: u64, step_ms: u64) -> Vec<RangeSeries> {
+        self.run_with_stats(start_ms, end_ms, step_ms).0
+    }
+
+    /// [`StreamPlan::run`], also returning the work counters totalled across
+    /// every window machine of the plan.
+    pub fn run_with_stats(
+        self,
+        start_ms: u64,
+        end_ms: u64,
+        step_ms: u64,
+    ) -> (Vec<RangeSeries>, RunStats) {
         let step_ms = step_ms.max(1);
         match self.kind {
             PlanKind::Scalar(value) => {
                 let mut points = Vec::new();
                 for_each_step(start_ms, end_ms, step_ms, |t| points.push((t, value)));
-                vec![RangeSeries { name: None, labels: Labels::new(), points }]
+                (
+                    vec![RangeSeries { name: None, labels: Labels::new(), points }],
+                    RunStats::default(),
+                )
             }
             PlanKind::Vector { mut root, keys } => {
                 let mut out = vec![None; keys.len()];
@@ -93,6 +119,8 @@ impl StreamPlan {
                         }
                     }
                 });
+                let mut stats = RunStats::default();
+                root.collect_stats(&mut stats);
                 let mut series: Vec<RangeSeries> = keys
                     .into_iter()
                     .zip(points)
@@ -101,7 +129,7 @@ impl StreamPlan {
                     .collect();
                 // The per-step accumulator returns series sorted by key.
                 series.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
-                series
+                (series, stats)
             }
         }
     }
@@ -132,8 +160,21 @@ pub fn plan(
     start_ms: u64,
     end_ms: u64,
 ) -> Option<StreamPlan> {
+    plan_or_reason(db, lookback_ms, expr, start_ms, end_ms).ok()
+}
+
+/// [`plan`], reporting *why* an expression stays on the per-step fallback.
+/// The reason strings surface in `QueryEngine::explain` plans and make the
+/// `teemon_query_range_total{mode="fallback"}` counter actionable.
+pub fn plan_or_reason(
+    db: &TimeSeriesDb,
+    lookback_ms: u64,
+    expr: &Expr,
+    start_ms: u64,
+    end_ms: u64,
+) -> Result<StreamPlan, &'static str> {
     if let Some(value) = fold_const(expr) {
-        return Some(StreamPlan { kind: PlanKind::Scalar(value) });
+        return Ok(StreamPlan { kind: PlanKind::Scalar(value) });
     }
     let (root, keys) = plan_vector(db, lookback_ms, expr, start_ms, end_ms)?;
     // Two output series with the same key would be merged (interleaved) by
@@ -141,9 +182,9 @@ pub fn plan(
     let mut sorted: Vec<&SeriesKey> = keys.iter().collect();
     sorted.sort();
     if sorted.iter().zip(sorted.iter().skip(1)).any(|(a, b)| a == b) {
-        return None;
+        return Err("output series keys collide after name-dropping");
     }
-    Some(StreamPlan { kind: PlanKind::Vector { root, keys } })
+    Ok(StreamPlan { kind: PlanKind::Vector { root, keys } })
 }
 
 /// Evaluates pure-number subtrees to their constant value.
@@ -161,7 +202,7 @@ fn plan_vector(
     expr: &Expr,
     start_ms: u64,
     end_ms: u64,
-) -> Option<(Node, Vec<SeriesKey>)> {
+) -> Result<(Node, Vec<SeriesKey>), &'static str> {
     match expr {
         // An instant selector is `last_over_time` over the lookback window,
         // with the metric name kept.
@@ -177,15 +218,18 @@ fn plan_vector(
                     WindowFunc::Last,
                 ));
             }
-            Some((Node::Windows { machines }, keys))
+            Ok((Node::Windows { machines }, keys))
         }
         // A range function over a range selector: one window machine per
         // series; the name is dropped (function semantics).
         Expr::Call { func, param, arg } => {
-            let Expr::Range { selector, window_ms } = &**arg else { return None };
+            let Expr::Range { selector, window_ms } = &**arg else {
+                return Err("range function over a non-range argument (type error)");
+            };
             if let Some(q) = param {
                 if !(0.0..=1.0).contains(q) {
-                    return None; // fallback reports InvalidQuantile
+                    // The fallback reports InvalidQuantile.
+                    return Err("quantile parameter outside [0, 1] (type error)");
                 }
             }
             let wf = match func {
@@ -209,7 +253,7 @@ fn plan_vector(
                     wf,
                 ));
             }
-            Some((Node::Windows { machines }, keys))
+            Ok((Node::Windows { machines }, keys))
         }
         // Grouped aggregation: the slot→group table and the group label sets
         // are fixed by the child's (plan-time) universe.
@@ -228,7 +272,7 @@ fn plan_vector(
             let keys: Vec<SeriesKey> = unique.into_iter().map(|labels| (None, labels)).collect();
             let scratch = vec![None; child_keys.len()];
             let groups = keys.len();
-            Some((
+            Ok((
                 Node::Group {
                     input: Box::new(child),
                     op: *op,
@@ -248,7 +292,7 @@ fn plan_vector(
             } else if let Some(s) = fold_const(rhs) {
                 (s, lhs, false)
             } else {
-                return None; // vector-vector matching stays per-step
+                return Err("vector-vector matching stays on the per-step path");
             };
             let (child, child_keys) = plan_vector(db, lookback_ms, vector, start_ms, end_ms)?;
             let keys = if op.is_comparison() {
@@ -257,14 +301,12 @@ fn plan_vector(
                 child_keys.into_iter().map(|(_, labels)| (None, labels)).collect()
             };
             let scratch = vec![None; keys.len()];
-            Some((
-                Node::Map { input: Box::new(child), op: *op, scalar, scalar_left, scratch },
-                keys,
-            ))
+            Ok((Node::Map { input: Box::new(child), op: *op, scalar, scalar_left, scratch }, keys))
         }
         // `Number` is handled by `fold_const`; a bare `Range` is a type
         // error for range queries — the fallback reports it.
-        _ => None,
+        Expr::Range { .. } => Err("bare range selector is not rangeable (type error)"),
+        _ => Err("expression shape outside the streaming planner"),
     }
 }
 
@@ -287,6 +329,20 @@ enum Node {
 }
 
 impl Node {
+    /// Totals the window machines' work counters into `stats`.
+    fn collect_stats(&self, stats: &mut RunStats) {
+        match self {
+            Node::Windows { machines } => {
+                for machine in machines {
+                    stats.samples_decoded += machine.decoded;
+                    stats.window_rebuilds += machine.rebuilds;
+                }
+            }
+            Node::Map { input, .. } => input.collect_stats(stats),
+            Node::Group { input, .. } => input.collect_stats(stats),
+        }
+    }
+
     fn step(&mut self, t: u64, out: &mut [Option<f64>]) {
         match self {
             Node::Windows { machines } => {
@@ -471,6 +527,10 @@ struct WindowMachine {
     next_seq: u64,
     /// Reused sort buffer for `quantile_over_time`.
     scratch: Vec<f64>,
+    /// Samples pulled from `source` (each stored sample decodes once).
+    decoded: u64,
+    /// Drift-guard rebuilds of the running sums.
+    rebuilds: u64,
 }
 
 impl WindowMachine {
@@ -488,6 +548,8 @@ impl WindowMachine {
             front_seq: 0,
             next_seq: 0,
             scratch: Vec::new(),
+            decoded: 0,
+            rebuilds: 0,
         }
     }
 
@@ -499,7 +561,10 @@ impl WindowMachine {
             let (ts, value) = match self.pending.take() {
                 Some(sample) => sample,
                 None => match self.source.next() {
-                    Some(s) => (s.timestamp_ms, s.value),
+                    Some(s) => {
+                        self.decoded += 1;
+                        (s.timestamp_ms, s.value)
+                    }
                     None => break,
                 },
             };
@@ -582,6 +647,7 @@ impl WindowMachine {
         sum.ops = 0;
         sum.peak = sum.finite.abs();
         self.sum = sum;
+        self.rebuilds += 1;
     }
 
     /// Recomputes the reset-adjusted pair sum exactly from the live window.
@@ -597,6 +663,7 @@ impl WindowMachine {
         pairs.ops = 0;
         pairs.peak = pairs.finite.abs();
         self.pairs = pairs;
+        self.rebuilds += 1;
     }
 
     fn evaluate(&mut self) -> Option<f64> {

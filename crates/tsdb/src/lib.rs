@@ -45,8 +45,8 @@ mod symbols;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
-    CollectorEndpoint, IngestMode, MetricsEndpoint, RoundSummary, ScrapeError, ScrapeOutcome,
-    ScrapeTargetConfig, Scraper, TextEndpoint, TextSource,
+    CollectorEndpoint, DurationMode, IngestMode, MetricsEndpoint, ObsEndpoint, RoundSummary,
+    ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper, TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};
 pub use snapshot::{OwnedSampleCursor, SampleCursor, SeriesSnapshot};

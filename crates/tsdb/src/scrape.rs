@@ -50,6 +50,7 @@ use serde::{Deserialize, Serialize};
 use teemon_metrics::{
     exposition, identity, CollectError, Collector, FamilySnapshot, Labels, MetricError, SeriesKey,
 };
+use teemon_obs::{probes, SelfSnapshot, Stopwatch};
 
 use crate::storage::{HandleAppend, SeriesHandle, TimeSeriesDb};
 
@@ -220,6 +221,49 @@ impl MetricsEndpoint for TextSourceEndpoint {
     }
 }
 
+/// The engine's own telemetry as an **in-place** scrape endpoint: a
+/// [`teemon_obs::SelfSnapshot`] refreshed under a private lock on every
+/// scrape, handed to the scraper by reference.  Point positions never move
+/// between rounds, so the fast lane's positional cache verifies every time
+/// and a warm self-scrape round is allocation-free like any other in-place
+/// endpoint — the engine monitors itself at the same cost it monitors
+/// everyone else.
+///
+/// Register it with [`Scraper::add_self_target`] (or `add_target` under a
+/// custom config); for text exposition or registry composition use
+/// [`teemon_obs::ObsCollector`] instead.
+pub struct ObsEndpoint {
+    snapshot: Mutex<SelfSnapshot>,
+}
+
+impl ObsEndpoint {
+    /// Creates the endpoint (builds the initial probe snapshot).
+    pub fn new() -> Self {
+        Self { snapshot: Mutex::named(SelfSnapshot::new(), LockClass::new("scrape.self_snapshot")) }
+    }
+}
+
+impl Default for ObsEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsEndpoint for ObsEndpoint {
+    fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
+        let mut snapshot = self.snapshot.lock();
+        snapshot.refresh();
+        Ok(snapshot.families().to_vec())
+    }
+
+    fn scrape_visit(&self, visit: &mut dyn FnMut(&[FamilySnapshot])) -> Result<(), ScrapeError> {
+        let mut snapshot = self.snapshot.lock();
+        snapshot.refresh();
+        visit(snapshot.families());
+        Ok(())
+    }
+}
+
 /// Configuration of one scrape target.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct ScrapeTargetConfig {
@@ -287,9 +331,11 @@ pub struct ScrapeOutcome {
     pub up: bool,
     /// Samples ingested.
     pub samples: u64,
-    /// Modelled scrape duration in seconds (also recorded as the
-    /// `scrape_duration_seconds` meta-metric).  Deterministic: derived from
-    /// the number of scraped samples, not host wall-clock time.
+    /// Scrape duration in seconds (also recorded as the
+    /// `scrape_duration_seconds` meta-metric).  Measured from the monotonic
+    /// clock by default; deterministic simulations opt into the sample-count
+    /// model with [`Scraper::with_modelled_durations`] (see
+    /// [`DurationMode`]).
     pub duration_seconds: f64,
     /// Collect, parse or transport error, when failed.
     pub error: Option<String>,
@@ -415,6 +461,21 @@ pub enum IngestMode {
     PerSample,
 }
 
+/// How `scrape_duration_seconds` (and [`ScrapeOutcome::duration_seconds`])
+/// is charged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurationMode {
+    /// The default: real wall time of the scrape, read from the monotonic
+    /// clock.  This is what operators want on a live monitor — the span
+    /// timers feeding `teemon_scrape_round_seconds` use the same clock.
+    #[default]
+    Measured,
+    /// The deterministic model (base cost plus a per-sample cost) the
+    /// simulator tests rely on: two identical runs must produce identical
+    /// database contents, which host wall-clock readings would break.
+    Modelled,
+}
+
 /// What one scrape round did, in aggregate — the allocation-free counterpart
 /// of a `Vec<ScrapeOutcome>`, returned by [`Scraper::scrape_round`] /
 /// [`Scraper::scrape_round_due`] for callers (like the monitor loops) that
@@ -448,6 +509,7 @@ pub struct Scraper {
     targets: Arc<RwLock<Vec<Target>>>,
     scrape_interval_ms: u64,
     ingest: IngestMode,
+    durations: DurationMode,
 }
 
 impl Scraper {
@@ -463,6 +525,7 @@ impl Scraper {
             targets: Arc::new(RwLock::named(Vec::new(), LockClass::new("scrape.targets"))),
             scrape_interval_ms: Self::DEFAULT_INTERVAL_MS,
             ingest: IngestMode::default(),
+            durations: DurationMode::default(),
         }
     }
 
@@ -483,6 +546,19 @@ impl Scraper {
     /// The ingest mode in effect.
     pub fn ingest_mode(&self) -> IngestMode {
         self.ingest
+    }
+
+    /// Charges `scrape_duration_seconds` from the deterministic sample-count
+    /// model instead of measuring wall time (see [`DurationMode`]).
+    #[must_use]
+    pub fn with_modelled_durations(mut self) -> Self {
+        self.durations = DurationMode::Modelled;
+        self
+    }
+
+    /// The duration mode in effect.
+    pub fn duration_mode(&self) -> DurationMode {
+        self.durations
     }
 
     /// The configured scrape interval in milliseconds.
@@ -517,6 +593,18 @@ impl Scraper {
     /// Registers a raw-text target (the inbound wire-format edge).
     pub fn add_text_source(&self, config: ScrapeTargetConfig, source: Arc<dyn TextSource>) {
         self.add_target(config, Arc::new(TextSourceEndpoint(source)));
+    }
+
+    /// Registers the engine's own telemetry as a scrape target (job
+    /// `teemon_self`): every round thereafter snapshots the probes —
+    /// scrape-stage timings, shard heat, lock contention, query stats —
+    /// into this database, where TeeQL, dashboards and alert rules see them
+    /// like any other job.
+    pub fn add_self_target(&self, instance: impl Into<String>) {
+        self.add_target(
+            ScrapeTargetConfig::new(teemon_obs::SELF_JOB, instance),
+            Arc::new(ObsEndpoint::new()),
+        );
     }
 
     /// Removes every target whose instance equals `instance` (e.g. a node that
@@ -589,6 +677,7 @@ impl Scraper {
     /// each, hands the result to `sink`, and records the storage
     /// self-monitoring gauges when at least one target was touched.
     fn drive(&self, now_ms: u64, due_only: bool, mut sink: impl FnMut(&Target, TargetRound)) {
+        let round_watch = Stopwatch::start();
         let targets = self.targets.read();
         let mut scraped_any = false;
         for target in targets.iter() {
@@ -600,7 +689,9 @@ impl Scraper {
             sink(target, round);
         }
         if scraped_any {
-            self.record_storage_metrics(now_ms);
+            self.publish_storage_stats();
+            probes::SCRAPE_ROUNDS.inc();
+            probes::SCRAPE_ROUND_NS.record_ns(round_watch.elapsed_ns());
         }
     }
 
@@ -615,30 +706,42 @@ impl Scraper {
         }
     }
 
-    /// Self-monitoring: records the storage engine's own footprint as
-    /// gauges after every scrape round that touched at least one target, so
-    /// chunk-compression wins (`teemon_tsdb_bytes_per_sample` vs the 16-byte
-    /// raw sample) are observable from inside the system — queryable with
-    /// TeeQL and plottable on dashboards like any other metric.
-    fn record_storage_metrics(&self, now_ms: u64) {
+    /// Self-monitoring: publishes the storage engine's own footprint into
+    /// the `teemon_obs` gauges after every scrape round that touched at
+    /// least one target, so chunk-compression wins
+    /// (`teemon_tsdb_bytes_per_sample` vs the 16-byte raw sample) and shard
+    /// imbalance are observable from inside the system.  The gauges reach
+    /// the database through the self-scrape target ([`ObsEndpoint`]) rather
+    /// than ad-hoc appends, so they carry proper target labels and flow
+    /// through the same ingest path as every other metric.  (`samples` and
+    /// `series` are gauges, not `_total`s: retention makes them go down, so
+    /// counter names would bait bogus `rate()` queries.)
+    fn publish_storage_stats(&self) {
         let stats = self.db.stats();
-        let labels = Labels::new();
-        self.db.append("teemon_tsdb_resident_bytes", &labels, now_ms, stats.resident_bytes as f64);
-        self.db.append("teemon_tsdb_bytes_per_sample", &labels, now_ms, stats.bytes_per_sample());
-        // A gauge (not `_total`): retention makes the stored-sample count go
-        // down, so a counter name would bait bogus rate() queries.
-        self.db.append("teemon_tsdb_samples", &labels, now_ms, stats.samples as f64);
+        probes::STORAGE_RESIDENT_BYTES.set(stats.resident_bytes as f64);
+        probes::STORAGE_SAMPLES.set(stats.samples as f64);
+        probes::STORAGE_BYTES_PER_SAMPLE.set(stats.bytes_per_sample());
+        probes::STORAGE_SERIES.set(stats.series as f64);
+        probes::STORAGE_REJECTED_SAMPLES.set(stats.rejected_samples as f64);
+        for (shard, count) in self.db.shard_series_counts().iter().enumerate() {
+            probes::SHARD_SERIES.set(shard, *count as f64);
+        }
+        for (shard, generation) in self.db.shard_generations().iter().enumerate() {
+            probes::SHARD_GENERATIONS.set(shard, *generation as f64);
+        }
     }
 
     /// Modelled base duration of one scrape in seconds (connection setup and
-    /// metadata handling) plus a per-sample cost.  The simulation runs on
-    /// virtual time, so the `scrape_duration_seconds` meta-metric is charged
-    /// from this deterministic model rather than host wall-clock time — two
-    /// identical runs must produce identical database contents.
+    /// metadata handling) plus a per-sample cost — the [`DurationMode::Modelled`]
+    /// charge.  Simulations run on virtual time, so their
+    /// `scrape_duration_seconds` meta-metric is charged from this
+    /// deterministic model rather than host wall-clock time — two identical
+    /// runs must produce identical database contents.
     const SCRAPE_BASE_SECONDS: f64 = 500e-6;
     const SCRAPE_PER_SAMPLE_SECONDS: f64 = 2e-6;
 
     fn scrape_target(&self, target: &Target, now_ms: u64) -> TargetRound {
+        let watch = Stopwatch::start();
         let result = match self.ingest {
             IngestMode::FastLane => self.ingest_fast(target, now_ms),
             IngestMode::PerSample => self.ingest_per_sample(target, now_ms),
@@ -648,8 +751,12 @@ impl Scraper {
             Ok((scraped, ingested)) => (true, scraped, ingested, None),
             Err(error) => (false, 0, 0, Some(error.to_string())),
         };
-        let duration_seconds =
-            Self::SCRAPE_BASE_SECONDS + scraped as f64 * Self::SCRAPE_PER_SAMPLE_SECONDS;
+        let duration_seconds = match self.durations {
+            DurationMode::Measured => watch.elapsed_seconds(),
+            DurationMode::Modelled => {
+                Self::SCRAPE_BASE_SECONDS + scraped as f64 * Self::SCRAPE_PER_SAMPLE_SECONDS
+            }
+        };
         let base_labels = &target.base_labels;
         self.db.append("up", base_labels, now_ms, if up { 1.0 } else { 0.0 });
         self.db.append("scrape_duration_seconds", base_labels, now_ms, duration_seconds);
@@ -669,14 +776,22 @@ impl Scraper {
     fn ingest_fast(&self, target: &Target, now_ms: u64) -> Result<(u64, u64), ScrapeError> {
         let mut scraped = 0u64;
         let mut ingested = 0u64;
+        let collect_watch = Stopwatch::start();
         // The cache lock is taken inside the visit, not around the whole
         // scrape, so an endpoint whose *collect* step transitively scrapes
         // this target again (a composing/gateway endpoint) does not deadlock
         // on its own cache.
         target.endpoint.scrape_visit(&mut |families| {
+            // The collect stage ends when the endpoint hands its snapshots
+            // over; everything before this point was snapshot production.
+            probes::SCRAPE_COLLECT_NS.record_ns(collect_watch.elapsed_ns());
             let mut cache = target.cache.lock();
             let cache = &mut *cache;
-            if !cache.fill(families, now_ms, &mut scraped) {
+            let walk_watch = Stopwatch::start();
+            if cache.fill(families, now_ms, &mut scraped) {
+                probes::CACHE_HITS.inc();
+            } else {
+                probes::CACHE_REBUILDS.inc();
                 cache.rebuild(families, &target.base_labels, &self.db);
                 let repaired = cache.fill(families, now_ms, &mut scraped);
                 debug_assert!(
@@ -684,6 +799,8 @@ impl Scraper {
                     "a rebuilt cache must match the snapshots it was built from"
                 );
             }
+            probes::SCRAPE_CACHE_WALK_NS.record_ns(walk_watch.elapsed_ns());
+            let append_watch = Stopwatch::start();
             let outcome = self.db.append_batch(&cache.batch);
             ingested = outcome.appended;
             // Stale handles: the series was evicted or dropped after the
@@ -713,6 +830,7 @@ impl Scraper {
                     }
                 }
             }
+            probes::SCRAPE_APPEND_NS.record_ns(append_watch.elapsed_ns());
         })?;
         Ok((scraped, ingested))
     }
@@ -831,16 +949,54 @@ mod tests {
             ScrapeTargetConfig::new("job", "n1:1"),
             registry_collector("job", registry),
         );
+        scraper.add_self_target("self:0");
+        // Storage stats publish into the obs gauges at the *end* of a round,
+        // after the self target was already scraped — so the db sees them
+        // with a one-round lag.  Scrape twice.
         scraper.scrape_once(5_000);
-        let resident = db.query_instant(&Selector::metric("teemon_tsdb_resident_bytes"), 5_000);
+        scraper.scrape_once(10_000);
+        let resident = db.query_instant(&Selector::metric("teemon_tsdb_resident_bytes"), 10_000);
         assert_eq!(resident.len(), 1);
         assert!(resident[0].points[0].1 > 0.0);
-        let per_sample = db.query_instant(&Selector::metric("teemon_tsdb_bytes_per_sample"), 5_000);
+        let per_sample =
+            db.query_instant(&Selector::metric("teemon_tsdb_bytes_per_sample"), 10_000);
         assert!(per_sample[0].points[0].1 > 0.0);
+        // The self slice carries the standard target labels like any job.
+        assert_eq!(resident[0].labels.get("job"), Some(teemon_obs::SELF_JOB));
+        assert_eq!(resident[0].labels.get("instance"), Some("self:0"));
+        // Shard diagnostics flow through the same path.
+        let shard_series = db.query_instant(&Selector::metric("teemon_tsdb_shard_series"), 10_000);
+        assert_eq!(shard_series.len(), probes::SHARDS);
         // No targets, no self metrics: an idle scraper must not grow the db.
         let idle = TimeSeriesDb::new();
         Scraper::new(idle.clone()).scrape_once(1_000);
         assert_eq!(idle.series_count(), 0);
+    }
+
+    #[test]
+    fn measured_durations_are_positive_and_modelled_ones_deterministic() {
+        let registry = Registry::new();
+        registry.gauge_family("g", "gauge").default_instance().set(1.0);
+        let db = TimeSeriesDb::new();
+        let measured = Scraper::new(db.clone());
+        assert_eq!(measured.duration_mode(), DurationMode::Measured);
+        measured.add_collector(
+            ScrapeTargetConfig::new("job", "n1:1"),
+            registry_collector("job", registry.clone()),
+        );
+        let outcome = &measured.scrape_once(1_000)[0];
+        assert!(outcome.duration_seconds > 0.0, "a real scrape takes real time");
+
+        let modelled = Scraper::new(TimeSeriesDb::new()).with_modelled_durations();
+        modelled.add_collector(
+            ScrapeTargetConfig::new("job", "n1:1"),
+            registry_collector("job", registry),
+        );
+        let expected = Scraper::SCRAPE_BASE_SECONDS + 1.0 * Scraper::SCRAPE_PER_SAMPLE_SECONDS;
+        for round in 1..=3u64 {
+            let outcome = &modelled.scrape_once(round * 1_000)[0];
+            assert_eq!(outcome.duration_seconds, expected, "model is deterministic");
+        }
     }
 
     #[test]
@@ -939,7 +1095,9 @@ mod tests {
         }
         let make = |mode: IngestMode| {
             let db = TimeSeriesDb::new();
-            let scraper = Scraper::new(db.clone()).with_ingest_mode(mode);
+            // Modelled durations: outcome equality below includes
+            // `duration_seconds`, which wall time would never reproduce.
+            let scraper = Scraper::new(db.clone()).with_ingest_mode(mode).with_modelled_durations();
             scraper.add_collector(
                 ScrapeTargetConfig::new("sgx_exporter", "n1:9090").with_label("node", "n1"),
                 registry_collector("sgx_exporter", registry.clone()),

@@ -128,7 +128,39 @@ fn steady_state_scrape_round_is_allocation_free() {
     );
 
     // The rounds really happened: 37 measured + 2 warm-up rounds of samples.
-    assert_eq!(db.stats().samples, 39 * 48 + 39 * 4 + 39 * 3, "samples + meta + self gauges");
+    // (Storage self-gauges no longer arrive as ad-hoc appends — they flow
+    // through the `ObsEndpoint` self-target, exercised separately below.)
+    assert_eq!(db.stats().samples, 39 * 48 + 39 * 4, "samples + per-target meta metrics");
+}
+
+#[test]
+fn warm_self_scrape_round_is_allocation_free() {
+    // Dogfooding must meet the same bar as any other target: once the
+    // engine's own telemetry snapshot is built and the scrape cache is warm,
+    // a full self-scrape round — probe refresh, positional cache verify,
+    // batch append, storage-stats publication — must not allocate.
+    let db = TimeSeriesDb::new();
+    let scraper = Scraper::new(db.clone());
+    scraper.add_self_target("self:0");
+
+    // Warm up: build the self snapshot, register every lock class on this
+    // path, create the series and size the scrape cache.
+    for round in 1..=3u64 {
+        let summary = scraper.scrape_round(round * 5_000);
+        assert_eq!((summary.targets, summary.healthy), (1, 1));
+    }
+
+    let before = allocations();
+    for round in 4..20u64 {
+        let summary = scraper.scrape_round(round * 5_000);
+        assert!(summary.samples_added > 0);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "a warm self-scrape round (snapshot refresh -> cache hit -> batch append ->          stats publication) must not allocate"
+    );
 }
 
 #[test]

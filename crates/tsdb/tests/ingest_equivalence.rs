@@ -135,9 +135,13 @@ proptest! {
         let target = || {
             ScrapeTargetConfig::new("gen_exporter", "node-1:9999").with_label("node", "node-1")
         };
-        let fast = Scraper::new(fast_db.clone()); // FastLane is the default
+        // Modelled durations: outcome equality includes `duration_seconds`,
+        // which measured wall time would never reproduce across two runs.
+        let fast = Scraper::new(fast_db.clone()).with_modelled_durations(); // FastLane default
         fast.add_target(target(), endpoint.clone());
-        let slow = Scraper::new(slow_db.clone()).with_ingest_mode(IngestMode::PerSample);
+        let slow = Scraper::new(slow_db.clone())
+            .with_ingest_mode(IngestMode::PerSample)
+            .with_modelled_durations();
         slow.add_target(target(), endpoint.clone());
 
         let mut pool: Vec<GenSeries> = (0..initial_series).map(|_| gen_series(&mut rng)).collect();

@@ -13,6 +13,7 @@ pub use teemon_exporters as exporters;
 pub use teemon_frameworks as frameworks;
 pub use teemon_kernel_sim as kernel_sim;
 pub use teemon_metrics as metrics;
+pub use teemon_obs as obs;
 pub use teemon_orchestrator as orchestrator;
 pub use teemon_query as query;
 pub use teemon_sgx_sim as sgx_sim;

@@ -124,8 +124,9 @@ fn cluster_monitor_handles_node_churn() {
     assert_eq!(monitor.hosts().len(), 2);
     assert!(monitor.endpoints().len() < baseline_endpoints);
 
-    // Everything that remains is scrapable.
-    assert_eq!(monitor.scrape_all(), monitor.hosts().len() * 4);
+    // Everything that remains is scrapable: four exporters plus the
+    // engine's own self-telemetry target per Full-mode host.
+    assert_eq!(monitor.scrape_all(), monitor.hosts().len() * 5);
 
     // The failed node recovers.
     cluster.set_ready("sgx-0", true);

@@ -1,0 +1,213 @@
+//! Always-on lock-contention telemetry.
+//!
+//! Unlike the [`crate::audit`] module (a heavyweight correctness checker
+//! compiled only under `--cfg lock_audit`), this module is live in every
+//! build: each [`crate::LockClass`] name owns one fixed slot in a static
+//! table, and the lock wrappers record into it on every acquisition.
+//!
+//! The cost model is the whole point:
+//!
+//! * **uncontended** acquisitions (the `try_lock` succeeds immediately) cost
+//!   a single relaxed `fetch_add` on the class's acquisition counter —
+//!   nothing else, no wall-clock read, no allocation, ever,
+//! * **contended** acquisitions (the try failed and the thread had to park)
+//!   additionally time the wait and record it into the class's log-linear
+//!   (power-of-two bucket) wait histogram — three more relaxed `fetch_add`s
+//!   and two `Instant` reads, all off the fast path.
+//!
+//! Slots are fixed at compile time ([`MAX_CLASSES`] × [`WAIT_BUCKETS`]
+//! counters), so registration and recording are allocation-free and the
+//! counting-allocator proofs in the test suite hold with telemetry enabled.
+//! Consumers read the table through [`for_each`] (allocation-free) or the
+//! convenience [`classes`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Number of class slots in the static table.  Classes registered past the
+/// capacity fall into the shared overflow slot named `"(overflow)"` rather
+/// than being dropped silently.
+pub const MAX_CLASSES: usize = 64;
+
+/// Number of log-linear wait-time buckets.  Bucket `i` counts contended
+/// waits with `floor(log2(wait_ns)) == i`, i.e. upper bound `2^(i+1) - 1`
+/// nanoseconds; the last bucket absorbs everything longer (≥ ~2 s).
+pub const WAIT_BUCKETS: usize = 31;
+
+/// One class's counters.  All fields are written with relaxed ordering; a
+/// snapshot is a statistically consistent view, not a linearisable one.
+struct Slot {
+    name: OnceLock<&'static str>,
+    acquires: AtomicU64,
+    contended: AtomicU64,
+    wait_ns_sum: AtomicU64,
+    wait_buckets: [AtomicU64; WAIT_BUCKETS],
+}
+
+impl Slot {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name: OnceLock::new(),
+            acquires: ZERO,
+            contended: ZERO,
+            wait_ns_sum: ZERO,
+            wait_buckets: [ZERO; WAIT_BUCKETS],
+        }
+    }
+}
+
+static SLOTS: [Slot; MAX_CLASSES] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: Slot = Slot::new();
+    [EMPTY; MAX_CLASSES]
+};
+
+/// Resolves the slot for a class name, registering it on first use.  Called
+/// once per lock *construction* (never per acquisition).  Anonymous locks
+/// (`name == ""`) get no slot and no telemetry.
+fn resolve(name: &'static str) -> Option<&'static Slot> {
+    if name.is_empty() {
+        return None;
+    }
+    for (i, slot) in SLOTS.iter().enumerate() {
+        if i == MAX_CLASSES - 1 {
+            // Last slot doubles as the overflow bucket.
+            let _ = slot.name.set("(overflow)");
+            return Some(slot);
+        }
+        match slot.name.get() {
+            Some(existing) if *existing == name => return Some(slot),
+            Some(_) => continue,
+            None => {
+                if slot.name.set(name).is_ok() {
+                    return Some(slot);
+                }
+                // Raced with another registration; re-check what won.
+                if slot.name.get() == Some(&name) {
+                    return Some(slot);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Handle stored inside each named lock: records acquisitions for its slot.
+#[derive(Clone, Copy)]
+pub(crate) struct Recorder {
+    slot: Option<&'static Slot>,
+}
+
+impl Recorder {
+    pub(crate) fn for_class(name: &'static str) -> Self {
+        Self { slot: resolve(name) }
+    }
+
+    /// The uncontended fast path: one relaxed fetch_add, nothing else.
+    #[inline]
+    pub(crate) fn on_uncontended(&self) {
+        if let Some(slot) = self.slot {
+            slot.acquires.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Called when a `try_lock` failed: returns the wait-start timestamp.
+    /// Only reached on contention, so the `Instant` read is off the fast
+    /// path.
+    #[inline]
+    pub(crate) fn on_contended_start(&self) -> Option<Instant> {
+        self.slot.map(|_| Instant::now())
+    }
+
+    /// Called after a contended acquisition completes.
+    #[inline]
+    pub(crate) fn on_contended_end(&self, started: Option<Instant>) {
+        let (Some(slot), Some(started)) = (self.slot, started) else { return };
+        let wait_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        slot.acquires.fetch_add(1, Ordering::Relaxed);
+        slot.contended.fetch_add(1, Ordering::Relaxed);
+        slot.wait_ns_sum.fetch_add(wait_ns, Ordering::Relaxed);
+        slot.wait_buckets[bucket_index(wait_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Log-linear bucket index for a nanosecond wait: `floor(log2(ns))`, with
+/// sub-nanosecond waits in bucket 0 and everything ≥ `2^WAIT_BUCKETS` ns in
+/// the last bucket.
+#[inline]
+pub fn bucket_index(wait_ns: u64) -> usize {
+    if wait_ns == 0 {
+        return 0;
+    }
+    ((63 - wait_ns.leading_zeros()) as usize).min(WAIT_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (in nanoseconds) of bucket `i`: `2^(i+1) - 1`.
+/// The last bucket has no finite bound; this returns its lower edge.
+pub fn bucket_upper_bound_ns(i: usize) -> u64 {
+    if i >= WAIT_BUCKETS - 1 {
+        1u64 << (WAIT_BUCKETS - 1)
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A copied-out view of one class's contention counters.
+#[derive(Debug, Clone)]
+pub struct ClassContention {
+    /// The lock-class name (for example `tsdb.shard`).
+    pub name: &'static str,
+    /// Total acquisitions (contended + uncontended).
+    pub acquires: u64,
+    /// Acquisitions that found the lock held and had to wait.
+    pub contended: u64,
+    /// Total nanoseconds spent waiting in contended acquisitions.
+    pub wait_ns_sum: u64,
+    /// Log-linear wait histogram; bucket `i` counts waits with
+    /// `floor(log2(ns)) == i` (see [`bucket_upper_bound_ns`]).
+    pub wait_buckets: [u64; WAIT_BUCKETS],
+}
+
+/// Visits every registered class without allocating.  The visitor receives a
+/// stack-copied [`ClassContention`] per class, in registration order.
+pub fn for_each(visit: &mut dyn FnMut(&ClassContention)) {
+    for slot in &SLOTS {
+        let Some(name) = slot.name.get() else { continue };
+        let mut snap = ClassContention {
+            name,
+            acquires: slot.acquires.load(Ordering::Relaxed),
+            contended: slot.contended.load(Ordering::Relaxed),
+            wait_ns_sum: slot.wait_ns_sum.load(Ordering::Relaxed),
+            wait_buckets: [0; WAIT_BUCKETS],
+        };
+        for (dst, src) in snap.wait_buckets.iter_mut().zip(slot.wait_buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        visit(&snap);
+    }
+}
+
+/// Convenience snapshot of every registered class (allocates).
+pub fn classes() -> Vec<ClassContention> {
+    let mut out = Vec::new();
+    for_each(&mut |c| out.push(c.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), WAIT_BUCKETS - 1);
+    }
+}

@@ -27,19 +27,29 @@
 //!   counting global allocator in the test suite turns into an
 //!   "allocation under shard lock" check.
 //!
-//! Without the cfg, the class metadata is dropped at construction and the
-//! lock types compile down to the plain `std::sync` wrappers below — zero
-//! cost for production builds, identical API for both modes.
+//! Without the cfg, the audit metadata is dropped at construction and the
+//! lock types compile down to the plain `std::sync` wrappers below — the
+//! same API in both modes.
+//!
+//! # Contention telemetry (always on)
+//!
+//! Orthogonally to the audit, every *named* lock records cheap contention
+//! statistics into the [`contention`] module's fixed static table:
+//! acquisition counts on the uncontended path (one relaxed `fetch_add`) and
+//! contended-acquire counts plus a log-linear wait-time histogram when a
+//! `try_lock` fails and the thread has to park.  `teemon_obs` exports these
+//! per-class counters as engine self-metrics.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{
     Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
-    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
 };
 
 #[cfg(lock_audit)]
 pub mod audit;
+pub mod contention;
 
 /// The audited identity of a lock: a class name shared by every lock that
 /// plays the same role (e.g. all 16 storage shards are `tsdb.shard`), an
@@ -181,6 +191,7 @@ impl_guard!(MutexGuard, StdMutexGuard, mutable);
 pub struct RwLock<T: ?Sized> {
     #[cfg(lock_audit)]
     audit: audit::LockAudit,
+    telemetry: contention::Recorder,
     inner: StdRwLock<T>,
 }
 
@@ -191,13 +202,14 @@ impl<T> RwLock<T> {
     }
 
     /// Creates a new unlocked lock registered under `class` in the lock
-    /// audit.  Without `--cfg lock_audit` the class is dropped.
+    /// audit and the always-on [`contention`] telemetry.  Without
+    /// `--cfg lock_audit` only the class *name* is retained (for the
+    /// contention slot); the audit rules are dropped.
     pub fn named(value: T, class: LockClass) -> Self {
-        #[cfg(not(lock_audit))]
-        let _ = class;
         Self {
             #[cfg(lock_audit)]
             audit: audit::LockAudit::register(class),
+            telemetry: contention::Recorder::for_class(class.name()),
             inner: StdRwLock::new(value),
         }
     }
@@ -219,10 +231,26 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(lock_audit)]
         let token = self.audit.on_acquire(audit::Kind::Read);
+        let inner = match self.inner.try_read() {
+            Ok(guard) => {
+                self.telemetry.on_uncontended();
+                guard
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                self.telemetry.on_uncontended();
+                e.into_inner()
+            }
+            Err(TryLockError::WouldBlock) => {
+                let started = self.telemetry.on_contended_start();
+                let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                self.telemetry.on_contended_end(started);
+                guard
+            }
+        };
         RwLockReadGuard {
             #[cfg(lock_audit)]
             token,
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            inner,
         }
     }
 
@@ -230,10 +258,26 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(lock_audit)]
         let token = self.audit.on_acquire(audit::Kind::Exclusive);
+        let inner = match self.inner.try_write() {
+            Ok(guard) => {
+                self.telemetry.on_uncontended();
+                guard
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                self.telemetry.on_uncontended();
+                e.into_inner()
+            }
+            Err(TryLockError::WouldBlock) => {
+                let started = self.telemetry.on_contended_start();
+                let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                self.telemetry.on_contended_end(started);
+                guard
+            }
+        };
         RwLockWriteGuard {
             #[cfg(lock_audit)]
             token,
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            inner,
         }
     }
 
@@ -253,6 +297,7 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
 pub struct Mutex<T: ?Sized> {
     #[cfg(lock_audit)]
     audit: audit::LockAudit,
+    telemetry: contention::Recorder,
     inner: StdMutex<T>,
 }
 
@@ -263,13 +308,14 @@ impl<T> Mutex<T> {
     }
 
     /// Creates a new unlocked mutex registered under `class` in the lock
-    /// audit.  Without `--cfg lock_audit` the class is dropped.
+    /// audit and the always-on [`contention`] telemetry.  Without
+    /// `--cfg lock_audit` only the class *name* is retained (for the
+    /// contention slot); the audit rules are dropped.
     pub fn named(value: T, class: LockClass) -> Self {
-        #[cfg(not(lock_audit))]
-        let _ = class;
         Self {
             #[cfg(lock_audit)]
             audit: audit::LockAudit::register(class),
+            telemetry: contention::Recorder::for_class(class.name()),
             inner: StdMutex::new(value),
         }
     }
@@ -291,10 +337,26 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(lock_audit)]
         let token = self.audit.on_acquire(audit::Kind::Exclusive);
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => {
+                self.telemetry.on_uncontended();
+                guard
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                self.telemetry.on_uncontended();
+                e.into_inner()
+            }
+            Err(TryLockError::WouldBlock) => {
+                let started = self.telemetry.on_contended_start();
+                let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                self.telemetry.on_contended_end(started);
+                guard
+            }
+        };
         MutexGuard {
             #[cfg(lock_audit)]
             token,
-            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            inner,
         }
     }
 
@@ -336,5 +398,50 @@ mod tests {
         let m = Mutex::named(String::from("x"), LockClass::new("test.mutex"));
         m.lock().push('y');
         assert_eq!(m.into_inner(), "xy");
+    }
+
+    #[test]
+    fn named_locks_count_acquisitions() {
+        let m = Mutex::named(0u32, LockClass::new("test.contention.count"));
+        let before = acquires_of("test.contention.count");
+        for _ in 0..5 {
+            *m.lock() += 1;
+        }
+        assert_eq!(acquires_of("test.contention.count") - before, 5);
+    }
+
+    #[test]
+    fn contended_acquisitions_record_waits() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::named((), LockClass::new("test.contention.wait")));
+        let held = m.lock();
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        waiter.join().expect("waiter");
+        let mut contended = 0;
+        let mut bucketed = 0;
+        contention::for_each(&mut |c| {
+            if c.name == "test.contention.wait" {
+                contended = c.contended;
+                bucketed = c.wait_buckets.iter().sum();
+                assert!(c.wait_ns_sum > 0, "waited a measurable time");
+            }
+        });
+        assert_eq!(contended, 1);
+        assert_eq!(bucketed, 1);
+    }
+
+    fn acquires_of(name: &str) -> u64 {
+        let mut n = 0;
+        contention::for_each(&mut |c| {
+            if c.name == name {
+                n = c.acquires;
+            }
+        });
+        n
     }
 }
