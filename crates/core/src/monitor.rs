@@ -20,7 +20,7 @@ use teemon_exporters::{
 use teemon_kernel_sim::Kernel;
 use teemon_orchestrator::{Cluster, HelmChart, ServiceDiscovery};
 use teemon_query::{RuleEngine, RuleGroup};
-use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb};
+use teemon_tsdb::{ScrapeTargetConfig, Scraper, TextEndpoint, TimeSeriesDb, TsdbConfig};
 
 /// Which parts of TEEMon are active — the three configurations of §6.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,7 +55,9 @@ pub enum ScrapeTransport {
 ///     .exporter_interval_ms("cadvisor", 15_000)
 ///     .build();
 /// assert_eq!(host.mode(), MonitoringMode::Full);
-/// // Four exporters plus the `teemon_self` self-scrape target.
+/// // Full-mode recount: sgx_exporter, node_exporter, cadvisor and
+/// // ebpf_exporter — four exporters — plus the `teemon_self` self-scrape
+/// // target makes 5 targets per host.
 /// assert_eq!(host.scraper().target_count(), 5);
 /// ```
 pub struct MonitorBuilder {
@@ -69,6 +71,7 @@ pub struct MonitorBuilder {
     transport: ScrapeTransport,
     rule_groups: Vec<RuleGroup>,
     self_observe_alerts: bool,
+    durability_dir: Option<std::path::PathBuf>,
 }
 
 impl MonitorBuilder {
@@ -85,6 +88,7 @@ impl MonitorBuilder {
             transport: ScrapeTransport::default(),
             rule_groups: Vec::new(),
             self_observe_alerts: false,
+            durability_dir: None,
         }
     }
 
@@ -108,6 +112,24 @@ impl MonitorBuilder {
     #[must_use]
     pub fn db(mut self, db: TimeSeriesDb) -> Self {
         self.db = Some(db);
+        self
+    }
+
+    /// Makes the host's aggregation database durable: `build` opens it with
+    /// [`TimeSeriesDb::open`] on `dir`, replaying any write-ahead logs a
+    /// previous run left behind (crash recovery) before the first scrape,
+    /// and every scrape round from then on ends with one WAL commit per
+    /// dirty shard.  A database plugged in via [`MonitorBuilder::db`] takes
+    /// precedence — a shared store manages its own durability.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics when `dir` cannot be created or its logs cannot be
+    /// opened: a monitor asked to be durable must not come up silently
+    /// volatile.
+    #[must_use]
+    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durability_dir = Some(dir.into());
         self
     }
 
@@ -155,9 +177,9 @@ impl MonitorBuilder {
 
     /// Adds the built-in `teemon_self` alert group
     /// ([`teemon_query::self_observe_alerts`]) watching the engine's own
-    /// telemetry: query fallback rate, storage shard imbalance and
-    /// slow-query rate.  The group evaluates on the scrape interval's
-    /// cadence over the series the self-scrape target ingests.
+    /// telemetry: query fallback rate, storage shard imbalance, slow-query
+    /// rate and WAL corruption salvage.  The group evaluates on the scrape
+    /// interval's cadence over the series the self-scrape target ingests.
     #[must_use]
     pub fn with_self_observe_alerts(mut self) -> Self {
         self.self_observe_alerts = true;
@@ -176,7 +198,13 @@ impl MonitorBuilder {
     /// Builds the host monitor, deploying exporters according to the mode.
     pub fn build(self) -> HostMonitor {
         let kernel = self.kernel.clone().unwrap_or_default();
-        let db = self.db.clone().unwrap_or_default();
+        let db = self.db.clone().unwrap_or_else(|| match &self.durability_dir {
+            // teemon-verify: allow(no-unwrap): documented panic — a monitor
+            // asked to be durable must not come up silently volatile.
+            Some(dir) => TimeSeriesDb::open(dir, TsdbConfig::default())
+                .expect("open the durable aggregation database"),
+            None => TimeSeriesDb::new(),
+        });
         let scraper = Scraper::new(db.clone()).with_interval_ms(self.scrape_interval_ms);
         let analyzer = Analyzer::new(db.clone());
         let dashboards = standard();
@@ -691,7 +719,11 @@ mod tests {
             .with_self_observe_alerts()
             .build();
         assert_eq!(host.rules().group_count(), 1);
-        assert_eq!(host.rules().rule_count(), 3, "fallback, imbalance and slow-query alerts");
+        assert_eq!(
+            host.rules().rule_count(),
+            4,
+            "fallback, imbalance, slow-query and WAL-salvage alerts"
+        );
         // The group evaluates inside the monitoring loop over the series the
         // self target ingests — it must run cleanly against live self data
         // (whether an alert fires depends on process-global probe history).
@@ -700,6 +732,37 @@ mod tests {
             .db()
             .query_instant(&Selector::metric("teemon_tsdb_shard_series"), u64::MAX)
             .is_empty());
+    }
+
+    #[test]
+    fn builder_durability_survives_a_monitor_restart() {
+        let dir = std::env::temp_dir().join(format!("teemon-monitor-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let host = MonitorBuilder::new("worker-7")
+                .mode(MonitoringMode::Full)
+                .with_durability(&dir)
+                .build();
+            assert!(host.db().durable());
+            host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+            // scrape_tick drives the WAL flush at the end of the round.
+            assert_eq!(host.scrape_tick(), 5);
+            assert!(host.db().stats().samples > 0);
+        }
+        // A fresh monitor on the same directory replays the logs: the
+        // previous run's series are queryable before any new scrape.
+        let reopened = MonitorBuilder::new("worker-7")
+            .mode(MonitoringMode::Full)
+            .with_durability(&dir)
+            .build();
+        assert!(reopened.db().durable());
+        assert!(reopened.db().stats().samples > 0, "recovery must restore the scraped rounds");
+        assert!(!reopened
+            .db()
+            .query_instant(&Selector::metric("sgx_nr_free_pages"), u64::MAX)
+            .is_empty());
+        assert_eq!(reopened.db().stats().wal_failed_shards, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -200,6 +200,18 @@ pub fn standard() -> DashboardSet {
         .with_panel(
             Panel::table("Lock contention", Selector::metric("teemon_lock_contended_total"))
                 .with_unit("acquires"),
+        )
+        .with_panel(
+            Panel::teeql("WAL write rate", "rate(teemon_wal_bytes_written_total[30s])")
+                .with_unit("bytes/s"),
+        )
+        .with_panel(
+            Panel::stat("WAL salvaged tails", Selector::metric("teemon_wal_salvage_total"))
+                .with_unit("truncations"),
+        )
+        .with_panel(
+            Panel::stat("WAL failed shards", Selector::metric("teemon_wal_failed_shards"))
+                .with_unit("shards"),
         );
 
     DashboardSet { dashboards: vec![sgx, docker, infrastructure, teemon_self] }
@@ -238,9 +250,11 @@ mod tests {
         // The SGX dashboard shows EPC metrics and eBPF metrics (Figure 3).
         let sgx = set.get("SGX").unwrap();
         assert!(sgx.panels.len() >= 5);
-        // The self dashboard covers ingest, storage, query and lock probes.
+        // The self dashboard covers ingest, storage, query, lock and
+        // durability probes.
         let own = set.get("Teemon Self").unwrap();
-        assert!(own.panels.len() >= 6);
+        assert!(own.panels.len() >= 9);
+        assert!(own.panels.iter().any(|p| p.title.starts_with("WAL")));
     }
 
     #[test]
@@ -256,12 +270,17 @@ mod tests {
                 labels.insert("shard", shard.to_string());
                 db.append("teemon_tsdb_shard_series", &labels, t * 5_000, 12.0);
             }
+            db.append("teemon_wal_bytes_written_total", &self_labels, t * 5_000, 900.0 * t as f64);
+            db.append("teemon_wal_salvage_total", &self_labels, t * 5_000, 0.0);
+            db.append("teemon_wal_failed_shards", &self_labels, t * 5_000, 0.0);
         }
         let set = standard();
         let rendered = set.get("Teemon Self").unwrap().render(&db, 0, u64::MAX, 50);
         assert!(rendered.contains("Scrape rounds"));
         assert!(rendered.contains("Resident bytes"));
         assert!(rendered.contains("Series per shard"));
+        assert!(rendered.contains("WAL write rate"));
+        assert!(rendered.contains("WAL failed shards"));
         let evaluated = set.get("Teemon Self").unwrap().evaluate(&db, 0, u64::MAX);
         assert!(evaluated.iter().filter(|p| !p.is_empty()).count() >= 4);
     }

@@ -188,6 +188,47 @@ impl Collector for ObsCollector {
                 "storage shard generation (bumps on eviction/drop)",
                 |s| probes::SHARD_GENERATIONS.get(s),
             ),
+            // --- durability / WAL ---
+            counter(
+                "teemon_wal_bytes_written_total",
+                "bytes appended to write-ahead logs",
+                probes::WAL_BYTES_WRITTEN.get(),
+            ),
+            histogram(
+                "teemon_wal_fsync_seconds",
+                "measured wall time of WAL fsyncs",
+                &probes::WAL_FSYNC_NS,
+            ),
+            counter(
+                "teemon_wal_records_replayed_total",
+                "WAL records applied during crash recovery",
+                probes::WAL_RECORDS_REPLAYED.get(),
+            ),
+            counter(
+                "teemon_wal_salvage_total",
+                "corrupt-tail truncation events during recovery",
+                probes::WAL_SALVAGE.get(),
+            ),
+            counter(
+                "teemon_wal_salvaged_bytes_total",
+                "bytes discarded by corrupt-tail truncation during recovery",
+                probes::WAL_SALVAGED_BYTES.get(),
+            ),
+            counter(
+                "teemon_wal_records_dropped_total",
+                "WAL records discarded during recovery (uncommitted tail rounds)",
+                probes::WAL_RECORDS_DROPPED.get(),
+            ),
+            gauge(
+                "teemon_wal_recovery_seconds",
+                "duration of the last crash recovery",
+                probes::WAL_RECOVERY_SECONDS.get(),
+            ),
+            gauge(
+                "teemon_wal_failed_shards",
+                "shards whose WAL or snapshot was unreadable and came up empty",
+                probes::WAL_FAILED_SHARDS.get(),
+            ),
         ]);
         // --- query ---
         let mut modes = FamilySnapshot::new(

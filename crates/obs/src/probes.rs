@@ -215,6 +215,27 @@ pub static SHARD_SERIES: ShardGauges = ShardGauges::new();
 pub static SHARD_GENERATIONS: ShardGauges = ShardGauges::new();
 
 // ---------------------------------------------------------------------------
+// Durability / WAL (recorded by `teemon_tsdb::wal` and crash recovery)
+// ---------------------------------------------------------------------------
+
+/// Bytes appended to write-ahead logs (meta log + shard segments).
+pub static WAL_BYTES_WRITTEN: Counter = Counter::new();
+/// Measured wall time of WAL fsyncs.
+pub static WAL_FSYNC_NS: LogLinearHist = LogLinearHist::new();
+/// WAL records applied during crash recovery.
+pub static WAL_RECORDS_REPLAYED: Counter = Counter::new();
+/// Corrupt-tail truncation events during recovery (one per salvaged file).
+pub static WAL_SALVAGE: Counter = Counter::new();
+/// Bytes discarded by corrupt-tail truncation during recovery.
+pub static WAL_SALVAGED_BYTES: Counter = Counter::new();
+/// WAL records discarded during recovery (uncommitted tail rounds).
+pub static WAL_RECORDS_DROPPED: Counter = Counter::new();
+/// Duration of the last crash recovery, in seconds.
+pub static WAL_RECOVERY_SECONDS: Gauge = Gauge::new();
+/// Shards whose WAL or snapshot was unreadable and came up empty.
+pub static WAL_FAILED_SHARDS: Gauge = Gauge::new();
+
+// ---------------------------------------------------------------------------
 // Query layer (recorded by `teemon_query`)
 // ---------------------------------------------------------------------------
 
@@ -336,6 +357,54 @@ pub const fn registry() -> &'static [ProbeDesc] {
             kind: "gauge{shard}",
             layer: "storage",
             help: "storage shard generation (bumps on eviction/drop)",
+        },
+        ProbeDesc {
+            name: "teemon_wal_bytes_written_total",
+            kind: "counter",
+            layer: "storage",
+            help: "bytes appended to write-ahead logs (meta log + shard segments)",
+        },
+        ProbeDesc {
+            name: "teemon_wal_fsync_seconds",
+            kind: "histogram",
+            layer: "storage",
+            help: "measured wall time of WAL fsyncs",
+        },
+        ProbeDesc {
+            name: "teemon_wal_records_replayed_total",
+            kind: "counter",
+            layer: "storage",
+            help: "WAL records applied during crash recovery",
+        },
+        ProbeDesc {
+            name: "teemon_wal_salvage_total",
+            kind: "counter",
+            layer: "storage",
+            help: "corrupt-tail truncation events during recovery (per salvaged file)",
+        },
+        ProbeDesc {
+            name: "teemon_wal_salvaged_bytes_total",
+            kind: "counter",
+            layer: "storage",
+            help: "bytes discarded by corrupt-tail truncation during recovery",
+        },
+        ProbeDesc {
+            name: "teemon_wal_records_dropped_total",
+            kind: "counter",
+            layer: "storage",
+            help: "WAL records discarded during recovery (uncommitted tail rounds)",
+        },
+        ProbeDesc {
+            name: "teemon_wal_recovery_seconds",
+            kind: "gauge",
+            layer: "storage",
+            help: "duration of the last crash recovery",
+        },
+        ProbeDesc {
+            name: "teemon_wal_failed_shards",
+            kind: "gauge",
+            layer: "storage",
+            help: "shards whose WAL or snapshot was unreadable and came up empty",
         },
         ProbeDesc {
             name: "teemon_query_range_total",

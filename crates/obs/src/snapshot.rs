@@ -257,6 +257,58 @@ fn emit_all(e: &mut dyn Emit) {
         );
     }
 
+    // --- durability / WAL ---
+    e.family(
+        "teemon_wal_bytes_written_total",
+        "bytes appended to write-ahead logs",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_BYTES_WRITTEN.get() as f64);
+    emit_hist(
+        e,
+        "teemon_wal_fsync_seconds_bucket",
+        "teemon_wal_fsync_seconds_sum",
+        "teemon_wal_fsync_seconds_count",
+        "measured wall time of WAL fsyncs",
+        &probes::WAL_FSYNC_NS,
+    );
+    e.family(
+        "teemon_wal_records_replayed_total",
+        "WAL records applied during crash recovery",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_RECORDS_REPLAYED.get() as f64);
+    e.family(
+        "teemon_wal_salvage_total",
+        "corrupt-tail truncation events during recovery",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_SALVAGE.get() as f64);
+    e.family(
+        "teemon_wal_salvaged_bytes_total",
+        "bytes discarded by corrupt-tail truncation during recovery",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_SALVAGED_BYTES.get() as f64);
+    e.family(
+        "teemon_wal_records_dropped_total",
+        "WAL records discarded during recovery (uncommitted tail rounds)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_RECORDS_DROPPED.get() as f64);
+    e.family(
+        "teemon_wal_recovery_seconds",
+        "duration of the last crash recovery",
+        MetricKind::Gauge,
+    );
+    e.point(&mut Labels::new, probes::WAL_RECOVERY_SECONDS.get());
+    e.family(
+        "teemon_wal_failed_shards",
+        "shards whose WAL or snapshot was unreadable and came up empty",
+        MetricKind::Gauge,
+    );
+    e.point(&mut Labels::new, probes::WAL_FAILED_SHARDS.get());
+
     // --- query ---
     e.family("teemon_query_range_total", "range queries by evaluation mode", MetricKind::Counter);
     e.point(&mut || Labels::new().with("mode", "streamed"), probes::QUERY_STREAMED.get() as f64);

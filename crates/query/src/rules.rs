@@ -132,6 +132,8 @@ pub fn sgx_default_alerts(window_ms: u64) -> Vec<AlertRule> {
 ///   share of the ingest contention.
 /// * `teemon_slow_queries` — queries crossed the slow-query threshold; the
 ///   offenders are in `teemon_obs::slow_queries()`.
+/// * `teemon_wal_salvage` — crash recovery truncated a corrupt WAL tail;
+///   the acked data survived but the disk or filesystem is damaging writes.
 ///
 /// `interval_ms` is the evaluation cadence; the rate windows span two
 /// cadences so a single scrape round cannot alias to zero.
@@ -164,6 +166,13 @@ pub fn self_observe_alerts(interval_ms: u64) -> RuleGroup {
             Severity::Info,
             "queries crossed the slow-query threshold; see teemon_obs::slow_queries() \
              for the offenders",
+        ))
+        .with_rule(rule(
+            "teemon_wal_salvage",
+            "teemon_wal_salvage_total > 0".to_string(),
+            Severity::Warning,
+            "crash recovery truncated a corrupt WAL tail; acked data survived, but \
+             the disk or filesystem is damaging writes",
         ))
 }
 
@@ -616,7 +625,7 @@ mod tests {
     fn self_observe_alerts_parse_and_fire_on_self_metrics() {
         let group = self_observe_alerts(15_000);
         assert_eq!(group.name, "teemon_self");
-        assert_eq!(group.rules.len(), 3);
+        assert_eq!(group.rules.len(), 4);
         // Every built-in expression round-trips through the parser (the
         // group builder unwraps on this invariant).
         for rule in &group.rules {
@@ -638,6 +647,8 @@ mod tests {
                 let labels = Labels::from_pairs([("shard", shard.to_string())]);
                 db.append("teemon_tsdb_shard_series", &labels, t * 5_000, series);
             }
+            // A recovery salvaged a corrupt tail => the durability alert.
+            db.append("teemon_wal_salvage_total", &Labels::new(), t * 5_000, 1.0);
         }
         let engine = RuleEngine::new(db);
         engine.add_group(group);
@@ -646,6 +657,7 @@ mod tests {
         let firing: Vec<String> = engine.firing_alerts().into_iter().map(|a| a.rule).collect();
         assert!(firing.contains(&"teemon_query_fallback".to_string()), "{firing:?}");
         assert!(firing.contains(&"teemon_shard_imbalance".to_string()), "{firing:?}");
+        assert!(firing.contains(&"teemon_wal_salvage".to_string()), "{firing:?}");
         // No slow queries recorded => that rule stays quiet.
         assert!(!firing.contains(&"teemon_slow_queries".to_string()), "{firing:?}");
     }

@@ -20,6 +20,11 @@
 //!   series,
 //! * [`Selector`] and the [`query`] module — instant/range queries, label
 //!   matching, `rate`, `sum`/`avg`/`min`/`max` aggregation and quantiles,
+//! * [`wal`] — the optional durability tier: a per-shard, CRC-checksummed
+//!   write-ahead log flushed once per scrape round, with crash recovery
+//!   ([`TimeSeriesDb::open`]), segment rotation onto Gorilla-block snapshots
+//!   and corruption salvage that truncates torn tails and isolates damaged
+//!   shards instead of panicking,
 //! * [`Scraper`] — the pull loop: scrapes typed [`MetricsEndpoint`]s on an
 //!   interval (per-target intervals supported), attaches `job`/`instance`
 //!   labels, records `up`/`scrape_duration_seconds`/`scrape_samples_scraped`
@@ -42,6 +47,7 @@ pub mod series;
 pub mod snapshot;
 pub mod storage;
 mod symbols;
+pub mod wal;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
@@ -52,4 +58,7 @@ pub use series::{Sample, Series, SeriesId};
 pub use snapshot::{OwnedSampleCursor, SampleCursor, SeriesSnapshot};
 pub use storage::{
     BatchOutcome, HandleAppend, SeriesHandle, StorageStats, TimeSeriesDb, TsdbConfig, SHARD_COUNT,
+};
+pub use wal::{
+    CrashModel, DurabilityOptions, FailpointWriter, FaultFs, FsyncMode, RealFs, WalFile, WalFs,
 };

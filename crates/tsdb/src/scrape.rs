@@ -690,6 +690,11 @@ impl Scraper {
         }
         if scraped_any {
             self.publish_storage_stats();
+            // Make the round durable before declaring it done: one WAL flush
+            // per scrape round (no-op on volatile databases).  The scrape
+            // driver is the single flusher the WAL's crash-exactness
+            // contract is defined for.
+            self.db.wal_flush();
             probes::SCRAPE_ROUNDS.inc();
             probes::SCRAPE_ROUND_NS.record_ns(round_watch.elapsed_ns());
         }

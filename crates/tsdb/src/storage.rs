@@ -33,19 +33,22 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{LockClass, RwLock, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 use teemon_metrics::Labels;
-use teemon_obs::probes;
+use teemon_obs::{probes, Stopwatch};
 
 use crate::index::{Candidates, Postings, SelectorPlan};
 use crate::query::{QueryResult, Selector};
 use crate::series::{at_in_chunks, sample_at, Chunk, Sample, SeriesId, SAMPLE_BYTES};
 use crate::snapshot::SeriesSnapshot;
 use crate::symbols::{SymbolId, SymbolTable};
+use crate::wal::{self, DurabilityOptions, Wal};
 
 /// Number of lock shards.  A power of two so the shard of a key hash is a
 /// mask, sized for "more shards than scraper threads" on typical hosts.
@@ -95,6 +98,12 @@ pub struct StorageStats {
     /// incrementally per shard (appends, seals, retention), so reading it
     /// never scans storage.
     pub resident_bytes: u64,
+    /// Shards whose write-ahead log has failed (write/fsync errors, or
+    /// unrecoverable corruption found at startup).  Always `0` for a
+    /// volatile database; `16` when the shared meta log itself is broken.
+    /// Failed shards keep serving from memory but no longer persist.
+    #[serde(default)]
+    pub wal_failed_shards: u64,
 }
 
 impl StorageStats {
@@ -420,11 +429,10 @@ impl ShardInner {
         }
     }
 
-    /// Rebuilds the key index and postings from the surviving series and
-    /// bumps the shard generation.  Must be called after any operation that
-    /// removes series (and thereby renumbers shard-local indices); every
-    /// previously issued handle into this shard becomes stale.
-    fn rebuild_after_removal(&mut self) {
+    /// Rebuilds the key index and postings from the stored series without
+    /// touching the generation — WAL replay reconstructs a shard whose
+    /// durable generation is restored explicitly.
+    fn reindex(&mut self) {
         self.key_index.clear();
         self.postings = Postings::default();
         for (local, series) in self.series.iter().enumerate() {
@@ -437,7 +445,89 @@ impl ShardInner {
             self.key_index.entry(hash).or_default().push(local);
             self.postings.register(local, series.name_sym, &series.label_syms);
         }
+    }
+
+    /// Rebuilds the key index and postings from the surviving series and
+    /// bumps the shard generation.  Must be called after any operation that
+    /// removes series (and thereby renumbers shard-local indices); every
+    /// previously issued handle into this shard becomes stale.
+    fn rebuild_after_removal(&mut self) {
+        self.reindex();
         self.generation += 1;
+    }
+
+    /// Removes the series at `victims` (ascending pre-removal shard-local
+    /// indices), maintains the shard aggregates and renumbers the shard.
+    /// Shared by [`TimeSeriesDb::drop_series`] and WAL replay so the live
+    /// and the replayed state cannot diverge.  Returns how many series were
+    /// removed.
+    fn remove_locals(&mut self, victims: &[u32]) -> usize {
+        if victims.is_empty() {
+            return 0;
+        }
+        // `victims` is ascending; walk it alongside a retain pass.
+        let mut next_victim = 0usize;
+        let mut local = 0u32;
+        let mut removed = 0usize;
+        let mut removed_samples = 0u64;
+        let mut removed_chunks = 0u64;
+        let mut removed_bytes = 0u64;
+        self.series.retain(|series| {
+            let doomed = victims.get(next_victim) == Some(&local);
+            if doomed {
+                next_victim += 1;
+                removed += 1;
+                removed_samples += series.sample_count();
+                removed_chunks += series.chunk_total();
+                removed_bytes += series.resident_bytes();
+            }
+            local += 1;
+            !doomed
+        });
+        self.samples = self.samples.saturating_sub(removed_samples);
+        self.chunks = self.chunks.saturating_sub(removed_chunks);
+        self.bytes = self.bytes.saturating_sub(removed_bytes);
+        self.rebuild_after_removal();
+        self.refresh_time_bounds();
+        removed
+    }
+
+    /// One shard's retention sweep at `cutoff`: drops aged chunks, evicts
+    /// fully drained series and maintains the aggregates.  Shared by
+    /// [`TimeSeriesDb::apply_retention`] and WAL replay.  Returns how many
+    /// samples were dropped.
+    fn retention_pass(&mut self, cutoff: u64) -> u64 {
+        let mut dropped_samples = 0u64;
+        let mut dropped_chunks = 0u64;
+        let mut dropped_bytes = 0u64;
+        let mut drained = false;
+        let mut min_ts = None;
+        for series in &mut self.series {
+            let (samples, chunks, bytes) = series.drop_before(cutoff);
+            dropped_samples += samples as u64;
+            dropped_chunks += chunks as u64;
+            dropped_bytes += bytes;
+            drained |= series.is_drained();
+            min_ts = match (min_ts, series.first_timestamp()) {
+                (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+        self.samples -= dropped_samples;
+        self.chunks -= dropped_chunks;
+        self.bytes = self.bytes.saturating_sub(dropped_bytes);
+        if drained {
+            // Evicting renumbers the shard; the second walk to refresh
+            // both time bounds only runs on this rare path.
+            self.series.retain(|series| !series.is_drained());
+            self.rebuild_after_removal();
+            self.refresh_time_bounds();
+        } else {
+            // Dropping old data can only raise the minimum (folded for
+            // free above); the maximum is untouched by retention.
+            self.min_ts = min_ts;
+        }
+        dropped_samples
     }
 
     /// Recomputes the min/max timestamp aggregates from the stored series
@@ -471,6 +561,9 @@ struct DbShared {
     symbols: RwLock<SymbolTable>,
     shards: [RwLock<ShardInner>; SHARD_COUNT],
     next_id: AtomicU64,
+    /// The write-ahead log, present only for databases opened through
+    /// [`TimeSeriesDb::open`] / [`TimeSeriesDb::open_with`].
+    wal: Option<Wal>,
 }
 
 impl Default for DbShared {
@@ -489,11 +582,16 @@ impl Default for DbShared {
                 )
             }),
             next_id: AtomicU64::new(0),
+            wal: None,
         }
     }
 }
 
 impl DbShared {
+    fn with_wal(wal: Wal) -> Self {
+        Self { wal: Some(wal), ..Self::default() }
+    }
+
     /// The lock shard at `index`.  Masked with `SHARD_COUNT - 1`, so the
     /// accessor itself can never panic; every caller derives `index` from a
     /// key hash or a [`SeriesHandle`], both already in range.
@@ -549,6 +647,279 @@ impl TimeSeriesDb {
         &self.config
     }
 
+    /// Opens a durable database rooted at `dir` with default
+    /// [`DurabilityOptions`], replaying any write-ahead logs found there.
+    /// See [`TimeSeriesDb::open_with`].
+    pub fn open(dir: &Path, config: TsdbConfig) -> io::Result<Self> {
+        Self::open_with(dir, config, DurabilityOptions::default())
+    }
+
+    /// Opens a durable database rooted at `dir`: creates the directory if
+    /// missing, recovers symbols, series and samples from the per-shard
+    /// write-ahead logs (salvaging corrupt tails, isolating unreadable
+    /// shards — see the [`crate::wal`] module docs), and arms the WAL so
+    /// every subsequent mutation is staged for the next
+    /// [`TimeSeriesDb::wal_flush`].
+    ///
+    /// Only I/O errors creating the directory surface as `Err`; *corruption*
+    /// never does.  A damaged shard log comes up empty and is counted in
+    /// [`StorageStats::wal_failed_shards`], leaving the other shards intact.
+    pub fn open_with(
+        dir: &Path,
+        config: TsdbConfig,
+        options: DurabilityOptions,
+    ) -> io::Result<Self> {
+        let watch = Stopwatch::start();
+        let (wal, recovery) = Wal::open(dir, &options)?;
+        let db = Self { config, shared: Arc::new(DbShared::with_wal(wal)) };
+        db.replay(recovery);
+        probes::WAL_RECOVERY_SECONDS.set(watch.elapsed_ns() as f64 / 1e9);
+        if let Some(wal) = &db.shared.wal {
+            probes::WAL_FAILED_SHARDS.set(wal.failed_shard_count() as f64);
+        }
+        Ok(db)
+    }
+
+    /// `true` when this database writes a WAL (opened via
+    /// [`TimeSeriesDb::open`] / [`TimeSeriesDb::open_with`]).
+    pub fn durable(&self) -> bool {
+        self.shared.wal.is_some()
+    }
+
+    /// Flushes the staged WAL round: symbol delta, one sequential write +
+    /// fsync per dirty shard, then the commit marker.  Volatile databases
+    /// return `true` immediately.  Returns `false` once any log has hit a
+    /// write or fsync error (sticky; the failed shards are also surfaced in
+    /// [`StorageStats::wal_failed_shards`]).
+    ///
+    /// Called once per scrape round by the scrape driver; crash-exactness is
+    /// defined for that single-flusher discipline.  After a commit, shards
+    /// whose log outgrew the segment budget are rotated: sealed state is
+    /// snapshotted (Gorilla blocks re-used verbatim) and the log truncated.
+    pub fn wal_flush(&self) -> bool {
+        let Some(wal) = &self.shared.wal else {
+            return true;
+        };
+        let stats = wal.flush(&self.shared.symbols);
+        if let Some(committed) = stats.committed {
+            self.rotate_wal(wal, committed);
+            wal.maybe_rotate_meta(&self.shared.symbols);
+        }
+        probes::WAL_FAILED_SHARDS.set(wal.failed_shard_count() as f64);
+        stats.clean
+    }
+
+    /// Rotates any shard log past its segment budget: snapshot the shard's
+    /// state as of round `committed`, install it atomically, truncate the
+    /// log.  Rotation errors are swallowed — the oversized log keeps working
+    /// and rotation is retried after the next commit.
+    fn rotate_wal(&self, wal: &Wal, committed: u64) {
+        for index in 0..SHARD_COUNT {
+            // Lock order: `tsdb.shard` (read) strictly before
+            // `tsdb.wal.shard` — the same order as the append paths.  Taking
+            // the shard lock *first* also closes the race where an append
+            // stages new records between the rotation check and the
+            // snapshot: `wants_rotation` only fires on an empty staging
+            // buffer, and with the shard lock held nothing can stage.
+            let inner = self.shared.shard(index).read();
+            if !wal.wants_rotation(index) {
+                continue;
+            }
+            // Rotation is a cold path: encoding the snapshot allocates.
+            #[cfg(lock_audit)]
+            let _allow = parking_lot::audit::allow_alloc();
+            let refs: Vec<wal::SnapSeriesRef<'_>> = inner
+                .series
+                .iter()
+                .map(|series| wal::SnapSeriesRef {
+                    id: series.id.0,
+                    name_sym: series.name_sym,
+                    label_syms: &series.label_syms,
+                    ever_appended: series.ever_appended,
+                    head: &series.head,
+                    sealed: &series.sealed,
+                })
+                .collect();
+            let snapshot =
+                wal::encode_shard_snapshot(committed, inner.generation, inner.rejected, &refs);
+            // An install error leaves the old log in place; retried later.
+            let _ = wal.install_shard_snapshot(index, &snapshot);
+        }
+    }
+
+    /// Rebuilds in-memory state from what [`Wal::open`] recovered.  A shard
+    /// whose recovered records fail validation (symbol ids or local indices
+    /// out of range — possible only through corruption that still passed the
+    /// CRC) comes up empty and flagged, never panics.
+    fn replay(&self, recovery: wal::Recovery) {
+        {
+            let mut symbols = self.shared.symbols.write();
+            for s in &recovery.symbols {
+                symbols.intern(s);
+            }
+        }
+        let mut max_id: Option<u64> = None;
+        for (index, shard) in recovery.shards.into_iter().enumerate() {
+            match shard {
+                wal::ShardRecovery::Empty => {}
+                wal::ShardRecovery::Failed => {}
+                wal::ShardRecovery::Loaded(load) => {
+                    if !self.replay_shard(index, load, recovery.committed, &mut max_id) {
+                        // Validation failed mid-replay: drop the partial
+                        // state, bring the shard up empty and flagged.
+                        probes::WAL_SALVAGE.inc();
+                        if let Some(wal) = &self.shared.wal {
+                            wal.mark_shard_failed(index);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(max) = max_id {
+            self.shared.next_id.store(max + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replays one shard: restore the snapshot (sealed Gorilla blocks
+    /// verbatim), then re-apply the logged ops through the *same* code paths
+    /// live ingest uses (`MemSeries::append`, `record_append`,
+    /// `remove_locals`, `retention_pass`), so acceptance decisions and
+    /// aggregates reproduce exactly.  Returns `false` when validation fails;
+    /// the shard is then left empty.
+    fn replay_shard(
+        &self,
+        index: usize,
+        load: wal::ShardLoad,
+        committed: u64,
+        max_id: &mut Option<u64>,
+    ) -> bool {
+        let chunk_size = self.config.chunk_size.max(1);
+        let raw_chunks = self.config.raw_chunks;
+        let mut inner = ShardInner::default();
+        let mut base_seq = 0u64;
+        if let Some(snapshot) = load.snapshot {
+            base_seq = snapshot.base_seq;
+            inner.generation = snapshot.generation;
+            inner.rejected = snapshot.rejected;
+            let symbols = self.shared.symbols.read();
+            for series in snapshot.series {
+                let Some(name) = symbols.resolve_checked(series.name_sym) else {
+                    return false;
+                };
+                let name = Arc::clone(name);
+                let mut labels = Vec::with_capacity(series.label_syms.len());
+                for &(k, v) in &series.label_syms {
+                    let (Some(key), Some(value)) =
+                        (symbols.resolve_checked(k), symbols.resolve_checked(v))
+                    else {
+                        return false;
+                    };
+                    labels.push((Arc::clone(key), Arc::clone(value)));
+                }
+                *max_id = Some(max_id.map_or(series.id, |m| m.max(series.id)));
+                let mut head = Vec::with_capacity(chunk_size.max(series.head.len()));
+                head.extend_from_slice(&series.head);
+                inner.series.push(MemSeries {
+                    id: SeriesId(series.id),
+                    name,
+                    name_sym: series.name_sym,
+                    labels: labels.into(),
+                    label_syms: series.label_syms.into_boxed_slice(),
+                    sealed: series.sealed.into_iter().map(Arc::new).collect(),
+                    head,
+                    ever_appended: series.ever_appended,
+                });
+            }
+            drop(symbols);
+            inner.reindex();
+            inner.samples = inner.series.iter().map(MemSeries::sample_count).sum();
+            inner.chunks = inner.series.iter().map(MemSeries::chunk_total).sum();
+            inner.bytes = inner.series.iter().map(MemSeries::resident_bytes).sum();
+            inner.refresh_time_bounds();
+        }
+        let mut round = 0u64;
+        for op in load.ops {
+            if let wal::ShardOp::Round(seq) = op {
+                round = seq;
+                continue;
+            }
+            if round <= base_seq {
+                // Already folded into the snapshot this log rotated from.
+                continue;
+            }
+            if round > committed {
+                // Tail of a round that never committed — it was never acked.
+                probes::WAL_RECORDS_DROPPED.inc();
+                continue;
+            }
+            probes::WAL_RECORDS_REPLAYED.inc();
+            match op {
+                wal::ShardOp::Round(_) => {}
+                wal::ShardOp::Series { id, name_sym, label_syms } => {
+                    let symbols = self.shared.symbols.read();
+                    let Some(name) = symbols.resolve_checked(name_sym) else {
+                        return false;
+                    };
+                    let name = Arc::clone(name);
+                    let mut labels = Vec::with_capacity(label_syms.len());
+                    for &(k, v) in &label_syms {
+                        let (Some(key), Some(value)) =
+                            (symbols.resolve_checked(k), symbols.resolve_checked(v))
+                        else {
+                            return false;
+                        };
+                        labels.push((Arc::clone(key), Arc::clone(value)));
+                    }
+                    drop(symbols);
+                    *max_id = Some(max_id.map_or(id, |m| m.max(id)));
+                    let Ok(local) = u32::try_from(inner.series.len()) else {
+                        return false;
+                    };
+                    let hash =
+                        series_key_hash_pairs(&name, labels.iter().map(|(k, v)| (&**k, &**v)));
+                    inner.postings.register(local, name_sym, &label_syms);
+                    inner.key_index.entry(hash).or_default().push(local);
+                    inner.series.push(MemSeries {
+                        id: SeriesId(id),
+                        name,
+                        name_sym,
+                        labels: labels.into(),
+                        label_syms: label_syms.into_boxed_slice(),
+                        sealed: Vec::new(),
+                        head: Vec::with_capacity(chunk_size),
+                        ever_appended: false,
+                    });
+                }
+                wal::ShardOp::Sample { local, timestamp_ms, value } => {
+                    if (local as usize) >= inner.series.len() {
+                        return false;
+                    }
+                    let result = inner.series_at_mut(local).append(
+                        Sample { timestamp_ms, value },
+                        chunk_size,
+                        raw_chunks,
+                    );
+                    inner.record_append(result, timestamp_ms, chunk_size);
+                }
+                wal::ShardOp::Drop { victims } => {
+                    // Out-of-range victims cannot match any local index and
+                    // fall through `remove_locals` harmlessly.
+                    inner.remove_locals(&victims);
+                }
+                wal::ShardOp::Retention { cutoff_ms } => {
+                    inner.retention_pass(cutoff_ms);
+                }
+            }
+        }
+        let mut slot = self.shared.shard(index).write();
+        // Replay is startup-only; swapping in the rebuilt shard allocates
+        // nothing but dropping the placeholder is outside the hot path.
+        #[cfg(lock_audit)]
+        let _allow = parking_lot::audit::allow_alloc();
+        *slot = inner;
+        true
+    }
+
     /// Appends one sample to the series identified by `name` + `labels`,
     /// creating the series on first use.  Returns `false` when the sample was
     /// rejected (out of order).
@@ -560,11 +931,17 @@ impl TimeSeriesDb {
     /// allocate.
     pub fn append(&self, name: &str, labels: &Labels, timestamp_ms: u64, value: f64) -> bool {
         let key_hash = series_key_hash(name, labels);
-        let mut inner = self.shared.shard(shard_of(key_hash)).write();
+        let shard = shard_of(key_hash);
+        let mut inner = self.shared.shard(shard).write();
         let local = match inner.find(key_hash, name, labels) {
             Some(local) => local,
-            None => self.create_series(&mut inner, key_hash, name, labels),
+            None => self.create_series(&mut inner, shard, key_hash, name, labels),
         };
+        if let Some(wal) = &self.shared.wal {
+            if let Some(mut writer) = wal.shard_writer(shard) {
+                writer.sample(local, timestamp_ms, value);
+            }
+        }
         let chunk_size = self.config.chunk_size.max(1);
         let raw_chunks = self.config.raw_chunks;
         let result = inner.series_at_mut(local).append(
@@ -594,7 +971,7 @@ impl TimeSeriesDb {
         let mut inner = self.shared.shard(shard).write();
         let local = match inner.find(key_hash, name, labels) {
             Some(local) => local,
-            None => self.create_series(&mut inner, key_hash, name, labels),
+            None => self.create_series(&mut inner, shard, key_hash, name, labels),
         };
         SeriesHandle { shard: shard as u16, local, generation: inner.generation }
     }
@@ -640,6 +1017,11 @@ impl TimeSeriesDb {
         if handle.generation != inner.generation || (handle.local as usize) >= inner.series.len() {
             return HandleAppend::Stale;
         }
+        if let Some(wal) = &self.shared.wal {
+            if let Some(mut writer) = wal.shard_writer(handle.shard as usize) {
+                writer.sample(handle.local, timestamp_ms, value);
+            }
+        }
         let result = inner.series_at_mut(handle.local).append(
             Sample { timestamp_ms, value },
             chunk_size,
@@ -678,11 +1060,16 @@ impl TimeSeriesDb {
         // samples were all consumed earlier are skipped without locking.
         let mut remaining = batch.len();
         let mut appended_per_shard = [0u64; SHARD_COUNT];
+        let wal = self.shared.wal.as_ref();
         for shard in 0..SHARD_COUNT as u16 {
             if remaining == 0 {
                 break;
             }
             let mut inner: Option<RwLockWriteGuard<'_, ShardInner>> = None;
+            // The WAL writer is taken lazily alongside the shard guard, so a
+            // shard with no live samples this round stages nothing and an
+            // idle round writes no bytes.
+            let mut writer: Option<wal::ShardWriter<'_>> = None;
             let mut appended_here = 0u64;
             for (index, &(handle, timestamp_ms, value)) in batch.iter().enumerate() {
                 if handle.shard != shard {
@@ -699,6 +1086,14 @@ impl TimeSeriesDb {
                     let _allow = parking_lot::audit::allow_alloc();
                     outcome.stale.push(index);
                     continue;
+                }
+                if let Some(wal) = wal {
+                    if writer.is_none() {
+                        writer = wal.shard_writer(shard as usize);
+                    }
+                    if let Some(writer) = writer.as_mut() {
+                        writer.sample(handle.local, timestamp_ms, value);
+                    }
                 }
                 let result = inner.series_at_mut(handle.local).append(
                     Sample { timestamp_ms, value },
@@ -748,7 +1143,7 @@ impl TimeSeriesDb {
             return 0;
         }
         let mut dropped = 0;
-        for shard in &self.shared.shards {
+        for (index, shard) in self.shared.shards.iter().enumerate() {
             let mut inner = shard.write();
             // Dropping series is a cold maintenance path: collecting victims
             // and rebuilding the index allocate under the shard lock.
@@ -758,30 +1153,14 @@ impl TimeSeriesDb {
             if victims.is_empty() {
                 continue;
             }
-            // `matches` returns ascending shard-local indices; walk them
-            // alongside a retain pass.
-            let mut next_victim = 0usize;
-            let mut local = 0u32;
-            let mut removed_samples = 0u64;
-            let mut removed_chunks = 0u64;
-            let mut removed_bytes = 0u64;
-            inner.series.retain(|series| {
-                let doomed = victims.get(next_victim) == Some(&local);
-                if doomed {
-                    next_victim += 1;
-                    removed_samples += series.sample_count();
-                    removed_chunks += series.chunk_total();
-                    removed_bytes += series.resident_bytes();
+            // Stage the removal before mutating, in the same order replay
+            // will apply it (`matches` returns ascending local indices).
+            if let Some(wal) = &self.shared.wal {
+                if let Some(mut writer) = wal.shard_writer(index) {
+                    writer.drop_locals(&victims);
                 }
-                local += 1;
-                !doomed
-            });
-            dropped += victims.len();
-            inner.samples -= removed_samples;
-            inner.chunks -= removed_chunks;
-            inner.bytes = inner.bytes.saturating_sub(removed_bytes);
-            inner.rebuild_after_removal();
-            inner.refresh_time_bounds();
+            }
+            dropped += inner.remove_locals(&victims);
         }
         dropped
     }
@@ -793,6 +1172,7 @@ impl TimeSeriesDb {
     fn create_series(
         &self,
         inner: &mut ShardInner,
+        shard: usize,
         key_hash: u64,
         name: &str,
         labels: &Labels,
@@ -819,6 +1199,11 @@ impl TimeSeriesDb {
         drop(symbols);
 
         let id = SeriesId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        if let Some(wal) = &self.shared.wal {
+            if let Some(mut writer) = wal.shard_writer(shard) {
+                writer.series(id.0, name_sym, &label_syms);
+            }
+        }
         // teemon-verify: allow(no-unwrap): invariant — u32 handles cap a shard at 2^32 series, unreachable in memory
         let local = u32::try_from(inner.series.len()).expect("fewer than 2^32 series per shard");
         inner.postings.register(local, name_sym, &label_syms);
@@ -866,6 +1251,8 @@ impl TimeSeriesDb {
             stats.rejected_samples += inner.rejected;
             stats.resident_bytes += inner.bytes;
         }
+        stats.wal_failed_shards =
+            self.shared.wal.as_ref().map(|wal| wal.failed_shard_count()).unwrap_or(0);
         stats
     }
 
@@ -959,43 +1346,19 @@ impl TimeSeriesDb {
         let Some(newest) = self.newest_timestamp() else { return 0 };
         let cutoff = newest.saturating_sub(self.config.retention_ms);
         let mut dropped_total = 0;
-        for shard in &self.shared.shards {
+        for (index, shard) in self.shared.shards.iter().enumerate() {
             let mut inner = shard.write();
             // Retention is a cold maintenance path; evicting drained series
             // rebuilds the index, which allocates under the shard lock.
             #[cfg(lock_audit)]
             let _allow = parking_lot::audit::allow_alloc();
-            let mut dropped_samples = 0u64;
-            let mut dropped_chunks = 0u64;
-            let mut dropped_bytes = 0u64;
-            let mut drained = false;
-            let mut min_ts = None;
-            for series in &mut inner.series {
-                let (samples, chunks, bytes) = series.drop_before(cutoff);
-                dropped_samples += samples as u64;
-                dropped_chunks += chunks as u64;
-                dropped_bytes += bytes;
-                drained |= series.is_drained();
-                min_ts = match (min_ts, series.first_timestamp()) {
-                    (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
-                    (a, b) => a.or(b),
-                };
+            // Stage the cutoff so replay re-runs the identical sweep.
+            if let Some(wal) = &self.shared.wal {
+                if let Some(mut writer) = wal.shard_writer(index) {
+                    writer.retention(cutoff);
+                }
             }
-            inner.samples -= dropped_samples;
-            inner.chunks -= dropped_chunks;
-            inner.bytes = inner.bytes.saturating_sub(dropped_bytes);
-            if drained {
-                // Evicting renumbers the shard; the second walk to refresh
-                // both time bounds only runs on this rare path.
-                inner.series.retain(|series| !series.is_drained());
-                inner.rebuild_after_removal();
-                inner.refresh_time_bounds();
-            } else {
-                // Dropping old data can only raise the minimum (folded for
-                // free above); the maximum is untouched by retention.
-                inner.min_ts = min_ts;
-            }
-            dropped_total += dropped_samples as usize;
+            dropped_total += inner.retention_pass(cutoff) as usize;
         }
         dropped_total
     }

@@ -21,6 +21,19 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) struct SymbolId(u32);
 
+impl SymbolId {
+    /// The raw table index, for WAL serialisation.
+    pub(crate) fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from its WAL-serialised index.  The caller validates it
+    /// against the table (see [`SymbolTable::resolve_checked`]) before use.
+    pub(crate) fn from_u32(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
 /// The interner: deduplicated strings, addressable by [`SymbolId`] in O(1)
 /// and by string content through a hash lookup.
 #[derive(Debug, Default)]
@@ -50,6 +63,18 @@ impl SymbolTable {
     /// The interned string behind `id`.
     pub(crate) fn resolve(&self, id: SymbolId) -> &Arc<str> {
         &self.strings[id.0 as usize]
+    }
+
+    /// Bounds-checked sibling of [`SymbolTable::resolve`] for WAL replay,
+    /// where an id comes from disk and may be corrupt.
+    pub(crate) fn resolve_checked(&self, id: SymbolId) -> Option<&Arc<str>> {
+        self.strings.get(id.0 as usize)
+    }
+
+    /// The interned strings from index `start` on, in interning order — the
+    /// delta a WAL flush appends to its symbol log.
+    pub(crate) fn strings_from(&self, start: usize) -> &[Arc<str>] {
+        self.strings.get(start..).unwrap_or(&[])
     }
 
     /// Number of distinct interned strings.

@@ -1,0 +1,1842 @@
+//! Per-shard write-ahead log: durability for [`crate::TimeSeriesDb`].
+//!
+//! The ingest fast lane already batches appends per shard per scrape round,
+//! which is exactly the boundary a sequential log wants.  Every mutation of a
+//! shard (series creation, every sample append — including rejected ones,
+//! series drops, retention passes) is staged into that shard's reusable in-memory
+//! buffer while the shard lock is held, and once per round the scrape driver
+//! calls [`crate::TimeSeriesDb::wal_flush`], which performs **one sequential
+//! write per dirty shard** (sample appends are packed into one batched,
+//! CRC-checksummed record per shard per round).  When the write lands is
+//! governed by [`FsyncMode`]: the default syncs only on snapshot rotation —
+//! appends survive a process crash via the page cache, power loss may lose
+//! the tail since the last rotation — while [`FsyncMode::EveryCommit`] adds
+//! an fsync per dirty log per round and makes every acked round power-loss
+//! safe.  The staged buffers are preallocated and reused, so the warm
+//! durable path stays allocation-free.
+//!
+//! # On-disk layout
+//!
+//! A durability directory holds four kinds of files (`NN` = shard `00`..`15`):
+//!
+//! | file           | contents                                               |
+//! |----------------|--------------------------------------------------------|
+//! | `meta.wal`     | symbol-table deltas + round `COMMIT` markers           |
+//! | `meta.snap`    | full symbol table snapshot (rotation of `meta.wal`)    |
+//! | `shard-NN.wal` | the shard's round batches since its last snapshot      |
+//! | `shard-NN.snap`| the shard's state at rotation (Gorilla-sealed chunks)  |
+//!
+//! Every record in every file uses the same frame:
+//!
+//! ```text
+//! +----------+----------+---------------------------+
+//! | len: u32 | crc: u32 | payload (len bytes)       |   little-endian;
+//! +----------+----------+---------------------------+   crc32(payload)
+//!      payload[0] = record type, rest type-specific
+//! ```
+//!
+//! Shard records carry no sequence number of their own.  Instead, the first
+//! record staged into an empty shard buffer is a `ROUND(seq)` marker; a
+//! record's round is the most recent preceding `ROUND` in the file.  A round
+//! is durable once `meta.wal` holds `COMMIT(seq)`, which is written (and
+//! fsynced) *after* every shard batch of that round.  Recovery applies an op
+//! iff `snapshot.base_seq < round <= committed`, so a torn tail — a shard
+//! batch without its commit — is dropped deterministically, and a stale
+//! shard log left behind by an interrupted rotation is skipped harmlessly.
+//!
+//! # Salvage and isolation
+//!
+//! Recovery scans each log until the first frame whose length, CRC or payload
+//! does not verify, then physically truncates the file back to the last valid
+//! record, counting what was dropped through `teemon_obs` probes
+//! (`teemon_wal_salvage_total`, `teemon_wal_salvaged_bytes_total`).  A shard
+//! whose *snapshot* is unreadable cannot be reconstructed at all: it comes up
+//! empty and flagged in [`crate::StorageStats::wal_failed_shards`], without
+//! affecting the other shards.  Runtime write/fsync errors likewise fail only
+//! the shard (or the meta log) they hit; the database keeps serving.
+//!
+//! # Locking
+//!
+//! Two new lock classes, neither ever nested with the other:
+//!
+//! * `"tsdb.wal.shard"` (one instance per shard) guards a shard's staged
+//!   buffer + file handle.  Acquired *after* the corresponding `tsdb.shard`
+//!   lock on the staging path, and after `tsdb.wal.meta` on the flush path.
+//! * `"tsdb.wal.meta"` guards the meta log.  Acquired first on the flush
+//!   path, with `tsdb.symbols` (read) and `tsdb.wal.shard` taken inside.
+//!
+//! The resulting order — `tsdb.shard → tsdb.wal.meta → {tsdb.symbols,
+//! tsdb.wal.shard}`, `tsdb.shard → tsdb.wal.shard` — is acyclic (the
+//! `tsdb.shard → tsdb.wal.meta` edge comes from rotation, which syncs the
+//! meta log while holding the shard's data lock).  The WAL
+//! classes are deliberately not marked `no_alloc`: cold-path buffer growth
+//! (and the in-memory [`FaultFs`] used by tests) allocates under them, and
+//! the allocation-freedom of the *warm* durable round is proven directly by
+//! the counting-allocator test instead.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{LockClass, Mutex, MutexGuard, RwLock};
+use teemon_obs::{probes, Stopwatch};
+
+use crate::chunk_codec;
+use crate::series::{Chunk, ChunkData, Sample};
+use crate::storage::SHARD_COUNT;
+use crate::symbols::{SymbolId, SymbolTable};
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE) and record framing
+// ---------------------------------------------------------------------------
+
+/// IEEE CRC-32 slice-by-8 tables (polynomial `0xEDB88320`), built at
+/// compile time.  `CRC_TABLES[0]` is the classic byte-at-a-time table; table
+/// `k` advances a byte seen `k` positions earlier, so eight table lookups
+/// retire eight input bytes per iteration — the staging hot path runs one
+/// CRC over each record's whole payload, and at ~0.5 cycles/byte it stays
+/// negligible next to the write syscall.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        // teemon-verify: allow(no-index): i is bounded to 0..256 by the loop.
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            // teemon-verify: allow(no-index): k < 8 and i < 256 by the loops.
+            let prev = tables[k - 1][i];
+            // teemon-verify: allow(no-index): the value is byte-masked first.
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// One slice-by-8 table lookup: both indices are masked in range, so the
+/// bounds checks fold away.
+#[inline(always)]
+fn crc_tab(k: usize, idx: u32) -> u32 {
+    // teemon-verify: allow(no-index): k masked to 0..8, idx masked to a byte.
+    CRC_TABLES[k & 7][(idx & 0xFF) as usize]
+}
+
+/// CRC-32 (IEEE) of `bytes`, eight bytes per step.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let (a, b) = chunk.split_at(4);
+        let lo = u32::from_le_bytes(a.try_into().unwrap_or_default()) ^ crc;
+        let hi = u32::from_le_bytes(b.try_into().unwrap_or_default());
+        crc = crc_tab(7, lo)
+            ^ crc_tab(6, lo >> 8)
+            ^ crc_tab(5, lo >> 16)
+            ^ crc_tab(4, lo >> 24)
+            ^ crc_tab(3, hi)
+            ^ crc_tab(2, hi >> 8)
+            ^ crc_tab(1, hi >> 16)
+            ^ crc_tab(0, hi >> 24);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ crc_tab(0, crc ^ u32::from(b));
+    }
+    !crc
+}
+
+/// Frame header size: `len: u32` + `crc: u32`.
+const FRAME_BYTES: usize = 8;
+/// Upper bound a frame length must pass before it is believed (256 MiB).
+const MAX_RECORD_LEN: usize = 1 << 28;
+/// Upper bound for element counts inside payloads (defends against garbage
+/// lengths in CRC-colliding corruption).
+const MAX_COUNT: u32 = 1 << 24;
+
+// Record types.  Meta log:
+const REC_SYMBOLS: u8 = 1;
+const REC_COMMIT: u8 = 2;
+const REC_SNAP_SYMBOLS: u8 = 3;
+// Shard log:
+const REC_ROUND: u8 = 16;
+const REC_SERIES: u8 = 17;
+const REC_SAMPLES: u8 = 18;
+const REC_DROP: u8 = 19;
+const REC_RETENTION: u8 = 20;
+
+/// Bytes of one entry inside a `REC_SAMPLES` batch: `local: u32`,
+/// `value: f64`.  The batch header carries the shared `timestamp_ms` once —
+/// every sample of a scrape target's round lands at the same timestamp, so
+/// hoisting it saves 40% of the staged (and written, and checksummed) bytes;
+/// a sample at a different timestamp seals the batch and opens a new one.
+const SAMPLE_ENTRY_BYTES: usize = 12;
+/// Bytes of a `REC_SAMPLES` batch header: type, entry count, timestamp.
+const SAMPLE_HEADER_BYTES: usize = 13;
+// Shard snapshot:
+const REC_SNAP_HEADER: u8 = 32;
+const REC_SNAP_SERIES: u8 = 33;
+const REC_SNAP_FOOTER: u8 = 34;
+
+/// Opens a frame in `buf`: reserves the 8-byte header, returns its offset.
+fn begin_record(buf: &mut Vec<u8>) -> usize {
+    let at = buf.len();
+    buf.extend_from_slice(&[0u8; FRAME_BYTES]);
+    at
+}
+
+/// Closes the frame opened at `at`: patches payload length and CRC in place.
+fn end_record(buf: &mut [u8], at: usize) {
+    let payload_len = buf.len().saturating_sub(at + FRAME_BYTES) as u32;
+    let crc = crc32(buf.get(at + FRAME_BYTES..).unwrap_or(&[]));
+    if let Some(header) = buf.get_mut(at..at + FRAME_BYTES) {
+        let (len_bytes, crc_bytes) = header.split_at_mut(4);
+        len_bytes.copy_from_slice(&payload_len.to_le_bytes());
+        crc_bytes.copy_from_slice(&crc.to_le_bytes());
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian cursor over one frame's payload.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|b| b.first().copied())
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).and_then(|b| <[u8; 4]>::try_from(b).ok()).map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).and_then(|b| <[u8; 8]>::try_from(b).ok()).map(u64::from_le_bytes)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Walks the frames of a log image, yielding `(type, payload)` per valid
+/// record and stopping at the first frame that fails to verify.  `valid_len`
+/// after iteration is the salvage point.
+struct FrameScanner<'a> {
+    bytes: &'a [u8],
+    valid_len: usize,
+}
+
+impl<'a> FrameScanner<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, valid_len: 0 }
+    }
+}
+
+impl<'a> Iterator for FrameScanner<'a> {
+    type Item = (u8, &'a [u8]);
+
+    fn next(&mut self) -> Option<(u8, &'a [u8])> {
+        let at = self.valid_len;
+        let header = self.bytes.get(at..at + FRAME_BYTES)?;
+        let (len_bytes, crc_bytes) = header.split_at(4);
+        let len = <[u8; 4]>::try_from(len_bytes).ok().map(u32::from_le_bytes)? as usize;
+        let crc = <[u8; 4]>::try_from(crc_bytes).ok().map(u32::from_le_bytes)?;
+        if len > MAX_RECORD_LEN {
+            return None;
+        }
+        let payload = self.bytes.get(at + FRAME_BYTES..at + FRAME_BYTES + len)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let kind = *payload.first()?;
+        self.valid_len = at + FRAME_BYTES + len;
+        Some((kind, payload.get(1..).unwrap_or(&[])))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem abstraction
+// ---------------------------------------------------------------------------
+
+/// One open log file: sequential appends plus durability flushes.
+///
+/// Implemented by [`RealFs`] over `std::fs::File`, by the deterministic
+/// in-memory [`FaultFs`] the fault-injection suite uses, and by
+/// [`FailpointWriter`], which wraps any other implementation with injected
+/// failures.
+pub trait WalFile: Send {
+    /// Appends `bytes` at the end of the file.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Durably flushes all previous appends (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem facade the WAL writes through, so tests can substitute a
+/// deterministic, fault-injecting implementation for real files.
+pub trait WalFs: Send + Sync {
+    /// Opens `path` for appending (creating it if absent); also returns the
+    /// file's current length.
+    fn open_append(&self, path: &Path) -> io::Result<(Box<dyn WalFile>, u64)>;
+    /// Reads the whole file; `Ok(None)` when it does not exist.
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>>;
+    /// Atomically replaces `path` with `bytes` (tmp file + rename).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Truncates `path` to `len` bytes, durably.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// Production [`WalFs`]: real files, `sync_data` for fsync, atomic replace
+/// via tmp file + rename + best-effort parent directory sync.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+struct RealFile {
+    file: fs::File,
+}
+
+impl WalFile for RealFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl WalFs for RealFs {
+    fn open_append(&self, path: &Path) -> io::Result<(Box<dyn WalFile>, u64)> {
+        let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok((Box::new(RealFile { file }), len))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_data();
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// How [`FaultFs::crashed`] decides what survives the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashModel {
+    /// Writes reach disk in order and tear mid-write once the byte budget is
+    /// spent — the classic torn-tail model.
+    Torn,
+    /// Only data covered by a completed fsync (or an atomic replace) survives;
+    /// everything after the last sync point is lost.
+    SyncedOnly,
+}
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write { path: PathBuf, bytes: Vec<u8> },
+    Sync { path: PathBuf },
+    Atomic { path: PathBuf, bytes: Vec<u8> },
+    Truncate { path: PathBuf, len: u64 },
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    files: HashMap<PathBuf, Vec<u8>>,
+    ops: Vec<FsOp>,
+    writes: u64,
+    fsyncs: u64,
+    fail_write_from: Option<u64>,
+    fail_fsync_from: Option<u64>,
+}
+
+/// Deterministic in-memory [`WalFs`] for the fault-injection suite.
+///
+/// Every mutation is journalled, so [`FaultFs::crashed`] can reconstruct the
+/// exact disk image "as of a crash after `k` appended bytes" under either
+/// [`CrashModel`]; [`FaultFs::corrupt`] flips bits in place; and the
+/// `fail_*_from` knobs turn later writes into short writes and later fsyncs
+/// into errors.
+#[derive(Debug, Default, Clone)]
+pub struct FaultFs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes passed to [`WalFile::append`] so far — the budget domain
+    /// for [`FaultFs::crashed`].
+    pub fn total_write_bytes(&self) -> u64 {
+        let state = self.state.lock();
+        state
+            .ops
+            .iter()
+            .map(|op| match op {
+                FsOp::Write { bytes, .. } => bytes.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The disk image after a crash that let `budget` appended bytes reach
+    /// the (simulated) disk, under `model`.  The returned filesystem has an
+    /// empty journal of its own.
+    pub fn crashed(&self, budget: u64, model: CrashModel) -> FaultFs {
+        let state = self.state.lock();
+        let mut files: HashMap<PathBuf, Vec<u8>> = HashMap::new();
+        let mut synced: HashMap<PathBuf, usize> = HashMap::new();
+        let mut remaining = budget;
+        for op in &state.ops {
+            match op {
+                FsOp::Write { path, bytes } => {
+                    let take = usize::try_from(remaining).unwrap_or(usize::MAX).min(bytes.len());
+                    let entry = files.entry(path.clone()).or_default();
+                    entry.extend_from_slice(bytes.get(..take).unwrap_or(&[]));
+                    remaining -= take as u64;
+                    if take < bytes.len() {
+                        break;
+                    }
+                }
+                FsOp::Sync { path } => {
+                    let len = files.get(path).map(|f| f.len()).unwrap_or(0);
+                    synced.insert(path.clone(), len);
+                }
+                FsOp::Atomic { path, bytes } => {
+                    synced.insert(path.clone(), bytes.len());
+                    files.insert(path.clone(), bytes.clone());
+                }
+                FsOp::Truncate { path, len } => {
+                    let entry = files.entry(path.clone()).or_default();
+                    entry.truncate(*len as usize);
+                    synced.insert(path.clone(), entry.len());
+                }
+            }
+        }
+        if model == CrashModel::SyncedOnly {
+            for (path, data) in files.iter_mut() {
+                let keep = synced.get(path).copied().unwrap_or(0);
+                data.truncate(keep);
+            }
+        }
+        FaultFs { state: Arc::new(Mutex::new(FaultState { files, ..FaultState::default() })) }
+    }
+
+    /// XORs the byte at `offset` of `path` with `xor` (no journal entry —
+    /// this models silent media corruption).
+    pub fn corrupt(&self, path: &Path, offset: usize, xor: u8) {
+        let mut state = self.state.lock();
+        if let Some(bytes) = state.files.get_mut(path) {
+            if let Some(b) = bytes.get_mut(offset) {
+                *b ^= xor;
+            }
+        }
+    }
+
+    /// Paths of all files currently present, sorted.
+    pub fn file_paths(&self) -> Vec<PathBuf> {
+        let state = self.state.lock();
+        let mut paths: Vec<PathBuf> = state.files.keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Length of `path`, `None` when absent.
+    pub fn file_len(&self, path: &Path) -> Option<u64> {
+        let state = self.state.lock();
+        state.files.get(path).map(|f| f.len() as u64)
+    }
+
+    /// Makes every append after the first `n` a short write that errors.
+    pub fn fail_writes_from(&self, n: u64) {
+        self.state.lock().fail_write_from = Some(n);
+    }
+
+    /// Makes every fsync after the first `n` return an error.
+    pub fn fail_fsyncs_from(&self, n: u64) {
+        self.state.lock().fail_fsync_from = Some(n);
+    }
+}
+
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    path: PathBuf,
+}
+
+impl WalFile for FaultFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock();
+        state.writes += 1;
+        let fail = state.fail_write_from.map(|n| state.writes > n).unwrap_or(false);
+        let written = if fail { bytes.get(..bytes.len() / 2).unwrap_or(&[]) } else { bytes };
+        state.ops.push(FsOp::Write { path: self.path.clone(), bytes: written.to_vec() });
+        state.files.entry(self.path.clone()).or_default().extend_from_slice(written);
+        if fail {
+            return Err(io::Error::other("injected short write"));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock();
+        state.fsyncs += 1;
+        if state.fail_fsync_from.map(|n| state.fsyncs > n).unwrap_or(false) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        state.ops.push(FsOp::Sync { path: self.path.clone() });
+        Ok(())
+    }
+}
+
+impl WalFs for FaultFs {
+    fn open_append(&self, path: &Path) -> io::Result<(Box<dyn WalFile>, u64)> {
+        let len = self.file_len(path).unwrap_or(0);
+        Ok((Box::new(FaultFile { state: Arc::clone(&self.state), path: path.to_path_buf() }), len))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        let state = self.state.lock();
+        Ok(state.files.get(path).cloned())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock();
+        state.ops.push(FsOp::Atomic { path: path.to_path_buf(), bytes: bytes.to_vec() });
+        state.files.insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut state = self.state.lock();
+        state.ops.push(FsOp::Truncate { path: path.to_path_buf(), len });
+        if let Some(bytes) = state.files.get_mut(path) {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Wraps a [`WalFile`] with failure injection: appends past
+/// `fail_write_from` become short writes that error, fsyncs past
+/// `fail_fsync_from` fail outright.
+pub struct FailpointWriter {
+    inner: Box<dyn WalFile>,
+    writes: u64,
+    fsyncs: u64,
+    fail_write_from: Option<u64>,
+    fail_fsync_from: Option<u64>,
+}
+
+impl FailpointWriter {
+    /// Wraps `inner`; `None` thresholds never fire.
+    pub fn new(
+        inner: Box<dyn WalFile>,
+        fail_write_from: Option<u64>,
+        fail_fsync_from: Option<u64>,
+    ) -> Self {
+        Self { inner, writes: 0, fsyncs: 0, fail_write_from, fail_fsync_from }
+    }
+}
+
+impl WalFile for FailpointWriter {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writes += 1;
+        if self.fail_write_from.map(|n| self.writes > n).unwrap_or(false) {
+            let half = bytes.get(..bytes.len() / 2).unwrap_or(&[]);
+            let _ = self.inner.append(half);
+            return Err(io::Error::other("injected short write"));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.fsyncs += 1;
+        if self.fail_fsync_from.map(|n| self.fsyncs > n).unwrap_or(false) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// When the write-ahead log calls fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncMode {
+    /// Fsync every commit: one write **and one fsync** per dirty log per
+    /// round.  Every acked round survives even power loss; the price is a
+    /// fsync syscall per dirty shard per round, which dominates the
+    /// durability overhead at small batch sizes.  The crash-exactness
+    /// property tests run in this mode — it is the mode in which "acked"
+    /// equals "synced".
+    EveryCommit,
+    /// Fsync only when a log rotates onto its snapshot (the snapshot's
+    /// atomic replace is always synced).  Round appends still hit the
+    /// kernel with one `write` per dirty shard, so they survive a process
+    /// crash at full fidelity — the page cache persists — but power loss
+    /// may lose the tail written since the last rotation.  This is the
+    /// default, the same trade Prometheus' WAL makes.
+    #[default]
+    OnRotation,
+}
+
+/// Durability configuration for [`crate::TimeSeriesDb::open_with`].
+#[derive(Clone)]
+pub struct DurabilityOptions {
+    /// A shard log is rotated into a snapshot once it exceeds this many
+    /// bytes (and the same bound rotates the meta log).
+    pub segment_bytes: u64,
+    /// Fsync policy; see [`FsyncMode`].
+    pub fsync: FsyncMode,
+    /// Filesystem implementation; tests substitute [`FaultFs`].
+    pub fs: Arc<dyn WalFs>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self { segment_bytes: 4 << 20, fsync: FsyncMode::default(), fs: Arc::new(RealFs) }
+    }
+}
+
+impl fmt::Debug for DurabilityOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurabilityOptions")
+            .field("segment_bytes", &self.segment_bytes)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself
+// ---------------------------------------------------------------------------
+
+/// Reserves `additional` bytes of staging capacity.  Growth is the cold path
+/// (buffers are retained round over round); the lock audit's no-alloc check
+/// is suspended for it because staging runs under the `tsdb.shard` lock.
+fn reserve_staged(buf: &mut Vec<u8>, additional: usize) {
+    if buf.capacity().wrapping_sub(buf.len()) < additional {
+        #[cfg(lock_audit)]
+        let _allow = parking_lot::audit::allow_alloc();
+        buf.reserve(additional.max(1024));
+    }
+}
+
+struct MetaLog {
+    file: Option<Box<dyn WalFile>>,
+    staged: Vec<u8>,
+    size: u64,
+    /// Symbols `[0, flushed_symbols)` of the table are already durable.
+    flushed_symbols: usize,
+}
+
+struct ShardLog {
+    file: Option<Box<dyn WalFile>>,
+    staged: Vec<u8>,
+    size: u64,
+    /// Offset and shared timestamp of the currently open `REC_SAMPLES`
+    /// frame in `staged`, if the most recently staged record is a sample
+    /// batch still accepting entries.  Consecutive same-timestamp samples
+    /// of a round append to one batch (one frame + one CRC for the whole
+    /// round's samples per shard); staging any other record type, a sample
+    /// at a different timestamp, or the flush seals it first.
+    open_samples: Option<(usize, u64)>,
+}
+
+impl ShardLog {
+    /// Seals the open sample batch, if any: patches the entry count and the
+    /// frame header (length + CRC) in place.
+    fn close_samples(&mut self) {
+        if let Some((at, _)) = self.open_samples.take() {
+            let entries = self.staged.len().saturating_sub(at + FRAME_BYTES + SAMPLE_HEADER_BYTES)
+                / SAMPLE_ENTRY_BYTES;
+            if let Some(slot) = self.staged.get_mut(at + FRAME_BYTES + 1..at + FRAME_BYTES + 5) {
+                slot.copy_from_slice(&(entries as u32).to_le_bytes());
+            }
+            end_record(&mut self.staged, at);
+        }
+    }
+}
+
+/// Result of one [`Wal::flush`].
+pub(crate) struct FlushStats {
+    /// The round sequence number just made durable, if any round committed.
+    pub(crate) committed: Option<u64>,
+    /// `false` when any shard (or the meta log) hit a write/fsync error,
+    /// this round or earlier.
+    pub(crate) clean: bool,
+}
+
+/// Bit in [`Wal::failed`] marking the meta log broken (shard bits are
+/// `1 << shard`).
+const META_FAILED_BIT: u64 = 1 << 63;
+
+/// The per-shard write-ahead log of one durable [`crate::TimeSeriesDb`].
+pub(crate) struct Wal {
+    fs: Arc<dyn WalFs>,
+    fsync: FsyncMode,
+    segment_bytes: u64,
+    /// Sequence number the *next* round will commit under (committed + 1).
+    next_seq: AtomicU64,
+    /// Failure bits: `1 << shard` per broken shard, [`META_FAILED_BIT`] for
+    /// the meta log.  Sticky — a failed log is never written again.
+    failed: AtomicU64,
+    meta_path: PathBuf,
+    meta_snap_path: PathBuf,
+    shard_paths: [PathBuf; SHARD_COUNT],
+    shard_snap_paths: [PathBuf; SHARD_COUNT],
+    meta: Mutex<MetaLog>,
+    shards: [Mutex<ShardLog>; SHARD_COUNT],
+}
+
+impl Wal {
+    /// Marks `shard` broken (sticky): no further writes, counted in
+    /// [`Wal::failed_shard_count`].  Also used by the storage layer when a
+    /// shard's recovered state fails validation during replay.
+    pub(crate) fn mark_shard_failed(&self, shard: usize) {
+        if shard < SHARD_COUNT {
+            self.failed.fetch_or(1 << shard, Ordering::Relaxed);
+        }
+    }
+
+    fn mark_meta_failed(&self) {
+        self.failed.fetch_or(META_FAILED_BIT, Ordering::Relaxed);
+    }
+
+    fn shard_failed(&self, shard: usize) -> bool {
+        let mask = self.failed.load(Ordering::Relaxed);
+        mask & META_FAILED_BIT != 0 || shard < SHARD_COUNT && mask & (1 << shard) != 0
+    }
+
+    fn meta_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed) & META_FAILED_BIT != 0
+    }
+
+    /// Number of shards currently flagged as failed (all of them once the
+    /// meta log is broken) — surfaced in [`crate::StorageStats`].
+    pub(crate) fn failed_shard_count(&self) -> u64 {
+        let mask = self.failed.load(Ordering::Relaxed);
+        if mask & META_FAILED_BIT != 0 {
+            SHARD_COUNT as u64
+        } else {
+            u64::from((mask & ((1 << SHARD_COUNT) - 1)).count_ones())
+        }
+    }
+
+    /// A staging handle for `shard`, or `None` once the shard (or the meta
+    /// log) has failed.  Locks the shard's `tsdb.wal.shard` mutex — the
+    /// caller already holds the matching `tsdb.shard` lock.
+    pub(crate) fn shard_writer(&self, shard: usize) -> Option<ShardWriter<'_>> {
+        if self.shard_failed(shard) {
+            return None;
+        }
+        let log = self.shards.get(shard)?.lock();
+        Some(ShardWriter { wal: self, log })
+    }
+
+    fn write_out(
+        &self,
+        path: &Path,
+        file: &mut Option<Box<dyn WalFile>>,
+        size: &mut u64,
+        staged: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        if file.is_none() {
+            let (handle, len) = self.fs.open_append(path)?;
+            *file = Some(handle);
+            *size = len;
+        }
+        let Some(handle) = file.as_mut() else {
+            return Ok(());
+        };
+        handle.append(staged)?;
+        if self.fsync == FsyncMode::EveryCommit {
+            let watch = Stopwatch::start();
+            handle.sync()?;
+            probes::WAL_FSYNC_NS.record_ns(watch.elapsed_ns());
+        }
+        probes::WAL_BYTES_WRITTEN.add(staged.len() as u64);
+        *size += staged.len() as u64;
+        staged.clear();
+        Ok(())
+    }
+
+    /// Flushes all staged data for the round: symbol delta first, then every
+    /// dirty shard (one sequential write + fsync each), then the `COMMIT`
+    /// marker.  Errors fail only the log they hit; surviving shards still
+    /// commit.  Called once per scrape round by the single flush driver —
+    /// crash-exactness ("recover precisely the acked rounds") is defined for
+    /// that single-flusher discipline; appends racing a flush from other
+    /// threads simply land in the next round's batch.
+    pub(crate) fn flush(&self, symbols: &RwLock<SymbolTable>) -> FlushStats {
+        let mut meta = self.meta.lock();
+        if self.meta_failed() {
+            return FlushStats { committed: None, clean: false };
+        }
+        let seq = self.next_seq.load(Ordering::Relaxed);
+
+        // Stage the symbol delta.  Symbols must be durable before any shard
+        // record that references them, hence meta first.
+        {
+            let table = symbols.read();
+            let new = table.strings_from(meta.flushed_symbols);
+            if !new.is_empty() {
+                let need: usize = FRAME_BYTES + 5 + new.iter().map(|s| 4 + s.len()).sum::<usize>();
+                let total = table.len();
+                reserve_staged(&mut meta.staged, need);
+                let buf = &mut meta.staged;
+                let at = begin_record(buf);
+                buf.push(REC_SYMBOLS);
+                put_u32(buf, new.len() as u32);
+                for s in new {
+                    put_u32(buf, s.len() as u32);
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                end_record(buf, at);
+                meta.flushed_symbols = total;
+            }
+        }
+        if !meta.staged.is_empty() {
+            let MetaLog { file, staged, size, .. } = &mut *meta;
+            if self.write_out(&self.meta_path, file, size, staged).is_err() {
+                self.mark_meta_failed();
+                return FlushStats { committed: None, clean: false };
+            }
+        }
+
+        // Per-shard round batches.
+        let mut clean = !self.meta_failed();
+        let mut wrote_any = false;
+        for (i, slot) in self.shards.iter().enumerate() {
+            if self.shard_failed(i) {
+                clean = false;
+                continue;
+            }
+            let mut log = slot.lock();
+            if log.staged.is_empty() {
+                continue;
+            }
+            log.close_samples();
+            let path = match self.shard_paths.get(i) {
+                Some(path) => path,
+                None => continue,
+            };
+            let ShardLog { file, staged, size, .. } = &mut *log;
+            match self.write_out(path, file, size, staged) {
+                Ok(()) => wrote_any = true,
+                Err(_) => {
+                    self.mark_shard_failed(i);
+                    clean = false;
+                }
+            }
+        }
+
+        if !wrote_any {
+            return FlushStats { committed: None, clean };
+        }
+
+        // Commit the round.
+        reserve_staged(&mut meta.staged, FRAME_BYTES + 9);
+        {
+            let buf = &mut meta.staged;
+            let at = begin_record(buf);
+            buf.push(REC_COMMIT);
+            put_u64(buf, seq);
+            end_record(buf, at);
+        }
+        let MetaLog { file, staged, size, .. } = &mut *meta;
+        if self.write_out(&self.meta_path, file, size, staged).is_err() {
+            self.mark_meta_failed();
+            return FlushStats { committed: None, clean: false };
+        }
+        self.next_seq.store(seq + 1, Ordering::Relaxed);
+        FlushStats { committed: Some(seq), clean }
+    }
+
+    /// Whether `shard`'s log has outgrown its segment and is idle (nothing
+    /// staged), i.e. it is time to snapshot + truncate it.
+    pub(crate) fn wants_rotation(&self, shard: usize) -> bool {
+        if self.shard_failed(shard) {
+            return false;
+        }
+        self.shards
+            .get(shard)
+            .map(|slot| {
+                let log = slot.lock();
+                log.staged.is_empty() && log.size > self.segment_bytes
+            })
+            .unwrap_or(false)
+    }
+
+    /// Installs `snapshot` (already encoded via [`encode_shard_snapshot`])
+    /// for `shard` and truncates its log.  Ordering makes every crash point
+    /// safe: the meta log is fsynced first (under [`FsyncMode::OnRotation`]
+    /// the symbols and commits the snapshot references may still sit in the
+    /// page cache — a snapshot durable without them would be orphaned by a
+    /// power crash), then the snapshot replaces atomically, and a log that
+    /// survives an interrupted truncation only holds rounds `<= base_seq`,
+    /// which replay skips.
+    pub(crate) fn install_shard_snapshot(&self, shard: usize, snapshot: &[u8]) -> io::Result<()> {
+        let (Some(snap_path), Some(wal_path)) =
+            (self.shard_snap_paths.get(shard), self.shard_paths.get(shard))
+        else {
+            return Ok(());
+        };
+        {
+            let mut meta = self.meta.lock();
+            if let Some(file) = meta.file.as_mut() {
+                let watch = Stopwatch::start();
+                file.sync()?;
+                probes::WAL_FSYNC_NS.record_ns(watch.elapsed_ns());
+            }
+        }
+        self.fs.write_atomic(snap_path, snapshot)?;
+        let Some(slot) = self.shards.get(shard) else {
+            return Ok(());
+        };
+        let mut log = slot.lock();
+        self.fs.truncate(wal_path, 0)?;
+        log.size = 0;
+        Ok(())
+    }
+
+    /// Rotates the meta log once it outgrows the segment bound: writes a
+    /// full symbol snapshot carrying the committed sequence number, then
+    /// truncates `meta.wal`.  Errors are swallowed (rotation retries next
+    /// round); only the truncation failing after a successful snapshot
+    /// replace fails the meta log, because the stale tail would otherwise
+    /// resurrect on recovery.
+    pub(crate) fn maybe_rotate_meta(&self, symbols: &RwLock<SymbolTable>) {
+        let mut meta = self.meta.lock();
+        if self.meta_failed() || !meta.staged.is_empty() || meta.size <= self.segment_bytes {
+            return;
+        }
+        let committed = self.next_seq.load(Ordering::Relaxed).saturating_sub(1);
+        let mut buf = Vec::new();
+        {
+            let table = symbols.read();
+            let durable = table.strings_from(0);
+            let durable = durable.get(..meta.flushed_symbols).unwrap_or(durable);
+            let at = begin_record(&mut buf);
+            buf.push(REC_SNAP_SYMBOLS);
+            put_u64(&mut buf, committed);
+            put_u32(&mut buf, durable.len() as u32);
+            for s in durable {
+                put_u32(&mut buf, s.len() as u32);
+                buf.extend_from_slice(s.as_bytes());
+            }
+            end_record(&mut buf, at);
+        }
+        if self.fs.write_atomic(&self.meta_snap_path, &buf).is_err() {
+            return;
+        }
+        if self.fs.truncate(&self.meta_path, 0).is_err() {
+            self.mark_meta_failed();
+            return;
+        }
+        meta.size = 0;
+        meta.file = None;
+    }
+}
+
+/// Staging handle for one shard's WAL buffer, held alongside the shard's
+/// data lock while a round's mutations are applied.
+pub(crate) struct ShardWriter<'a> {
+    wal: &'a Wal,
+    log: MutexGuard<'a, ShardLog>,
+}
+
+impl ShardWriter<'_> {
+    /// Reserves room for `extra` staged bytes and lazily opens the round:
+    /// the first record of an empty buffer is the `ROUND(seq)` marker.
+    fn ensure_round(&mut self, extra: usize) {
+        let seq = self.wal.next_seq.load(Ordering::Relaxed);
+        let buf = &mut self.log.staged;
+        reserve_staged(buf, extra + FRAME_BYTES + 9);
+        if buf.is_empty() {
+            let at = begin_record(buf);
+            buf.push(REC_ROUND);
+            put_u64(buf, seq);
+            end_record(buf, at);
+        }
+    }
+
+    /// Stages a series-creation record.
+    pub(crate) fn series(
+        &mut self,
+        id: u64,
+        name_sym: SymbolId,
+        label_syms: &[(SymbolId, SymbolId)],
+    ) {
+        let need = FRAME_BYTES + 17 + label_syms.len() * 8;
+        self.ensure_round(need);
+        self.log.close_samples();
+        let buf = &mut self.log.staged;
+        let at = begin_record(buf);
+        buf.push(REC_SERIES);
+        put_u64(buf, id);
+        put_u32(buf, name_sym.as_u32());
+        put_u32(buf, label_syms.len() as u32);
+        for (k, v) in label_syms {
+            put_u32(buf, k.as_u32());
+            put_u32(buf, v.as_u32());
+        }
+        end_record(buf, at);
+    }
+
+    /// Stages one attempted append (accepted *or* rejected — replay re-runs
+    /// the same ingest logic, so rejection is reproduced, not recorded).
+    /// Consecutive samples at the same timestamp share one `REC_SAMPLES`
+    /// batch frame, sealed when another record type (or a different
+    /// timestamp) is staged or the round flushes — the per-sample cost is a
+    /// 12-byte copy, with the timestamp and frame CRC paid once per batch.
+    pub(crate) fn sample(&mut self, local: u32, timestamp_ms: u64, value: f64) {
+        self.ensure_round(FRAME_BYTES + SAMPLE_HEADER_BYTES + SAMPLE_ENTRY_BYTES);
+        let log = &mut *self.log;
+        match log.open_samples {
+            Some((_, ts)) if ts == timestamp_ms => {}
+            _ => {
+                log.close_samples();
+                let at = begin_record(&mut log.staged);
+                log.staged.push(REC_SAMPLES);
+                put_u32(&mut log.staged, 0); // entry count, patched on close
+                put_u64(&mut log.staged, timestamp_ms);
+                log.open_samples = Some((at, timestamp_ms));
+            }
+        }
+        let mut entry = [0u8; SAMPLE_ENTRY_BYTES];
+        // teemon-verify: allow(no-index): fixed-size split of a stack array.
+        entry[..4].copy_from_slice(&local.to_le_bytes());
+        // teemon-verify: allow(no-index): fixed-size split of a stack array.
+        entry[4..].copy_from_slice(&value.to_bits().to_le_bytes());
+        log.staged.extend_from_slice(&entry);
+    }
+
+    /// Stages a drop of the series at `victims` (pre-removal local indexes,
+    /// ascending — the same order the live path removes them in).
+    pub(crate) fn drop_locals(&mut self, victims: &[u32]) {
+        let need = FRAME_BYTES + 5 + victims.len() * 4;
+        self.ensure_round(need);
+        self.log.close_samples();
+        let buf = &mut self.log.staged;
+        let at = begin_record(buf);
+        buf.push(REC_DROP);
+        put_u32(buf, victims.len() as u32);
+        for v in victims {
+            put_u32(buf, *v);
+        }
+        end_record(buf, at);
+    }
+
+    /// Stages a retention pass at `cutoff_ms`.
+    pub(crate) fn retention(&mut self, cutoff_ms: u64) {
+        self.ensure_round(FRAME_BYTES + 9);
+        self.log.close_samples();
+        let buf = &mut self.log.staged;
+        let at = begin_record(buf);
+        buf.push(REC_RETENTION);
+        put_u64(buf, cutoff_ms);
+        end_record(buf, at);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of one series, assembled by the storage layer for
+/// [`encode_shard_snapshot`].
+pub(crate) struct SnapSeriesRef<'a> {
+    pub(crate) id: u64,
+    pub(crate) name_sym: SymbolId,
+    pub(crate) label_syms: &'a [(SymbolId, SymbolId)],
+    pub(crate) ever_appended: bool,
+    pub(crate) head: &'a [Sample],
+    pub(crate) sealed: &'a [Arc<Chunk>],
+}
+
+/// Chunk payload kind tags inside snapshot records.
+const CHUNK_RAW: u8 = 0;
+const CHUNK_GORILLA: u8 = 1;
+
+fn put_samples(buf: &mut Vec<u8>, samples: &[Sample]) {
+    for s in samples {
+        put_u64(buf, s.timestamp_ms);
+        put_u64(buf, s.value.to_bits());
+    }
+}
+
+/// Encodes a shard's full state as a snapshot file image: header, one record
+/// per series (heads Gorilla-compressed where the codec accepts them, sealed
+/// chunk payloads carried byte-identically), and a footer whose series count
+/// proves the file complete.
+pub(crate) fn encode_shard_snapshot(
+    base_seq: u64,
+    generation: u64,
+    rejected: u64,
+    series: &[SnapSeriesRef<'_>],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let at = begin_record(&mut buf);
+    buf.push(REC_SNAP_HEADER);
+    put_u64(&mut buf, base_seq);
+    put_u64(&mut buf, generation);
+    put_u64(&mut buf, rejected);
+    put_u32(&mut buf, series.len() as u32);
+    end_record(&mut buf, at);
+
+    for s in series {
+        let at = begin_record(&mut buf);
+        buf.push(REC_SNAP_SERIES);
+        put_u64(&mut buf, s.id);
+        put_u32(&mut buf, s.name_sym.as_u32());
+        buf.push(u8::from(s.ever_appended));
+        put_u32(&mut buf, s.label_syms.len() as u32);
+        for (k, v) in s.label_syms {
+            put_u32(&mut buf, k.as_u32());
+            put_u32(&mut buf, v.as_u32());
+        }
+        // Head: Gorilla when the codec accepts it, raw samples otherwise.
+        put_u32(&mut buf, s.head.len() as u32);
+        match chunk_codec::encode(s.head) {
+            Some(block) if !s.head.is_empty() => {
+                buf.push(CHUNK_GORILLA);
+                put_u32(&mut buf, block.len() as u32);
+                buf.extend_from_slice(&block);
+            }
+            _ => {
+                buf.push(CHUNK_RAW);
+                put_samples(&mut buf, s.head);
+            }
+        }
+        // Sealed chunks, payloads verbatim so reopen is byte-identical.
+        put_u32(&mut buf, s.sealed.len() as u32);
+        for chunk in s.sealed {
+            match &chunk.data {
+                ChunkData::Raw(samples) => {
+                    buf.push(CHUNK_RAW);
+                    put_u32(&mut buf, chunk.count);
+                    put_u64(&mut buf, chunk.start_ms);
+                    put_u64(&mut buf, chunk.end_ms);
+                    put_u32(&mut buf, (samples.len() * 16) as u32);
+                    put_samples(&mut buf, samples);
+                }
+                ChunkData::Compressed(bytes) => {
+                    buf.push(CHUNK_GORILLA);
+                    put_u32(&mut buf, chunk.count);
+                    put_u64(&mut buf, chunk.start_ms);
+                    put_u64(&mut buf, chunk.end_ms);
+                    put_u32(&mut buf, bytes.len() as u32);
+                    buf.extend_from_slice(bytes);
+                }
+            }
+        }
+        end_record(&mut buf, at);
+    }
+
+    let at = begin_record(&mut buf);
+    buf.push(REC_SNAP_FOOTER);
+    put_u32(&mut buf, series.len() as u32);
+    end_record(&mut buf, at);
+    buf
+}
+
+/// One series restored from a shard snapshot.
+pub(crate) struct SnapSeries {
+    pub(crate) id: u64,
+    pub(crate) name_sym: SymbolId,
+    pub(crate) label_syms: Vec<(SymbolId, SymbolId)>,
+    pub(crate) ever_appended: bool,
+    pub(crate) head: Vec<Sample>,
+    pub(crate) sealed: Vec<Chunk>,
+}
+
+/// A decoded shard snapshot: the state as of round `base_seq`.
+pub(crate) struct ShardSnapshot {
+    pub(crate) base_seq: u64,
+    pub(crate) generation: u64,
+    pub(crate) rejected: u64,
+    pub(crate) series: Vec<SnapSeries>,
+}
+
+fn take_samples(cur: &mut Cur<'_>, count: u32) -> Option<Vec<Sample>> {
+    if count > MAX_COUNT {
+        return None;
+    }
+    let mut samples = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let timestamp_ms = cur.u64()?;
+        let value = f64::from_bits(cur.u64()?);
+        samples.push(Sample { timestamp_ms, value });
+    }
+    Some(samples)
+}
+
+fn decode_snap_series(payload: &[u8]) -> Option<SnapSeries> {
+    let mut cur = Cur::new(payload);
+    let id = cur.u64()?;
+    let name_sym = SymbolId::from_u32(cur.u32()?);
+    let ever_appended = cur.u8()? != 0;
+    let label_count = cur.u32()?;
+    if label_count > MAX_COUNT {
+        return None;
+    }
+    let mut label_syms = Vec::with_capacity(label_count as usize);
+    for _ in 0..label_count {
+        let k = SymbolId::from_u32(cur.u32()?);
+        let v = SymbolId::from_u32(cur.u32()?);
+        label_syms.push((k, v));
+    }
+    let head_count = cur.u32()?;
+    if head_count > MAX_COUNT {
+        return None;
+    }
+    let head = match cur.u8()? {
+        CHUNK_RAW => take_samples(&mut cur, head_count)?,
+        CHUNK_GORILLA => {
+            let len = cur.u32()? as usize;
+            let block = cur.take(len)?;
+            let samples = chunk_codec::decode(block, head_count as usize);
+            if samples.len() != head_count as usize {
+                return None;
+            }
+            samples
+        }
+        _ => return None,
+    };
+    let sealed_count = cur.u32()?;
+    if sealed_count > MAX_COUNT {
+        return None;
+    }
+    let mut sealed = Vec::with_capacity(sealed_count as usize);
+    for _ in 0..sealed_count {
+        let kind = cur.u8()?;
+        let count = cur.u32()?;
+        if count > MAX_COUNT {
+            return None;
+        }
+        let start_ms = cur.u64()?;
+        let end_ms = cur.u64()?;
+        let len = cur.u32()? as usize;
+        let data = match kind {
+            CHUNK_RAW => {
+                if len != count as usize * 16 {
+                    return None;
+                }
+                ChunkData::Raw(take_samples(&mut cur, count)?)
+            }
+            CHUNK_GORILLA => ChunkData::Compressed(cur.take(len)?.to_vec()),
+            _ => return None,
+        };
+        sealed.push(Chunk { start_ms, end_ms, count, data });
+    }
+    cur.done().then_some(SnapSeries { id, name_sym, label_syms, ever_appended, head, sealed })
+}
+
+fn decode_shard_snapshot(bytes: &[u8]) -> Option<ShardSnapshot> {
+    let mut scanner = FrameScanner::new(bytes);
+    let (kind, payload) = scanner.next()?;
+    if kind != REC_SNAP_HEADER {
+        return None;
+    }
+    let mut cur = Cur::new(payload);
+    let base_seq = cur.u64()?;
+    let generation = cur.u64()?;
+    let rejected = cur.u64()?;
+    let series_count = cur.u32()?;
+    if !cur.done() || series_count > MAX_COUNT {
+        return None;
+    }
+    let mut series = Vec::with_capacity(series_count as usize);
+    for _ in 0..series_count {
+        let (kind, payload) = scanner.next()?;
+        if kind != REC_SNAP_SERIES {
+            return None;
+        }
+        series.push(decode_snap_series(payload)?);
+    }
+    let (kind, payload) = scanner.next()?;
+    if kind != REC_SNAP_FOOTER {
+        return None;
+    }
+    let mut cur = Cur::new(payload);
+    if cur.u32()? != series_count || !cur.done() || scanner.valid_len != bytes.len() {
+        return None;
+    }
+    Some(ShardSnapshot { base_seq, generation, rejected, series })
+}
+
+fn decode_meta_snap(bytes: &[u8]) -> Option<(Vec<String>, u64)> {
+    let mut scanner = FrameScanner::new(bytes);
+    let (kind, payload) = scanner.next()?;
+    if kind != REC_SNAP_SYMBOLS || scanner.valid_len != bytes.len() {
+        return None;
+    }
+    let mut cur = Cur::new(payload);
+    let committed = cur.u64()?;
+    let count = cur.u32()?;
+    if count > MAX_COUNT {
+        return None;
+    }
+    let mut symbols = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = cur.u32()? as usize;
+        let s = std::str::from_utf8(cur.take(len)?).ok()?;
+        symbols.push(s.to_owned());
+    }
+    cur.done().then_some((symbols, committed))
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// One replayable shard-log operation, in file order.
+pub(crate) enum ShardOp {
+    /// Start of round `seq`; following ops belong to it until the next round.
+    Round(u64),
+    /// Series creation.
+    Series { id: u64, name_sym: SymbolId, label_syms: Vec<(SymbolId, SymbolId)> },
+    /// One attempted append (replay re-runs acceptance).
+    Sample { local: u32, timestamp_ms: u64, value: f64 },
+    /// `drop_series` removal of these pre-removal local indexes.
+    Drop { victims: Vec<u32> },
+    /// Retention pass at this cutoff.
+    Retention { cutoff_ms: u64 },
+}
+
+/// What recovery found for one shard.
+pub(crate) enum ShardRecovery {
+    /// No durable state at all.
+    Empty,
+    /// The shard's snapshot was unreadable: it comes up empty and flagged,
+    /// leaving the other shards untouched.
+    Failed,
+    /// Snapshot (if any) + the log ops to replay over it.
+    Loaded(ShardLoad),
+}
+
+/// The replay input for one shard.
+pub(crate) struct ShardLoad {
+    pub(crate) snapshot: Option<ShardSnapshot>,
+    pub(crate) ops: Vec<ShardOp>,
+}
+
+/// Everything [`Wal::open`] recovered; the storage layer replays it.
+pub(crate) struct Recovery {
+    /// The symbol table contents, in interning order.
+    pub(crate) symbols: Vec<String>,
+    /// Highest committed round; ops in rounds beyond it are dropped.
+    pub(crate) committed: u64,
+    /// Per-shard recovery input, `SHARD_COUNT` entries.
+    pub(crate) shards: Vec<ShardRecovery>,
+}
+
+/// Decodes one CRC-valid shard record into `ops` (a `REC_SAMPLES` batch
+/// expands to one [`ShardOp::Sample`] per entry).  Returns `false` — with
+/// `ops` rolled back — when the payload fails semantic validation.
+fn decode_shard_ops(kind: u8, payload: &[u8], ops: &mut Vec<ShardOp>) -> bool {
+    let before = ops.len();
+    let mut cur = Cur::new(payload);
+    let ok = (|| {
+        match kind {
+            REC_ROUND => ops.push(ShardOp::Round(cur.u64()?)),
+            REC_SERIES => {
+                let id = cur.u64()?;
+                let name_sym = SymbolId::from_u32(cur.u32()?);
+                let count = cur.u32()?;
+                if count > MAX_COUNT {
+                    return None;
+                }
+                let mut label_syms = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let k = SymbolId::from_u32(cur.u32()?);
+                    let v = SymbolId::from_u32(cur.u32()?);
+                    label_syms.push((k, v));
+                }
+                ops.push(ShardOp::Series { id, name_sym, label_syms });
+            }
+            REC_SAMPLES => {
+                let count = cur.u32()?;
+                if count > MAX_COUNT {
+                    return None;
+                }
+                let timestamp_ms = cur.u64()?;
+                ops.reserve(count as usize);
+                for _ in 0..count {
+                    ops.push(ShardOp::Sample {
+                        local: cur.u32()?,
+                        timestamp_ms,
+                        value: f64::from_bits(cur.u64()?),
+                    });
+                }
+            }
+            REC_DROP => {
+                let count = cur.u32()?;
+                if count > MAX_COUNT {
+                    return None;
+                }
+                let mut victims = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    victims.push(cur.u32()?);
+                }
+                ops.push(ShardOp::Drop { victims });
+            }
+            REC_RETENTION => ops.push(ShardOp::Retention { cutoff_ms: cur.u64()? }),
+            _ => return None,
+        }
+        cur.done().then_some(())
+    })()
+    .is_some();
+    if !ok {
+        ops.truncate(before);
+    }
+    ok
+}
+
+/// Scans one shard log image into ops, stopping at the first invalid frame
+/// *or* the first CRC-valid record that fails semantic decoding (both are
+/// treated as the salvage point).
+fn scan_shard_log(bytes: &[u8]) -> (Vec<ShardOp>, usize) {
+    let mut ops = Vec::new();
+    let mut scanner = FrameScanner::new(bytes);
+    let mut valid = 0;
+    while let Some((kind, payload)) = scanner.next() {
+        if !decode_shard_ops(kind, payload, &mut ops) {
+            break;
+        }
+        valid = scanner.valid_len;
+    }
+    (ops, valid)
+}
+
+/// Counts a salvage event: `dropped` bytes of `path` did not survive
+/// validation and are being cut off.
+fn note_salvage(path: &Path, dropped: u64) {
+    probes::WAL_SALVAGE.inc();
+    probes::WAL_SALVAGED_BYTES.add(dropped);
+    let _ = path;
+}
+
+impl Wal {
+    /// Opens (or creates) the durability directory and recovers its
+    /// contents.  Never panics on corrupt input: damaged log tails are
+    /// salvaged by truncation, an unreadable shard snapshot fails only that
+    /// shard, and an unreadable meta snapshot fails the whole log (symbols
+    /// are global) — in every case the database still opens.
+    pub(crate) fn open(dir: &Path, options: &DurabilityOptions) -> io::Result<(Self, Recovery)> {
+        let fs = Arc::clone(&options.fs);
+        fs.create_dir_all(dir)?;
+        let meta_path = dir.join("meta.wal");
+        let meta_snap_path = dir.join("meta.snap");
+        let shard_paths: [PathBuf; SHARD_COUNT] =
+            std::array::from_fn(|i| dir.join(format!("shard-{i:02}.wal")));
+        let shard_snap_paths: [PathBuf; SHARD_COUNT] =
+            std::array::from_fn(|i| dir.join(format!("shard-{i:02}.snap")));
+
+        let mut symbols: Vec<String> = Vec::new();
+        let mut committed = 0u64;
+        let mut meta_ok = true;
+        let mut meta_size = 0u64;
+
+        if let Some(bytes) = fs.read(&meta_snap_path)? {
+            match decode_meta_snap(&bytes) {
+                Some((syms, base)) => {
+                    symbols = syms;
+                    committed = base;
+                }
+                None => {
+                    note_salvage(&meta_snap_path, bytes.len() as u64);
+                    meta_ok = false;
+                }
+            }
+        }
+        if meta_ok {
+            if let Some(bytes) = fs.read(&meta_path)? {
+                let mut scanner = FrameScanner::new(&bytes);
+                let mut valid = 0;
+                while let Some((kind, payload)) = scanner.next() {
+                    let mut cur = Cur::new(payload);
+                    let decoded = match kind {
+                        REC_SYMBOLS => {
+                            let count = cur.u32().filter(|&c| c <= MAX_COUNT);
+                            // Buffer the batch so a record that fails half-way
+                            // leaves `symbols` untouched.
+                            let mut batch = Vec::new();
+                            let ok = count
+                                .map(|count| {
+                                    for _ in 0..count {
+                                        let Some(len) = cur.u32() else { return false };
+                                        let Some(raw) = cur.take(len as usize) else {
+                                            return false;
+                                        };
+                                        let Ok(s) = std::str::from_utf8(raw) else {
+                                            return false;
+                                        };
+                                        batch.push(s.to_owned());
+                                    }
+                                    cur.done()
+                                })
+                                .unwrap_or(false);
+                            if ok {
+                                symbols.append(&mut batch);
+                            }
+                            ok
+                        }
+                        REC_COMMIT => cur
+                            .u64()
+                            .map(|seq| {
+                                committed = committed.max(seq);
+                                cur.done()
+                            })
+                            .unwrap_or(false),
+                        _ => false,
+                    };
+                    if !decoded {
+                        break;
+                    }
+                    valid = scanner.valid_len;
+                }
+                meta_size = valid as u64;
+                if valid < bytes.len() {
+                    note_salvage(&meta_path, (bytes.len() - valid) as u64);
+                    if fs.truncate(&meta_path, valid as u64).is_err() {
+                        meta_ok = false;
+                    }
+                }
+            }
+        }
+
+        let mut shards_rec = Vec::with_capacity(SHARD_COUNT);
+        let mut shard_sizes = [0u64; SHARD_COUNT];
+        for i in 0..SHARD_COUNT {
+            let (Some(wal_path), Some(snap_path), Some(size_slot)) =
+                (shard_paths.get(i), shard_snap_paths.get(i), shard_sizes.get_mut(i))
+            else {
+                shards_rec.push(ShardRecovery::Empty);
+                continue;
+            };
+            if !meta_ok {
+                // Without the symbol table nothing referencing it can be
+                // trusted; a shard with any durable state is flagged.
+                let has_data = fs.read(snap_path)?.map(|b| !b.is_empty()).unwrap_or(false)
+                    || fs.read(wal_path)?.map(|b| !b.is_empty()).unwrap_or(false);
+                shards_rec.push(if has_data {
+                    ShardRecovery::Failed
+                } else {
+                    ShardRecovery::Empty
+                });
+                continue;
+            }
+            let snapshot = match fs.read(snap_path)? {
+                Some(bytes) => match decode_shard_snapshot(&bytes) {
+                    Some(snap) => Some(snap),
+                    None => {
+                        note_salvage(snap_path, bytes.len() as u64);
+                        shards_rec.push(ShardRecovery::Failed);
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            let (ops, valid, total) = match fs.read(wal_path)? {
+                Some(bytes) => {
+                    let (ops, valid) = scan_shard_log(&bytes);
+                    (ops, valid, bytes.len())
+                }
+                None => (Vec::new(), 0, 0),
+            };
+            if valid < total {
+                note_salvage(wal_path, (total - valid) as u64);
+                if fs.truncate(wal_path, valid as u64).is_err() {
+                    shards_rec.push(ShardRecovery::Failed);
+                    continue;
+                }
+            }
+            *size_slot = valid as u64;
+            if snapshot.is_none() && ops.is_empty() {
+                shards_rec.push(ShardRecovery::Empty);
+            } else {
+                shards_rec.push(ShardRecovery::Loaded(ShardLoad { snapshot, ops }));
+            }
+        }
+
+        let mut failed = 0u64;
+        if !meta_ok {
+            failed |= META_FAILED_BIT;
+            symbols = Vec::new();
+            committed = 0;
+        }
+        for (i, rec) in shards_rec.iter().enumerate() {
+            if matches!(rec, ShardRecovery::Failed) && i < SHARD_COUNT {
+                failed |= 1 << i;
+            }
+        }
+
+        let flushed_symbols = symbols.len();
+        let wal = Wal {
+            fs,
+            fsync: options.fsync,
+            segment_bytes: options.segment_bytes,
+            next_seq: AtomicU64::new(committed + 1),
+            failed: AtomicU64::new(failed),
+            meta: Mutex::named(
+                MetaLog { file: None, staged: Vec::new(), size: meta_size, flushed_symbols },
+                LockClass::new("tsdb.wal.meta"),
+            ),
+            shards: std::array::from_fn(|i| {
+                Mutex::named(
+                    ShardLog {
+                        file: None,
+                        staged: Vec::new(),
+                        size: shard_sizes.get(i).copied().unwrap_or(0),
+                        open_samples: None,
+                    },
+                    LockClass::new("tsdb.wal.shard").instance(i as u32),
+                )
+            }),
+            meta_path,
+            meta_snap_path,
+            shard_paths,
+            shard_snap_paths,
+        };
+        Ok((wal, Recovery { symbols, committed, shards: shards_rec }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 (IEEE 802.3) check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let at = begin_record(&mut buf);
+        buf.push(kind);
+        buf.extend_from_slice(body);
+        end_record(&mut buf, at);
+        buf
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_scanner() {
+        let mut log = frame(REC_ROUND, &7u64.to_le_bytes());
+        log.extend_from_slice(&frame(REC_RETENTION, &42u64.to_le_bytes()));
+        let mut scanner = FrameScanner::new(&log);
+        assert!(
+            matches!(scanner.next(), Some((REC_ROUND, payload)) if payload == 7u64.to_le_bytes())
+        );
+        assert!(matches!(scanner.next(), Some((REC_RETENTION, _))));
+        assert!(scanner.next().is_none());
+        assert_eq!(scanner.valid_len, log.len());
+    }
+
+    #[test]
+    fn scanner_salvages_at_torn_and_corrupt_frames() {
+        let first = frame(REC_ROUND, &1u64.to_le_bytes());
+        let second = frame(REC_ROUND, &2u64.to_le_bytes());
+        // Torn tail: any strict prefix of the second frame is rejected and
+        // the salvage point is the end of the first.
+        for cut in 0..second.len() {
+            let mut log = first.clone();
+            log.extend_from_slice(second.get(..cut).unwrap_or(&[]));
+            let mut scanner = FrameScanner::new(&log);
+            assert!(scanner.next().is_some());
+            assert!(scanner.next().is_none(), "cut at {cut} must not verify");
+            assert_eq!(scanner.valid_len, first.len());
+        }
+        // A flipped bit anywhere in the second frame fails its CRC (or its
+        // length bound) and salvages at the same point.
+        for bit in 0..second.len() * 8 {
+            let mut log = first.clone();
+            let mut broken = second.clone();
+            if let Some(byte) = broken.get_mut(bit / 8) {
+                *byte ^= 1 << (bit % 8);
+            }
+            log.extend_from_slice(&broken);
+            let mut scanner = FrameScanner::new(&log);
+            assert!(scanner.next().is_some());
+            assert!(scanner.next().is_none(), "bit flip at {bit} must not verify");
+            assert_eq!(scanner.valid_len, first.len());
+        }
+    }
+
+    #[test]
+    fn fault_fs_crash_models_honour_sync_points() {
+        let fs = FaultFs::new();
+        let path = Path::new("/x.wal");
+        let (mut file, len) = fs.open_append(path).expect("FaultFs open");
+        assert_eq!(len, 0);
+        file.append(b"aaaa").expect("append");
+        file.sync().expect("sync");
+        file.append(b"bbbb").expect("append");
+        // No sync after "bbbb".
+        assert_eq!(fs.total_write_bytes(), 8);
+
+        // Torn with a full budget keeps everything written...
+        let torn = fs.crashed(8, CrashModel::Torn);
+        assert_eq!(torn.file_len(path), Some(8));
+        // ...a smaller budget tears mid-write...
+        let torn = fs.crashed(6, CrashModel::Torn);
+        assert_eq!(torn.file_len(path), Some(6));
+        // ...and SyncedOnly drops everything after the last fsync.
+        let synced = fs.crashed(8, CrashModel::SyncedOnly);
+        assert_eq!(synced.file_len(path), Some(4));
+
+        // Atomic replaces are all-or-nothing and consume no byte budget —
+        // but they still honour journal order: a budget that tears an
+        // earlier write never reaches them.
+        fs.write_atomic(Path::new("/y.snap"), b"snapshot").expect("atomic");
+        let image = fs.crashed(8, CrashModel::SyncedOnly);
+        assert_eq!(image.file_len(Path::new("/y.snap")), Some(8));
+        assert_eq!(image.file_len(path), Some(4));
+        let image = fs.crashed(0, CrashModel::SyncedOnly);
+        assert_eq!(image.file_len(Path::new("/y.snap")), None, "torn before the atomic");
+    }
+
+    #[test]
+    fn failpoint_writer_injects_short_writes_and_fsync_errors() {
+        let fs = FaultFs::new();
+        let path = Path::new("/fp.wal");
+        let (inner, _) = fs.open_append(path).expect("FaultFs open");
+        let mut writer = FailpointWriter::new(inner, Some(1), Some(2));
+        writer.append(b"12345678").expect("first write passes");
+        let err = writer.append(b"12345678").expect_err("second write fails");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The failing write left half the bytes behind — a torn tail.
+        assert_eq!(fs.file_len(path), Some(12));
+        writer.sync().expect("first fsync passes");
+        writer.sync().expect("second fsync passes");
+        assert!(writer.sync().is_err(), "third fsync must fail");
+    }
+
+    #[test]
+    fn shard_snapshots_round_trip_byte_identically() {
+        let head = vec![
+            Sample { timestamp_ms: 1_000, value: 1.5 },
+            Sample { timestamp_ms: 2_000, value: -2.25 },
+        ];
+        let sealed_samples: Vec<Sample> =
+            (0..8).map(|i| Sample { timestamp_ms: 10_000 + i * 500, value: i as f64 }).collect();
+        let gorilla = Arc::new(Chunk::sealed(sealed_samples.clone(), true));
+        let raw = Arc::new(Chunk::sealed(sealed_samples.clone(), false));
+        let series = [SnapSeriesRef {
+            id: 9,
+            name_sym: SymbolId::from_u32(3),
+            label_syms: &[(SymbolId::from_u32(1), SymbolId::from_u32(2))],
+            ever_appended: true,
+            head: &head,
+            sealed: &[Arc::clone(&gorilla), Arc::clone(&raw)],
+        }];
+        let bytes = encode_shard_snapshot(5, 2, 7, &series);
+        let snap = decode_shard_snapshot(&bytes).expect("decode");
+        assert_eq!(snap.base_seq, 5);
+        assert_eq!(snap.generation, 2);
+        assert_eq!(snap.rejected, 7);
+        assert_eq!(snap.series.len(), 1);
+        let s = &snap.series[0];
+        assert_eq!(s.id, 9);
+        assert_eq!(s.name_sym, SymbolId::from_u32(3));
+        assert_eq!(s.label_syms, vec![(SymbolId::from_u32(1), SymbolId::from_u32(2))]);
+        assert!(s.ever_appended);
+        assert_eq!(s.head, head);
+        assert_eq!(s.sealed.len(), 2);
+        // The Gorilla payload is carried verbatim: byte-identical restore.
+        match (&s.sealed[0].data, &gorilla.data) {
+            (ChunkData::Compressed(restored), ChunkData::Compressed(original)) => {
+                assert_eq!(restored, original);
+            }
+            _ => panic!("sealed chunk must stay compressed"),
+        }
+        match &s.sealed[1].data {
+            ChunkData::Raw(samples) => assert_eq!(samples, &sealed_samples),
+            ChunkData::Compressed(_) => panic!("raw chunk must stay raw"),
+        }
+        // Any truncation of the image is rejected outright — a snapshot is
+        // only trusted whole.
+        for cut in 0..bytes.len() {
+            assert!(decode_shard_snapshot(bytes.get(..cut).unwrap_or(&[])).is_none());
+        }
+    }
+}

@@ -27,6 +27,10 @@ fn main() {
         .scrape_interval_ms(5_000)
         .with_self_observe_alerts()
         .build();
+    // Full-mode recount: sgx_exporter, node_exporter, cadvisor and
+    // ebpf_exporter — four exporters — plus the `teemon_self` target the
+    // engine scrapes itself through makes 5 targets on this host.
+    assert_eq!(host.scraper().target_count(), 5);
 
     // 2. A workload to monitor, so the self-telemetry shows real ingest load.
     let app = RedisApp::paper_config(16);
