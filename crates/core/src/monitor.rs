@@ -721,8 +721,8 @@ mod tests {
         assert_eq!(host.rules().group_count(), 1);
         assert_eq!(
             host.rules().rule_count(),
-            4,
-            "fallback, imbalance, slow-query and WAL-salvage alerts"
+            5,
+            "fallback, imbalance, slow-query, WAL-salvage and WAL-unclean alerts"
         );
         // The group evaluates inside the monitoring loop over the series the
         // self target ingests — it must run cleanly against live self data

@@ -212,6 +212,10 @@ pub fn standard() -> DashboardSet {
         .with_panel(
             Panel::stat("WAL failed shards", Selector::metric("teemon_wal_failed_shards"))
                 .with_unit("shards"),
+        )
+        .with_panel(
+            Panel::stat("WAL unclean rounds", Selector::metric("teemon_wal_unclean_rounds_total"))
+                .with_unit("rounds"),
         );
 
     DashboardSet { dashboards: vec![sgx, docker, infrastructure, teemon_self] }

@@ -229,6 +229,11 @@ impl Collector for ObsCollector {
                 "shards whose WAL or snapshot was unreadable and came up empty",
                 probes::WAL_FAILED_SHARDS.get(),
             ),
+            counter(
+                "teemon_wal_unclean_rounds_total",
+                "scrape rounds whose WAL flush hit a write/fsync failure (durability lost)",
+                probes::WAL_UNCLEAN_ROUNDS.get(),
+            ),
         ]);
         // --- query ---
         let mut modes = FamilySnapshot::new(

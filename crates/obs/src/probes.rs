@@ -234,6 +234,9 @@ pub static WAL_RECORDS_DROPPED: Counter = Counter::new();
 pub static WAL_RECOVERY_SECONDS: Gauge = Gauge::new();
 /// Shards whose WAL or snapshot was unreadable and came up empty.
 pub static WAL_FAILED_SHARDS: Gauge = Gauge::new();
+/// Scrape rounds whose WAL flush reported a write/fsync failure — the round
+/// was served from memory but its durability was lost.
+pub static WAL_UNCLEAN_ROUNDS: Counter = Counter::new();
 
 // ---------------------------------------------------------------------------
 // Query layer (recorded by `teemon_query`)
@@ -405,6 +408,12 @@ pub const fn registry() -> &'static [ProbeDesc] {
             kind: "gauge",
             layer: "storage",
             help: "shards whose WAL or snapshot was unreadable and came up empty",
+        },
+        ProbeDesc {
+            name: "teemon_wal_unclean_rounds_total",
+            kind: "counter",
+            layer: "storage",
+            help: "scrape rounds whose WAL flush hit a write/fsync failure (durability lost)",
         },
         ProbeDesc {
             name: "teemon_query_range_total",

@@ -308,6 +308,12 @@ fn emit_all(e: &mut dyn Emit) {
         MetricKind::Gauge,
     );
     e.point(&mut Labels::new, probes::WAL_FAILED_SHARDS.get());
+    e.family(
+        "teemon_wal_unclean_rounds_total",
+        "scrape rounds whose WAL flush hit a write/fsync failure (durability lost)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::WAL_UNCLEAN_ROUNDS.get() as f64);
 
     // --- query ---
     e.family("teemon_query_range_total", "range queries by evaluation mode", MetricKind::Counter);

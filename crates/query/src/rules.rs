@@ -134,6 +134,9 @@ pub fn sgx_default_alerts(window_ms: u64) -> Vec<AlertRule> {
 ///   offenders are in `teemon_obs::slow_queries()`.
 /// * `teemon_wal_salvage` — crash recovery truncated a corrupt WAL tail;
 ///   the acked data survived but the disk or filesystem is damaging writes.
+/// * `teemon_wal_unclean` — a scrape round's WAL flush hit a write or fsync
+///   error: the round was served from memory but its durability is gone,
+///   and the failed log is sticky until restart.
 ///
 /// `interval_ms` is the evaluation cadence; the rate windows span two
 /// cadences so a single scrape round cannot alias to zero.
@@ -173,6 +176,14 @@ pub fn self_observe_alerts(interval_ms: u64) -> RuleGroup {
             Severity::Warning,
             "crash recovery truncated a corrupt WAL tail; acked data survived, but \
              the disk or filesystem is damaging writes",
+        ))
+        .with_rule(rule(
+            "teemon_wal_unclean",
+            "teemon_wal_unclean_rounds_total > 0".to_string(),
+            Severity::Critical,
+            "a scrape round's WAL flush hit a write/fsync error; the round is served \
+             from memory but its durability is lost and the failed log is sticky \
+             (see teemon_wal_failed_shards) — restart onto healthy storage",
         ))
 }
 
@@ -625,7 +636,7 @@ mod tests {
     fn self_observe_alerts_parse_and_fire_on_self_metrics() {
         let group = self_observe_alerts(15_000);
         assert_eq!(group.name, "teemon_self");
-        assert_eq!(group.rules.len(), 4);
+        assert_eq!(group.rules.len(), 5);
         // Every built-in expression round-trips through the parser (the
         // group builder unwraps on this invariant).
         for rule in &group.rules {
@@ -649,6 +660,8 @@ mod tests {
             }
             // A recovery salvaged a corrupt tail => the durability alert.
             db.append("teemon_wal_salvage_total", &Labels::new(), t * 5_000, 1.0);
+            // Every flush stayed clean => the unclean-round alert is quiet.
+            db.append("teemon_wal_unclean_rounds_total", &Labels::new(), t * 5_000, 0.0);
         }
         let engine = RuleEngine::new(db);
         engine.add_group(group);
@@ -660,6 +673,8 @@ mod tests {
         assert!(firing.contains(&"teemon_wal_salvage".to_string()), "{firing:?}");
         // No slow queries recorded => that rule stays quiet.
         assert!(!firing.contains(&"teemon_slow_queries".to_string()), "{firing:?}");
+        // Clean flushes => no durability-loss alert.
+        assert!(!firing.contains(&"teemon_wal_unclean".to_string()), "{firing:?}");
     }
 
     #[test]

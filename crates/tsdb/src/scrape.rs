@@ -693,8 +693,14 @@ impl Scraper {
             // Make the round durable before declaring it done: one WAL flush
             // per scrape round (no-op on volatile databases).  The scrape
             // driver is the single flusher the WAL's crash-exactness
-            // contract is defined for.
-            self.db.wal_flush();
+            // contract is defined for.  An unclean flush means a write or
+            // fsync error lost this round's durability — count it so
+            // EveryCommit deployments see the loss when it happens (the
+            // `teemon_wal_unclean` self-alert fires on the counter) instead
+            // of the round being acked silently.
+            if !self.db.wal_flush() {
+                probes::WAL_UNCLEAN_ROUNDS.inc();
+            }
             probes::SCRAPE_ROUNDS.inc();
             probes::SCRAPE_ROUND_NS.record_ns(round_watch.elapsed_ns());
         }

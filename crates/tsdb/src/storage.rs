@@ -703,7 +703,7 @@ impl TimeSeriesDb {
         let stats = wal.flush(&self.shared.symbols);
         if let Some(committed) = stats.committed {
             self.rotate_wal(wal, committed);
-            wal.maybe_rotate_meta(&self.shared.symbols);
+            wal.maybe_rotate_meta(&self.shared.symbols, committed);
         }
         probes::WAL_FAILED_SHARDS.set(wal.failed_shard_count() as f64);
         stats.clean

@@ -74,7 +74,7 @@
 //! the allocation-freedom of the *warm* durable round is proven directly by
 //! the counting-allocator test instead.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
@@ -409,6 +409,13 @@ enum FsOp {
 #[derive(Debug, Default)]
 struct FaultState {
     files: HashMap<PathBuf, Vec<u8>>,
+    /// The files this filesystem started with — empty for [`FaultFs::new`],
+    /// the crash image's contents for a filesystem built by
+    /// [`FaultFs::crashed`]/[`FaultFs::crashed_at_op`].  Crash images replay
+    /// the (post-creation) journal on top of this baseline, so reopening a
+    /// crash image, writing to it, and crashing it *again* keeps the files
+    /// the second run never touched.
+    baseline: HashMap<PathBuf, Vec<u8>>,
     ops: Vec<FsOp>,
     writes: u64,
     fsyncs: u64,
@@ -451,12 +458,51 @@ impl FaultFs {
     /// The disk image after a crash that let `budget` appended bytes reach
     /// the (simulated) disk, under `model`.  The returned filesystem has an
     /// empty journal of its own.
+    ///
+    /// The budget is charged per *appended byte*: a crash can tear inside
+    /// any append, but non-append operations (atomic replaces, truncations,
+    /// fsyncs) consume nothing and are applied together with the append
+    /// that precedes them.  Use [`FaultFs::crashed_at_op`] to place a crash
+    /// *between* two journalled operations — e.g. between a snapshot's
+    /// atomic install and the truncation of the log it replaces.
     pub fn crashed(&self, budget: u64, model: CrashModel) -> FaultFs {
         let state = self.state.lock();
-        let mut files: HashMap<PathBuf, Vec<u8>> = HashMap::new();
-        let mut synced: HashMap<PathBuf, usize> = HashMap::new();
+        Self::image(&state.baseline, &state.ops, budget, model)
+    }
+
+    /// Number of journalled filesystem operations so far — the sweep domain
+    /// for [`FaultFs::crashed_at_op`].
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().ops.len() as u64
+    }
+
+    /// The disk image after a crash between journalled operations: the
+    /// first `ops` operations applied in full, everything later lost.
+    /// Unlike the byte budget of [`FaultFs::crashed`], this axis can land a
+    /// crash between two non-append operations, covering windows like an
+    /// interrupted meta rotation (snapshot installed, log not yet
+    /// truncated).
+    pub fn crashed_at_op(&self, ops: u64, model: CrashModel) -> FaultFs {
+        let state = self.state.lock();
+        let keep = usize::try_from(ops).unwrap_or(usize::MAX).min(state.ops.len());
+        Self::image(&state.baseline, state.ops.get(..keep).unwrap_or(&[]), u64::MAX, model)
+    }
+
+    /// Replays `ops` onto `baseline` (empty for a [`FaultFs::new`]
+    /// filesystem; for a crash image, the files it was created with, all
+    /// counted as synced — they were on disk), tearing the first append that
+    /// exceeds `budget` bytes and dropping everything after it.
+    fn image(
+        baseline: &HashMap<PathBuf, Vec<u8>>,
+        ops: &[FsOp],
+        budget: u64,
+        model: CrashModel,
+    ) -> FaultFs {
+        let mut files: HashMap<PathBuf, Vec<u8>> = baseline.clone();
+        let mut synced: HashMap<PathBuf, usize> =
+            files.iter().map(|(path, data)| (path.clone(), data.len())).collect();
         let mut remaining = budget;
-        for op in &state.ops {
+        for op in ops {
             match op {
                 FsOp::Write { path, bytes } => {
                     let take = usize::try_from(remaining).unwrap_or(usize::MAX).min(bytes.len());
@@ -488,15 +534,21 @@ impl FaultFs {
                 data.truncate(keep);
             }
         }
-        FaultFs { state: Arc::new(Mutex::new(FaultState { files, ..FaultState::default() })) }
+        let baseline = files.clone();
+        FaultFs {
+            state: Arc::new(Mutex::new(FaultState { files, baseline, ..FaultState::default() })),
+        }
     }
 
     /// XORs the byte at `offset` of `path` with `xor` (no journal entry —
     /// this models silent media corruption).
     pub fn corrupt(&self, path: &Path, offset: usize, xor: u8) {
         let mut state = self.state.lock();
-        if let Some(bytes) = state.files.get_mut(path) {
-            if let Some(b) = bytes.get_mut(offset) {
+        let state = &mut *state;
+        // Media corruption is below the journal: flip the byte in the
+        // baseline too, so further crash images keep the damage.
+        for files in [&mut state.files, &mut state.baseline] {
+            if let Some(b) = files.get_mut(path).and_then(|bytes| bytes.get_mut(offset)) {
                 *b ^= xor;
             }
         }
@@ -836,51 +888,35 @@ impl Wal {
         Ok(())
     }
 
-    /// Flushes all staged data for the round: symbol delta first, then every
-    /// dirty shard (one sequential write + fsync each), then the `COMMIT`
-    /// marker.  Errors fail only the log they hit; surviving shards still
-    /// commit.  Called once per scrape round by the single flush driver —
-    /// crash-exactness ("recover precisely the acked rounds") is defined for
-    /// that single-flusher discipline; appends racing a flush from other
-    /// threads simply land in the next round's batch.
+    /// Flushes all staged data for the round: every dirty shard first (one
+    /// sequential write + fsync each), then the symbol delta and the
+    /// `COMMIT` marker in one sequential meta write.  Errors fail only the
+    /// log they hit; surviving shards still commit.  Called once per scrape
+    /// round by the single flush driver — crash-exactness ("recover
+    /// precisely the acked rounds") is defined for that single-flusher
+    /// discipline — but appends racing a flush from other threads stay
+    /// safe: `next_seq` is advanced *before* any shard buffer is drained,
+    /// so a record staged after its shard's batch was written stamps the
+    /// next round (the release/acquire on the shard's WAL mutex publishes
+    /// the store), and the symbol delta is captured *after* the drain, so
+    /// every symbol a drained record references reaches the meta log ahead
+    /// of the commit that makes the record replayable.
     pub(crate) fn flush(&self, symbols: &RwLock<SymbolTable>) -> FlushStats {
         let mut meta = self.meta.lock();
         if self.meta_failed() {
             return FlushStats { committed: None, clean: false };
         }
         let seq = self.next_seq.load(Ordering::Relaxed);
-
-        // Stage the symbol delta.  Symbols must be durable before any shard
-        // record that references them, hence meta first.
-        {
-            let table = symbols.read();
-            let new = table.strings_from(meta.flushed_symbols);
-            if !new.is_empty() {
-                let need: usize = FRAME_BYTES + 5 + new.iter().map(|s| 4 + s.len()).sum::<usize>();
-                let total = table.len();
-                reserve_staged(&mut meta.staged, need);
-                let buf = &mut meta.staged;
-                let at = begin_record(buf);
-                buf.push(REC_SYMBOLS);
-                put_u32(buf, new.len() as u32);
-                for s in new {
-                    put_u32(buf, s.len() as u32);
-                    buf.extend_from_slice(s.as_bytes());
-                }
-                end_record(buf, at);
-                meta.flushed_symbols = total;
-            }
-        }
-        if !meta.staged.is_empty() {
-            let MetaLog { file, staged, size, .. } = &mut *meta;
-            if self.write_out(&self.meta_path, file, size, staged).is_err() {
-                self.mark_meta_failed();
-                return FlushStats { committed: None, clean: false };
-            }
-        }
+        // Seal round `seq` before touching any shard buffer.  A record
+        // staged into a shard whose batch for this round was already
+        // drained would otherwise claim a round about to commit without
+        // it; replay would then treat the record — physically written by
+        // the *next* flush — as committed, resurrecting samples that were
+        // never acked after a crash before the next commit.
+        self.next_seq.store(seq + 1, Ordering::Relaxed);
 
         // Per-shard round batches.
-        let mut clean = !self.meta_failed();
+        let mut clean = true;
         let mut wrote_any = false;
         for (i, slot) in self.shards.iter().enumerate() {
             if self.shard_failed(i) {
@@ -906,11 +942,44 @@ impl Wal {
             }
         }
 
+        // Stage the symbol delta.  Captured after the drain so it also
+        // covers series records appends staged while the batches were
+        // being written; it precedes the commit in the meta log, so
+        // recovery always sees a round's symbols before believing the
+        // records that reference them.
+        {
+            let table = symbols.read();
+            let new = table.strings_from(meta.flushed_symbols);
+            if !new.is_empty() {
+                let need: usize = FRAME_BYTES + 5 + new.iter().map(|s| 4 + s.len()).sum::<usize>();
+                let total = table.len();
+                reserve_staged(&mut meta.staged, need);
+                let buf = &mut meta.staged;
+                let at = begin_record(buf);
+                buf.push(REC_SYMBOLS);
+                put_u32(buf, new.len() as u32);
+                for s in new {
+                    put_u32(buf, s.len() as u32);
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                end_record(buf, at);
+                meta.flushed_symbols = total;
+            }
+        }
+
         if !wrote_any {
+            // No round to commit; new symbols (if any) still go durable.
+            if !meta.staged.is_empty() {
+                let MetaLog { file, staged, size, .. } = &mut *meta;
+                if self.write_out(&self.meta_path, file, size, staged).is_err() {
+                    self.mark_meta_failed();
+                    return FlushStats { committed: None, clean: false };
+                }
+            }
             return FlushStats { committed: None, clean };
         }
 
-        // Commit the round.
+        // Commit the round: symbol delta + COMMIT land in one write.
         reserve_staged(&mut meta.staged, FRAME_BYTES + 9);
         {
             let buf = &mut meta.staged;
@@ -924,7 +993,6 @@ impl Wal {
             self.mark_meta_failed();
             return FlushStats { committed: None, clean: false };
         }
-        self.next_seq.store(seq + 1, Ordering::Relaxed);
         FlushStats { committed: Some(seq), clean }
     }
 
@@ -976,17 +1044,19 @@ impl Wal {
     }
 
     /// Rotates the meta log once it outgrows the segment bound: writes a
-    /// full symbol snapshot carrying the committed sequence number, then
-    /// truncates `meta.wal`.  Errors are swallowed (rotation retries next
-    /// round); only the truncation failing after a successful snapshot
-    /// replace fails the meta log, because the stale tail would otherwise
-    /// resurrect on recovery.
-    pub(crate) fn maybe_rotate_meta(&self, symbols: &RwLock<SymbolTable>) {
+    /// full symbol snapshot carrying `committed` (the round the caller just
+    /// committed), then truncates `meta.wal`.  Errors are swallowed
+    /// (rotation retries next round); only the truncation failing after a
+    /// successful snapshot replace fails the meta log, because the stale
+    /// tail would otherwise resurrect on recovery.  A crash *between* the
+    /// snapshot replace and the truncation leaves deltas in `meta.wal` that
+    /// overlap the snapshot; [`Wal::open`] deduplicates the recovered
+    /// symbol list, so the overlap is harmless.
+    pub(crate) fn maybe_rotate_meta(&self, symbols: &RwLock<SymbolTable>, committed: u64) {
         let mut meta = self.meta.lock();
         if self.meta_failed() || !meta.staged.is_empty() || meta.size <= self.segment_bytes {
             return;
         }
-        let committed = self.next_seq.load(Ordering::Relaxed).saturating_sub(1);
         let mut buf = Vec::new();
         {
             let table = symbols.read();
@@ -1024,6 +1094,10 @@ pub(crate) struct ShardWriter<'a> {
 impl ShardWriter<'_> {
     /// Reserves room for `extra` staged bytes and lazily opens the round:
     /// the first record of an empty buffer is the `ROUND(seq)` marker.
+    /// The load below cannot observe a round whose batch for this shard
+    /// was already drained: [`Wal::flush`] advances `next_seq` before it
+    /// takes any shard's WAL lock, so once the drain released the lock
+    /// this staging path is acquiring, the advanced value is visible.
     fn ensure_round(&mut self, extra: usize) {
         let seq = self.wal.next_seq.load(Ordering::Relaxed);
         let buf = &mut self.log.staged;
@@ -1648,6 +1722,19 @@ impl Wal {
             }
         }
 
+        // An interrupted meta rotation can leave `meta.wal` holding symbol
+        // deltas that overlap the snapshot just installed (the crash landed
+        // between the atomic snapshot replace and the truncation), so the
+        // recovered list may repeat symbols.  Replay interns the strings —
+        // which dedupes — so the list must be deduplicated the same way
+        // before its length defines `flushed_symbols`: an inflated count
+        // would leave every symbol later interned below it unflushed
+        // forever, and the *next* recovery would drop whole shards whose
+        // committed records reference those missing symbols.
+        {
+            let mut seen: HashSet<String> = HashSet::with_capacity(symbols.len());
+            symbols.retain(|s| seen.insert(s.clone()));
+        }
         let flushed_symbols = symbols.len();
         let wal = Wal {
             fs,
@@ -1773,6 +1860,31 @@ mod tests {
         assert_eq!(image.file_len(path), Some(4));
         let image = fs.crashed(0, CrashModel::SyncedOnly);
         assert_eq!(image.file_len(Path::new("/y.snap")), None, "torn before the atomic");
+    }
+
+    #[test]
+    fn op_boundary_crashes_split_non_append_operations() {
+        let fs = FaultFs::new();
+        let wal = Path::new("/m.wal");
+        let snap = Path::new("/m.snap");
+        let (mut file, _) = fs.open_append(wal).expect("FaultFs open");
+        file.append(b"tail").expect("append");
+        fs.write_atomic(snap, b"snapshot").expect("atomic");
+        fs.truncate(wal, 0).expect("truncate");
+        assert_eq!(fs.op_count(), 3);
+        // The byte budget cannot separate the atomic replace from the
+        // truncation that follows it: both ride on the last appended byte.
+        let image = fs.crashed(4, CrashModel::Torn);
+        assert_eq!(image.file_len(snap), Some(8));
+        assert_eq!(image.file_len(wal), Some(0));
+        // Op boundaries can: a crash after the snapshot install but before
+        // the truncation — the window an interrupted rotation leaves.
+        let image = fs.crashed_at_op(2, CrashModel::Torn);
+        assert_eq!(image.file_len(snap), Some(8));
+        assert_eq!(image.file_len(wal), Some(4), "log must not be truncated yet");
+        let image = fs.crashed_at_op(1, CrashModel::Torn);
+        assert_eq!(image.file_len(snap), None, "crash before the atomic install");
+        assert_eq!(image.file_len(wal), Some(4));
     }
 
     #[test]

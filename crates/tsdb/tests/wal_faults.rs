@@ -1,7 +1,10 @@
 //! The durability tier's fault-injection suite, on the deterministic
 //! in-memory [`FaultFs`]: torn-tail crashes at **every** byte offset under
-//! both crash models, bit flips at every byte of every file, and injected
-//! fsync/short-write errors.  The contract under test:
+//! both crash models, crashes at **every** journalled-operation boundary
+//! (byte budgets cannot land between non-append operations — see
+//! `op_boundary_crashes_cover_rotation_windows`), bit flips at every byte
+//! of every file, and injected fsync/short-write errors.  The contract
+//! under test:
 //!
 //! * every acked round (a [`TimeSeriesDb::wal_flush`] that returned with a
 //!   commit) is recovered exactly — ids, creation order, samples, stats,
@@ -16,10 +19,11 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use teemon_metrics::Labels;
+use teemon_metrics::{Labels, Registry, RegistryCollector};
 use teemon_obs::probes;
 use teemon_tsdb::{
-    CrashModel, DurabilityOptions, FaultFs, FsyncMode, Selector, TimeSeriesDb, TsdbConfig,
+    CrashModel, DurabilityOptions, FaultFs, FsyncMode, ScrapeTargetConfig, Scraper, Selector,
+    TimeSeriesDb, TsdbConfig,
 };
 
 fn config() -> TsdbConfig {
@@ -188,6 +192,32 @@ fn fsync_errors_flag_sticky_and_preserve_acked_rounds() {
     );
 }
 
+/// The scrape driver surfaces a lost-durability round: when `wal_flush`
+/// reports unclean under [`FsyncMode::EveryCommit`], the round still
+/// completes from memory but `teemon_wal_unclean_rounds_total` ticks — the
+/// signal the `teemon_wal_unclean` self-alert fires on.
+#[test]
+fn scrape_driver_counts_unclean_rounds() {
+    let fs = FaultFs::new();
+    let db = open(&fs, u64::MAX);
+    let scraper = Scraper::new(db.clone());
+    let registry = Registry::new();
+    registry.gauge_family("teemon_fault_gauge", "per-target gauge").default_instance().set(1.0);
+    scraper.add_collector(
+        ScrapeTargetConfig::new("fault_job", "node-1:9090"),
+        Arc::new(RegistryCollector::new("fault_job", registry)),
+    );
+    // A clean round first: symbols and series go durable while fsync works.
+    scraper.scrape_once(1_000);
+    let before = probes::WAL_UNCLEAN_ROUNDS.get();
+    fs.fail_fsyncs_from(0);
+    scraper.scrape_once(2_000);
+    assert!(
+        probes::WAL_UNCLEAN_ROUNDS.get() > before,
+        "a round whose WAL flush failed must tick teemon_wal_unclean_rounds_total"
+    );
+}
+
 /// Injected short writes behave the same: unclean flush, sticky failed
 /// shards, acked rounds preserved, and the torn half-write is salvaged on
 /// reopen instead of poisoning recovery.
@@ -280,6 +310,50 @@ fn rotation_crash_points_land_on_acked_states() {
         assert!(
             acked.contains(&got),
             "crash at byte {k}/{total} across rotation recovered a state never acked"
+        );
+    }
+}
+
+/// Crash sweep over **operation boundaries**: the byte-budget sweeps above
+/// tear inside appends, but atomic replaces and truncations ride along with
+/// the preceding append, so the windows *between* non-append operations —
+/// notably between the meta snapshot install and the `meta.wal` truncation
+/// of a meta rotation — are unreachable by them.  This sweep places a crash
+/// at every journalled-op boundary of a workload sized to rotate both the
+/// shard logs and the meta log, and then proves each recovered database is
+/// not just an acked state but *stays durable*: it ingests one more round
+/// (with a series, and therefore symbols, never seen before) and survives a
+/// second reopen byte-exactly.  The second reopen is the regression test
+/// for recovery double-counting symbols when an interrupted meta rotation
+/// leaves `meta.wal` deltas overlapping the installed snapshot — the
+/// inflated accounting only loses data one restart later.
+#[test]
+fn op_boundary_crashes_cover_rotation_windows() {
+    let fs = FaultFs::new();
+    let db = open(&fs, 64); // tiny segments: shard logs and meta log rotate
+    let mut acked = vec![fingerprint(&db)];
+    for round in 1..=6 {
+        assert!(run_round(&db, round, 2));
+        acked.push(fingerprint(&db));
+    }
+    let total = fs.op_count();
+    for k in 0..=total {
+        let image = fs.crashed_at_op(k, CrashModel::Torn);
+        let recovered = open(&image, 64);
+        assert!(
+            acked.contains(&fingerprint(&recovered)),
+            "crash at op {k}/{total} recovered a state never acked"
+        );
+        // The recovered database must keep its durability promise: a round
+        // with a brand-new series (new symbols) flushed clean...
+        assert!(run_round(&recovered, 100, 3), "post-crash flush at op {k} must be clean");
+        let after = fingerprint(&recovered);
+        // ...must survive the *next* restart too.
+        let reopened = open(&image.crashed(u64::MAX, CrashModel::Torn), 64);
+        assert_eq!(
+            fingerprint(&reopened),
+            after,
+            "op {k}/{total}: second reopen lost data acked after the first recovery"
         );
     }
 }
