@@ -72,6 +72,7 @@ pub struct MonitorBuilder {
     rule_groups: Vec<RuleGroup>,
     self_observe_alerts: bool,
     durability_dir: Option<std::path::PathBuf>,
+    server_addr: Option<String>,
 }
 
 impl MonitorBuilder {
@@ -89,6 +90,7 @@ impl MonitorBuilder {
             rule_groups: Vec::new(),
             self_observe_alerts: false,
             durability_dir: None,
+            server_addr: None,
         }
     }
 
@@ -186,6 +188,25 @@ impl MonitorBuilder {
         self
     }
 
+    /// Serves this host over HTTP: `build` binds `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port) and starts a
+    /// [`teemon_server::Server`] over the host's database — remote-write
+    /// ingest, TeeQL queries and `/metrics` exposition behind the full
+    /// resilience middleware stack.  The serving edge watches itself: a
+    /// `teemon_http` text-source target scraping the server's
+    /// `/self/metrics` joins the scrape set, so the edge's shed/panic/slow
+    /// client counters land in the same database as every other job.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics when the address cannot be bound — a monitor asked to
+    /// serve must not come up silently unreachable.
+    #[must_use]
+    pub fn with_server(mut self, addr: impl Into<String>) -> Self {
+        self.server_addr = Some(addr.into());
+        self
+    }
+
     fn target_config(&self, job: &str, port: u16) -> ScrapeTargetConfig {
         let mut config = ScrapeTargetConfig::new(job, format!("{}:{port}", self.node))
             .with_label("node", self.node.clone());
@@ -226,7 +247,35 @@ impl MonitorBuilder {
             rules,
             container_exporter: None,
             ebpf_exporter: None,
+            server: None,
         };
+        if let Some(addr) = &self.server_addr {
+            // teemon-verify: allow(no-unwrap): documented panic — a monitor
+            // asked to serve must not come up silently unreachable.
+            let server = teemon_server::Server::start(
+                addr,
+                teemon_server::ServerConfig::default(),
+                host.db.clone(),
+            )
+            .expect("bind the HTTP serving edge");
+            // The serving edge watches itself: scrape its /self/metrics as
+            // the `teemon_http` job through the real HTTP client, so the
+            // middleware counters flow into the same database.
+            let endpoint = server.addr();
+            host.scraper.add_text_source(
+                ScrapeTargetConfig::new("teemon_http", endpoint.to_string())
+                    .with_label("node", self.node.clone()),
+                Arc::new(move || {
+                    let resp = teemon_server::http_get(endpoint, "/self/metrics")
+                        .map_err(|e| format!("self-scrape transport: {e}"))?;
+                    if resp.status != 200 {
+                        return Err(format!("self-scrape status {}", resp.status));
+                    }
+                    Ok(resp.body_text())
+                }),
+            );
+            host.server = Some(server);
+        }
         self.deploy(&mut host);
         host
     }
@@ -308,6 +357,7 @@ pub struct HostMonitor {
     rules: RuleEngine,
     container_exporter: Option<ContainerExporter>,
     ebpf_exporter: Option<EbpfExporter>,
+    server: Option<teemon_server::Server>,
 }
 
 impl HostMonitor {
@@ -363,6 +413,21 @@ impl HostMonitor {
     /// [`rules().firing_alerts()`](RuleEngine::firing_alerts).
     pub fn rules(&self) -> &RuleEngine {
         &self.rules
+    }
+
+    /// The HTTP serving edge, when [`MonitorBuilder::with_server`] was used.
+    pub fn server(&self) -> Option<&teemon_server::Server> {
+        self.server.as_ref()
+    }
+
+    /// Gracefully shuts the serving edge down: stop accepting, drain
+    /// in-flight connections under the configured deadline, flush the WAL.
+    /// Returns `true` when the drain completed (also when no server ran).
+    pub fn shutdown_server(&mut self) -> bool {
+        match self.server.take() {
+            Some(server) => server.shutdown(),
+            None => true,
+        }
     }
 
     /// The container exporter, when full monitoring is active, so the host
@@ -721,8 +786,9 @@ mod tests {
         assert_eq!(host.rules().group_count(), 1);
         assert_eq!(
             host.rules().rule_count(),
-            5,
-            "fallback, imbalance, slow-query, WAL-salvage and WAL-unclean alerts"
+            8,
+            "fallback, imbalance, slow-query, WAL-salvage, WAL-unclean, \
+             HTTP-shed, HTTP-panic and HTTP-slow-client alerts"
         );
         // The group evaluates inside the monitoring loop over the series the
         // self target ingests — it must run cleanly against live self data
@@ -732,6 +798,53 @@ mod tests {
             .db()
             .query_instant(&Selector::metric("teemon_tsdb_shard_series"), u64::MAX)
             .is_empty());
+    }
+
+    #[test]
+    fn builder_with_server_serves_and_self_scrapes_the_edge() {
+        let mut host = MonitorBuilder::new("worker-8")
+            .mode(MonitoringMode::Full)
+            .with_server("127.0.0.1:0")
+            .build();
+        let addr = host.server().expect("server running").addr();
+
+        // Remote-write lands in the host's database...
+        let resp =
+            teemon_server::http_post(addr, "/api/v1/write", "text/plain", b"pushed_demo_total 5\n")
+                .expect("push");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+
+        // ...and a scrape round ingests both the exporters and the serving
+        // edge's own probes through the `teemon_http` text-source target.
+        host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+        assert_eq!(host.scrape_tick(), 6, "4 exporters + teemon_self + teemon_http");
+        // (The `teemon_self` registry target exports the http families too;
+        // select the serving edge's own job explicitly.)
+        let results = host.db().query_instant(
+            &Selector::metric("teemon_http_requests_total").with_label("job", "teemon_http"),
+            u64::MAX,
+        );
+        assert_eq!(results.len(), 1);
+        assert!(!host
+            .db()
+            .query_instant(&Selector::metric("pushed_demo_total"), u64::MAX)
+            .is_empty());
+
+        // Queries answer over HTTP from the same database the scraper fills.
+        let resp = teemon_server::http_get(
+            addr,
+            &format!("/api/v1/query?query={}", teemon_server::percent_encode("up")),
+        )
+        .expect("query");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains(r#""status":"success""#));
+
+        assert!(host.shutdown_server(), "graceful drain");
+        assert!(host.server().is_none());
+        // The edge is gone; the monitor itself keeps scraping (the
+        // teemon_http target reports down rather than erroring the round).
+        host.kernel().clock().advance(teemon_sim_core::SimDuration::from_secs(5));
+        assert_eq!(host.scrape_tick(), 5, "http target is down, everything else scrapes");
     }
 
     #[test]

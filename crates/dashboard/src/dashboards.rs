@@ -216,6 +216,18 @@ pub fn standard() -> DashboardSet {
         .with_panel(
             Panel::stat("WAL unclean rounds", Selector::metric("teemon_wal_unclean_rounds_total"))
                 .with_unit("rounds"),
+        )
+        .with_panel(
+            Panel::stat("HTTP shed requests", Selector::metric("teemon_http_shed_total"))
+                .with_unit("requests"),
+        )
+        .with_panel(
+            Panel::stat("HTTP handler panics", Selector::metric("teemon_http_panics_total"))
+                .with_unit("panics"),
+        )
+        .with_panel(
+            Panel::stat("HTTP slow clients", Selector::metric("teemon_http_slow_clients_total"))
+                .with_unit("clients"),
         );
 
     DashboardSet { dashboards: vec![sgx, docker, infrastructure, teemon_self] }
@@ -257,8 +269,10 @@ mod tests {
         // The self dashboard covers ingest, storage, query, lock and
         // durability probes.
         let own = set.get("Teemon Self").unwrap();
-        assert!(own.panels.len() >= 9);
+        assert!(own.panels.len() >= 12);
         assert!(own.panels.iter().any(|p| p.title.starts_with("WAL")));
+        // One stat panel per HTTP self-alert (shed, panics, slow clients).
+        assert!(own.panels.iter().filter(|p| p.title.starts_with("HTTP")).count() >= 3);
     }
 
     #[test]
@@ -277,6 +291,9 @@ mod tests {
             db.append("teemon_wal_bytes_written_total", &self_labels, t * 5_000, 900.0 * t as f64);
             db.append("teemon_wal_salvage_total", &self_labels, t * 5_000, 0.0);
             db.append("teemon_wal_failed_shards", &self_labels, t * 5_000, 0.0);
+            db.append("teemon_http_shed_total", &self_labels, t * 5_000, (t * 2) as f64);
+            db.append("teemon_http_panics_total", &self_labels, t * 5_000, 0.0);
+            db.append("teemon_http_slow_clients_total", &self_labels, t * 5_000, 1.0);
         }
         let set = standard();
         let rendered = set.get("Teemon Self").unwrap().render(&db, 0, u64::MAX, 50);
@@ -285,6 +302,9 @@ mod tests {
         assert!(rendered.contains("Series per shard"));
         assert!(rendered.contains("WAL write rate"));
         assert!(rendered.contains("WAL failed shards"));
+        assert!(rendered.contains("HTTP shed requests"));
+        assert!(rendered.contains("HTTP handler panics"));
+        assert!(rendered.contains("HTTP slow clients"));
         let evaluated = set.get("Teemon Self").unwrap().evaluate(&db, 0, u64::MAX);
         assert!(evaluated.iter().filter(|p| !p.is_empty()).count() >= 4);
     }

@@ -25,6 +25,18 @@ pub enum MetricError {
         /// Human readable description of the problem.
         message: String,
     },
+    /// An inbound exposition document exceeded a parse limit.  Raised
+    /// instead of silently truncating: the document may come from an
+    /// untrusted network peer and a partial parse would mis-report the
+    /// target as healthy.
+    LimitExceeded {
+        /// Which limit tripped: `line bytes`, `samples` or `families`.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+        /// The observed size that exceeded it.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for MetricError {
@@ -46,6 +58,9 @@ impl fmt::Display for MetricError {
             MetricError::InvalidQuantile(q) => write!(f, "quantile {q} outside [0, 1]"),
             MetricError::Parse { line, message } => {
                 write!(f, "exposition parse error at line {line}: {message}")
+            }
+            MetricError::LimitExceeded { what, limit, actual } => {
+                write!(f, "exposition document over the {what} limit: {actual} > {limit}")
             }
         }
     }

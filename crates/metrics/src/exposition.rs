@@ -332,6 +332,44 @@ fn parse_bound(s: &str) -> Option<f64> {
     parse_value(s)
 }
 
+/// Resource limits applied to an inbound exposition document while it is
+/// parsed.  Documents arriving over the network (a scraped target, a
+/// remote-write push) are attacker-shaped input: without bounds, one
+/// hostile peer can make the parser materialise an unbounded number of
+/// samples or one pathologically long line.  Exceeding a limit fails the
+/// whole parse with [`MetricError::LimitExceeded`] — never a silent
+/// truncation, which would mis-report a broken target as healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum length of a single line, in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum number of samples in the document.
+    pub max_samples: usize,
+    /// Maximum number of distinct family names (across `# TYPE`, `# HELP`
+    /// and sample lines).
+    pub max_families: usize,
+}
+
+impl ParseLimits {
+    /// The defaults applied to documents fetched from the network: 16 KiB
+    /// lines, 100 000 samples, 4096 families — far above anything a healthy
+    /// exporter emits, far below what exhausts the scraper.
+    pub const fn network() -> Self {
+        Self { max_line_bytes: 16 * 1024, max_samples: 100_000, max_families: 4096 }
+    }
+
+    /// No limits (trusted in-process input).
+    pub const fn unbounded() -> Self {
+        Self { max_line_bytes: usize::MAX, max_samples: usize::MAX, max_families: usize::MAX }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self::network()
+    }
+}
+
 /// Parses a text exposition document straight into typed family snapshots:
 /// the inbound half of the text edge, used when scraping targets that only
 /// speak the wire format.  Equivalent to
@@ -344,15 +382,67 @@ pub fn parse_families(input: &str) -> Result<Vec<FamilySnapshot>, MetricError> {
     Ok(parse_text(input)?.to_families())
 }
 
+/// [`parse_families`] with [`ParseLimits`] enforced — the entry point for
+/// documents received from the network.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] for the first malformed line or
+/// [`MetricError::LimitExceeded`] when the document overruns a limit.
+pub fn parse_families_bounded(
+    input: &str,
+    limits: ParseLimits,
+) -> Result<Vec<FamilySnapshot>, MetricError> {
+    Ok(parse_text_bounded(input, limits)?.to_families())
+}
+
 /// Parses a text exposition document.
 ///
 /// # Errors
 ///
 /// Returns [`MetricError::Parse`] describing the first malformed line.
 pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
+    parse_text_bounded(input, ParseLimits::unbounded())
+}
+
+/// [`parse_text`] with [`ParseLimits`] enforced while the document streams
+/// through the parser (a limit trips before the oversized structure is
+/// materialised, not after).
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] for the first malformed line or
+/// [`MetricError::LimitExceeded`] when the document overruns a limit.
+pub fn parse_text_bounded(
+    input: &str,
+    limits: ParseLimits,
+) -> Result<ParsedExposition, MetricError> {
     let mut parsed = ParsedExposition::default();
+    let mut family_names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let note_family = |family_names: &mut std::collections::BTreeSet<String>,
+                       name: &str|
+     -> Result<(), MetricError> {
+        if !family_names.contains(name) {
+            if family_names.len() >= limits.max_families {
+                return Err(MetricError::LimitExceeded {
+                    what: "families",
+                    limit: limits.max_families,
+                    actual: family_names.len() + 1,
+                });
+            }
+            family_names.insert(name.to_string());
+        }
+        Ok(())
+    };
     for (idx, raw_line) in input.lines().enumerate() {
         let line_no = idx + 1;
+        if raw_line.len() > limits.max_line_bytes {
+            return Err(MetricError::LimitExceeded {
+                what: "line bytes",
+                limit: limits.max_line_bytes,
+                actual: raw_line.len(),
+            });
+        }
         let line = raw_line.trim();
         if line.is_empty() {
             continue;
@@ -365,6 +455,7 @@ pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
                 line: line_no,
                 message: format!("unknown metric type {kind_token:?}"),
             })?;
+            note_family(&mut family_names, &name)?;
             parsed.types.insert(name, kind);
             continue;
         }
@@ -372,6 +463,7 @@ pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
             let mut parts = rest.splitn(2, ' ');
             let name = parts.next().unwrap_or_default().to_string();
             let help = unescape_help(parts.next().unwrap_or_default());
+            note_family(&mut family_names, &name)?;
             parsed.help.insert(name, help);
             continue;
         }
@@ -379,7 +471,16 @@ pub fn parse_text(input: &str) -> Result<ParsedExposition, MetricError> {
             // Other comments are ignored.
             continue;
         }
-        parsed.samples.push(parse_sample_line(line, line_no)?);
+        if parsed.samples.len() >= limits.max_samples {
+            return Err(MetricError::LimitExceeded {
+                what: "samples",
+                limit: limits.max_samples,
+                actual: parsed.samples.len() + 1,
+            });
+        }
+        let sample = parse_sample_line(line, line_no)?;
+        note_family(&mut family_names, &sample.name)?;
+        parsed.samples.push(sample);
     }
     Ok(parsed)
 }
@@ -572,6 +673,40 @@ vacuum -Inf
         let text = encode_text(&[fam]);
         let parsed = parse_text(&text).unwrap();
         assert_eq!(parsed.samples[0].labels, labels);
+    }
+
+    #[test]
+    fn bounded_parse_rejects_oversized_documents_instead_of_truncating() {
+        let limits = ParseLimits { max_line_bytes: 64, max_samples: 4, max_families: 3 };
+        // A line over the byte limit.
+        let long_line = format!("m{{v=\"{}\"}} 1\n", "x".repeat(128));
+        assert_eq!(
+            parse_text_bounded(&long_line, limits),
+            Err(MetricError::LimitExceeded { what: "line bytes", limit: 64, actual: 137 })
+        );
+        // One sample over the sample limit: the parse fails, nothing is kept.
+        let many = "a 1\na 2\na 3\na 4\na 5\n";
+        assert_eq!(
+            parse_text_bounded(many, limits),
+            Err(MetricError::LimitExceeded { what: "samples", limit: 4, actual: 5 })
+        );
+        // Distinct family names over the family limit (TYPE lines count too).
+        let families = "# TYPE a counter\n# TYPE b counter\n# TYPE c counter\nd 1\n";
+        assert_eq!(
+            parse_text_bounded(families, limits),
+            Err(MetricError::LimitExceeded { what: "families", limit: 3, actual: 4 })
+        );
+        // Within limits the bounded parse equals the unbounded one.
+        let ok = "# TYPE a counter\na 1\na 2\nb 3\n";
+        assert_eq!(parse_text_bounded(ok, limits), Ok(parse_text(ok).unwrap()));
+        assert_eq!(parse_families_bounded(ok, limits), Ok(parse_families(ok).unwrap()));
+    }
+
+    #[test]
+    fn network_limits_pass_healthy_exporter_documents() {
+        let text = encode_text(&sample_registry().gather());
+        let bounded = parse_text_bounded(&text, ParseLimits::network()).unwrap();
+        assert_eq!(bounded, parse_text(&text).unwrap());
     }
 
     #[test]

@@ -272,6 +272,87 @@ impl Collector for ObsCollector {
                 probes::QUERY_SLOW.get(),
             ),
         ]);
+        // --- http ---
+        families.extend([
+            counter(
+                "teemon_http_connections_total",
+                "connections accepted by the HTTP listener",
+                probes::HTTP_CONNECTIONS.get(),
+            ),
+            counter(
+                "teemon_http_requests_total",
+                "requests that entered the middleware stack",
+                probes::HTTP_REQUESTS.get(),
+            ),
+        ]);
+        let mut classes = FamilySnapshot::new(
+            "teemon_http_responses_total",
+            "responses sent, by status class",
+            MetricKind::Counter,
+        );
+        for (class, count) in [
+            ("2xx", probes::HTTP_RESPONSES_2XX.get()),
+            ("4xx", probes::HTTP_RESPONSES_4XX.get()),
+            ("5xx", probes::HTTP_RESPONSES_5XX.get()),
+        ] {
+            classes.points.push(MetricPoint::new(
+                Labels::new().with("class", class),
+                PointValue::Counter(count as f64),
+            ));
+        }
+        families.push(classes);
+        families.extend([
+            counter(
+                "teemon_http_shed_total",
+                "connections shed before parsing under overload (503)",
+                probes::HTTP_SHED.get(),
+            ),
+            counter(
+                "teemon_http_panics_total",
+                "handler panics caught by the panic shield (500)",
+                probes::HTTP_PANICS.get(),
+            ),
+            counter(
+                "teemon_http_rate_limited_total",
+                "requests rejected by the per-client token bucket (429)",
+                probes::HTTP_RATE_LIMITED.get(),
+            ),
+            counter(
+                "teemon_http_slow_clients_total",
+                "slow-loris clients timed out sending headers or body (408)",
+                probes::HTTP_SLOW_CLIENTS.get(),
+            ),
+            counter(
+                "teemon_http_malformed_total",
+                "malformed requests rejected by the parser (400)",
+                probes::HTTP_MALFORMED.get(),
+            ),
+            counter(
+                "teemon_http_oversized_total",
+                "requests rejected for exceeding a size limit (413)",
+                probes::HTTP_OVERSIZED.get(),
+            ),
+            gauge(
+                "teemon_http_inflight",
+                "requests currently being served",
+                probes::HTTP_INFLIGHT.get(),
+            ),
+            histogram(
+                "teemon_http_request_seconds",
+                "measured wall time of handled requests",
+                &probes::HTTP_REQUEST_NS,
+            ),
+            counter(
+                "teemon_http_ingested_samples_total",
+                "samples ingested through the remote-write endpoint",
+                probes::HTTP_INGESTED_SAMPLES.get(),
+            ),
+            counter(
+                "teemon_http_drained_total",
+                "in-flight requests drained to completion during graceful shutdown",
+                probes::HTTP_DRAINED.get(),
+            ),
+        ]);
         // --- locks ---
         let mut acquires = FamilySnapshot::new(
             "teemon_lock_acquires_total",

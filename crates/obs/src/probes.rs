@@ -255,6 +255,41 @@ pub static QUERY_NS: LogLinearHist = LogLinearHist::new();
 /// Range queries slower than the slow-query threshold.
 pub static QUERY_SLOW: Counter = Counter::new();
 
+// ---------------------------------------------------------------------------
+// HTTP serving edge (recorded by `teemon_server`'s middleware stack)
+// ---------------------------------------------------------------------------
+
+/// Connections accepted by the HTTP listener.
+pub static HTTP_CONNECTIONS: Counter = Counter::new();
+/// Requests that entered the middleware stack (sheds happen before this).
+pub static HTTP_REQUESTS: Counter = Counter::new();
+/// Responses sent with a 2xx status.
+pub static HTTP_RESPONSES_2XX: Counter = Counter::new();
+/// Responses sent with a 4xx status.
+pub static HTTP_RESPONSES_4XX: Counter = Counter::new();
+/// Responses sent with a 5xx status.
+pub static HTTP_RESPONSES_5XX: Counter = Counter::new();
+/// Connections shed before parsing because the in-flight gate was full (503).
+pub static HTTP_SHED: Counter = Counter::new();
+/// Handler panics caught by the panic shield (500, connection closed).
+pub static HTTP_PANICS: Counter = Counter::new();
+/// Requests rejected by the per-client token bucket (429).
+pub static HTTP_RATE_LIMITED: Counter = Counter::new();
+/// Slow-loris clients timed out while sending headers or body (408).
+pub static HTTP_SLOW_CLIENTS: Counter = Counter::new();
+/// Malformed requests rejected by the parser (400).
+pub static HTTP_MALFORMED: Counter = Counter::new();
+/// Requests rejected for exceeding a size limit (413).
+pub static HTTP_OVERSIZED: Counter = Counter::new();
+/// Requests currently being served.
+pub static HTTP_INFLIGHT: Gauge = Gauge::new();
+/// Measured wall time of handled requests (parse through response write).
+pub static HTTP_REQUEST_NS: LogLinearHist = LogLinearHist::new();
+/// Samples ingested through the remote-write endpoint.
+pub static HTTP_INGESTED_SAMPLES: Counter = Counter::new();
+/// In-flight requests drained to completion during graceful shutdown.
+pub static HTTP_DRAINED: Counter = Counter::new();
+
 /// One row of the probe registry: a probe's exported metric name, its shape
 /// and which engine layer records it.
 #[derive(Debug, Clone, Copy)]
@@ -446,6 +481,84 @@ pub const fn registry() -> &'static [ProbeDesc] {
             help: "range queries over the slow-query threshold",
         },
         ProbeDesc {
+            name: "teemon_http_connections_total",
+            kind: "counter",
+            layer: "http",
+            help: "connections accepted by the HTTP listener",
+        },
+        ProbeDesc {
+            name: "teemon_http_requests_total",
+            kind: "counter",
+            layer: "http",
+            help: "requests that entered the middleware stack",
+        },
+        ProbeDesc {
+            name: "teemon_http_responses_total",
+            kind: "counter{class}",
+            layer: "http",
+            help: "responses sent, by status class: 2xx, 4xx, 5xx",
+        },
+        ProbeDesc {
+            name: "teemon_http_shed_total",
+            kind: "counter",
+            layer: "http",
+            help: "connections shed before parsing under overload (503)",
+        },
+        ProbeDesc {
+            name: "teemon_http_panics_total",
+            kind: "counter",
+            layer: "http",
+            help: "handler panics caught by the panic shield (500)",
+        },
+        ProbeDesc {
+            name: "teemon_http_rate_limited_total",
+            kind: "counter",
+            layer: "http",
+            help: "requests rejected by the per-client token bucket (429)",
+        },
+        ProbeDesc {
+            name: "teemon_http_slow_clients_total",
+            kind: "counter",
+            layer: "http",
+            help: "slow-loris clients timed out sending headers or body (408)",
+        },
+        ProbeDesc {
+            name: "teemon_http_malformed_total",
+            kind: "counter",
+            layer: "http",
+            help: "malformed requests rejected by the parser (400)",
+        },
+        ProbeDesc {
+            name: "teemon_http_oversized_total",
+            kind: "counter",
+            layer: "http",
+            help: "requests rejected for exceeding a size limit (413)",
+        },
+        ProbeDesc {
+            name: "teemon_http_inflight",
+            kind: "gauge",
+            layer: "http",
+            help: "requests currently being served",
+        },
+        ProbeDesc {
+            name: "teemon_http_request_seconds",
+            kind: "histogram",
+            layer: "http",
+            help: "measured wall time of handled requests",
+        },
+        ProbeDesc {
+            name: "teemon_http_ingested_samples_total",
+            kind: "counter",
+            layer: "http",
+            help: "samples ingested through the remote-write endpoint",
+        },
+        ProbeDesc {
+            name: "teemon_http_drained_total",
+            kind: "counter",
+            layer: "http",
+            help: "in-flight requests drained to completion during graceful shutdown",
+        },
+        ProbeDesc {
             name: "teemon_lock_acquires_total",
             kind: "counter{class}",
             layer: "locks",
@@ -507,7 +620,7 @@ mod tests {
     #[test]
     fn registry_lists_every_layer() {
         let layers: Vec<&str> = registry().iter().map(|p| p.layer).collect();
-        for layer in ["ingest", "storage", "query", "locks"] {
+        for layer in ["ingest", "storage", "query", "http", "locks"] {
             assert!(layers.contains(&layer), "missing layer {layer}");
         }
     }

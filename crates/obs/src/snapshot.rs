@@ -346,6 +346,82 @@ fn emit_all(e: &mut dyn Emit) {
     );
     e.point(&mut Labels::new, probes::QUERY_SLOW.get() as f64);
 
+    // --- http ---
+    e.family(
+        "teemon_http_connections_total",
+        "connections accepted by the HTTP listener",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_CONNECTIONS.get() as f64);
+    e.family(
+        "teemon_http_requests_total",
+        "requests that entered the middleware stack",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_REQUESTS.get() as f64);
+    e.family("teemon_http_responses_total", "responses sent, by status class", MetricKind::Counter);
+    e.point(&mut || Labels::new().with("class", "2xx"), probes::HTTP_RESPONSES_2XX.get() as f64);
+    e.point(&mut || Labels::new().with("class", "4xx"), probes::HTTP_RESPONSES_4XX.get() as f64);
+    e.point(&mut || Labels::new().with("class", "5xx"), probes::HTTP_RESPONSES_5XX.get() as f64);
+    e.family(
+        "teemon_http_shed_total",
+        "connections shed before parsing under overload (503)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_SHED.get() as f64);
+    e.family(
+        "teemon_http_panics_total",
+        "handler panics caught by the panic shield (500)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_PANICS.get() as f64);
+    e.family(
+        "teemon_http_rate_limited_total",
+        "requests rejected by the per-client token bucket (429)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_RATE_LIMITED.get() as f64);
+    e.family(
+        "teemon_http_slow_clients_total",
+        "slow-loris clients timed out sending headers or body (408)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_SLOW_CLIENTS.get() as f64);
+    e.family(
+        "teemon_http_malformed_total",
+        "malformed requests rejected by the parser (400)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_MALFORMED.get() as f64);
+    e.family(
+        "teemon_http_oversized_total",
+        "requests rejected for exceeding a size limit (413)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_OVERSIZED.get() as f64);
+    e.family("teemon_http_inflight", "requests currently being served", MetricKind::Gauge);
+    e.point(&mut Labels::new, probes::HTTP_INFLIGHT.get());
+    emit_hist(
+        e,
+        "teemon_http_request_seconds_bucket",
+        "teemon_http_request_seconds_sum",
+        "teemon_http_request_seconds_count",
+        "measured wall time of handled requests",
+        &probes::HTTP_REQUEST_NS,
+    );
+    e.family(
+        "teemon_http_ingested_samples_total",
+        "samples ingested through the remote-write endpoint",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_INGESTED_SAMPLES.get() as f64);
+    e.family(
+        "teemon_http_drained_total",
+        "in-flight requests drained to completion during graceful shutdown",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_DRAINED.get() as f64);
+
     // --- locks (one point per registered contention class) ---
     e.family("teemon_lock_acquires_total", "lock acquisitions per lock class", MetricKind::Counter);
     contention::for_each(&mut |class| {

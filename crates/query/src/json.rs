@@ -1,0 +1,189 @@
+//! Prometheus-HTTP-API-style JSON rendering of query results.
+//!
+//! The serving edge answers TeeQL queries over HTTP; this module is the
+//! serialisation boundary: it turns [`Value`]s and [`RangeSeries`] into the
+//! response envelope Prometheus' `/api/v1/query` and `/api/v1/query_range`
+//! made conventional —
+//!
+//! ```json
+//! {"status":"success","data":{"resultType":"vector","result":[
+//!   {"metric":{"__name__":"up","job":"sgx_exporter"},"value":[5.0,"1"]}
+//! ]}}
+//! ```
+//!
+//! Sample values are rendered as **strings** (`"1"`, `"NaN"`, `"+Inf"`),
+//! exactly like the exposition format, because JSON numbers cannot carry the
+//! IEEE specials; timestamps are seconds as JSON numbers.
+
+use serde::Value as Json;
+use teemon_metrics::exposition::format_value;
+use teemon_metrics::Labels;
+
+use crate::eval::{RangeSeries, Value};
+
+/// `{"__name__": name?, ...labels}` — the `metric` object of one series.
+fn metric_object(name: Option<&str>, labels: &Labels) -> Json {
+    let mut entries: Vec<(String, Json)> = Vec::with_capacity(labels.len() + 1);
+    if let Some(name) = name {
+        entries.push(("__name__".to_string(), Json::String(name.to_string())));
+    }
+    for (k, v) in labels.iter() {
+        entries.push((k.to_string(), Json::String(v.to_string())));
+    }
+    Json::Object(entries)
+}
+
+/// `[seconds, "value"]` — one sample pair.
+fn sample_pair(timestamp_ms: u64, value: f64) -> Json {
+    Json::Array(vec![Json::Number(timestamp_ms as f64 / 1e3), Json::String(format_value(value))])
+}
+
+/// Wraps a `data` payload in the success envelope.
+fn success(result_type: &str, result: Json) -> String {
+    let data = Json::Object(vec![
+        ("resultType".to_string(), Json::String(result_type.to_string())),
+        ("result".to_string(), result),
+    ]);
+    let envelope = Json::Object(vec![
+        ("status".to_string(), Json::String("success".to_string())),
+        ("data".to_string(), data),
+    ]);
+    render(&envelope)
+}
+
+/// Serialises an envelope; `serde_json::to_string` over a [`Json`] tree
+/// cannot fail, so the fallback body is unreachable.
+fn render(envelope: &Json) -> String {
+    serde_json::to_string(envelope).unwrap_or_else(|_| {
+        r#"{"status":"error","errorType":"internal","error":"serialize"}"#.to_string()
+    })
+}
+
+/// Renders an instant-query [`Value`] as a success response.  Scalars become
+/// `resultType: "scalar"`, vectors `"vector"`, and bare range selectors
+/// `"matrix"`; `at_ms` stamps scalar and vector samples (they carry no
+/// timestamp of their own).
+pub fn instant_response(value: &Value, at_ms: u64) -> String {
+    match value {
+        Value::Scalar(v) => success("scalar", sample_pair(at_ms, *v)),
+        Value::Vector(samples) => {
+            let result = samples
+                .iter()
+                .map(|s| {
+                    Json::Object(vec![
+                        ("metric".to_string(), metric_object(s.name.as_deref(), &s.labels)),
+                        ("value".to_string(), sample_pair(at_ms, s.value)),
+                    ])
+                })
+                .collect();
+            success("vector", Json::Array(result))
+        }
+        Value::Matrix(series) => success("matrix", matrix_result(series)),
+    }
+}
+
+/// Renders a range-query result as a `resultType: "matrix"` success
+/// response.
+pub fn range_response(series: &[RangeSeries]) -> String {
+    success("matrix", matrix_result(series))
+}
+
+fn matrix_result(series: &[RangeSeries]) -> Json {
+    Json::Array(
+        series
+            .iter()
+            .map(|s| {
+                let values =
+                    s.points.iter().map(|&(t, v)| sample_pair(t, v)).collect::<Vec<Json>>();
+                Json::Object(vec![
+                    ("metric".to_string(), metric_object(s.name.as_deref(), &s.labels)),
+                    ("values".to_string(), Json::Array(values)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Renders an error response: `{"status":"error","errorType":...,
+/// "error":...}`.  `error_type` follows the Prometheus vocabulary —
+/// `"bad_data"` for malformed queries, `"internal"` for engine failures.
+pub fn error_response(error_type: &str, message: &str) -> String {
+    let envelope = Json::Object(vec![
+        ("status".to_string(), Json::String("error".to_string())),
+        ("errorType".to_string(), Json::String(error_type.to_string())),
+        ("error".to_string(), Json::String(message.to_string())),
+    ]);
+    render(&envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::VectorSample;
+
+    fn parse(text: &str) -> Json {
+        serde_json::from_str(text).expect("rendered JSON must reparse")
+    }
+
+    #[test]
+    fn vector_response_has_the_prometheus_shape() {
+        let value = Value::Vector(vec![VectorSample {
+            name: Some("up".to_string()),
+            labels: Labels::from_pairs([("job", "sgx_exporter")]),
+            value: 1.0,
+        }]);
+        let json = parse(&instant_response(&value, 5_000));
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("success"));
+        let data = json.get("data").expect("data");
+        assert_eq!(data.get("resultType").and_then(Json::as_str), Some("vector"));
+        let result = data.get("result").and_then(Json::as_array).expect("result array");
+        let metric = result[0].get("metric").expect("metric");
+        assert_eq!(metric.get("__name__").and_then(Json::as_str), Some("up"));
+        assert_eq!(metric.get("job").and_then(Json::as_str), Some("sgx_exporter"));
+        let pair = result[0].get("value").and_then(Json::as_array).expect("value pair");
+        assert_eq!(pair[0].as_f64(), Some(5.0));
+        assert_eq!(pair[1].as_str(), Some("1"));
+    }
+
+    #[test]
+    fn scalar_and_specials_render_as_strings() {
+        let json = parse(&instant_response(&Value::Scalar(f64::INFINITY), 1_000));
+        let pair = json
+            .get("data")
+            .and_then(|d| d.get("result"))
+            .and_then(Json::as_array)
+            .expect("scalar pair");
+        assert_eq!(pair[1].as_str(), Some("+Inf"));
+        assert_eq!(
+            json.get("data").and_then(|d| d.get("resultType")).and_then(Json::as_str),
+            Some("scalar")
+        );
+    }
+
+    #[test]
+    fn range_response_lists_per_series_values() {
+        let series = vec![RangeSeries {
+            name: None,
+            labels: Labels::from_pairs([("node", "n1")]),
+            points: vec![(5_000, 1.5), (10_000, 2.5)],
+        }];
+        let json = parse(&range_response(&series));
+        let data = json.get("data").expect("data");
+        assert_eq!(data.get("resultType").and_then(Json::as_str), Some("matrix"));
+        let result = data.get("result").and_then(Json::as_array).expect("result");
+        let metric = result[0].get("metric").expect("metric");
+        assert!(metric.get("__name__").is_none(), "dropped names stay dropped");
+        let values = result[0].get("values").and_then(Json::as_array).expect("values");
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[1].as_array().and_then(|p| p[0].as_f64()), Some(10.0));
+        assert_eq!(values[1].as_array().and_then(|p| p[1].as_str()), Some("2.5"));
+    }
+
+    #[test]
+    fn error_response_carries_type_and_message() {
+        let json = parse(&error_response("bad_data", "parse error at 1:3"));
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(json.get("errorType").and_then(Json::as_str), Some("bad_data"));
+        assert_eq!(json.get("error").and_then(Json::as_str), Some("parse error at 1:3"));
+    }
+}

@@ -61,6 +61,7 @@
 pub mod ast;
 pub mod eval;
 pub mod explain;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod rules;

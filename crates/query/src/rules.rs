@@ -137,6 +137,13 @@ pub fn sgx_default_alerts(window_ms: u64) -> Vec<AlertRule> {
 /// * `teemon_wal_unclean` — a scrape round's WAL flush hit a write or fsync
 ///   error: the round was served from memory but its durability is gone,
 ///   and the failed log is sticky until restart.
+/// * `teemon_http_shed` — the serving edge is refusing connections at the
+///   in-flight gate (503s): sustained overload, raise capacity or slow the
+///   writers.
+/// * `teemon_http_panics` — a request handler panicked; the shield caught
+///   it (the server keeps serving) but the bug is real.
+/// * `teemon_http_slow_clients` — clients are being cut off by the
+///   slow-loris read deadlines (408s): a stuck writer or an attack.
 ///
 /// `interval_ms` is the evaluation cadence; the rate windows span two
 /// cadences so a single scrape round cannot alias to zero.
@@ -184,6 +191,27 @@ pub fn self_observe_alerts(interval_ms: u64) -> RuleGroup {
             "a scrape round's WAL flush hit a write/fsync error; the round is served \
              from memory but its durability is lost and the failed log is sticky \
              (see teemon_wal_failed_shards) — restart onto healthy storage",
+        ))
+        .with_rule(rule(
+            "teemon_http_shed",
+            format!("rate(teemon_http_shed_total[{window}]) > 0"),
+            Severity::Warning,
+            "the serving edge is shedding load at the in-flight gate (503); \
+             sustained overload — raise worker capacity or slow the writers",
+        ))
+        .with_rule(rule(
+            "teemon_http_panics",
+            format!("rate(teemon_http_panics_total[{window}]) > 0"),
+            Severity::Critical,
+            "a request handler panicked; the panic shield kept the server up \
+             but the handler bug is real — check the offending endpoint",
+        ))
+        .with_rule(rule(
+            "teemon_http_slow_clients",
+            format!("rate(teemon_http_slow_clients_total[{window}]) > 0"),
+            Severity::Info,
+            "clients are tripping the slow-loris read deadlines (408); a stuck \
+             writer, a saturated network path, or a deliberate attack",
         ))
 }
 
@@ -636,7 +664,7 @@ mod tests {
     fn self_observe_alerts_parse_and_fire_on_self_metrics() {
         let group = self_observe_alerts(15_000);
         assert_eq!(group.name, "teemon_self");
-        assert_eq!(group.rules.len(), 5);
+        assert_eq!(group.rules.len(), 8);
         // Every built-in expression round-trips through the parser (the
         // group builder unwraps on this invariant).
         for rule in &group.rules {
@@ -662,6 +690,10 @@ mod tests {
             db.append("teemon_wal_salvage_total", &Labels::new(), t * 5_000, 1.0);
             // Every flush stayed clean => the unclean-round alert is quiet.
             db.append("teemon_wal_unclean_rounds_total", &Labels::new(), t * 5_000, 0.0);
+            // The serving edge shed load under overload => the shed alert.
+            db.append("teemon_http_shed_total", &Labels::new(), t * 5_000, (t * 2) as f64);
+            // No handler panics => the panic alert stays quiet.
+            db.append("teemon_http_panics_total", &Labels::new(), t * 5_000, 0.0);
         }
         let engine = RuleEngine::new(db);
         engine.add_group(group);
@@ -675,6 +707,11 @@ mod tests {
         assert!(!firing.contains(&"teemon_slow_queries".to_string()), "{firing:?}");
         // Clean flushes => no durability-loss alert.
         assert!(!firing.contains(&"teemon_wal_unclean".to_string()), "{firing:?}");
+        // The serving edge shed load => the HTTP shed alert fires.
+        assert!(firing.contains(&"teemon_http_shed".to_string()), "{firing:?}");
+        // No panics, no slow clients recorded => those stay quiet.
+        assert!(!firing.contains(&"teemon_http_panics".to_string()), "{firing:?}");
+        assert!(!firing.contains(&"teemon_http_slow_clients".to_string()), "{firing:?}");
     }
 
     #[test]

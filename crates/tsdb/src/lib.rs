@@ -51,8 +51,9 @@ pub mod wal;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
-    CollectorEndpoint, DurationMode, IngestMode, MetricsEndpoint, ObsEndpoint, RoundSummary,
-    ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper, TextEndpoint, TextSource,
+    CollectorEndpoint, DurationMode, IngestMode, MetricsEndpoint, ObsEndpoint, PushLane,
+    PushOutcome, RoundSummary, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
+    TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};
 pub use snapshot::{OwnedSampleCursor, SampleCursor, SeriesSnapshot};

@@ -212,12 +212,17 @@ where
 }
 
 /// Endpoint adapter parsing a [`TextSource`]'s document into snapshots.
+/// The document crossed a process (and possibly a network) boundary, so the
+/// parse is bounded by [`exposition::ParseLimits::network`]: a document over
+/// a limit fails the scrape with a typed [`ScrapeError::Parse`] carrying
+/// [`MetricError::LimitExceeded`] — never a silent truncation that would
+/// report a broken target as healthy.
 struct TextSourceEndpoint(Arc<dyn TextSource>);
 
 impl MetricsEndpoint for TextSourceEndpoint {
     fn scrape(&self) -> Result<Vec<FamilySnapshot>, ScrapeError> {
         let text = self.0.fetch().map_err(ScrapeError::Unreachable)?;
-        Ok(exposition::parse_families(&text)?)
+        Ok(exposition::parse_families_bounded(&text, exposition::ParseLimits::network())?)
     }
 }
 
@@ -444,6 +449,107 @@ impl TargetCache {
                 self.entries.push(entry);
             });
         }
+    }
+}
+
+/// Appends a filled [`TargetCache`] batch through
+/// [`TimeSeriesDb::append_batch`] and repairs stale handles.  A stale handle
+/// means the series was evicted or dropped after the cache resolved it: the
+/// entry is re-resolved by key (re-creating the series if need be) and the
+/// held-back sample appended individually.  A concurrent drop can race the
+/// re-resolve and stale it again, so the second attempt falls back to the
+/// by-key append, which cannot be stale — a stale handle may cost extra work
+/// but never loses a sample.  Returns the number of samples storage
+/// accepted.  Shared by the scraper's fast lane and [`PushLane`].
+fn append_batch_repairing(db: &TimeSeriesDb, cache: &mut TargetCache) -> u64 {
+    let outcome = db.append_batch(&cache.batch);
+    let mut ingested = outcome.appended;
+    for &index in &outcome.stale {
+        // Stale indices address the batch the appender just consumed; the
+        // get-based destructuring keeps the round panic-free even if that
+        // invariant ever broke.
+        let (Some(&(_, timestamp_ms, value)), Some(entry)) =
+            (cache.batch.get(index), cache.entries.get_mut(index))
+        else {
+            continue;
+        };
+        entry.handle = db.resolve(entry.key.name(), &entry.merged);
+        match db.append_handle(entry.handle, timestamp_ms, value) {
+            HandleAppend::Appended => ingested += 1,
+            HandleAppend::Rejected => {}
+            HandleAppend::Stale => {
+                if db.append(entry.key.name(), &entry.merged, timestamp_ms, value) {
+                    ingested += 1;
+                }
+            }
+        }
+    }
+    ingested
+}
+
+/// Outcome of one [`PushLane::push`] round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// Wire samples the pushed families contained.
+    pub scraped: u64,
+    /// Samples storage accepted (out-of-order samples are rejected).
+    pub ingested: u64,
+}
+
+/// The push-ingest entry: remote-write batches flow into storage through the
+/// **same fast lane** a scrape target uses, via a private [`TargetCache`].
+///
+/// A remote writer behaves exactly like a scrape target seen from storage's
+/// side: it sends the same series set batch after batch, so the cache's
+/// positional verify + one-shard-lock-per-round [`TimeSeriesDb::append_batch`]
+/// apply unchanged.  Create **one lane per connection** (the cache assumes
+/// rounds from a single emitter; interleaving two writers through one lane
+/// would thrash the positional check into rebuilds — correct, but slow).
+/// The lane is deliberately not `Sync`: it is owned, mutable state.
+///
+/// Durability: pushes ride the database's normal WAL round — they become
+/// durable at the next [`TimeSeriesDb::wal_flush`] (the scrape driver's
+/// per-round flush, or the serving edge's graceful-drain flush).
+pub struct PushLane {
+    db: TimeSeriesDb,
+    base_labels: Labels,
+    cache: TargetCache,
+}
+
+impl PushLane {
+    /// Creates a lane feeding `db`, attaching `config`'s
+    /// `job`/`instance`/extra labels to every pushed sample (merged once
+    /// here, like a registered scrape target).
+    pub fn new(db: TimeSeriesDb, config: &ScrapeTargetConfig) -> Self {
+        Self { db, base_labels: config.target_labels(), cache: TargetCache::default() }
+    }
+
+    /// Ingests one pushed batch of families, stamping unstamped samples with
+    /// `now_ms`.  Steady state (same series set as the previous push) this
+    /// is the allocation-free fast path; churn triggers the same
+    /// handle-reusing cache repair a scrape target pays.
+    pub fn push(&mut self, families: &[FamilySnapshot], now_ms: u64) -> PushOutcome {
+        let cache = &mut self.cache;
+        let mut scraped = 0u64;
+        let walk_watch = Stopwatch::start();
+        if cache.fill(families, now_ms, &mut scraped) {
+            probes::CACHE_HITS.inc();
+        } else {
+            probes::CACHE_REBUILDS.inc();
+            cache.rebuild(families, &self.base_labels, &self.db);
+            let repaired = cache.fill(families, now_ms, &mut scraped);
+            debug_assert!(repaired, "a rebuilt cache must match the snapshots it was built from");
+        }
+        probes::SCRAPE_CACHE_WALK_NS.record_ns(walk_watch.elapsed_ns());
+        let append_watch = Stopwatch::start();
+        let ingested = append_batch_repairing(&self.db, cache);
+        probes::SCRAPE_APPEND_NS.record_ns(append_watch.elapsed_ns());
+        PushOutcome { scraped, ingested }
+    }
+
+    /// The database this lane feeds.
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
     }
 }
 
@@ -812,35 +918,7 @@ impl Scraper {
             }
             probes::SCRAPE_CACHE_WALK_NS.record_ns(walk_watch.elapsed_ns());
             let append_watch = Stopwatch::start();
-            let outcome = self.db.append_batch(&cache.batch);
-            ingested = outcome.appended;
-            // Stale handles: the series was evicted or dropped after the
-            // cache resolved it.  Re-resolve by key (re-creating the series
-            // if need be) and append the held-back sample individually.  A
-            // concurrent drop can race the re-resolve and stale it again, so
-            // the second attempt falls back to the by-key append, which
-            // cannot be stale — a stale handle may cost extra work but never
-            // loses a sample.
-            for &index in &outcome.stale {
-                // Stale indices address the batch the appender just consumed;
-                // the get-based destructuring keeps the round panic-free even
-                // if that invariant ever broke.
-                let (Some(&(_, timestamp_ms, value)), Some(entry)) =
-                    (cache.batch.get(index), cache.entries.get_mut(index))
-                else {
-                    continue;
-                };
-                entry.handle = self.db.resolve(entry.key.name(), &entry.merged);
-                match self.db.append_handle(entry.handle, timestamp_ms, value) {
-                    HandleAppend::Appended => ingested += 1,
-                    HandleAppend::Rejected => {}
-                    HandleAppend::Stale => {
-                        if self.db.append(entry.key.name(), &entry.merged, timestamp_ms, value) {
-                            ingested += 1;
-                        }
-                    }
-                }
-            }
+            ingested = append_batch_repairing(&self.db, cache);
             probes::SCRAPE_APPEND_NS.record_ns(append_watch.elapsed_ns());
         })?;
         Ok((scraped, ingested))
@@ -1195,6 +1273,84 @@ mod tests {
                 other => panic!("unexpected series {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn push_lane_ingests_like_a_scrape_target() {
+        // The same families pushed through a PushLane and scraped through a
+        // registered target must store identical series.
+        let registry = Registry::new();
+        let family = registry.counter_family("pushed_total", "pushed");
+        for case in ["a", "b"] {
+            family.with(&Labels::from_pairs([("case", case)])).inc_by(3.0);
+        }
+        let collector = registry_collector("remote", registry.clone());
+
+        let scraped_db = TimeSeriesDb::new();
+        let scraper = Scraper::new(scraped_db.clone());
+        scraper.add_collector(ScrapeTargetConfig::new("remote", "w1:443"), collector.clone());
+
+        let pushed_db = TimeSeriesDb::new();
+        let mut lane =
+            PushLane::new(pushed_db.clone(), &ScrapeTargetConfig::new("remote", "w1:443"));
+        assert_eq!(lane.db().series_count(), 0);
+
+        for round in 1..=3u64 {
+            family.with(&Labels::from_pairs([("case", "a")])).inc_by(1.0);
+            let families = {
+                collector.refresh();
+                collector.collect().unwrap()
+            };
+            let outcome = lane.push(&families, round * 5_000);
+            assert_eq!(outcome.scraped, 2);
+            assert_eq!(outcome.ingested, 2);
+            scraper.scrape_once(round * 5_000);
+        }
+        let series = |db: &TimeSeriesDb| {
+            let mut all = db
+                .select(&Selector::metric("pushed_total"))
+                .iter()
+                .map(|s| (s.name().to_string(), s.to_labels(), s.points_in(0, u64::MAX)))
+                .collect::<Vec<_>>();
+            all.sort_by(|a, b| format!("{:?}", (&a.0, &a.1)).cmp(&format!("{:?}", (&b.0, &b.1))));
+            all
+        };
+        assert_eq!(series(&pushed_db), series(&scraped_db));
+        // The pushed samples carry the lane's target labels.
+        let results = pushed_db.query_instant(&Selector::metric("pushed_total"), 20_000);
+        assert!(results.iter().all(|r| r.labels.get("job") == Some("remote")));
+        assert!(results.iter().all(|r| r.labels.get("instance") == Some("w1:443")));
+    }
+
+    #[test]
+    fn push_lane_survives_series_drop_between_pushes() {
+        let db = TimeSeriesDb::new();
+        let mut lane = PushLane::new(db.clone(), &ScrapeTargetConfig::new("remote", "w1:443"));
+        let registry = Registry::new();
+        let family = registry.gauge_family("g", "gauge");
+        family.with(&Labels::from_pairs([("case", "kept")])).set(1.0);
+        family.with(&Labels::from_pairs([("case", "dropped")])).set(2.0);
+        lane.push(&registry.gather(), 5_000);
+        assert_eq!(db.drop_series(&Selector::metric("g").with_label("case", "dropped")), 1);
+        let outcome = lane.push(&registry.gather(), 10_000);
+        assert_eq!(outcome.ingested, 2, "dropped series transparently re-created");
+        assert_eq!(db.query_range(&Selector::metric("g"), 0, u64::MAX).len(), 2);
+    }
+
+    #[test]
+    fn text_source_rejects_documents_over_the_network_limits() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        // One line longer than the 16 KiB network line limit.
+        let long_line = format!("m{{v=\"{}\"}} 1\n", "x".repeat(20 * 1024));
+        scraper.add_text_source(
+            ScrapeTargetConfig::new("hostile", "evil:1"),
+            Arc::new(move || Ok(long_line.clone())),
+        );
+        let outcomes = scraper.scrape_once(1_000);
+        assert!(!outcomes[0].up, "oversized document must fail the scrape, not truncate");
+        assert!(outcomes[0].error.as_deref().unwrap().contains("line bytes"));
+        assert_eq!(db.series_count(), 2, "only up/scrape_duration meta-series, no samples");
     }
 
     #[test]

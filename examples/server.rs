@@ -1,0 +1,78 @@
+//! The HTTP serving edge end to end, over real loopback sockets.
+//!
+//! A `teemon_server::Server` fronts a time-series database with the full
+//! resilience stack (load shedding, deadlines, rate limiting, panic
+//! shield).  This example pushes remote-write batches through it, runs a
+//! TeeQL range query over HTTP, federates `/metrics` back out, provokes
+//! the rate limiter into a 429, and finishes with a graceful drain.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example server
+//! ```
+
+use teemon_server::{http_get, http_post, percent_encode, Server, ServerConfig};
+use teemon_tsdb::TimeSeriesDb;
+
+fn main() {
+    // 1. Bind the serving edge on an ephemeral loopback port.  The tight
+    //    rate limit is for step 5; real deployments keep the default.
+    let config = ServerConfig { rate_per_sec: 2.0, burst: 20.0, ..ServerConfig::default() };
+    let server = Server::start("127.0.0.1:0", config, TimeSeriesDb::new()).expect("bind loopback");
+    let addr = server.addr();
+    println!("serving edge up on http://{addr}");
+
+    // 2. Push three remote-write batches in text exposition format.
+    for (t, v) in [(0u64, 100.0), (1, 140.0), (2, 180.0)] {
+        let doc = format!(
+            "# TYPE sgx_pages_evicted_total counter\nsgx_pages_evicted_total{{node=\"n1\"}} {v} {}\n",
+            t * 5_000
+        );
+        let resp =
+            http_post(addr, "/api/v1/write", "text/plain", doc.as_bytes()).expect("push batch");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        println!("pushed batch t={t}: {}", resp.body_text());
+    }
+
+    // 3. A TeeQL range query over HTTP, Prometheus response envelope.  Each
+    //    push arrived on its own connection (own `instance` label), so sum
+    //    away the instance axis to see one series per node.
+    let q = percent_encode("sum by (node) (sgx_pages_evicted_total)");
+    let resp = http_get(addr, &format!("/api/v1/query_range?query={q}&start=0&end=10&step=5"))
+        .expect("range query");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let body = resp.body_text();
+    assert!(body.contains(r#""resultType":"matrix""#), "{body}");
+    // By the last step every instance's point is in the staleness window,
+    // so the sum reaches 100 + 140 + 180.
+    assert!(body.contains("420"), "all three pushed points summed: {body}");
+    println!("\nrange query sum by (node) (sgx_pages_evicted_total):\n{body}");
+
+    // 4. The exposition edge federates the stored series back out.
+    let resp = http_get(addr, "/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    println!("\nGET /metrics:\n{}", resp.body_text());
+
+    // 5. Hammer one endpoint until the token bucket runs dry: the limiter
+    //    answers 429 with a Retry-After hint instead of queueing the work.
+    let mut limited = None;
+    for attempt in 0..200 {
+        let resp = http_get(addr, "/healthz").expect("healthz");
+        if resp.status == 429 {
+            limited = Some((attempt, resp));
+            break;
+        }
+    }
+    let (attempt, resp) = limited.expect("the rate limiter engages under the hammer");
+    println!(
+        "\nrate limited after {attempt} rapid requests: 429, Retry-After: {}",
+        resp.header("retry-after").unwrap_or("?")
+    );
+
+    // 6. Graceful drain: stop accepting, finish in-flight work, flush the
+    //    WAL.  `shutdown` reports whether the drain beat its deadline.
+    let drained = server.shutdown();
+    println!("\ngraceful drain complete (in-flight drained: {drained})");
+    assert!(drained, "drain must beat its deadline");
+}
