@@ -177,11 +177,13 @@ impl MonitorBuilder {
         self
     }
 
-    /// Adds the built-in `teemon_self` alert group
-    /// ([`teemon_query::self_observe_alerts`]) watching the engine's own
-    /// telemetry: query fallback rate, storage shard imbalance, slow-query
-    /// rate and WAL corruption salvage.  The group evaluates on the scrape
-    /// interval's cadence over the series the self-scrape target ingests.
+    /// Adds the built-in self-watching alert groups: `teemon_self`
+    /// ([`teemon_query::self_observe_alerts`]) for query fallback rate,
+    /// storage shard imbalance, slow-query rate and WAL corruption salvage,
+    /// and `teemon_cardinality` ([`teemon_query::cardinality_alerts`]) for
+    /// budget rejections at the ingest edges and interned-symbol memory
+    /// growth.  Both evaluate on the scrape interval's cadence over the
+    /// series the self-scrape target ingests.
     #[must_use]
     pub fn with_self_observe_alerts(mut self) -> Self {
         self.self_observe_alerts = true;
@@ -235,6 +237,7 @@ impl MonitorBuilder {
         }
         if self.self_observe_alerts {
             rules.add_group(teemon_query::self_observe_alerts(self.scrape_interval_ms));
+            rules.add_group(teemon_query::cardinality_alerts(self.scrape_interval_ms));
         }
         let mut host = HostMonitor {
             node: self.node.clone(),
@@ -783,12 +786,13 @@ mod tests {
             .scrape_interval_ms(5_000)
             .with_self_observe_alerts()
             .build();
-        assert_eq!(host.rules().group_count(), 1);
+        assert_eq!(host.rules().group_count(), 2, "teemon_self + teemon_cardinality");
         assert_eq!(
             host.rules().rule_count(),
-            8,
+            12,
             "fallback, imbalance, slow-query, WAL-salvage, WAL-unclean, \
-             HTTP-shed, HTTP-panic and HTTP-slow-client alerts"
+             HTTP-shed, HTTP-panic and HTTP-slow-client alerts, plus the four \
+             cardinality-defense alerts"
         );
         // The group evaluates inside the monitoring loop over the series the
         // self target ingests — it must run cleanly against live self data

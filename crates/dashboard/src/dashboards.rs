@@ -173,9 +173,42 @@ pub fn standard() -> DashboardSet {
             Panel::teeql("Scrape rounds", "rate(teemon_scrape_rounds_total[30s])")
                 .with_unit("rounds/s"),
         )
+        // Chunk memory only — `StorageStats::total_bytes` adds the symbol
+        // and index panels below for the engine's whole footprint.
         .with_panel(
-            Panel::stat("Resident bytes", Selector::metric("teemon_tsdb_resident_bytes"))
+            Panel::stat("Resident chunk bytes", Selector::metric("teemon_tsdb_resident_bytes"))
                 .with_unit("bytes"),
+        )
+        .with_panel(
+            Panel::stat("Symbol table bytes", Selector::metric("teemon_tsdb_symbol_bytes"))
+                .with_unit("bytes"),
+        )
+        .with_panel(
+            Panel::stat("Index bytes", Selector::metric("teemon_tsdb_index_bytes"))
+                .with_unit("bytes"),
+        )
+        .with_panel(
+            Panel::stat("Interned symbols", Selector::metric("teemon_tsdb_symbols"))
+                .with_unit("symbols"),
+        )
+        .with_panel(
+            Panel::stat("Symbols swept", Selector::metric("teemon_tsdb_symbols_swept_total"))
+                .with_unit("symbols"),
+        )
+        .with_panel(
+            Panel::teeql("Budget rejections", "rate(teemon_scrape_budget_rejected_total[30s])")
+                .with_unit("samples/s"),
+        )
+        .with_panel(
+            Panel::table("Overflow by job", Selector::metric("teemon_overflow_series_total"))
+                .with_unit("samples"),
+        )
+        .with_panel(
+            Panel::stat(
+                "HTTP too-many-series rejections",
+                Selector::metric("teemon_http_cardinality_rejected_total"),
+            )
+            .with_unit("requests"),
         )
         .with_panel(
             Panel::stat("Stored samples", Selector::metric("teemon_tsdb_samples"))
@@ -294,11 +327,19 @@ mod tests {
             db.append("teemon_http_shed_total", &self_labels, t * 5_000, (t * 2) as f64);
             db.append("teemon_http_panics_total", &self_labels, t * 5_000, 0.0);
             db.append("teemon_http_slow_clients_total", &self_labels, t * 5_000, 1.0);
+            db.append("teemon_tsdb_symbol_bytes", &self_labels, t * 5_000, 2048.0);
+            db.append("teemon_tsdb_index_bytes", &self_labels, t * 5_000, 1024.0);
+            let mut job = self_labels.clone();
+            job.insert("job", "churny".to_string());
+            db.append("teemon_overflow_series_total", &job, t * 5_000, t as f64);
         }
         let set = standard();
         let rendered = set.get("Teemon Self").unwrap().render(&db, 0, u64::MAX, 50);
         assert!(rendered.contains("Scrape rounds"));
-        assert!(rendered.contains("Resident bytes"));
+        assert!(rendered.contains("Resident chunk bytes"));
+        assert!(rendered.contains("Symbol table bytes"));
+        assert!(rendered.contains("Index bytes"));
+        assert!(rendered.contains("Overflow by job"));
         assert!(rendered.contains("Series per shard"));
         assert!(rendered.contains("WAL write rate"));
         assert!(rendered.contains("WAL failed shards"));

@@ -188,6 +188,31 @@ impl Collector for ObsCollector {
                 "storage shard generation (bumps on eviction/drop)",
                 |s| probes::SHARD_GENERATIONS.get(s),
             ),
+            gauge(
+                "teemon_tsdb_symbols",
+                "live interned symbols (names, label keys and values)",
+                probes::STORAGE_SYMBOLS.get(),
+            ),
+            gauge(
+                "teemon_tsdb_symbol_bytes",
+                "estimated bytes held by the symbol table",
+                probes::STORAGE_SYMBOL_BYTES.get(),
+            ),
+            gauge(
+                "teemon_tsdb_index_bytes",
+                "estimated bytes held by the per-shard postings indexes",
+                probes::STORAGE_INDEX_BYTES.get(),
+            ),
+            counter(
+                "teemon_tsdb_symbols_swept_total",
+                "symbols garbage-collected at meta-log rotation points",
+                probes::SYMBOLS_SWEPT.get(),
+            ),
+            counter(
+                "teemon_scrape_budget_rejected_total",
+                "series rejected by per-target/per-job cardinality budgets at the scrape edge",
+                probes::SCRAPE_BUDGET_REJECTED.get(),
+            ),
             // --- durability / WAL ---
             counter(
                 "teemon_wal_bytes_written_total",
@@ -351,6 +376,11 @@ impl Collector for ObsCollector {
                 "teemon_http_drained_total",
                 "in-flight requests drained to completion during graceful shutdown",
                 probes::HTTP_DRAINED.get(),
+            ),
+            counter(
+                "teemon_http_cardinality_rejected_total",
+                "remote-write requests rejected by the per-request series budget (429)",
+                probes::HTTP_CARDINALITY_REJECTED.get(),
             ),
         ]);
         // --- locks ---

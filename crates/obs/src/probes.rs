@@ -213,6 +213,17 @@ pub static STORAGE_REJECTED_SAMPLES: Gauge = Gauge::new();
 pub static SHARD_SERIES: ShardGauges = ShardGauges::new();
 /// Generation of each storage shard (bumps on eviction / drop).
 pub static SHARD_GENERATIONS: ShardGauges = ShardGauges::new();
+/// Live interned symbols (names, label keys and values).
+pub static STORAGE_SYMBOLS: Gauge = Gauge::new();
+/// Estimated bytes held by the symbol table (strings + slot overhead).
+pub static STORAGE_SYMBOL_BYTES: Gauge = Gauge::new();
+/// Estimated bytes held by the per-shard postings indexes.
+pub static STORAGE_INDEX_BYTES: Gauge = Gauge::new();
+/// Symbols garbage-collected at meta-log rotation points, cumulative.
+pub static SYMBOLS_SWEPT: Counter = Counter::new();
+/// Series rejected by per-target/per-job cardinality budgets at the scrape
+/// edge, cumulative.
+pub static SCRAPE_BUDGET_REJECTED: Counter = Counter::new();
 
 // ---------------------------------------------------------------------------
 // Durability / WAL (recorded by `teemon_tsdb::wal` and crash recovery)
@@ -289,6 +300,8 @@ pub static HTTP_REQUEST_NS: LogLinearHist = LogLinearHist::new();
 pub static HTTP_INGESTED_SAMPLES: Counter = Counter::new();
 /// In-flight requests drained to completion during graceful shutdown.
 pub static HTTP_DRAINED: Counter = Counter::new();
+/// Remote-write requests rejected by the per-request series budget (429).
+pub static HTTP_CARDINALITY_REJECTED: Counter = Counter::new();
 
 /// One row of the probe registry: a probe's exported metric name, its shape
 /// and which engine layer records it.
@@ -395,6 +408,36 @@ pub const fn registry() -> &'static [ProbeDesc] {
             kind: "gauge{shard}",
             layer: "storage",
             help: "storage shard generation (bumps on eviction/drop)",
+        },
+        ProbeDesc {
+            name: "teemon_tsdb_symbols",
+            kind: "gauge",
+            layer: "storage",
+            help: "live interned symbols (names, label keys and values)",
+        },
+        ProbeDesc {
+            name: "teemon_tsdb_symbol_bytes",
+            kind: "gauge",
+            layer: "storage",
+            help: "estimated bytes held by the symbol table",
+        },
+        ProbeDesc {
+            name: "teemon_tsdb_index_bytes",
+            kind: "gauge",
+            layer: "storage",
+            help: "estimated bytes held by the per-shard postings indexes",
+        },
+        ProbeDesc {
+            name: "teemon_tsdb_symbols_swept_total",
+            kind: "counter",
+            layer: "storage",
+            help: "symbols garbage-collected at meta-log rotation points",
+        },
+        ProbeDesc {
+            name: "teemon_scrape_budget_rejected_total",
+            kind: "counter",
+            layer: "ingest",
+            help: "series rejected by per-target/per-job cardinality budgets at the scrape edge",
         },
         ProbeDesc {
             name: "teemon_wal_bytes_written_total",
@@ -557,6 +600,12 @@ pub const fn registry() -> &'static [ProbeDesc] {
             kind: "counter",
             layer: "http",
             help: "in-flight requests drained to completion during graceful shutdown",
+        },
+        ProbeDesc {
+            name: "teemon_http_cardinality_rejected_total",
+            kind: "counter",
+            layer: "http",
+            help: "remote-write requests rejected by the per-request series budget (429)",
         },
         ProbeDesc {
             name: "teemon_lock_acquires_total",

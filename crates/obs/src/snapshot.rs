@@ -256,6 +256,36 @@ fn emit_all(e: &mut dyn Emit) {
             probes::SHARD_GENERATIONS.get(shard),
         );
     }
+    e.family(
+        "teemon_tsdb_symbols",
+        "live interned symbols (names, label keys and values)",
+        MetricKind::Gauge,
+    );
+    e.point(&mut Labels::new, probes::STORAGE_SYMBOLS.get());
+    e.family(
+        "teemon_tsdb_symbol_bytes",
+        "estimated bytes held by the symbol table",
+        MetricKind::Gauge,
+    );
+    e.point(&mut Labels::new, probes::STORAGE_SYMBOL_BYTES.get());
+    e.family(
+        "teemon_tsdb_index_bytes",
+        "estimated bytes held by the per-shard postings indexes",
+        MetricKind::Gauge,
+    );
+    e.point(&mut Labels::new, probes::STORAGE_INDEX_BYTES.get());
+    e.family(
+        "teemon_tsdb_symbols_swept_total",
+        "symbols garbage-collected at meta-log rotation points",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::SYMBOLS_SWEPT.get() as f64);
+    e.family(
+        "teemon_scrape_budget_rejected_total",
+        "series rejected by per-target/per-job cardinality budgets at the scrape edge",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::SCRAPE_BUDGET_REJECTED.get() as f64);
 
     // --- durability / WAL ---
     e.family(
@@ -421,6 +451,12 @@ fn emit_all(e: &mut dyn Emit) {
         MetricKind::Counter,
     );
     e.point(&mut Labels::new, probes::HTTP_DRAINED.get() as f64);
+    e.family(
+        "teemon_http_cardinality_rejected_total",
+        "remote-write requests rejected by the per-request series budget (429)",
+        MetricKind::Counter,
+    );
+    e.point(&mut Labels::new, probes::HTTP_CARDINALITY_REJECTED.get() as f64);
 
     // --- locks (one point per registered contention class) ---
     e.family("teemon_lock_acquires_total", "lock acquisitions per lock class", MetricKind::Counter);

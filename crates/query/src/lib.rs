@@ -75,6 +75,6 @@ pub use explain::{Analyze, Explain, PlanChoice, PlanNode};
 pub use lexer::ParseError;
 pub use parser::parse;
 pub use rules::{
-    compile_threshold, self_observe_alerts, sgx_default_alerts, Alert, AlertRule, AlertState,
-    RecordingRule, Rule, RuleEngine, RuleEvalSummary, RuleGroup,
+    cardinality_alerts, compile_threshold, self_observe_alerts, sgx_default_alerts, Alert,
+    AlertRule, AlertState, RecordingRule, Rule, RuleEngine, RuleEvalSummary, RuleGroup,
 };

@@ -215,6 +215,62 @@ pub fn self_observe_alerts(interval_ms: u64) -> RuleGroup {
         ))
 }
 
+/// The built-in `teemon_cardinality` alert pack: the cardinality defense
+/// watching itself.  Budget rejections at either ingest edge and sustained
+/// interned-symbol memory growth (the signature of label churn outrunning
+/// symbol GC) all fire here, over the same self-scraped series every other
+/// self alert uses.
+#[must_use]
+pub fn cardinality_alerts(interval_ms: u64) -> RuleGroup {
+    let interval_ms = interval_ms.max(1);
+    let window = format_duration_ms(interval_ms.saturating_mul(2).max(1_000));
+    // Memory-growth trends need more than two rounds of history to mean
+    // anything; give them a longer window.
+    let growth = format_duration_ms(interval_ms.saturating_mul(8).max(10_000));
+    let rule = |name: &str, query: String, severity, hint: &str| {
+        // teemon-verify: allow(no-unwrap): the expressions are built from
+        // compile-time templates; a unit test reparses every one of them.
+        AlertRule::new(name, parse(&query).expect("built-in rule parses"), severity).with_hint(hint)
+    };
+    RuleGroup::new("teemon_cardinality", interval_ms)
+        .with_rule(rule(
+            "teemon_budget_rejections",
+            format!("rate(teemon_scrape_budget_rejected_total[{window}]) > 0"),
+            Severity::Warning,
+            "scrape/push cardinality budgets are clipping series; a target is \
+             emitting more distinct label sets than its budget admits — fix the \
+             exporter's labels or raise the budget \
+             (teemon_overflow_series_total{{job=...}} names the offender)",
+        ))
+        .with_rule(rule(
+            "teemon_http_cardinality_rejections",
+            format!("rate(teemon_http_cardinality_rejected_total[{window}]) > 0"),
+            Severity::Warning,
+            "the remote-write edge is refusing over-budget requests with 429 \
+             too_many_series; a writer is pushing more distinct series per \
+             request than the configured write_series_budget",
+        ))
+        .with_rule(rule(
+            "teemon_overflow_series",
+            format!("increase(teemon_overflow_series_total[{window}]) > 0"),
+            Severity::Info,
+            "budget-clipped samples accumulated this window; the job label of \
+             the series names which target is over budget",
+        ))
+        .with_rule(rule(
+            "teemon_symbol_memory_growth",
+            format!(
+                "max(max_over_time(teemon_tsdb_symbol_bytes[{growth}])) > \
+                 max(min_over_time(teemon_tsdb_symbol_bytes[{growth}])) * 1.5"
+            ),
+            Severity::Warning,
+            "interned-symbol memory grew >50% within the window; label churn is \
+             outrunning symbol GC — check teemon_tsdb_symbols_swept_total is \
+             advancing (GC runs at WAL meta-log rotation) and that retention \
+             is actually dropping the churned series",
+        ))
+}
+
 /// A recording or alert rule.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Rule {
@@ -712,6 +768,48 @@ mod tests {
         // No panics, no slow clients recorded => those stay quiet.
         assert!(!firing.contains(&"teemon_http_panics".to_string()), "{firing:?}");
         assert!(!firing.contains(&"teemon_http_slow_clients".to_string()), "{firing:?}");
+    }
+
+    #[test]
+    fn cardinality_alerts_parse_and_fire_on_budget_and_symbol_signals() {
+        let group = cardinality_alerts(15_000);
+        assert_eq!(group.name, "teemon_cardinality");
+        assert_eq!(group.rules.len(), 4);
+        for rule in &group.rules {
+            let Rule::Alert(alert) = rule else { panic!("cardinality group is alerts only") };
+            assert_eq!(parse(&alert.expr.to_string()).unwrap(), alert.expr);
+        }
+        let db = TimeSeriesDb::new();
+        for t in 0..20u64 {
+            // Budgets started clipping half-way through => rejection spike.
+            let rejected = if t >= 10 { (t - 10) as f64 * 5.0 } else { 0.0 };
+            db.append("teemon_scrape_budget_rejected_total", &Labels::new(), t * 15_000, rejected);
+            // The HTTP edge saw no over-budget requests => that rule is quiet.
+            db.append("teemon_http_cardinality_rejected_total", &Labels::new(), t * 15_000, 0.0);
+            // The per-job roll-up mirrors the clip.
+            let job = Labels::from_pairs([("job", "churny")]);
+            db.append("teemon_overflow_series_total", &job, t * 15_000, rejected);
+            // Symbol memory compounding leak-style => the growth alert (the
+            // 8-interval window must see >50% growth within itself).
+            db.append(
+                "teemon_tsdb_symbol_bytes",
+                &Labels::new(),
+                t * 15_000,
+                100_000.0 * (1.0 + t as f64),
+            );
+        }
+        let engine = RuleEngine::new(db);
+        engine.add_group(group);
+        let summary = engine.evaluate_due(19 * 15_000);
+        assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+        let firing: Vec<String> = engine.firing_alerts().into_iter().map(|a| a.rule).collect();
+        assert!(firing.contains(&"teemon_budget_rejections".to_string()), "{firing:?}");
+        assert!(firing.contains(&"teemon_overflow_series".to_string()), "{firing:?}");
+        assert!(firing.contains(&"teemon_symbol_memory_growth".to_string()), "{firing:?}");
+        assert!(
+            !firing.contains(&"teemon_http_cardinality_rejections".to_string()),
+            "no 429s were recorded: {firing:?}"
+        );
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct HandlerCtx<'a> {
     /// Enables `GET /panic` (used by the resilience tests to exercise the
     /// panic shield; off in production configs).
     pub panic_route: bool,
+    /// Per-request series cap on `/api/v1/write`: a body carrying more
+    /// distinct series than this is refused whole with a typed 429 before
+    /// any of it reaches storage.  `None` is unlimited.
+    pub write_series_budget: Option<u64>,
 }
 
 /// Dispatches one request.  Never returns an error: failures are encoded as
@@ -121,13 +125,37 @@ fn write(req: &Request, ctx: &mut HandlerCtx<'_>) -> Response {
     };
     match exposition::parse_families_bounded(text, ParseLimits::network()) {
         Ok(families) => {
+            // Cardinality defense, request-shaped: refuse a body whose series
+            // count alone exceeds the per-request budget, before any of it
+            // touches the lane or storage.  (Per-job budgets on the lane
+            // itself clip finer-grained and report through `overflow`.)
+            if let Some(budget) = ctx.write_series_budget {
+                let series: u64 = families.iter().map(|f| f.points.len() as u64).sum();
+                if series > budget {
+                    probes::HTTP_CARDINALITY_REJECTED.inc();
+                    return Response::json(
+                        429,
+                        json::error_response(
+                            "too_many_series",
+                            &format!(
+                                "request carries {series} series, over job \"{}\"'s \
+                                 per-request budget of {budget}",
+                                ctx.lane.job()
+                            ),
+                        ),
+                    );
+                }
+            }
             let outcome = ctx.lane.push(&families, ctx.now_ms);
             probes::HTTP_INGESTED_SAMPLES.add(outcome.ingested);
+            if outcome.overflow > 0 {
+                probes::HTTP_CARDINALITY_REJECTED.inc();
+            }
             Response::json(
                 200,
                 format!(
-                    r#"{{"status":"success","scraped":{},"ingested":{}}}"#,
-                    outcome.scraped, outcome.ingested
+                    r#"{{"status":"success","scraped":{},"ingested":{},"overflow":{}}}"#,
+                    outcome.scraped, outcome.ingested, outcome.overflow
                 ),
             )
         }
@@ -236,7 +264,13 @@ mod tests {
     #[test]
     fn healthz_and_unknown_routes() {
         let (db, mut lane) = ctx_parts();
-        let mut ctx = HandlerCtx { db: &db, lane: &mut lane, now_ms: 0, panic_route: false };
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 0,
+            panic_route: false,
+            write_series_budget: None,
+        };
         assert_eq!(route(&get("/healthz"), &mut ctx).status, 200);
         assert_eq!(route(&get("/nope"), &mut ctx).status, 404);
         let mut post = get("/metrics");
@@ -252,7 +286,13 @@ mod tests {
     #[test]
     fn write_then_query_roundtrip() {
         let (db, mut lane) = ctx_parts();
-        let mut ctx = HandlerCtx { db: &db, lane: &mut lane, now_ms: 5_000, panic_route: false };
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 5_000,
+            panic_route: false,
+            write_series_budget: None,
+        };
         let mut req = get("/api/v1/write");
         req.method = "POST".to_string();
         req.body =
@@ -272,7 +312,13 @@ mod tests {
     #[test]
     fn malformed_write_is_400_and_oversized_write_is_413() {
         let (db, mut lane) = ctx_parts();
-        let mut ctx = HandlerCtx { db: &db, lane: &mut lane, now_ms: 0, panic_route: false };
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 0,
+            panic_route: false,
+            write_series_budget: None,
+        };
         let mut req = get("/api/v1/write");
         req.method = "POST".to_string();
         req.body = b"this is { not an exposition document".to_vec();
@@ -287,7 +333,13 @@ mod tests {
     #[test]
     fn bad_query_is_400_not_500() {
         let (db, mut lane) = ctx_parts();
-        let mut ctx = HandlerCtx { db: &db, lane: &mut lane, now_ms: 0, panic_route: false };
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 0,
+            panic_route: false,
+            write_series_budget: None,
+        };
         let resp = route(&get("/api/v1/query?query=sum%28"), &mut ctx);
         assert_eq!(resp.status, 400);
         let resp = route(&get("/api/v1/query_range?query=up&start=5&end=1&step=1"), &mut ctx);
@@ -297,10 +349,45 @@ mod tests {
     }
 
     #[test]
+    fn over_budget_write_is_429_with_a_typed_body_and_nothing_stored() {
+        let (db, mut lane) = ctx_parts();
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 1_000,
+            panic_route: false,
+            write_series_budget: Some(2),
+        };
+        let mut req = get("/api/v1/write");
+        req.method = "POST".to_string();
+        req.body = b"m{i=\"a\"} 1\nm{i=\"b\"} 2\nm{i=\"c\"} 3\n".to_vec();
+        let before = teemon_obs::probes::HTTP_CARDINALITY_REJECTED.get();
+        let resp = route(&req, &mut ctx);
+        assert_eq!(resp.status, 429);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("too_many_series"), "{body}");
+        assert!(body.contains("remote_write"), "error names the job: {body}");
+        assert!(body.contains("budget of 2"), "error names the budget: {body}");
+        assert_eq!(teemon_obs::probes::HTTP_CARDINALITY_REJECTED.get(), before + 1);
+        assert_eq!(db.series_count(), 0, "a refused request leaves no trace in storage");
+
+        // A request inside the budget still lands.
+        req.body = b"m{i=\"a\"} 1\nm{i=\"b\"} 2\n".to_vec();
+        assert_eq!(route(&req, &mut ctx).status, 200);
+        assert_eq!(db.series_count(), 2);
+    }
+
+    #[test]
     fn metrics_exposition_federates_stored_series() {
         let (db, mut lane) = ctx_parts();
         db.append("demo_total", &Labels::from_pairs([("node", "n1")]), 1_000, 7.0);
-        let mut ctx = HandlerCtx { db: &db, lane: &mut lane, now_ms: 0, panic_route: false };
+        let mut ctx = HandlerCtx {
+            db: &db,
+            lane: &mut lane,
+            now_ms: 0,
+            panic_route: false,
+            write_series_budget: None,
+        };
         let resp = route(&get("/metrics"), &mut ctx);
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();

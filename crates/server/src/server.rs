@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use teemon_obs::{probes, Stopwatch};
 use teemon_tsdb::scrape::PushLane;
-use teemon_tsdb::{ScrapeTargetConfig, TimeSeriesDb};
+use teemon_tsdb::{CardinalityBudgets, ScrapeTargetConfig, TimeSeriesDb};
 
 use crate::conn::{Conn, TcpConn};
 use crate::handlers::{route, HandlerCtx};
@@ -55,6 +55,10 @@ pub struct ServerConfig {
     pub drain_timeout_ms: u64,
     /// Enables `GET /panic` for the resilience tests.
     pub panic_route: bool,
+    /// Per-request series cap on `/api/v1/write` (`None` = unlimited): a
+    /// body with more distinct series than this is refused whole with a
+    /// typed 429 — the cardinality defense at the request boundary.
+    pub write_series_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +70,7 @@ impl Default for ServerConfig {
             limits: HttpLimits::default(),
             drain_timeout_ms: 5_000,
             panic_route: false,
+            write_series_budget: None,
         }
     }
 }
@@ -80,6 +85,7 @@ pub struct ServerCore {
     gate: InflightGate,
     shutdown: AtomicBool,
     epoch: Stopwatch,
+    budgets: Option<Arc<CardinalityBudgets>>,
 }
 
 impl ServerCore {
@@ -94,7 +100,18 @@ impl ServerCore {
             gate,
             shutdown: AtomicBool::new(false),
             epoch: Stopwatch::start(),
+            budgets: None,
         }
+    }
+
+    /// Draws every connection's push-lane admissions from `budgets`'s shared
+    /// per-job pool (the same pool a [`teemon_tsdb::scrape::Scraper`] can
+    /// share), so remote writers and scrape targets compete for one
+    /// cardinality budget.
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: Arc<CardinalityBudgets>) -> Self {
+        self.budgets = Some(budgets);
+        self
     }
 
     /// The database this edge feeds and queries.
@@ -138,6 +155,9 @@ impl ServerCore {
             self.db.clone(),
             &ScrapeTargetConfig::new("remote_write", conn.peer().to_string()),
         );
+        if let Some(budgets) = &self.budgets {
+            lane = lane.with_budgets(Arc::clone(budgets));
+        }
         let mut carry: Vec<u8> = Vec::new();
         loop {
             if self.is_shutting_down() {
@@ -201,6 +221,7 @@ impl ServerCore {
                         lane: &mut lane,
                         now_ms,
                         panic_route: self.config.panic_route,
+                        write_series_budget: self.config.write_series_budget,
                     },
                 )
             }));

@@ -26,18 +26,40 @@ pub(crate) struct Postings {
     /// Label key (any value) → series; serves `Exists` and post-filtered
     /// `NotEquals` matchers.
     keys: HashMap<SymbolId, Vec<u32>>,
+    /// Approximate resident bytes, maintained incrementally on register.
+    /// Rebuilds (retention, drop_series reindex) start from `default()`, so
+    /// the figure tracks the live index, not its high-water mark.
+    bytes: usize,
 }
+
+/// Modelled cost of one postings entry: the `u32` plus amortised map/list
+/// overhead.  Coarse on purpose — the gauge exists to expose *growth*, and
+/// entry count is what grows with cardinality.
+const POSTING_ENTRY_BYTES: usize = 16;
+/// Modelled cost of a new postings list (map key + `Vec` header).
+const POSTING_LIST_BYTES: usize = 48;
 
 impl Postings {
     /// Registers a new series under its name and every label pair.  `local`
     /// must be greater than every previously registered index so the lists
     /// stay sorted.
     pub(crate) fn register(&mut self, local: u32, name: SymbolId, labels: &[(SymbolId, SymbolId)]) {
-        self.names.entry(name).or_default().push(local);
+        self.bytes += Self::list_cost(self.names.entry(name).or_default(), local);
         for &(key, value) in labels {
-            self.pairs.entry((key, value)).or_default().push(local);
-            self.keys.entry(key).or_default().push(local);
+            self.bytes += Self::list_cost(self.pairs.entry((key, value)).or_default(), local);
+            self.bytes += Self::list_cost(self.keys.entry(key).or_default(), local);
         }
+    }
+
+    /// Approximate resident bytes of this shard's postings lists.
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn list_cost(list: &mut Vec<u32>, local: u32) -> usize {
+        let new_list = list.is_empty();
+        list.push(local);
+        POSTING_ENTRY_BYTES + if new_list { POSTING_LIST_BYTES } else { 0 }
     }
 
     fn name_list(&self, name: SymbolId) -> Option<&[u32]> {
@@ -170,7 +192,7 @@ pub(crate) enum Candidates {
 /// bounded by the most selective matcher.
 fn intersect(lists: &mut [&[u32]]) -> Vec<u32> {
     lists.sort_by_key(|l| l.len());
-    let (smallest, rest) = lists.split_first().expect("intersect requires at least one list");
+    let Some((smallest, rest)) = lists.split_first() else { return Vec::new() };
     smallest
         .iter()
         .copied()

@@ -51,8 +51,8 @@ pub mod wal;
 
 pub use query::{AggregateOp, LabelMatch, QueryResult, RangePoint, Selector};
 pub use scrape::{
-    CollectorEndpoint, DurationMode, IngestMode, MetricsEndpoint, ObsEndpoint, PushLane,
-    PushOutcome, RoundSummary, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
+    CardinalityBudgets, CollectorEndpoint, DurationMode, IngestMode, MetricsEndpoint, ObsEndpoint,
+    PushLane, PushOutcome, RoundSummary, ScrapeError, ScrapeOutcome, ScrapeTargetConfig, Scraper,
     TextEndpoint, TextSource,
 };
 pub use series::{Sample, Series, SeriesId};

@@ -285,6 +285,14 @@ pub struct ScrapeTargetConfig {
     /// by [`Scraper::scrape_due`] until they are due again.
     #[serde(default)]
     pub interval_ms: Option<u64>,
+    /// Cardinality budget: the most distinct series this target may hold in
+    /// storage at once; `None` is unlimited.  Over-budget series are not
+    /// created — their samples are counted into the
+    /// `teemon_overflow_series_total` roll-up instead (see
+    /// [`CardinalityBudgets`] for the per-job analogue and the admission
+    /// rules).
+    #[serde(default)]
+    pub series_budget: Option<u64>,
 }
 
 impl ScrapeTargetConfig {
@@ -295,7 +303,16 @@ impl ScrapeTargetConfig {
             instance: instance.into(),
             extra_labels: BTreeMap::new(),
             interval_ms: None,
+            series_budget: None,
         }
+    }
+
+    /// Caps how many distinct series this target may hold in storage (see
+    /// [`ScrapeTargetConfig::series_budget`]).
+    #[must_use]
+    pub fn with_series_budget(mut self, budget: u64) -> Self {
+        self.series_budget = Some(budget);
+        self
     }
 
     /// Adds an extra label.
@@ -346,6 +363,94 @@ pub struct ScrapeOutcome {
     pub error: Option<String>,
 }
 
+/// Shared per-**job** cardinality accounting, enforced at scrape-cache
+/// repair time (the cold path — the warm positional round never touches it).
+///
+/// One instance is shared by every admission point that should draw from the
+/// same pool: register it on a [`Scraper`] with [`Scraper::with_budgets`]
+/// and on [`PushLane`]s with [`PushLane::with_budgets`].  A job with no
+/// configured limit is unlimited.  The internal lock (`scrape.budgets`) is a
+/// leaf: it is taken briefly at the start and end of a cache rebuild and is
+/// never held across storage calls.
+///
+/// Admission is per *stored series*: when a target's cache repairs, its
+/// series are admitted in snapshot order until either its own
+/// [`ScrapeTargetConfig::series_budget`] or the job's remaining allowance is
+/// exhausted; the rest become overflow entries — tracked by identity so the
+/// warm round stays positional, but never created in storage.  Series that
+/// vanish from the target release their admission at the next repair.
+pub struct CardinalityBudgets {
+    jobs: Mutex<HashMap<String, JobBudget>>,
+}
+
+#[derive(Default)]
+struct JobBudget {
+    limit: Option<u64>,
+    used: u64,
+}
+
+impl CardinalityBudgets {
+    /// Creates an empty budget table (every job unlimited until configured).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self { jobs: Mutex::named(HashMap::new(), LockClass::new("scrape.budgets")) })
+    }
+
+    /// Sets (or replaces) `job`'s series limit.
+    pub fn set_job_limit(&self, job: impl Into<String>, limit: u64) {
+        self.jobs.lock().entry(job.into()).or_default().limit = Some(limit);
+    }
+
+    /// The configured limit for `job`, if any.
+    pub fn job_limit(&self, job: &str) -> Option<u64> {
+        self.jobs.lock().get(job).and_then(|b| b.limit)
+    }
+
+    /// Series currently admitted under `job` across every admission point.
+    pub fn job_used(&self, job: &str) -> u64 {
+        self.jobs.lock().get(job).map(|b| b.used).unwrap_or(0)
+    }
+
+    /// Allowance for one admission point that currently holds `prior`
+    /// admitted series and is about to recompute its set: the job limit
+    /// minus everyone *else's* usage (`u64::MAX` when unlimited).
+    fn begin(&self, job: &str, prior: u64) -> u64 {
+        let jobs = self.jobs.lock();
+        match jobs.get(job).and_then(|b| b.limit.map(|l| (l, b.used))) {
+            Some((limit, used)) => limit.saturating_sub(used.saturating_sub(prior)),
+            None => u64::MAX,
+        }
+    }
+
+    /// Replaces an admission point's contribution: `prior` series released,
+    /// `now` admitted.
+    fn commit(&self, job: &str, prior: u64, now: u64) {
+        let mut jobs = self.jobs.lock();
+        let budget = jobs.entry(job.to_string()).or_default();
+        budget.used = budget.used.saturating_sub(prior).saturating_add(now);
+    }
+
+    /// Releases an admission point's whole contribution (target removed,
+    /// lane dropped).
+    fn release(&self, job: &str, prior: u64) {
+        if prior == 0 {
+            return;
+        }
+        let mut jobs = self.jobs.lock();
+        if let Some(budget) = jobs.get_mut(job) {
+            budget.used = budget.used.saturating_sub(prior);
+        }
+    }
+}
+
+/// The admission rules one cache rebuild runs under: the target's own cap,
+/// the job pool (when shared budgets are registered), and the job name the
+/// pool is keyed by.
+struct BudgetCtx<'a> {
+    job: &'a str,
+    target_limit: Option<u64>,
+    shared: Option<&'a CardinalityBudgets>,
+}
+
 struct Target {
     config: ScrapeTargetConfig,
     endpoint: Arc<dyn MetricsEndpoint>,
@@ -366,6 +471,11 @@ struct CacheEntry {
     key: SeriesKey,
     merged: Labels,
     handle: SeriesHandle,
+    /// Whether this series fit its target/job cardinality budget at the last
+    /// repair.  Unadmitted entries keep their wire identity (so the warm
+    /// positional pass stays intact) but carry an unresolved handle, never
+    /// reach the batch, and count as overflow instead.
+    admitted: bool,
 }
 
 /// The per-target scrape cache: one [`CacheEntry`] per wire sample in
@@ -379,6 +489,17 @@ struct CacheEntry {
 struct TargetCache {
     entries: Vec<CacheEntry>,
     batch: Vec<(SeriesHandle, u64, f64)>,
+    /// Batch position → entry index.  Unadmitted entries are skipped when
+    /// the batch fills, so batch position and entry index diverge as soon as
+    /// a budget clips the target; stale-handle repair maps through this.
+    batch_entry: Vec<u32>,
+    /// Series currently admitted — this cache's contribution to its job's
+    /// shared budget.
+    admitted: u64,
+    /// Cumulative overflow samples (matched the cache, rejected by budget)
+    /// across the cache's lifetime — the `teemon_overflow_series_total`
+    /// roll-up value.
+    overflow_total: u64,
 }
 
 impl TargetCache {
@@ -387,11 +508,21 @@ impl TargetCache {
     /// handle-addressed samples.  Returns `false` — without touching storage
     /// — as soon as the round's shape deviates from the cache (new, vanished
     /// or reordered series).  Sets `scraped` to the number of wire samples
-    /// seen.  Allocation-free apart from first-round `batch` growth.
-    fn fill(&mut self, families: &[FamilySnapshot], now_ms: u64, scraped: &mut u64) -> bool {
+    /// seen and `overflow` to the matched-but-unadmitted samples the round's
+    /// budget clipped.  Allocation-free apart from first-round `batch`
+    /// growth.
+    fn fill(
+        &mut self,
+        families: &[FamilySnapshot],
+        now_ms: u64,
+        scraped: &mut u64,
+        overflow: &mut u64,
+    ) -> bool {
         self.batch.clear();
+        self.batch_entry.clear();
         let mut idx = 0usize;
         let mut matched = true;
+        let mut clipped = 0u64;
         for family in families {
             family.for_each_sample(|name, labels, value, timestamp_ms| {
                 let position = idx;
@@ -402,13 +533,19 @@ impl TargetCache {
                 let hash = identity::series_hash(name, labels);
                 match self.entries.get(position) {
                     Some(entry) if entry.key.matches(hash, name, labels) => {
-                        self.batch.push((entry.handle, timestamp_ms.unwrap_or(now_ms), value));
+                        if entry.admitted {
+                            self.batch.push((entry.handle, timestamp_ms.unwrap_or(now_ms), value));
+                            self.batch_entry.push(position as u32);
+                        } else {
+                            clipped += 1;
+                        }
                     }
                     _ => matched = false,
                 }
             });
         }
         *scraped = idx as u64;
+        *overflow = clipped;
         matched && idx == self.entries.len()
     }
 
@@ -417,13 +554,34 @@ impl TargetCache {
     /// against a generation snapshot, re-resolved when its shard moved on)
     /// and resolving only genuinely new series.  Entries whose series
     /// vanished from the snapshot are dropped with the old list.
-    fn rebuild(&mut self, families: &[FamilySnapshot], base_labels: &Labels, db: &TimeSeriesDb) {
+    ///
+    /// This is also the admission point of the cardinality defense: series
+    /// are admitted in snapshot order until the target's own budget or the
+    /// job's shared allowance runs out, and only admitted series ever touch
+    /// [`TimeSeriesDb::resolve`] — an over-budget series is never created in
+    /// storage.  The shared-budget lock is taken once before the walk (to
+    /// read the allowance) and once after (to commit the new contribution),
+    /// never across storage calls.
+    fn rebuild(
+        &mut self,
+        families: &[FamilySnapshot],
+        base_labels: &Labels,
+        db: &TimeSeriesDb,
+        budget: &BudgetCtx<'_>,
+    ) {
+        let prior = self.admitted;
+        let allowance = match budget.shared {
+            Some(shared) => shared.begin(budget.job, prior),
+            None => u64::MAX,
+        };
+        let cap = budget.target_limit.unwrap_or(u64::MAX).min(allowance);
         let old = std::mem::take(&mut self.entries);
         let mut reuse: HashMap<u64, Vec<CacheEntry>> = HashMap::with_capacity(old.len());
         for entry in old {
             reuse.entry(entry.key.hash()).or_default().push(entry);
         }
         let generations = db.shard_generations();
+        let mut admitted = 0u64;
         for family in families {
             family.for_each_sample(|name, labels, _, _| {
                 let hash = identity::series_hash(name, labels);
@@ -433,22 +591,42 @@ impl TargetCache {
                         .position(|e| e.key.matches(hash, name, labels))
                         .map(|at| candidates.swap_remove(at))
                 });
+                let admit = admitted < cap;
                 let entry = match reused {
                     Some(mut entry) => {
-                        if !db.handle_live_under(entry.handle, &generations) {
-                            entry.handle = db.resolve(entry.key.name(), &entry.merged);
+                        entry.admitted = admit;
+                        if admit {
+                            if !db.handle_live_under(entry.handle, &generations) {
+                                entry.handle = db.resolve(entry.key.name(), &entry.merged);
+                            }
+                        } else {
+                            entry.handle = SeriesHandle::unresolved();
                         }
                         entry
                     }
                     None => {
                         let merged = labels.merged(base_labels);
-                        let handle = db.resolve(name, &merged);
-                        CacheEntry { key: SeriesKey::capture(name, labels), merged, handle }
+                        let handle = if admit {
+                            db.resolve(name, &merged)
+                        } else {
+                            SeriesHandle::unresolved()
+                        };
+                        CacheEntry {
+                            key: SeriesKey::capture(name, labels),
+                            merged,
+                            handle,
+                            admitted: admit,
+                        }
                     }
                 };
+                admitted += u64::from(admit);
                 self.entries.push(entry);
             });
         }
+        if let Some(shared) = budget.shared {
+            shared.commit(budget.job, prior, admitted);
+        }
+        self.admitted = admitted;
     }
 }
 
@@ -465,11 +643,14 @@ fn append_batch_repairing(db: &TimeSeriesDb, cache: &mut TargetCache) -> u64 {
     let outcome = db.append_batch(&cache.batch);
     let mut ingested = outcome.appended;
     for &index in &outcome.stale {
-        // Stale indices address the batch the appender just consumed; the
+        // Stale indices address the batch the appender just consumed;
+        // `batch_entry` maps them back to entry indices (the two diverge
+        // when a budget clips unadmitted entries out of the batch).  The
         // get-based destructuring keeps the round panic-free even if that
         // invariant ever broke.
+        let entry_at = cache.batch_entry.get(index).map(|&at| at as usize);
         let (Some(&(_, timestamp_ms, value)), Some(entry)) =
-            (cache.batch.get(index), cache.entries.get_mut(index))
+            (cache.batch.get(index), entry_at.and_then(|at| cache.entries.get_mut(at)))
         else {
             continue;
         };
@@ -494,10 +675,13 @@ pub struct PushOutcome {
     pub scraped: u64,
     /// Samples storage accepted (out-of-order samples are rejected).
     pub ingested: u64,
+    /// Samples clipped by a cardinality budget this round (their series were
+    /// not admitted to storage).
+    pub overflow: u64,
 }
 
 /// The push-ingest entry: remote-write batches flow into storage through the
-/// **same fast lane** a scrape target uses, via a private [`TargetCache`].
+/// **same fast lane** a scrape target uses, via a private `TargetCache`.
 ///
 /// A remote writer behaves exactly like a scrape target seen from storage's
 /// side: it sends the same series set batch after batch, so the cache's
@@ -512,44 +696,103 @@ pub struct PushOutcome {
 /// per-round flush, or the serving edge's graceful-drain flush).
 pub struct PushLane {
     db: TimeSeriesDb,
+    job: String,
     base_labels: Labels,
     cache: TargetCache,
+    target_limit: Option<u64>,
+    budgets: Option<Arc<CardinalityBudgets>>,
 }
 
 impl PushLane {
     /// Creates a lane feeding `db`, attaching `config`'s
     /// `job`/`instance`/extra labels to every pushed sample (merged once
-    /// here, like a registered scrape target).
+    /// here, like a registered scrape target).  The config's
+    /// [`series_budget`](ScrapeTargetConfig::series_budget) caps the lane's
+    /// own series set.
     pub fn new(db: TimeSeriesDb, config: &ScrapeTargetConfig) -> Self {
-        Self { db, base_labels: config.target_labels(), cache: TargetCache::default() }
+        Self {
+            db,
+            job: config.job.clone(),
+            base_labels: config.target_labels(),
+            cache: TargetCache::default(),
+            target_limit: config.series_budget,
+            budgets: None,
+        }
+    }
+
+    /// Draws this lane's admissions from `budgets`'s shared per-job pool (on
+    /// top of the lane's own per-config budget).  The lane releases its
+    /// contribution when dropped.
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: Arc<CardinalityBudgets>) -> Self {
+        self.budgets = Some(budgets);
+        self
     }
 
     /// Ingests one pushed batch of families, stamping unstamped samples with
     /// `now_ms`.  Steady state (same series set as the previous push) this
     /// is the allocation-free fast path; churn triggers the same
-    /// handle-reusing cache repair a scrape target pays.
+    /// handle-reusing cache repair a scrape target pays — including budget
+    /// admission: over-budget series are clipped into
+    /// [`PushOutcome::overflow`] instead of entering storage.
     pub fn push(&mut self, families: &[FamilySnapshot], now_ms: u64) -> PushOutcome {
         let cache = &mut self.cache;
+        let budget = BudgetCtx {
+            job: &self.job,
+            target_limit: self.target_limit,
+            shared: self.budgets.as_deref(),
+        };
         let mut scraped = 0u64;
+        let mut overflow = 0u64;
         let walk_watch = Stopwatch::start();
-        if cache.fill(families, now_ms, &mut scraped) {
+        if cache.fill(families, now_ms, &mut scraped, &mut overflow) {
             probes::CACHE_HITS.inc();
         } else {
             probes::CACHE_REBUILDS.inc();
-            cache.rebuild(families, &self.base_labels, &self.db);
-            let repaired = cache.fill(families, now_ms, &mut scraped);
+            cache.rebuild(families, &self.base_labels, &self.db, &budget);
+            let repaired = cache.fill(families, now_ms, &mut scraped, &mut overflow);
             debug_assert!(repaired, "a rebuilt cache must match the snapshots it was built from");
         }
         probes::SCRAPE_CACHE_WALK_NS.record_ns(walk_watch.elapsed_ns());
         let append_watch = Stopwatch::start();
         let ingested = append_batch_repairing(&self.db, cache);
         probes::SCRAPE_APPEND_NS.record_ns(append_watch.elapsed_ns());
-        PushOutcome { scraped, ingested }
+        if overflow > 0 {
+            cache.overflow_total += overflow;
+            probes::SCRAPE_BUDGET_REJECTED.add(overflow);
+        }
+        if cache.overflow_total > 0 {
+            // Cumulative roll-up series so the clipped tail stays observable
+            // (and alertable) without creating one series per rejected key —
+            // warm-path append, same lane as the scrape meta-metrics.
+            self.db.append(
+                "teemon_overflow_series_total",
+                &self.base_labels,
+                now_ms,
+                cache.overflow_total as f64,
+            );
+        }
+        PushOutcome { scraped, ingested, overflow }
+    }
+
+    /// The job this lane pushes under.
+    pub fn job(&self) -> &str {
+        &self.job
     }
 
     /// The database this lane feeds.
     pub fn db(&self) -> &TimeSeriesDb {
         &self.db
+    }
+}
+
+impl Drop for PushLane {
+    fn drop(&mut self) {
+        // Give the lane's admitted series back to the shared job pool; the
+        // series themselves stay in storage for retention to age out.
+        if let Some(budgets) = &self.budgets {
+            budgets.release(&self.job, self.cache.admitted);
+        }
     }
 }
 
@@ -598,6 +841,16 @@ pub struct RoundSummary {
     pub samples_added: u64,
 }
 
+/// What one target's ingest pass moved: wire samples seen, samples storage
+/// accepted, budget-clipped samples this round and cumulatively.
+#[derive(Default, Clone, Copy)]
+struct IngestStats {
+    scraped: u64,
+    ingested: u64,
+    overflow: u64,
+    overflow_total: u64,
+}
+
 /// Per-target result of one round, before any strings are cloned for the
 /// public [`ScrapeOutcome`].
 struct TargetRound {
@@ -616,6 +869,7 @@ pub struct Scraper {
     scrape_interval_ms: u64,
     ingest: IngestMode,
     durations: DurationMode,
+    budgets: Option<Arc<CardinalityBudgets>>,
 }
 
 impl Scraper {
@@ -632,7 +886,17 @@ impl Scraper {
             scrape_interval_ms: Self::DEFAULT_INTERVAL_MS,
             ingest: IngestMode::default(),
             durations: DurationMode::default(),
+            budgets: None,
         }
+    }
+
+    /// Registers a shared [`CardinalityBudgets`] pool: every target's cache
+    /// repair draws its admissions from its job's pool (on top of any
+    /// per-target [`ScrapeTargetConfig::series_budget`]).
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: Arc<CardinalityBudgets>) -> Self {
+        self.budgets = Some(budgets);
+        self
     }
 
     /// Sets the scrape interval in milliseconds.
@@ -718,7 +982,18 @@ impl Scraper {
     pub fn remove_instance(&self, instance: &str) -> usize {
         let mut targets = self.targets.write();
         let before = targets.len();
-        targets.retain(|t| t.config.instance != instance);
+        targets.retain(|t| {
+            if t.config.instance != instance {
+                return true;
+            }
+            // A removed target's series go back to the job's shared pool
+            // (the series themselves stay for retention to age out).
+            if let Some(budgets) = &self.budgets {
+                let admitted = t.cache.lock().admitted;
+                budgets.release(&t.config.job, admitted);
+            }
+            false
+        });
         before - targets.len()
     }
 
@@ -840,6 +1115,9 @@ impl Scraper {
         probes::STORAGE_BYTES_PER_SAMPLE.set(stats.bytes_per_sample());
         probes::STORAGE_SERIES.set(stats.series as f64);
         probes::STORAGE_REJECTED_SAMPLES.set(stats.rejected_samples as f64);
+        probes::STORAGE_SYMBOLS.set(stats.symbols as f64);
+        probes::STORAGE_SYMBOL_BYTES.set(stats.symbol_bytes as f64);
+        probes::STORAGE_INDEX_BYTES.set(stats.index_bytes as f64);
         for (shard, count) in self.db.shard_series_counts().iter().enumerate() {
             probes::SHARD_SERIES.set(shard, *count as f64);
         }
@@ -864,10 +1142,14 @@ impl Scraper {
             IngestMode::PerSample => self.ingest_per_sample(target, now_ms),
         };
         target.last_scrape_ms.store(now_ms, Ordering::Relaxed);
-        let (up, scraped, ingested, error) = match result {
-            Ok((scraped, ingested)) => (true, scraped, ingested, None),
-            Err(error) => (false, 0, 0, Some(error.to_string())),
+        let (up, stats, error) = match result {
+            Ok(stats) => (true, stats, None),
+            Err(error) => (false, IngestStats::default(), Some(error.to_string())),
         };
+        let IngestStats { scraped, ingested, overflow, overflow_total } = stats;
+        if overflow > 0 {
+            probes::SCRAPE_BUDGET_REJECTED.add(overflow);
+        }
         let duration_seconds = match self.durations {
             DurationMode::Measured => watch.elapsed_seconds(),
             DurationMode::Modelled => {
@@ -883,16 +1165,28 @@ impl Scraper {
             // samples are rejected by the series).
             self.db.append("scrape_samples_scraped", base_labels, now_ms, scraped as f64);
             self.db.append("scrape_samples_added", base_labels, now_ms, ingested as f64);
+            if overflow_total > 0 {
+                // Cumulative roll-up of budget-clipped samples for this
+                // target — one series per target regardless of how many
+                // distinct keys the budget rejected.
+                self.db.append(
+                    "teemon_overflow_series_total",
+                    base_labels,
+                    now_ms,
+                    overflow_total as f64,
+                );
+            }
         }
         TargetRound { up, scraped, ingested, duration_seconds, error }
     }
 
     /// The fast lane: cache-verify the borrowed snapshots, batch-append by
     /// handle, repair the cache on churn and re-resolve stale handles.
-    /// Returns `(samples scraped, samples ingested)`.
-    fn ingest_fast(&self, target: &Target, now_ms: u64) -> Result<(u64, u64), ScrapeError> {
+    fn ingest_fast(&self, target: &Target, now_ms: u64) -> Result<IngestStats, ScrapeError> {
         let mut scraped = 0u64;
         let mut ingested = 0u64;
+        let mut overflow = 0u64;
+        let mut overflow_total = 0u64;
         let collect_watch = Stopwatch::start();
         // The cache lock is taken inside the visit, not around the whole
         // scrape, so an endpoint whose *collect* step transitively scrapes
@@ -904,13 +1198,18 @@ impl Scraper {
             probes::SCRAPE_COLLECT_NS.record_ns(collect_watch.elapsed_ns());
             let mut cache = target.cache.lock();
             let cache = &mut *cache;
+            let budget = BudgetCtx {
+                job: &target.config.job,
+                target_limit: target.config.series_budget,
+                shared: self.budgets.as_deref(),
+            };
             let walk_watch = Stopwatch::start();
-            if cache.fill(families, now_ms, &mut scraped) {
+            if cache.fill(families, now_ms, &mut scraped, &mut overflow) {
                 probes::CACHE_HITS.inc();
             } else {
                 probes::CACHE_REBUILDS.inc();
-                cache.rebuild(families, &target.base_labels, &self.db);
-                let repaired = cache.fill(families, now_ms, &mut scraped);
+                cache.rebuild(families, &target.base_labels, &self.db, &budget);
+                let repaired = cache.fill(families, now_ms, &mut scraped, &mut overflow);
                 debug_assert!(
                     repaired,
                     "a rebuilt cache must match the snapshots it was built from"
@@ -920,14 +1219,17 @@ impl Scraper {
             let append_watch = Stopwatch::start();
             ingested = append_batch_repairing(&self.db, cache);
             probes::SCRAPE_APPEND_NS.record_ns(append_watch.elapsed_ns());
+            cache.overflow_total += overflow;
+            overflow_total = cache.overflow_total;
         })?;
-        Ok((scraped, ingested))
+        Ok(IngestStats { scraped, ingested, overflow, overflow_total })
     }
 
     /// The per-sample oracle path ([`IngestMode::PerSample`]): merge target
     /// labels and append each sample by key, exactly as every round did
-    /// before the cache existed.
-    fn ingest_per_sample(&self, target: &Target, now_ms: u64) -> Result<(u64, u64), ScrapeError> {
+    /// before the cache existed.  Budgets do not apply here — the oracle
+    /// models the pre-defense engine.
+    fn ingest_per_sample(&self, target: &Target, now_ms: u64) -> Result<IngestStats, ScrapeError> {
         let mut scraped = 0u64;
         let mut ingested = 0u64;
         target.endpoint.scrape_visit(&mut |families| {
@@ -942,7 +1244,7 @@ impl Scraper {
                 });
             }
         })?;
-        Ok((scraped, ingested))
+        Ok(IngestStats { scraped, ingested, ..IngestStats::default() })
     }
 
     /// Instances whose most recent `up` sample is 0 at `now_ms` — the health
@@ -1400,5 +1702,135 @@ mod tests {
         assert_eq!(scraper.remove_instance("node-1:9100"), 1);
         assert_eq!(scraper.target_count(), 1);
         assert_eq!(scraper.remove_instance("unknown"), 0);
+    }
+
+    /// A registry exposing `n` gauge series `m{i="<k>"}`.
+    fn wide_registry(n: usize) -> Registry {
+        let registry = Registry::new();
+        let family = registry.gauge_family("m", "wide");
+        for k in 0..n {
+            family.with(&Labels::from_pairs([("i", format!("{k:03}"))])).set(k as f64);
+        }
+        registry
+    }
+
+    #[test]
+    fn per_target_budget_clips_series_and_counts_overflow() {
+        let db = TimeSeriesDb::new();
+        let scraper = Scraper::new(db.clone());
+        scraper.add_collector(
+            ScrapeTargetConfig::new("wide", "n1:1").with_series_budget(3),
+            registry_collector("wide", wide_registry(8)),
+        );
+        let outcomes = scraper.scrape_once(1_000);
+        assert!(outcomes[0].up);
+        // All 8 wire samples were seen, only 3 series were admitted.
+        assert_eq!(db.query_instant(&Selector::metric("m"), 2_000).len(), 3);
+        let scraped = db.query_instant(&Selector::metric("scrape_samples_scraped"), 2_000);
+        assert_eq!(scraped[0].points[0].1, 8.0);
+        // The clipped tail is observable as the cumulative roll-up series.
+        let rolled = db.query_instant(&Selector::metric("teemon_overflow_series_total"), 2_000);
+        assert_eq!(rolled.len(), 1);
+        assert_eq!(rolled[0].points[0].1, 5.0);
+        assert_eq!(rolled[0].labels.get("job"), Some("wide"));
+        // Steady state: the next round clips the same 5, cumulatively 10.
+        scraper.scrape_once(2_000);
+        let rolled = db.query_instant(&Selector::metric("teemon_overflow_series_total"), 3_000);
+        assert_eq!(rolled[0].points[0].1, 10.0);
+    }
+
+    #[test]
+    fn job_budget_is_shared_across_targets_and_released_on_removal() {
+        let db = TimeSeriesDb::new();
+        let budgets = CardinalityBudgets::new();
+        budgets.set_job_limit("pool", 5);
+        let scraper = Scraper::new(db.clone()).with_budgets(Arc::clone(&budgets));
+        scraper.add_collector(
+            ScrapeTargetConfig::new("pool", "a:1"),
+            registry_collector("pool", wide_registry(4)),
+        );
+        scraper.add_collector(
+            ScrapeTargetConfig::new("pool", "b:1"),
+            registry_collector("pool", wide_registry(4)),
+        );
+        scraper.scrape_once(1_000);
+        // First target took 4 of the pool, the second got the remaining 1.
+        assert_eq!(budgets.job_used("pool"), 5);
+        assert_eq!(db.query_instant(&Selector::metric("m"), 2_000).len(), 5);
+        // Removing the first target gives its 4 back …
+        assert_eq!(scraper.remove_instance("a:1"), 1);
+        assert_eq!(budgets.job_used("pool"), 1);
+        // … and the survivor's next repair (forced by a shape change) can
+        // now admit its full set.
+        let registry = wide_registry(4);
+        registry.gauge_family("extra", "new").default_instance().set(1.0);
+        assert_eq!(scraper.remove_instance("b:1"), 1);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("pool", "b:1"),
+            registry_collector("pool", registry),
+        );
+        scraper.scrape_once(2_000);
+        assert_eq!(budgets.job_used("pool"), 5);
+        let m = db.query_range(&Selector::metric("m"), 1_500, 3_000);
+        assert_eq!(m.len(), 4, "survivor's own series all admitted after release");
+    }
+
+    #[test]
+    fn unlimited_jobs_are_untouched_by_the_budget_pool() {
+        let db = TimeSeriesDb::new();
+        let budgets = CardinalityBudgets::new();
+        budgets.set_job_limit("other", 1);
+        let scraper = Scraper::new(db.clone()).with_budgets(budgets);
+        scraper.add_collector(
+            ScrapeTargetConfig::new("free", "n1:1"),
+            registry_collector("free", wide_registry(6)),
+        );
+        scraper.scrape_once(1_000);
+        assert_eq!(db.query_instant(&Selector::metric("m"), 2_000).len(), 6);
+        assert!(db
+            .query_instant(&Selector::metric("teemon_overflow_series_total"), 2_000)
+            .is_empty());
+    }
+
+    #[test]
+    fn push_lane_budget_clips_and_reports_overflow() {
+        let db = TimeSeriesDb::new();
+        let budgets = CardinalityBudgets::new();
+        budgets.set_job_limit("push", 2);
+        let registry = wide_registry(5);
+        let mut lane = PushLane::new(db.clone(), &ScrapeTargetConfig::new("push", "w:1"))
+            .with_budgets(Arc::clone(&budgets));
+        let outcome = lane.push(&registry.gather(), 1_000);
+        assert_eq!(outcome.scraped, 5);
+        assert_eq!(outcome.ingested, 2);
+        assert_eq!(outcome.overflow, 3);
+        assert_eq!(budgets.job_used("push"), 2);
+        assert_eq!(db.query_instant(&Selector::metric("m"), 2_000).len(), 2);
+        let rolled = db.query_instant(&Selector::metric("teemon_overflow_series_total"), 2_000);
+        assert_eq!(rolled[0].points[0].1, 3.0);
+        // Dropping the lane releases its admissions back to the pool.
+        drop(lane);
+        assert_eq!(budgets.job_used("push"), 0);
+    }
+
+    #[test]
+    fn budget_raise_readmits_on_next_repair() {
+        let db = TimeSeriesDb::new();
+        let budgets = CardinalityBudgets::new();
+        budgets.set_job_limit("j", 1);
+        let registry = wide_registry(3);
+        let mut lane = PushLane::new(db.clone(), &ScrapeTargetConfig::new("j", "w:1"))
+            .with_budgets(Arc::clone(&budgets));
+        let first = lane.push(&registry.gather(), 1_000);
+        assert_eq!((first.ingested, first.overflow), (1, 2));
+        // Raising the limit alone does not disturb the warm path …
+        budgets.set_job_limit("j", 10);
+        let warm = lane.push(&registry.gather(), 2_000);
+        assert_eq!((warm.ingested, warm.overflow), (1, 2));
+        // … but the next shape change repairs under the new allowance.
+        registry.gauge_family("extra", "new").default_instance().set(1.0);
+        let repaired = lane.push(&registry.gather(), 3_000);
+        assert_eq!(repaired.overflow, 0);
+        assert_eq!(db.query_instant(&Selector::metric("m"), 4_000).len(), 3);
     }
 }

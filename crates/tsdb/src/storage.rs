@@ -31,7 +31,7 @@
 //!   so a stale handle is reported back for re-resolution instead of ever
 //!   writing to the wrong series.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
@@ -47,7 +47,7 @@ use crate::index::{Candidates, Postings, SelectorPlan};
 use crate::query::{QueryResult, Selector};
 use crate::series::{at_in_chunks, sample_at, Chunk, Sample, SeriesId, SAMPLE_BYTES};
 use crate::snapshot::SeriesSnapshot;
-use crate::symbols::{SymbolId, SymbolTable};
+use crate::symbols::{SymbolId, SymbolTable, REPLAY_HOLE_MARKER};
 use crate::wal::{self, DurabilityOptions, Wal};
 
 /// Number of lock shards.  A power of two so the shard of a key hash is a
@@ -104,6 +104,17 @@ pub struct StorageStats {
     /// Failed shards keep serving from memory but no longer persist.
     #[serde(default)]
     pub wal_failed_shards: u64,
+    /// Number of live interned symbols (names, label keys, label values).
+    #[serde(default)]
+    pub symbols: u64,
+    /// Estimated bytes held by the symbol table, maintained incrementally
+    /// like `resident_bytes` (string lengths plus per-slot overhead).
+    #[serde(default)]
+    pub symbol_bytes: u64,
+    /// Estimated bytes held by the per-shard postings indexes, maintained
+    /// incrementally on register/rebuild.
+    #[serde(default)]
+    pub index_bytes: u64,
 }
 
 impl StorageStats {
@@ -115,6 +126,14 @@ impl StorageStats {
         } else {
             self.resident_bytes as f64 / self.samples as f64
         }
+    }
+
+    /// Total estimated footprint: sample storage + symbol table + postings
+    /// indexes.  `resident_bytes` alone under-reports real memory under
+    /// high cardinality, where keys and postings dominate — this is the
+    /// number the cardinality soak asserts a plateau on.
+    pub fn total_bytes(&self) -> u64 {
+        self.resident_bytes + self.symbol_bytes + self.index_bytes
     }
 }
 
@@ -136,6 +155,16 @@ pub struct SeriesHandle {
     shard: u16,
     local: u32,
     generation: u64,
+}
+
+impl SeriesHandle {
+    /// A handle that is never live: the scrape cache stores it in
+    /// over-budget entries, which intentionally have no backing series.
+    /// [`TimeSeriesDb::handle_live_under`] always reports it stale, and the
+    /// cache never lets it reach an append.
+    pub(crate) fn unresolved() -> Self {
+        Self { shard: u16::MAX, local: u32::MAX, generation: u64::MAX }
+    }
 }
 
 /// What one handle-addressed append did.
@@ -320,6 +349,18 @@ impl MemSeries {
         self.label_syms.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
     }
 
+    /// Releases the symbol references this series' key holds (name + every
+    /// label pair).  Called when the series is removed (drop or retention
+    /// eviction); the symbols become sweepable once nothing else references
+    /// them and the GC cooling window has passed.
+    fn release_symbols(&self, table: &mut SymbolTable) {
+        table.release(self.name_sym);
+        for &(k, v) in self.label_syms.iter() {
+            table.release(k);
+            table.release(v);
+        }
+    }
+
     /// `true` when the borrowed key equals this series' interned key.
     fn key_matches(&self, name: &str, labels: &Labels) -> bool {
         &*self.name == name
@@ -457,13 +498,25 @@ impl ShardInner {
     }
 
     /// Removes the series at `victims` (ascending pre-removal shard-local
-    /// indices), maintains the shard aggregates and renumbers the shard.
-    /// Shared by [`TimeSeriesDb::drop_series`] and WAL replay so the live
-    /// and the replayed state cannot diverge.  Returns how many series were
-    /// removed.
-    fn remove_locals(&mut self, victims: &[u32]) -> usize {
+    /// indices), maintains the shard aggregates, releases the victims'
+    /// symbol references and renumbers the shard.  Shared by
+    /// [`TimeSeriesDb::drop_series`] and WAL replay so the live and the
+    /// replayed state cannot diverge (during replay the releases are no-ops
+    /// — refcounts are rebuilt wholesale at the end of recovery).  Returns
+    /// how many series were removed.
+    fn remove_locals(&mut self, victims: &[u32], symbols: &RwLock<SymbolTable>) -> usize {
         if victims.is_empty() {
             return 0;
+        }
+        {
+            // Lock order: the caller holds this shard's lock; `tsdb.symbols`
+            // nests inside it, same as the series-creation path.
+            let mut table = symbols.write();
+            for &victim in victims {
+                if let Some(series) = self.series.get(victim as usize) {
+                    series.release_symbols(&mut table);
+                }
+            }
         }
         // `victims` is ascending; walk it alongside a retain pass.
         let mut next_victim = 0usize;
@@ -496,7 +549,7 @@ impl ShardInner {
     /// fully drained series and maintains the aggregates.  Shared by
     /// [`TimeSeriesDb::apply_retention`] and WAL replay.  Returns how many
     /// samples were dropped.
-    fn retention_pass(&mut self, cutoff: u64) -> u64 {
+    fn retention_pass(&mut self, cutoff: u64, symbols: &RwLock<SymbolTable>) -> u64 {
         let mut dropped_samples = 0u64;
         let mut dropped_chunks = 0u64;
         let mut dropped_bytes = 0u64;
@@ -519,6 +572,12 @@ impl ShardInner {
         if drained {
             // Evicting renumbers the shard; the second walk to refresh
             // both time bounds only runs on this rare path.
+            {
+                let mut table = symbols.write();
+                for series in self.series.iter().filter(|s| s.is_drained()) {
+                    series.release_symbols(&mut table);
+                }
+            }
             self.series.retain(|series| !series.is_drained());
             self.rebuild_after_removal();
             self.refresh_time_bounds();
@@ -703,7 +762,10 @@ impl TimeSeriesDb {
         let stats = wal.flush(&self.shared.symbols);
         if let Some(committed) = stats.committed {
             self.rotate_wal(wal, committed);
-            wal.maybe_rotate_meta(&self.shared.symbols, committed);
+            let swept = wal.maybe_rotate_meta(&self.shared.symbols, committed);
+            if swept > 0 {
+                probes::SYMBOLS_SWEPT.add(swept as u64);
+            }
         }
         probes::WAL_FAILED_SHARDS.set(wal.failed_shard_count() as f64);
         stats.clean
@@ -753,10 +815,15 @@ impl TimeSeriesDb {
     /// CRC) comes up empty and flagged, never panics.
     fn replay(&self, recovery: wal::Recovery) {
         {
+            // Bindings install in file order, last-wins per slot: the
+            // overlap left by an interrupted meta rotation and the rebind
+            // of a swept-and-reused slot both resolve to the state the
+            // live table ended in.
             let mut symbols = self.shared.symbols.write();
-            for s in &recovery.symbols {
-                symbols.intern(s);
+            for (raw, s) in &recovery.bindings {
+                symbols.install_binding(*raw, s);
             }
+            symbols.set_epoch(recovery.epoch);
         }
         let mut max_id: Option<u64> = None;
         for (index, shard) in recovery.shards.into_iter().enumerate() {
@@ -778,6 +845,26 @@ impl TimeSeriesDb {
         if let Some(max) = max_id {
             self.shared.next_id.store(max + 1, Ordering::Relaxed);
         }
+        // Rebuild symbol refcounts wholesale: one reference per use by a
+        // surviving series.  (Releases during replayed drops/retention were
+        // no-ops against all-zero counts, so this is the single source of
+        // truth.)  Lock order per shard: `tsdb.shard` first, `tsdb.symbols`
+        // inside, same as the creation path.
+        for index in 0..SHARD_COUNT {
+            let inner = self.shared.shard(index).read();
+            let mut symbols = self.shared.symbols.write();
+            for series in &inner.series {
+                symbols.acquire(series.name_sym);
+                for &(k, v) in series.label_syms.iter() {
+                    symbols.acquire(k);
+                    symbols.acquire(v);
+                }
+            }
+        }
+        // Recovered bindings nothing references (their series were dropped
+        // before the crash, or they were written ahead of a round that
+        // never committed) enter the cooling queue instead of leaking.
+        self.shared.symbols.write().finish_recovery();
     }
 
     /// Replays one shard: restore the snapshot (sealed Gorilla blocks
@@ -786,6 +873,15 @@ impl TimeSeriesDb {
     /// `remove_locals`, `retention_pass`), so acceptance decisions and
     /// aggregates reproduce exactly.  Returns `false` when validation fails;
     /// the shard is then left empty.
+    ///
+    /// A record referencing a symbol with no recovered binding does not
+    /// fail the shard outright: the GC sweep legitimately removes a
+    /// symbol's binding once every series using it is dropped, and the
+    /// dropping record may be later in this very log.  The unresolvable id
+    /// gets a unique placeholder binding and the series is marked *doomed*;
+    /// only a doomed series that survives to the end of replay — which the
+    /// cooling discipline makes impossible without corruption or a
+    /// power-loss-torn drop record — fails the shard.
     fn replay_shard(
         &self,
         index: usize,
@@ -797,24 +893,24 @@ impl TimeSeriesDb {
         let raw_chunks = self.config.raw_chunks;
         let mut inner = ShardInner::default();
         let mut base_seq = 0u64;
+        let mut doomed: HashSet<u64> = HashSet::new();
         if let Some(snapshot) = load.snapshot {
             base_seq = snapshot.base_seq;
             inner.generation = snapshot.generation;
             inner.rejected = snapshot.rejected;
-            let symbols = self.shared.symbols.read();
+            let mut symbols = self.shared.symbols.write();
             for series in snapshot.series {
-                let Some(name) = symbols.resolve_checked(series.name_sym) else {
-                    return false;
-                };
-                let name = Arc::clone(name);
+                let mut holed = false;
+                let name = resolve_or_hole(&mut symbols, series.name_sym, &mut holed);
                 let mut labels = Vec::with_capacity(series.label_syms.len());
                 for &(k, v) in &series.label_syms {
-                    let (Some(key), Some(value)) =
-                        (symbols.resolve_checked(k), symbols.resolve_checked(v))
-                    else {
-                        return false;
-                    };
-                    labels.push((Arc::clone(key), Arc::clone(value)));
+                    labels.push((
+                        resolve_or_hole(&mut symbols, k, &mut holed),
+                        resolve_or_hole(&mut symbols, v, &mut holed),
+                    ));
+                }
+                if holed {
+                    doomed.insert(series.id);
                 }
                 *max_id = Some(max_id.map_or(series.id, |m| m.max(series.id)));
                 let mut head = Vec::with_capacity(chunk_size.max(series.head.len()));
@@ -856,21 +952,20 @@ impl TimeSeriesDb {
             match op {
                 wal::ShardOp::Round(_) => {}
                 wal::ShardOp::Series { id, name_sym, label_syms } => {
-                    let symbols = self.shared.symbols.read();
-                    let Some(name) = symbols.resolve_checked(name_sym) else {
-                        return false;
-                    };
-                    let name = Arc::clone(name);
+                    let mut symbols = self.shared.symbols.write();
+                    let mut holed = false;
+                    let name = resolve_or_hole(&mut symbols, name_sym, &mut holed);
                     let mut labels = Vec::with_capacity(label_syms.len());
                     for &(k, v) in &label_syms {
-                        let (Some(key), Some(value)) =
-                            (symbols.resolve_checked(k), symbols.resolve_checked(v))
-                        else {
-                            return false;
-                        };
-                        labels.push((Arc::clone(key), Arc::clone(value)));
+                        labels.push((
+                            resolve_or_hole(&mut symbols, k, &mut holed),
+                            resolve_or_hole(&mut symbols, v, &mut holed),
+                        ));
                     }
                     drop(symbols);
+                    if holed {
+                        doomed.insert(id);
+                    }
                     *max_id = Some(max_id.map_or(id, |m| m.max(id)));
                     let Ok(local) = u32::try_from(inner.series.len()) else {
                         return false;
@@ -904,12 +999,19 @@ impl TimeSeriesDb {
                 wal::ShardOp::Drop { victims } => {
                     // Out-of-range victims cannot match any local index and
                     // fall through `remove_locals` harmlessly.
-                    inner.remove_locals(&victims);
+                    inner.remove_locals(&victims, &self.shared.symbols);
                 }
                 wal::ShardOp::Retention { cutoff_ms } => {
-                    inner.retention_pass(cutoff_ms);
+                    inner.retention_pass(cutoff_ms, &self.shared.symbols);
                 }
             }
+        }
+        // A doomed series still standing means a record referenced a symbol
+        // binding that is durably gone while the series itself survived —
+        // its key cannot be reconstructed, so the shard comes up empty and
+        // flagged rather than serving a fabricated key.
+        if !doomed.is_empty() && inner.series.iter().any(|series| doomed.contains(&series.id.0)) {
+            return false;
         }
         let mut slot = self.shared.shard(index).write();
         // Replay is startup-only; swapping in the rebuilt shard allocates
@@ -1133,10 +1235,12 @@ impl TimeSeriesDb {
     /// clean-up knife: vanished scrape targets, renamed metrics, runaway
     /// label values.
     ///
-    /// Known limit: interned *symbols* (names, label keys/values) are never
-    /// reclaimed — dropping series frees their samples and index entries,
-    /// but an all-time-unique label value keeps its string in the symbol
-    /// table (symbol GC is an open roadmap item).
+    /// Dropping series also releases their interned symbols (name, label
+    /// keys/values).  A symbol whose refcount reaches zero is parked in a
+    /// cooling queue and reclaimed at the next meta-log rotation once two
+    /// durable commits have passed — so an all-time-unique label value gives
+    /// its string memory back instead of leaking it (see the lifecycle notes
+    /// on `crate::symbols::SymbolTable`).
     pub fn drop_series(&self, selector: &Selector) -> usize {
         let plan = self.plan(selector);
         if matches!(plan, SelectorPlan::Nothing) {
@@ -1160,7 +1264,7 @@ impl TimeSeriesDb {
                     writer.drop_locals(&victims);
                 }
             }
-            dropped += inner.remove_locals(&victims);
+            dropped += inner.remove_locals(&victims, &self.shared.symbols);
         }
         dropped
     }
@@ -1183,18 +1287,14 @@ impl TimeSeriesDb {
         #[cfg(lock_audit)]
         let _allow = parking_lot::audit::allow_alloc();
         let mut symbols = self.shared.symbols.write();
-        let name_sym = symbols.intern(name);
-        let name_arc = Arc::clone(symbols.resolve(name_sym));
+        let (name_sym, name_arc) = symbols.intern_acquire(name);
         let mut label_syms = Vec::with_capacity(labels.len());
         let mut label_arcs = Vec::with_capacity(labels.len());
         for (k, v) in labels.iter() {
-            let key_sym = symbols.intern(k);
-            let value_sym = symbols.intern(v);
+            let (key_sym, key_arc) = symbols.intern_acquire(k);
+            let (value_sym, value_arc) = symbols.intern_acquire(v);
             label_syms.push((key_sym, value_sym));
-            label_arcs.push((
-                Arc::clone(symbols.resolve(key_sym)),
-                Arc::clone(symbols.resolve(value_sym)),
-            ));
+            label_arcs.push((key_arc, value_arc));
         }
         drop(symbols);
 
@@ -1250,9 +1350,15 @@ impl TimeSeriesDb {
             stats.chunks += inner.chunks;
             stats.rejected_samples += inner.rejected;
             stats.resident_bytes += inner.bytes;
+            stats.index_bytes += inner.postings.bytes() as u64;
         }
         stats.wal_failed_shards =
             self.shared.wal.as_ref().map(|wal| wal.failed_shard_count()).unwrap_or(0);
+        // No shard lock is held here, so taking the symbol lock respects the
+        // shard-then-symbols lock order.
+        let symbols = self.shared.symbols.read();
+        stats.symbols = symbols.len() as u64;
+        stats.symbol_bytes = symbols.bytes();
         stats
     }
 
@@ -1358,7 +1464,7 @@ impl TimeSeriesDb {
                     writer.retention(cutoff);
                 }
             }
-            dropped_total += inner.retention_pass(cutoff) as usize;
+            dropped_total += inner.retention_pass(cutoff, &self.shared.symbols) as usize;
         }
         dropped_total
     }
@@ -1384,6 +1490,24 @@ impl MemSeries {
 
 fn materialise_labels(labels: &[(Arc<str>, Arc<str>)]) -> Labels {
     Labels::from_pairs(labels.iter().map(|(k, v)| (&**k, &**v)))
+}
+
+/// Replay-side symbol resolution.  A missing binding installs a unique
+/// placeholder (`\u{1}` prefix keeps it out of any legal metric/label
+/// namespace) and flags the caller via `holed`; series built from
+/// placeholders are *doomed* — tolerated only if a later replayed drop
+/// removes them (see [`TimeSeriesDb::replay_shard`]).
+fn resolve_or_hole(table: &mut SymbolTable, sym: SymbolId, holed: &mut bool) -> Arc<str> {
+    if let Some(s) = table.resolve(sym) {
+        return Arc::clone(s);
+    }
+    *holed = true;
+    let placeholder = format!("{REPLAY_HOLE_MARKER}wal-hole-{}", sym.as_u32());
+    table.install_binding(sym.as_u32(), &placeholder);
+    match table.resolve(sym) {
+        Some(s) => Arc::clone(s),
+        None => Arc::from(placeholder.as_str()),
+    }
 }
 
 impl std::fmt::Debug for TimeSeriesDb {

@@ -63,7 +63,8 @@
 //!   buffer + file handle.  Acquired *after* the corresponding `tsdb.shard`
 //!   lock on the staging path, and after `tsdb.wal.meta` on the flush path.
 //! * `"tsdb.wal.meta"` guards the meta log.  Acquired first on the flush
-//!   path, with `tsdb.symbols` (read) and `tsdb.wal.shard` taken inside.
+//!   path, with `tsdb.symbols` (write: delta capture, commit aging and the
+//!   rotation-point symbol sweep) and `tsdb.wal.shard` taken inside.
 //!
 //! The resulting order — `tsdb.shard → tsdb.wal.meta → {tsdb.symbols,
 //! tsdb.wal.shard}`, `tsdb.shard → tsdb.wal.shard` — is acyclic (the
@@ -74,7 +75,7 @@
 //! the allocation-freedom of the *warm* durable round is proven directly by
 //! the counting-allocator test instead.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
@@ -753,8 +754,6 @@ struct MetaLog {
     file: Option<Box<dyn WalFile>>,
     staged: Vec<u8>,
     size: u64,
-    /// Symbols `[0, flushed_symbols)` of the table are already durable.
-    flushed_symbols: usize,
 }
 
 struct ShardLog {
@@ -942,35 +941,37 @@ impl Wal {
             }
         }
 
-        // Stage the symbol delta.  Captured after the drain so it also
-        // covers series records appends staged while the batches were
-        // being written; it precedes the commit in the meta log, so
-        // recovery always sees a round's symbols before believing the
-        // records that reference them.
+        // Stage the symbol delta: the `(id, string)` bindings interned (or
+        // rebound onto reused slots) since the last capture.  Captured after
+        // the drain so it also covers series records staged while the
+        // batches were being written; it precedes the commit in the meta
+        // log, so recovery always sees a round's bindings before believing
+        // the records that reference them.  Draining the dirty list before
+        // the write is safe: a failed meta write marks the meta log failed
+        // (sticky), so the lost delta can never be missed by a later flush.
         {
-            let table = symbols.read();
-            let new = table.strings_from(meta.flushed_symbols);
+            let new = symbols.write().take_dirty_bindings();
             if !new.is_empty() {
-                let need: usize = FRAME_BYTES + 5 + new.iter().map(|s| 4 + s.len()).sum::<usize>();
-                let total = table.len();
+                let need: usize =
+                    FRAME_BYTES + 5 + new.iter().map(|(_, s)| 8 + s.len()).sum::<usize>();
                 reserve_staged(&mut meta.staged, need);
                 let buf = &mut meta.staged;
                 let at = begin_record(buf);
                 buf.push(REC_SYMBOLS);
                 put_u32(buf, new.len() as u32);
-                for s in new {
+                for (raw, s) in &new {
+                    put_u32(buf, *raw);
                     put_u32(buf, s.len() as u32);
                     buf.extend_from_slice(s.as_bytes());
                 }
                 end_record(buf, at);
-                meta.flushed_symbols = total;
             }
         }
 
         if !wrote_any {
             // No round to commit; new symbols (if any) still go durable.
             if !meta.staged.is_empty() {
-                let MetaLog { file, staged, size, .. } = &mut *meta;
+                let MetaLog { file, staged, size } = &mut *meta;
                 if self.write_out(&self.meta_path, file, size, staged).is_err() {
                     self.mark_meta_failed();
                     return FlushStats { committed: None, clean: false };
@@ -988,11 +989,15 @@ impl Wal {
             put_u64(buf, seq);
             end_record(buf, at);
         }
-        let MetaLog { file, staged, size, .. } = &mut *meta;
+        let MetaLog { file, staged, size } = &mut *meta;
         if self.write_out(&self.meta_path, file, size, staged).is_err() {
             self.mark_meta_failed();
             return FlushStats { committed: None, clean: false };
         }
+        // Age the symbol-GC cooling queue: zero-ref bindings become
+        // sweepable only after two of these boundaries, which guarantees
+        // the shard record that released them is durable first.
+        symbols.write().commit_durable();
         FlushStats { committed: Some(seq), clean }
     }
 
@@ -1043,44 +1048,54 @@ impl Wal {
         Ok(())
     }
 
-    /// Rotates the meta log once it outgrows the segment bound: writes a
-    /// full symbol snapshot carrying `committed` (the round the caller just
-    /// committed), then truncates `meta.wal`.  Errors are swallowed
-    /// (rotation retries next round); only the truncation failing after a
-    /// successful snapshot replace fails the meta log, because the stale
-    /// tail would otherwise resurrect on recovery.  A crash *between* the
-    /// snapshot replace and the truncation leaves deltas in `meta.wal` that
-    /// overlap the snapshot; [`Wal::open`] deduplicates the recovered
-    /// symbol list, so the overlap is harmless.
-    pub(crate) fn maybe_rotate_meta(&self, symbols: &RwLock<SymbolTable>, committed: u64) {
+    /// Rotates the meta log once it outgrows the segment bound: sweeps the
+    /// symbol table (rotation is the only GC point, so segment snapshots
+    /// stay self-consistent), then writes a sparse symbol snapshot — every
+    /// live `(id, string)` binding plus the sweep epoch and `committed`
+    /// (the round the caller just committed) — and truncates `meta.wal`.
+    /// Errors are swallowed (rotation retries next round); only the
+    /// truncation failing after a successful snapshot replace fails the
+    /// meta log, because the stale tail would otherwise resurrect on
+    /// recovery.  A crash *between* the snapshot replace and the truncation
+    /// leaves deltas in `meta.wal` that overlap the snapshot; recovery
+    /// applies bindings last-wins in file order, so the overlap is
+    /// harmless.  Sweeping before a snapshot write that then fails is also
+    /// safe: the stale snapshot merely carries extra unreferenced bindings,
+    /// which the next recovery parks back in the cooling queue.
+    pub(crate) fn maybe_rotate_meta(&self, symbols: &RwLock<SymbolTable>, committed: u64) -> usize {
         let mut meta = self.meta.lock();
         if self.meta_failed() || !meta.staged.is_empty() || meta.size <= self.segment_bytes {
-            return;
+            return 0;
         }
         let mut buf = Vec::new();
-        {
-            let table = symbols.read();
-            let durable = table.strings_from(0);
-            let durable = durable.get(..meta.flushed_symbols).unwrap_or(durable);
-            let at = begin_record(&mut buf);
-            buf.push(REC_SNAP_SYMBOLS);
-            put_u64(&mut buf, committed);
-            put_u32(&mut buf, durable.len() as u32);
-            for s in durable {
-                put_u32(&mut buf, s.len() as u32);
-                buf.extend_from_slice(s.as_bytes());
-            }
-            end_record(&mut buf, at);
+        // The symbol write lock is held across the snapshot install so no
+        // binding can be interned between the capture below and the
+        // `clear_dirty` that declares every pending delta subsumed by it.
+        let mut table = symbols.write();
+        let swept = table.sweep();
+        let live = table.live_bindings();
+        let at = begin_record(&mut buf);
+        buf.push(REC_SNAP_SYMBOLS);
+        put_u64(&mut buf, table.epoch());
+        put_u64(&mut buf, committed);
+        put_u32(&mut buf, live.len() as u32);
+        for (raw, s) in &live {
+            put_u32(&mut buf, *raw);
+            put_u32(&mut buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
         }
+        end_record(&mut buf, at);
         if self.fs.write_atomic(&self.meta_snap_path, &buf).is_err() {
-            return;
+            return swept;
         }
         if self.fs.truncate(&self.meta_path, 0).is_err() {
             self.mark_meta_failed();
-            return;
+            return swept;
         }
+        table.clear_dirty();
         meta.size = 0;
         meta.file = None;
+        swept
     }
 }
 
@@ -1415,25 +1430,31 @@ fn decode_shard_snapshot(bytes: &[u8]) -> Option<ShardSnapshot> {
     Some(ShardSnapshot { base_seq, generation, rejected, series })
 }
 
-fn decode_meta_snap(bytes: &[u8]) -> Option<(Vec<String>, u64)> {
+/// A decoded meta snapshot: the live `(raw id, string)` bindings, the commit
+/// seq the snapshot is based on, and the sweep epoch it captured.
+type MetaSnap = (Vec<(u32, String)>, u64, u64);
+
+fn decode_meta_snap(bytes: &[u8]) -> Option<MetaSnap> {
     let mut scanner = FrameScanner::new(bytes);
     let (kind, payload) = scanner.next()?;
     if kind != REC_SNAP_SYMBOLS || scanner.valid_len != bytes.len() {
         return None;
     }
     let mut cur = Cur::new(payload);
+    let epoch = cur.u64()?;
     let committed = cur.u64()?;
     let count = cur.u32()?;
     if count > MAX_COUNT {
         return None;
     }
-    let mut symbols = Vec::with_capacity(count as usize);
+    let mut bindings = Vec::with_capacity(count as usize);
     for _ in 0..count {
+        let raw = cur.u32()?;
         let len = cur.u32()? as usize;
         let s = std::str::from_utf8(cur.take(len)?).ok()?;
-        symbols.push(s.to_owned());
+        bindings.push((raw, s.to_owned()));
     }
-    cur.done().then_some((symbols, committed))
+    cur.done().then_some((bindings, committed, epoch))
 }
 
 // ---------------------------------------------------------------------------
@@ -1473,8 +1494,13 @@ pub(crate) struct ShardLoad {
 
 /// Everything [`Wal::open`] recovered; the storage layer replays it.
 pub(crate) struct Recovery {
-    /// The symbol table contents, in interning order.
-    pub(crate) symbols: Vec<String>,
+    /// Symbol bindings in file order (snapshot first, then `meta.wal`
+    /// deltas).  A slot may appear more than once — an interrupted rotation
+    /// overlaps, and a swept-and-reused slot is legitimately rebound — and
+    /// the **last** binding for a slot wins, exactly as the live table ended.
+    pub(crate) bindings: Vec<(u32, String)>,
+    /// Sweep epoch recorded by the last meta rotation.
+    pub(crate) epoch: u64,
     /// Highest committed round; ops in rounds beyond it are dropped.
     pub(crate) committed: u64,
     /// Per-shard recovery input, `SHARD_COUNT` entries.
@@ -1543,15 +1569,31 @@ fn decode_shard_ops(kind: u8, payload: &[u8], ops: &mut Vec<ShardOp>) -> bool {
     ok
 }
 
-/// Scans one shard log image into ops, stopping at the first invalid frame
-/// *or* the first CRC-valid record that fails semantic decoding (both are
-/// treated as the salvage point).
-fn scan_shard_log(bytes: &[u8]) -> (Vec<ShardOp>, usize) {
+/// Scans one shard log image into ops, stopping at the first invalid frame,
+/// the first CRC-valid record that fails semantic decoding, *or* the first
+/// `ROUND` marker whose sequence exceeds `committed` (all three are treated
+/// as the salvage point).
+///
+/// The round cutoff matters beyond tidiness: a torn flush leaves physically
+/// intact records from an uncommitted round at the tail of the file, and the
+/// next run's flush commits under the *same* sequence number (`next_seq`
+/// restarts at `committed + 1`).  If the stale tail survived, the new COMMIT
+/// would retroactively confirm records — drops included — that the crash
+/// already discarded, so the cutoff must be enforced here, where the caller
+/// truncates the file, not merely at replay.  Rounds within one file are
+/// strictly increasing, so everything past the first over-committed marker
+/// is equally uncommitted.
+fn scan_shard_log(bytes: &[u8], committed: u64) -> (Vec<ShardOp>, usize) {
     let mut ops = Vec::new();
     let mut scanner = FrameScanner::new(bytes);
     let mut valid = 0;
     while let Some((kind, payload)) = scanner.next() {
+        let before = ops.len();
         if !decode_shard_ops(kind, payload, &mut ops) {
+            break;
+        }
+        if matches!(ops.get(before), Some(&ShardOp::Round(seq)) if seq > committed) {
+            ops.truncate(before);
             break;
         }
         valid = scanner.valid_len;
@@ -1583,16 +1625,18 @@ impl Wal {
         let shard_snap_paths: [PathBuf; SHARD_COUNT] =
             std::array::from_fn(|i| dir.join(format!("shard-{i:02}.snap")));
 
-        let mut symbols: Vec<String> = Vec::new();
+        let mut bindings: Vec<(u32, String)> = Vec::new();
+        let mut epoch = 0u64;
         let mut committed = 0u64;
         let mut meta_ok = true;
         let mut meta_size = 0u64;
 
         if let Some(bytes) = fs.read(&meta_snap_path)? {
             match decode_meta_snap(&bytes) {
-                Some((syms, base)) => {
-                    symbols = syms;
+                Some((snap_bindings, base, snap_epoch)) => {
+                    bindings = snap_bindings;
                     committed = base;
+                    epoch = snap_epoch;
                 }
                 None => {
                     note_salvage(&meta_snap_path, bytes.len() as u64);
@@ -1604,17 +1648,35 @@ impl Wal {
             if let Some(bytes) = fs.read(&meta_path)? {
                 let mut scanner = FrameScanner::new(&bytes);
                 let mut valid = 0;
+                // Symbol deltas are written *before* the COMMIT of the flush
+                // that captured them, so a delta with no durable COMMIT after
+                // it belongs to a round the crash discarded — applying it
+                // would resurrect bindings the acked state never had.  Hold
+                // each batch until a COMMIT confirms it, and truncate the log
+                // at the last confirmed frame so a future run's COMMIT cannot
+                // retroactively confirm an orphaned delta.
+                //
+                // Deltas confirmed at or below the snapshot's base round are
+                // *discarded*, not applied: a crash between a rotation's
+                // snapshot install and its `meta.wal` truncation leaves the
+                // pre-rotation log intact, and those deltas may bind slots
+                // the rotation's sweep just freed — replaying them would
+                // resurrect swept bindings the snapshot (the more current
+                // capture of the same rounds) deliberately omits.
+                let snap_base = committed;
+                let mut pending: Vec<(u32, String)> = Vec::new();
                 while let Some((kind, payload)) = scanner.next() {
                     let mut cur = Cur::new(payload);
                     let decoded = match kind {
                         REC_SYMBOLS => {
                             let count = cur.u32().filter(|&c| c <= MAX_COUNT);
                             // Buffer the batch so a record that fails half-way
-                            // leaves `symbols` untouched.
+                            // leaves the pending list untouched.
                             let mut batch = Vec::new();
                             let ok = count
                                 .map(|count| {
                                     for _ in 0..count {
+                                        let Some(id) = cur.u32() else { return false };
                                         let Some(len) = cur.u32() else { return false };
                                         let Some(raw) = cur.take(len as usize) else {
                                             return false;
@@ -1622,13 +1684,13 @@ impl Wal {
                                         let Ok(s) = std::str::from_utf8(raw) else {
                                             return false;
                                         };
-                                        batch.push(s.to_owned());
+                                        batch.push((id, s.to_owned()));
                                     }
                                     cur.done()
                                 })
                                 .unwrap_or(false);
                             if ok {
-                                symbols.append(&mut batch);
+                                pending.append(&mut batch);
                             }
                             ok
                         }
@@ -1636,6 +1698,11 @@ impl Wal {
                             .u64()
                             .map(|seq| {
                                 committed = committed.max(seq);
+                                if seq > snap_base {
+                                    bindings.append(&mut pending);
+                                } else {
+                                    pending.clear();
+                                }
                                 cur.done()
                             })
                             .unwrap_or(false),
@@ -1644,7 +1711,9 @@ impl Wal {
                     if !decoded {
                         break;
                     }
-                    valid = scanner.valid_len;
+                    if kind == REC_COMMIT {
+                        valid = scanner.valid_len;
+                    }
                 }
                 meta_size = valid as u64;
                 if valid < bytes.len() {
@@ -1690,7 +1759,7 @@ impl Wal {
             };
             let (ops, valid, total) = match fs.read(wal_path)? {
                 Some(bytes) => {
-                    let (ops, valid) = scan_shard_log(&bytes);
+                    let (ops, valid) = scan_shard_log(&bytes, committed);
                     (ops, valid, bytes.len())
                 }
                 None => (Vec::new(), 0, 0),
@@ -1713,7 +1782,8 @@ impl Wal {
         let mut failed = 0u64;
         if !meta_ok {
             failed |= META_FAILED_BIT;
-            symbols = Vec::new();
+            bindings = Vec::new();
+            epoch = 0;
             committed = 0;
         }
         for (i, rec) in shards_rec.iter().enumerate() {
@@ -1725,17 +1795,10 @@ impl Wal {
         // An interrupted meta rotation can leave `meta.wal` holding symbol
         // deltas that overlap the snapshot just installed (the crash landed
         // between the atomic snapshot replace and the truncation), so the
-        // recovered list may repeat symbols.  Replay interns the strings —
-        // which dedupes — so the list must be deduplicated the same way
-        // before its length defines `flushed_symbols`: an inflated count
-        // would leave every symbol later interned below it unflushed
-        // forever, and the *next* recovery would drop whole shards whose
-        // committed records reference those missing symbols.
-        {
-            let mut seen: HashSet<String> = HashSet::with_capacity(symbols.len());
-            symbols.retain(|s| seen.insert(s.clone()));
-        }
-        let flushed_symbols = symbols.len();
+        // recovered list may bind the same slot more than once — as may a
+        // legitimate sweep-and-reuse.  No dedup here: the storage layer
+        // installs the bindings in file order and the last binding for a
+        // slot wins, which is exactly the state the live table ended in.
         let wal = Wal {
             fs,
             fsync: options.fsync,
@@ -1743,7 +1806,7 @@ impl Wal {
             next_seq: AtomicU64::new(committed + 1),
             failed: AtomicU64::new(failed),
             meta: Mutex::named(
-                MetaLog { file: None, staged: Vec::new(), size: meta_size, flushed_symbols },
+                MetaLog { file: None, staged: Vec::new(), size: meta_size },
                 LockClass::new("tsdb.wal.meta"),
             ),
             shards: std::array::from_fn(|i| {
@@ -1762,7 +1825,7 @@ impl Wal {
             shard_paths,
             shard_snap_paths,
         };
-        Ok((wal, Recovery { symbols, committed, shards: shards_rec }))
+        Ok((wal, Recovery { bindings, epoch, committed, shards: shards_rec }))
     }
 }
 

@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use teemon_metrics::{FamilySnapshot, Labels, MetricKind, MetricPoint, PointValue};
-use teemon_tsdb::{MetricsEndpoint, ScrapeError, ScrapeTargetConfig, Scraper, TimeSeriesDb};
+use teemon_tsdb::{
+    CardinalityBudgets, MetricsEndpoint, ScrapeError, ScrapeTargetConfig, Scraper, TimeSeriesDb,
+};
 
 struct CountingAllocator;
 
@@ -160,6 +162,44 @@ fn warm_self_scrape_round_is_allocation_free() {
         after - before,
         0,
         "a warm self-scrape round (snapshot refresh -> cache hit -> batch append ->          stats publication) must not allocate"
+    );
+}
+
+#[test]
+fn budget_clipped_steady_state_round_is_allocation_free() {
+    // The cardinality defense must not tax the warm path: with a per-target
+    // budget *and* a shared job pool active — and actively clipping samples
+    // every round — a steady-state round (cache hit, overflow counting,
+    // batch append, the overflow roll-up meta-metric) still performs zero
+    // heap allocations.  Budget checks live entirely in the cold repair
+    // path; the warm path only reads the `admitted` flag per entry.
+    let db = TimeSeriesDb::new();
+    let budgets = CardinalityBudgets::new();
+    budgets.set_job_limit("sgx_exporter", 40);
+    let scraper = Scraper::new(db.clone()).with_budgets(budgets);
+    scraper.add_target(
+        ScrapeTargetConfig::new("sgx_exporter", "node-1:9090").with_series_budget(30),
+        Arc::new(InPlaceEndpoint::new(24)), // 48 wire samples, 30 admitted
+    );
+
+    // Warm-up: round 1 repairs under the budget (admits 30, clips 18) and
+    // creates the roll-up series; round 2 proves the clipped cache holds.
+    let summary = scraper.scrape_round(5_000);
+    assert_eq!(summary.samples_scraped, 48);
+    assert_eq!(summary.samples_added, 30, "18 of 48 samples budget-clipped");
+    scraper.scrape_round(10_000);
+
+    let before = allocations();
+    for round in 3..40u64 {
+        let summary = scraper.scrape_round(round * 5_000);
+        assert_eq!(summary.samples_scraped, 48);
+        assert_eq!(summary.samples_added, 30);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "a warm budget-clipped round (cache hit -> overflow count -> batch append -> \
+         overflow roll-up) must not allocate"
     );
 }
 

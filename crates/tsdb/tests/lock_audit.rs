@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use parking_lot::audit;
 use teemon_metrics::{Labels, Registry, RegistryCollector};
-use teemon_tsdb::{ScrapeTargetConfig, Scraper, Selector, TimeSeriesDb, TsdbConfig};
+use teemon_tsdb::{
+    CardinalityBudgets, ScrapeTargetConfig, Scraper, Selector, TimeSeriesDb, TsdbConfig,
+};
 
 /// Allocations observed while [`audit::alloc_armed`] reported `true` — i.e.
 /// while some thread held an exclusive `no_alloc` (shard) lock outside an
@@ -105,14 +107,19 @@ fn engine_exercise_allocates_only_in_approved_scopes() {
 #[test]
 fn concurrent_scrape_and_query_establish_a_clean_lock_order() {
     let db = TimeSeriesDb::new();
-    let scraper = Scraper::new(db.clone());
+    // Shared admission budgets: every cache rebuild runs begin/commit on the
+    // `scrape.budgets` pool while holding the target cache lock, so the
+    // admission edge joins the audited graph.
+    let budgets = CardinalityBudgets::new();
+    budgets.set_job_limit("job", 1 << 20);
+    let scraper = Scraper::new(db.clone()).with_budgets(budgets);
     let registry = Registry::new();
     let family = registry.counter_family("events_total", "events");
     for case in ["a", "b", "c"] {
         family.with(&Labels::from_pairs([("case", case)])).inc_by(1.0);
     }
     scraper.add_collector(
-        ScrapeTargetConfig::new("job", "n1:1"),
+        ScrapeTargetConfig::new("job", "n1:1").with_series_budget(1 << 20),
         Arc::new(RegistryCollector::new("job", registry.clone())),
     );
     let threads: Vec<_> = (0..4)
@@ -145,6 +152,10 @@ fn concurrent_scrape_and_query_establish_a_clean_lock_order() {
     assert!(
         report.contains("scrape.target_cache -> tsdb.shard"),
         "the fast lane appends under the target cache lock:\n{report}"
+    );
+    assert!(
+        report.contains("scrape.target_cache -> scrape.budgets"),
+        "cache rebuilds run budget admission under the target cache lock:\n{report}"
     );
     println!("{report}");
 }

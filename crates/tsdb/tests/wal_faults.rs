@@ -327,6 +327,74 @@ fn rotation_crash_points_land_on_acked_states() {
 /// for recovery double-counting symbols when an interrupted meta rotation
 /// leaves `meta.wal` deltas overlapping the installed snapshot — the
 /// inflated accounting only loses data one restart later.
+/// Crash sweep over the **symbol-GC-at-rotation** window: a churn workload
+/// (every round interns fresh label strings and drops the previous round's,
+/// so symbols release, cool for two commits, get swept when the meta log
+/// rotates, and freed slots are rebound to new strings under a bumped
+/// generation).  A crash at any journalled-op boundary — including inside
+/// the rotation that snapshots the symbol table, sweeps the cooling queue
+/// and truncates `meta.wal` — must recover a state that was acked, with
+/// every surviving series resolving to exactly its original name and label
+/// strings (the fingerprint compares them byte-for-byte).  The recovered
+/// database must then rebind freed slots to *new* strings durably: one more
+/// churn round plus a second reopen proves a swept/rebound slot never
+/// resurrects its old string.
+///
+/// Each round contributes *two* acked fingerprints: one before the flush
+/// (the round's mutations with the sweep not yet run) and one after (the
+/// sweep's reclaim visible).  GC progress rides disk operations of its own
+/// — the rotation's snapshot install lands after the round's commit — so a
+/// crash between the two legitimately recovers the committed round with the
+/// swept-in-memory bindings parked back in the cooling queue; the series
+/// data must still match an acked round byte-for-byte either way.
+#[test]
+fn symbol_gc_rotation_crash_windows_preserve_exact_resolution() {
+    let fs = FaultFs::new();
+    let db = open(&fs, 64); // tiny segments: the meta log rotates (and GC runs) often
+    let mut acked = vec![fingerprint(&db)];
+    for round in 1..=6u64 {
+        let labels = Labels::from_pairs([("round", format!("r{round}").as_str())]);
+        db.append("churn_metric", &labels, round * 1_000, round as f64);
+        let stable = Labels::from_pairs([("node", "n0")]);
+        db.append("teemon_wal_metric", &stable, round * 1_000, round as f64);
+        if round > 1 {
+            let gone = format!("r{}", round - 1);
+            assert_eq!(
+                db.drop_series(&Selector::metric("churn_metric").with_label("round", &gone)),
+                1,
+                "the previous round's churn series must exist to be dropped"
+            );
+        }
+        acked.push(fingerprint(&db)); // round committed, sweep not yet durable
+        assert!(db.wal_flush(), "fault-free churn flush must stay clean");
+        acked.push(fingerprint(&db)); // sweep ran at the flush's rotation
+    }
+    let total = fs.op_count();
+    for k in 0..=total {
+        let image = fs.crashed_at_op(k, CrashModel::Torn);
+        let recovered = open(&image, 64);
+        assert!(
+            acked.contains(&fingerprint(&recovered)),
+            "crash at op {k}/{total} across the GC window recovered a state never acked \
+             (or a symbol resolved to the wrong string)"
+        );
+        // Freed slots must rebind cleanly after recovery: intern brand-new
+        // strings (likely reusing swept slot indices) and flush...
+        let fresh = Labels::from_pairs([("round", "post-crash")]);
+        recovered.append("churn_metric", &fresh, 100_000, 1.0);
+        assert!(recovered.wal_flush(), "post-crash churn flush at op {k} must be clean");
+        let after = fingerprint(&recovered);
+        // ...and the rebind must survive the next restart byte-exactly.
+        let reopened = open(&image.crashed(u64::MAX, CrashModel::Torn), 64);
+        assert_eq!(
+            fingerprint(&reopened),
+            after,
+            "op {k}/{total}: a slot swept and rebound around the crash resolved wrong \
+             after the second reopen"
+        );
+    }
+}
+
 #[test]
 fn op_boundary_crashes_cover_rotation_windows() {
     let fs = FaultFs::new();
